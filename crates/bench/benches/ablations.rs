@@ -1,0 +1,127 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! smoothing operator, α-correction on/off, the unbiased-draw budget, the
+//! number of α reference slots, and the user sensing model in the
+//! simulator. Criterion measures the runtime cost of each variant; the
+//! corresponding *quality* ablations live in `tests/ablations.rs` at the
+//! workspace root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use autosens_bench::dataset;
+use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_sim::preference::SensingMode;
+use autosens_sim::{generate, Scenario, SimConfig};
+use autosens_stats::{savgol::SavGol, smoothing};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_smoothing_choice(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let series: Vec<f64> = (0..300).map(|_| rng.gen::<f64>()).collect();
+    let savgol = SavGol::new(101, 3).expect("valid");
+    let mut group = c.benchmark_group("ablation_smoothing");
+    group.bench_function("savgol_101_3", |b| {
+        b.iter(|| black_box(savgol.smooth(&series).expect("ok").len()))
+    });
+    group.bench_function("moving_average_101", |b| {
+        b.iter(|| black_box(smoothing::moving_average(&series, 101).expect("ok").len()))
+    });
+    group.bench_function("median_filter_101", |b| {
+        b.iter(|| black_box(smoothing::median_filter(&series, 101).expect("ok").len()))
+    });
+    group.finish();
+}
+
+fn bench_alpha_correction(c: &mut Criterion) {
+    let data = dataset();
+    let mut group = c.benchmark_group("ablation_alpha");
+    group.sample_size(10);
+    for on in [true, false] {
+        let cfg = AutoSensConfig {
+            alpha_correction: on,
+            ..AutoSensConfig::default()
+        };
+        let engine = AutoSens::new(cfg);
+        group.bench_function(if on { "corrected" } else { "uncorrected" }, |b| {
+            b.iter(|| {
+                let report = engine.analyze(&data.log).expect("fits");
+                black_box(report.n_actions)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_draw_budget(c: &mut Criterion) {
+    let data = dataset();
+    let mut group = c.benchmark_group("ablation_draws");
+    group.sample_size(10);
+    for draws in [48_000usize, 120_000, 480_000] {
+        let cfg = AutoSensConfig {
+            unbiased_draws: draws,
+            ..AutoSensConfig::default()
+        };
+        let engine = AutoSens::new(cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(draws), &draws, |b, _| {
+            b.iter(|| {
+                let report = engine.analyze(&data.log).expect("fits");
+                black_box(report.n_actions)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reference_slots(c: &mut Criterion) {
+    let data = dataset();
+    let mut group = c.benchmark_group("ablation_references");
+    group.sample_size(10);
+    for refs in [1usize, 4, 8] {
+        let cfg = AutoSensConfig {
+            alpha_references: refs,
+            ..AutoSensConfig::default()
+        };
+        let engine = AutoSens::new(cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(refs), &refs, |b, _| {
+            b.iter(|| {
+                let report = engine.analyze(&data.log).expect("fits");
+                black_box(report.n_actions)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sensing_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sensing");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("oracle", SensingMode::Oracle),
+        ("level", SensingMode::Level),
+        ("ema", SensingMode::Ema { beta: 0.8 }),
+    ] {
+        let mut cfg = SimConfig::scenario(Scenario::Smoke);
+        cfg.days = 3;
+        cfg.n_business = 100;
+        cfg.n_consumer = 100;
+        cfg.sensing = mode;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let (log, _) = generate(black_box(&cfg)).expect("valid");
+                black_box(log.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_smoothing_choice,
+    bench_alpha_correction,
+    bench_draw_budget,
+    bench_reference_slots,
+    bench_sensing_modes
+);
+criterion_main!(benches);

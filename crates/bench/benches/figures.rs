@@ -1,0 +1,27 @@
+//! One criterion bench per paper artifact: each measures the cost of
+//! regenerating that table/figure end-to-end (analysis only; the shared
+//! dataset is generated once outside the timing loops).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use autosens_bench::dataset;
+use autosens_experiments::artifacts;
+
+fn bench_artifacts(c: &mut Criterion) {
+    let data = dataset();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for id in artifacts::ids() {
+        group.bench_function(*id, |b| {
+            b.iter(|| {
+                let artifact = artifacts::by_id(data, id).expect("known id");
+                black_box(artifact.checks.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_artifacts);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Shared helpers for the criterion benches: a lazily generated bench-scale
+//! dataset reused across benchmark groups so each bench measures analysis
+//! cost, not data generation.
+
+use std::sync::OnceLock;
+
+use autosens_experiments::dataset::{Dataset, Scale};
+
+static DATASET: OnceLock<Dataset> = OnceLock::new();
+
+/// The shared bench-scale dataset (generated on first use).
+pub fn dataset() -> &'static Dataset {
+    DATASET.get_or_init(|| Dataset::load(Scale::Bench))
+}

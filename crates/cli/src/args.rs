@@ -1,0 +1,406 @@
+//! Argument parsing for the `autosens` CLI (hand-rolled: the approved
+//! dependency set has no argument parser, and the surface is small).
+
+use autosens_sim::Scenario;
+use autosens_telemetry::record::{ActionType, UserClass};
+use autosens_telemetry::time::{DayPeriod, Month};
+
+/// Usage text shown on parse errors.
+pub const USAGE: &str = "\
+usage:
+  autosens generate --scenario <smoke|default|paper-scale> --out <path> [--format csv|jsonl] [--seed N]
+  autosens analyze  --in <path> [--format csv|jsonl] [--action A] [--class C]
+                    [--period P] [--month M] [--tz HOURS] [--no-alpha]
+                    [--reference MS] [--ci REPLICATES] [--json]
+  autosens diagnose --in <path> [--format csv|jsonl]
+  autosens alpha    --in <path> [--format csv|jsonl] [--action A] [--class C]
+  autosens abandonment --in <path> [--format csv|jsonl] [--class C] [--gap MS]
+  autosens report   --in <path> [--format csv|jsonl] [--action A] [--class C]
+
+  actions: SelectMail | SwitchFolder | Search | ComposeSend | Other
+  classes: Business | Consumer
+  periods: 8am-2pm | 2pm-8pm | 8pm-2am | 2am-8am
+  months:  Jan | Feb | ... | Dec";
+
+/// Input/output file format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Comma-separated values with the fixed header.
+    Csv,
+    /// One serde-JSON record per line.
+    Jsonl,
+}
+
+/// Slice filters shared by `analyze` and `alpha`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SliceArgs {
+    /// Restrict to one action type.
+    pub action: Option<ActionType>,
+    /// Restrict to one user class.
+    pub class: Option<UserClass>,
+    /// Restrict to one local-time day period.
+    pub period: Option<DayPeriod>,
+    /// Restrict to one calendar month.
+    pub month: Option<Month>,
+    /// Restrict to one timezone region (offset in whole hours).
+    pub tz_hours: Option<i64>,
+}
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate synthetic telemetry.
+    Generate {
+        /// Which preset scenario.
+        scenario: Scenario,
+        /// Output path.
+        out: String,
+        /// Output format.
+        format: Format,
+        /// Optional seed override.
+        seed: Option<u64>,
+    },
+    /// Analyze a log and print the preference curve.
+    Analyze {
+        /// Input path.
+        input: String,
+        /// Input format.
+        format: Format,
+        /// Slice filters.
+        slice: SliceArgs,
+        /// Disable the time-confounder correction.
+        no_alpha: bool,
+        /// Reference latency in ms.
+        reference_ms: f64,
+        /// Bootstrap replicates for a 95% confidence band (None = no band).
+        ci_replicates: Option<usize>,
+        /// Emit JSON instead of a text table.
+        json: bool,
+    },
+    /// Run the locality diagnostics.
+    Diagnose {
+        /// Input path.
+        input: String,
+        /// Input format.
+        format: Format,
+    },
+    /// Print activity factors per day period.
+    Alpha {
+        /// Input path.
+        input: String,
+        /// Input format.
+        format: Format,
+        /// Slice filters.
+        slice: SliceArgs,
+    },
+    /// Emit the full JSON analysis bundle for a slice.
+    Report {
+        /// Input path.
+        input: String,
+        /// Input format.
+        format: Format,
+        /// Slice filters.
+        slice: SliceArgs,
+    },
+    /// Session-abandonment analysis (non-sticky services).
+    Abandonment {
+        /// Input path.
+        input: String,
+        /// Input format.
+        format: Format,
+        /// Slice filters.
+        slice: SliceArgs,
+        /// Sessionization gap threshold in ms.
+        gap_ms: i64,
+    },
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let sub = it.next().ok_or("missing subcommand")?;
+    let rest: Vec<&String> = it.collect();
+
+    let flag = |name: &str| -> Option<&str> {
+        rest.iter()
+            .position(|a| a.as_str() == name)
+            .and_then(|i| rest.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let has = |name: &str| rest.iter().any(|a| a.as_str() == name);
+    let known_flags: &[&str] = &[
+        "--scenario",
+        "--out",
+        "--format",
+        "--seed",
+        "--in",
+        "--action",
+        "--class",
+        "--period",
+        "--month",
+        "--tz",
+        "--no-alpha",
+        "--reference",
+        "--ci",
+        "--gap",
+        "--json",
+    ];
+    // Reject unknown flags early (typos must not be silently ignored).
+    let mut skip_next = false;
+    for a in &rest {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            if !known_flags.contains(&a.as_str()) {
+                return Err(format!("unknown flag {a}"));
+            }
+            // Flags with values consume the next token.
+            if !matches!(a.as_str(), "--no-alpha" | "--json") {
+                skip_next = true;
+            }
+        } else {
+            return Err(format!("unexpected argument {a:?}"));
+        }
+    }
+
+    let format = match flag("--format") {
+        None => Format::Csv,
+        Some("csv") => Format::Csv,
+        Some("jsonl") => Format::Jsonl,
+        Some(other) => return Err(format!("unknown format {other:?}")),
+    };
+    let slice = || -> Result<SliceArgs, String> {
+        Ok(SliceArgs {
+            action: flag("--action")
+                .map(|s| ActionType::parse(s).ok_or(format!("unknown action {s:?}")))
+                .transpose()?,
+            class: flag("--class")
+                .map(|s| UserClass::parse(s).ok_or(format!("unknown class {s:?}")))
+                .transpose()?,
+            period: flag("--period").map(parse_period).transpose()?,
+            month: flag("--month").map(parse_month).transpose()?,
+            tz_hours: flag("--tz")
+                .map(|s| s.parse::<i64>().map_err(|_| format!("bad tz offset {s:?}")))
+                .transpose()?,
+        })
+    };
+
+    match sub.as_str() {
+        "generate" => {
+            let scenario = match flag("--scenario").unwrap_or("default") {
+                "smoke" => Scenario::Smoke,
+                "default" => Scenario::Default,
+                "paper-scale" => Scenario::PaperScale,
+                other => return Err(format!("unknown scenario {other:?}")),
+            };
+            let out = flag("--out").ok_or("generate requires --out")?.to_string();
+            let seed = flag("--seed")
+                .map(|s| s.parse::<u64>().map_err(|_| format!("bad seed {s:?}")))
+                .transpose()?;
+            Ok(Command::Generate {
+                scenario,
+                out,
+                format,
+                seed,
+            })
+        }
+        "analyze" => Ok(Command::Analyze {
+            input: flag("--in").ok_or("analyze requires --in")?.to_string(),
+            format,
+            slice: slice()?,
+            no_alpha: has("--no-alpha"),
+            reference_ms: flag("--reference")
+                .map(|s| s.parse::<f64>().map_err(|_| format!("bad reference {s:?}")))
+                .transpose()?
+                .unwrap_or(300.0),
+            ci_replicates: flag("--ci")
+                .map(|s| {
+                    s.parse::<usize>()
+                        .map_err(|_| format!("bad ci replicates {s:?}"))
+                })
+                .transpose()?,
+            json: has("--json"),
+        }),
+        "diagnose" => Ok(Command::Diagnose {
+            input: flag("--in").ok_or("diagnose requires --in")?.to_string(),
+            format,
+        }),
+        "alpha" => Ok(Command::Alpha {
+            input: flag("--in").ok_or("alpha requires --in")?.to_string(),
+            format,
+            slice: slice()?,
+        }),
+        "report" => Ok(Command::Report {
+            input: flag("--in").ok_or("report requires --in")?.to_string(),
+            format,
+            slice: slice()?,
+        }),
+        "abandonment" => Ok(Command::Abandonment {
+            input: flag("--in").ok_or("abandonment requires --in")?.to_string(),
+            format,
+            slice: slice()?,
+            gap_ms: flag("--gap")
+                .map(|s| s.parse::<i64>().map_err(|_| format!("bad gap {s:?}")))
+                .transpose()?
+                .unwrap_or(10 * 60_000),
+        }),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn parse_period(s: &str) -> Result<DayPeriod, String> {
+    match s {
+        "8am-2pm" => Ok(DayPeriod::Morning8to14),
+        "2pm-8pm" => Ok(DayPeriod::Afternoon14to20),
+        "8pm-2am" => Ok(DayPeriod::Evening20to2),
+        "2am-8am" => Ok(DayPeriod::Night2to8),
+        other => Err(format!("unknown period {other:?}")),
+    }
+}
+
+fn parse_month(s: &str) -> Result<Month, String> {
+    let months = [
+        ("Jan", Month::Jan),
+        ("Feb", Month::Feb),
+        ("Mar", Month::Mar),
+        ("Apr", Month::Apr),
+        ("May", Month::May),
+        ("Jun", Month::Jun),
+        ("Jul", Month::Jul),
+        ("Aug", Month::Aug),
+        ("Sep", Month::Sep),
+        ("Oct", Month::Oct),
+        ("Nov", Month::Nov),
+        ("Dec", Month::Dec),
+    ];
+    months
+        .iter()
+        .find(|(name, _)| *name == s)
+        .map(|(_, m)| *m)
+        .ok_or(format!("unknown month {s:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_generate() {
+        let cmd = parse(&sv(&["generate", "--scenario", "smoke", "--out", "x.csv"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                scenario: Scenario::Smoke,
+                out: "x.csv".into(),
+                format: Format::Csv,
+                seed: None,
+            }
+        );
+        let cmd = parse(&sv(&[
+            "generate", "--out", "x.jsonl", "--format", "jsonl", "--seed", "7",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Generate {
+                scenario,
+                format,
+                seed,
+                ..
+            } => {
+                assert_eq!(scenario, Scenario::Default);
+                assert_eq!(format, Format::Jsonl);
+                assert_eq!(seed, Some(7));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_analyze_with_slice() {
+        let cmd = parse(&sv(&[
+            "analyze",
+            "--in",
+            "logs.csv",
+            "--action",
+            "SelectMail",
+            "--class",
+            "Business",
+            "--period",
+            "8am-2pm",
+            "--month",
+            "Feb",
+            "--no-alpha",
+            "--reference",
+            "250",
+            "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Analyze {
+                input,
+                slice,
+                no_alpha,
+                reference_ms,
+                json,
+                ..
+            } => {
+                assert_eq!(input, "logs.csv");
+                assert_eq!(slice.action, Some(ActionType::SelectMail));
+                assert_eq!(slice.class, Some(UserClass::Business));
+                assert_eq!(slice.period, Some(DayPeriod::Morning8to14));
+                assert_eq!(slice.month, Some(Month::Feb));
+                assert!(no_alpha);
+                assert_eq!(reference_ms, 250.0);
+                assert!(json);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_diagnose_and_alpha() {
+        assert!(matches!(
+            parse(&sv(&["diagnose", "--in", "x.csv"])).unwrap(),
+            Command::Diagnose { .. }
+        ));
+        assert!(matches!(
+            parse(&sv(&["alpha", "--in", "x.csv", "--class", "Consumer"])).unwrap(),
+            Command::Alpha { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&sv(&[])).is_err());
+        assert!(parse(&sv(&["frobnicate"])).is_err());
+        assert!(parse(&sv(&["generate"])).is_err()); // missing --out
+        assert!(parse(&sv(&["analyze"])).is_err()); // missing --in
+        assert!(parse(&sv(&["analyze", "--in", "x", "--action", "Click"])).is_err());
+        assert!(parse(&sv(&["analyze", "--in", "x", "--class", "VIP"])).is_err());
+        assert!(parse(&sv(&["analyze", "--in", "x", "--period", "noon"])).is_err());
+        assert!(parse(&sv(&["analyze", "--in", "x", "--month", "Smarch"])).is_err());
+        assert!(parse(&sv(&["analyze", "--in", "x", "--tz", "east"])).is_err());
+        assert!(parse(&sv(&["analyze", "--in", "x", "--format", "xml"])).is_err());
+        assert!(parse(&sv(&["analyze", "--in", "x", "--reference", "fast"])).is_err());
+        assert!(parse(&sv(&["generate", "--out", "x", "--seed", "NaN"])).is_err());
+        assert!(parse(&sv(&["analyze", "--in", "x", "--bogus", "y"])).is_err());
+        assert!(parse(&sv(&["analyze", "--in", "x", "stray"])).is_err());
+        assert!(parse(&sv(&["generate", "--out", "x", "--scenario", "huge"])).is_err());
+    }
+
+    #[test]
+    fn month_parser_covers_all() {
+        for m in [
+            "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+        ] {
+            assert!(parse_month(m).is_ok());
+        }
+        assert!(parse_month("January").is_err());
+    }
+}

@@ -1,0 +1,351 @@
+//! Command implementations for the `autosens` CLI.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use autosens_core::locality::{decorrelation_report, density_latency_correlation, locality_report};
+use autosens_core::report::{f3, text_table, PreferenceSummary};
+use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_sim::{generate, SimConfig};
+use autosens_telemetry::codec;
+use autosens_telemetry::query::Slice;
+use autosens_telemetry::TelemetryLog;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::args::{Command, Format, SliceArgs};
+
+/// Execute a parsed command.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Generate {
+            scenario,
+            out,
+            format,
+            seed,
+        } => {
+            let mut cfg = SimConfig::scenario(scenario);
+            if let Some(seed) = seed {
+                cfg.seed = seed;
+            }
+            eprintln!(
+                "generating {} days for {} users (seed {})...",
+                cfg.days,
+                cfg.n_users(),
+                cfg.seed
+            );
+            let (log, _) = generate(&cfg)?;
+            let file = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
+            let mut w = BufWriter::new(file);
+            match format {
+                Format::Csv => codec::write_csv(&log, &mut w),
+                Format::Jsonl => codec::write_jsonl(&log, &mut w),
+            }
+            .map_err(|e| e.to_string())?;
+            eprintln!("wrote {} records to {out}", log.len());
+            Ok(())
+        }
+        Command::Analyze {
+            input,
+            format,
+            slice,
+            no_alpha,
+            reference_ms,
+            ci_replicates,
+            json,
+        } => {
+            let log = read_log(&input, format)?;
+            let config = AutoSensConfig {
+                alpha_correction: !no_alpha,
+                reference_latency_ms: reference_ms,
+                ..AutoSensConfig::default()
+            };
+            let engine = AutoSens::new(config);
+            let (report, ci) = match ci_replicates {
+                Some(replicates) => {
+                    let (report, ci) = engine
+                        .analyze_slice_with_ci(&log, &to_slice(&slice), replicates, 0.95)
+                        .map_err(|e| e.to_string())?;
+                    (report, Some(ci))
+                }
+                None => (
+                    engine
+                        .analyze_slice(&log, &to_slice(&slice))
+                        .map_err(|e| e.to_string())?,
+                    None,
+                ),
+            };
+            if json {
+                let summary = PreferenceSummary::from_report(
+                    slice_label(&slice),
+                    &report,
+                    &autosens_core::report::default_grid(),
+                );
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+                );
+            } else {
+                println!(
+                    "slice: {} — {} actions, span {:.0}..{:.0} ms, reference {reference_ms} ms\n",
+                    slice_label(&slice),
+                    report.n_actions,
+                    report.preference.span_ms().0,
+                    report.preference.span_ms().1
+                );
+                match &ci {
+                    Some(ci) => {
+                        let rows: Vec<Vec<String>> = autosens_core::report::default_grid()
+                            .iter()
+                            .filter_map(|&l| {
+                                let v = report.preference.at(l)?;
+                                let (lo, hi) = ci.band_at(l)?;
+                                Some(vec![format!("{l:.0}"), f3(v), f3(lo), f3(hi)])
+                            })
+                            .collect();
+                        println!(
+                            "{}",
+                            text_table(
+                                &["latency (ms)", "preference", "ci lo (95%)", "ci hi (95%)"],
+                                &rows
+                            )
+                        );
+                    }
+                    None => {
+                        let rows: Vec<Vec<String>> = autosens_core::report::default_grid()
+                            .iter()
+                            .filter_map(|&l| {
+                                report
+                                    .preference
+                                    .at(l)
+                                    .map(|v| vec![format!("{l:.0}"), f3(v)])
+                            })
+                            .collect();
+                        println!(
+                            "{}",
+                            text_table(&["latency (ms)", "normalized preference"], &rows)
+                        );
+                    }
+                }
+            }
+            Ok(())
+        }
+        Command::Diagnose { input, format } => {
+            let log = read_log(&input, format)?;
+            let mut rng = StdRng::seed_from_u64(0xD1A6);
+            let loc = locality_report(&log, &mut rng).map_err(|e| e.to_string())?;
+            let corr = density_latency_correlation(&log, 60_000).map_err(|e| e.to_string())?;
+            println!("samples:               {}", loc.n_samples);
+            println!("MSD/MAD actual:        {}", f3(loc.msd_mad_actual));
+            println!("MSD/MAD shuffled:      {}", f3(loc.msd_mad_shuffled));
+            println!("MSD/MAD sorted:        {:.5}", loc.msd_mad_sorted);
+            println!("von Neumann ratio:     {}", f3(loc.von_neumann));
+            println!("density/latency corr.: {}", f3(corr.correlation));
+            if let Ok(dec) = decorrelation_report(&log, 60_000, 24 * 60) {
+                match (dec.decorrelation_ms, dec.effective_excursions) {
+                    (Some(ms), Some(ex)) => println!(
+                        "latency decorrelation:  ~{} min (~{:.0} independent excursions in span)",
+                        ms / 60_000,
+                        ex
+                    ),
+                    _ => println!(
+                        "latency decorrelation:  beyond the 24h ACF horizon (strongly correlated)"
+                    ),
+                }
+            }
+            println!(
+                "locality precondition:  {}",
+                if loc.has_locality() {
+                    "SATISFIED (latency is predictable; AutoSens applicable)"
+                } else {
+                    "WEAK (little temporal locality; estimates may be unreliable)"
+                }
+            );
+            Ok(())
+        }
+        Command::Report {
+            input,
+            format,
+            slice,
+        } => {
+            let log = read_log(&input, format)?;
+            let engine = AutoSens::new(AutoSensConfig::default());
+            let report = engine
+                .full_report(&log, &to_slice(&slice), slice_label(&slice))
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+            );
+            Ok(())
+        }
+        Command::Abandonment {
+            input,
+            format,
+            slice,
+            gap_ms,
+        } => {
+            let log = read_log(&input, format)?;
+            let sub = to_slice(&slice).successes().apply(&log);
+            let report = autosens_core::abandonment::session_continuation(
+                &sub,
+                &AutoSensConfig::default(),
+                gap_ms,
+            )
+            .map_err(|e| e.to_string())?;
+            let s = &report.stats;
+            println!(
+                "slice: {} — {} sessions, {} labelable actions, mean length {:.1},\n\
+                 overall continuation {:.3} (gap threshold {} s)\n",
+                slice_label(&slice),
+                s.n_sessions,
+                s.n_actions,
+                s.mean_session_len,
+                s.overall_continuation(),
+                s.gap_ms / 1000
+            );
+            let rows: Vec<Vec<String>> = autosens_core::report::default_grid()
+                .iter()
+                .filter_map(|&l| {
+                    report
+                        .continuation
+                        .at(l)
+                        .map(|v| vec![format!("{l:.0}"), f3(v)])
+                })
+                .collect();
+            println!(
+                "{}",
+                text_table(&["latency (ms)", "normalized continuation"], &rows)
+            );
+            Ok(())
+        }
+        Command::Alpha {
+            input,
+            format,
+            slice,
+        } => {
+            let log = read_log(&input, format)?;
+            let engine = AutoSens::new(AutoSensConfig::default());
+            let est = engine
+                .alpha_by_period(&log, &to_slice(&slice))
+                .map_err(|e| e.to_string())?;
+            let rows: Vec<Vec<String>> = est
+                .groups
+                .iter()
+                .map(|g| {
+                    vec![
+                        g.label.clone(),
+                        g.n_actions.to_string(),
+                        g.alpha.map(f3).unwrap_or_else(|| "-".into()),
+                    ]
+                })
+                .collect();
+            println!("activity factor per day period (8am-2pm = 1.0)\n");
+            println!("{}", text_table(&["period", "actions", "alpha"], &rows));
+            Ok(())
+        }
+    }
+}
+
+fn read_log(path: &str, format: Format) -> Result<TelemetryLog, String> {
+    let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    match format {
+        Format::Csv => codec::read_csv(reader),
+        Format::Jsonl => codec::read_jsonl(reader),
+    }
+    .map_err(|e| e.to_string())
+}
+
+fn to_slice(args: &SliceArgs) -> Slice {
+    let mut slice = Slice::all();
+    if let Some(a) = args.action {
+        slice = slice.action(a);
+    }
+    if let Some(c) = args.class {
+        slice = slice.class(c);
+    }
+    if let Some(p) = args.period {
+        slice = slice.period(p);
+    }
+    if let Some(m) = args.month {
+        slice = slice.month(m);
+    }
+    if let Some(tz) = args.tz_hours {
+        slice = slice.tz_offset_hours(tz);
+    }
+    slice
+}
+
+fn slice_label(args: &SliceArgs) -> String {
+    let mut parts = Vec::new();
+    if let Some(a) = args.action {
+        parts.push(a.name().to_string());
+    }
+    if let Some(c) = args.class {
+        parts.push(c.name().to_string());
+    }
+    if let Some(p) = args.period {
+        parts.push(p.label().to_string());
+    }
+    if let Some(m) = args.month {
+        parts.push(m.label().to_string());
+    }
+    if let Some(tz) = args.tz_hours {
+        parts.push(format!("UTC{tz:+}"));
+    }
+    if parts.is_empty() {
+        "all".to_string()
+    } else {
+        parts.join(" / ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosens_telemetry::record::{ActionType, UserClass};
+    use autosens_telemetry::time::{DayPeriod, Month};
+
+    #[test]
+    fn slice_labels() {
+        assert_eq!(slice_label(&SliceArgs::default()), "all");
+        let s = SliceArgs {
+            action: Some(ActionType::Search),
+            class: Some(UserClass::Consumer),
+            period: Some(DayPeriod::Night2to8),
+            month: Some(Month::Jan),
+            tz_hours: Some(-5),
+        };
+        assert_eq!(slice_label(&s), "Search / Consumer / 2am-8am / Jan / UTC-5");
+    }
+
+    #[test]
+    fn to_slice_respects_filters() {
+        use autosens_telemetry::record::{ActionRecord, Outcome, UserId};
+        use autosens_telemetry::time::SimTime;
+        let s = to_slice(&SliceArgs {
+            action: Some(ActionType::Search),
+            ..Default::default()
+        });
+        let r = ActionRecord {
+            time: SimTime(0),
+            action: ActionType::Search,
+            latency_ms: 100.0,
+            user: UserId(1),
+            class: UserClass::Business,
+            tz_offset_ms: 0,
+            outcome: Outcome::Success,
+        };
+        assert!(s.matches(&r));
+        let mut other = r;
+        other.action = ActionType::SelectMail;
+        assert!(!s.matches(&other));
+    }
+
+    #[test]
+    fn read_log_reports_missing_file() {
+        let err = read_log("/nonexistent/definitely-missing.csv", Format::Csv).unwrap_err();
+        assert!(err.contains("open"));
+    }
+}

@@ -1,0 +1,38 @@
+//! `autosens` — the end-user command line.
+//!
+//! ```text
+//! autosens generate --scenario default --out logs.csv [--format csv|jsonl]
+//! autosens analyze --in logs.csv [--action SelectMail] [--class Business]
+//!                  [--period 8am-2pm] [--month Feb] [--no-alpha]
+//!                  [--reference 300] [--json]
+//! autosens diagnose --in logs.csv
+//! autosens alpha --in logs.csv [--action SelectMail] [--class Business]
+//! ```
+//!
+//! `analyze` prints the normalized latency preference curve for the
+//! requested slice of the given telemetry; `diagnose` checks the
+//! natural-experiment preconditions (latency locality); `alpha` prints the
+//! time-based activity factors per day period.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

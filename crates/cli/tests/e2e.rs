@@ -1,0 +1,213 @@
+//! End-to-end tests of the `autosens` binary: generate telemetry to a temp
+//! file, then diagnose, analyze (with and without a slice/CI), and print
+//! activity factors — exactly as an operator would.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_autosens"))
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("autosens-e2e-{}-{name}", std::process::id()));
+    p
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// Generate once for the whole binary's tests (serial by file lock on the
+/// path name — each test uses its own file to stay independent).
+fn generate_csv(path: &std::path::Path) {
+    run_ok(bin().args([
+        "generate",
+        "--scenario",
+        "smoke",
+        "--out",
+        path.to_str().expect("utf8 temp path"),
+    ]));
+}
+
+#[test]
+fn generate_then_diagnose() {
+    let path = tmp_path("diag.csv");
+    generate_csv(&path);
+    let out = run_ok(bin().args(["diagnose", "--in", path.to_str().unwrap()]));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("MSD/MAD actual"), "{text}");
+    assert!(text.contains("locality precondition"), "{text}");
+    assert!(text.contains("SATISFIED"), "{text}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn generate_then_analyze_slice() {
+    let path = tmp_path("analyze.csv");
+    generate_csv(&path);
+    let out = run_ok(bin().args([
+        "analyze",
+        "--in",
+        path.to_str().unwrap(),
+        "--action",
+        "SelectMail",
+        "--class",
+        "Business",
+    ]));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("SelectMail / Business"), "{text}");
+    assert!(text.contains("normalized preference"), "{text}");
+    // The table includes the reference row's neighbourhood.
+    assert!(text.contains("300"), "{text}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn analyze_emits_json_when_asked() {
+    let path = tmp_path("json.csv");
+    generate_csv(&path);
+    let out = run_ok(bin().args([
+        "analyze",
+        "--in",
+        path.to_str().unwrap(),
+        "--action",
+        "SelectMail",
+        "--json",
+    ]));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let parsed: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    assert_eq!(parsed["reference_ms"], 300.0);
+    assert!(parsed["points"]
+        .as_array()
+        .map(|a| !a.is_empty())
+        .unwrap_or(false));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn analyze_with_confidence_band() {
+    let path = tmp_path("ci.csv");
+    generate_csv(&path);
+    let out = run_ok(bin().args([
+        "analyze",
+        "--in",
+        path.to_str().unwrap(),
+        "--action",
+        "SelectMail",
+        "--ci",
+        "25",
+    ]));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ci lo"), "{text}");
+    assert!(text.contains("ci hi"), "{text}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn alpha_command_prints_period_factors() {
+    let path = tmp_path("alpha.csv");
+    generate_csv(&path);
+    let out = run_ok(bin().args(["alpha", "--in", path.to_str().unwrap()]));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("8am-2pm"), "{text}");
+    assert!(text.contains("2am-8am"), "{text}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn jsonl_roundtrip_through_the_binary() {
+    let path = tmp_path("log.jsonl");
+    run_ok(bin().args([
+        "generate",
+        "--scenario",
+        "smoke",
+        "--format",
+        "jsonl",
+        "--out",
+        path.to_str().unwrap(),
+    ]));
+    let out = run_ok(bin().args([
+        "analyze",
+        "--in",
+        path.to_str().unwrap(),
+        "--format",
+        "jsonl",
+        "--action",
+        "SelectMail",
+    ]));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("normalized preference"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn report_command_emits_full_json_bundle() {
+    let path = tmp_path("report.csv");
+    generate_csv(&path);
+    let out = run_ok(bin().args([
+        "report",
+        "--in",
+        path.to_str().unwrap(),
+        "--action",
+        "SelectMail",
+        "--class",
+        "Business",
+    ]));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let parsed: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    assert_eq!(parsed["label"], "SelectMail / Business");
+    assert!(parsed["preference"]["points"]
+        .as_array()
+        .map(|a| !a.is_empty())
+        .unwrap_or(false));
+    assert_eq!(
+        parsed["alpha_by_period"].as_array().map(|a| a.len()),
+        Some(4)
+    );
+    assert!(parsed["locality"]["msd_mad_actual"].as_f64().unwrap() < 1.0);
+    assert!(parsed["bottleneck"]["bottleneck_factor"].as_f64() == Some(2.0));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn abandonment_command_prints_continuation() {
+    let path = tmp_path("abandon.csv");
+    generate_csv(&path);
+    let out = run_ok(bin().args([
+        "abandonment",
+        "--in",
+        path.to_str().unwrap(),
+        "--class",
+        "Business",
+        "--gap",
+        "600000",
+    ]));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sessions"), "{text}");
+    assert!(text.contains("normalized continuation"), "{text}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn bad_usage_exits_nonzero_with_usage_text() {
+    let out = bin().args(["frobnicate"]).output().expect("runs");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+
+    let out = bin()
+        .args(["analyze", "--in", "/nonexistent.csv"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -1,0 +1,293 @@
+//! Bootstrap confidence bands for preference curves.
+//!
+//! The paper reports point estimates only; for operational use a band is
+//! needed to tell real drops from estimator noise. This module implements a
+//! **parametric (Poisson) bootstrap at the histogram level**: each
+//! replicate resamples every bin of `B` and `U` as `Poisson(observed
+//! mass)`, refits the full ratio → smooth → normalize pipeline, and the
+//! per-latency percentile envelope of the replicates forms the band.
+//!
+//! Resampling histograms rather than raw records keeps a replicate cheap
+//! (a 300-bin refit instead of a million-record pass) and is faithful as
+//! long as bin masses are approximately independent counts — which holds
+//! for `B` (counts) and approximately for the α-normalized and
+//! draw-allocated variants (scaled counts; the Poisson spread is then
+//! slightly conservative for masses above the raw counts).
+
+use rand::Rng;
+
+use autosens_stats::dist::poisson;
+use autosens_stats::histogram::Histogram;
+
+use crate::config::AutoSensConfig;
+use crate::error::AutoSensError;
+use crate::preference::NormalizedPreference;
+
+/// A preference curve with a bootstrap confidence band.
+#[derive(Debug, Clone)]
+pub struct PreferenceCi {
+    /// The point estimate fitted on the original histograms.
+    pub point: NormalizedPreference,
+    /// Two-sided confidence level (e.g. 0.95).
+    pub level: f64,
+    /// Number of successfully refitted replicates.
+    pub replicates: usize,
+    lo: Vec<Option<f64>>,
+    hi: Vec<Option<f64>>,
+}
+
+impl PreferenceCi {
+    /// The confidence band at a latency: `(lo, hi)`, when at least half the
+    /// replicates covered that bin.
+    pub fn band_at(&self, latency_ms: f64) -> Option<(f64, f64)> {
+        let i = self.point.binner().index_of(latency_ms)?;
+        match (self.lo[i], self.hi[i]) {
+            (Some(lo), Some(hi)) => Some((lo, hi)),
+            _ => None,
+        }
+    }
+
+    /// Whether a hypothesized preference value is inside the band.
+    pub fn contains(&self, latency_ms: f64, value: f64) -> Option<bool> {
+        self.band_at(latency_ms)
+            .map(|(lo, hi)| lo <= value && value <= hi)
+    }
+
+    /// The `(latency, lo, hi)` series over bins with a band.
+    pub fn band_series(&self) -> Vec<(f64, f64, f64)> {
+        let binner = self.point.binner();
+        (0..binner.n_bins())
+            .filter_map(|i| match (self.lo[i], self.hi[i]) {
+                (Some(lo), Some(hi)) => Some((binner.center(i), lo, hi)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Fit a preference curve with a bootstrap confidence band.
+///
+/// `replicates` is the number of bootstrap refits (≥ 20); `level` the
+/// two-sided confidence level in `(0, 1)`. Replicates whose refit fails
+/// (support collapse under resampling) are skipped; an error is returned if
+/// more than half fail.
+pub fn preference_ci<R: Rng>(
+    biased: &Histogram,
+    unbiased: &Histogram,
+    cfg: &AutoSensConfig,
+    replicates: usize,
+    level: f64,
+    rng: &mut R,
+) -> Result<PreferenceCi, AutoSensError> {
+    if replicates < 20 {
+        return Err(AutoSensError::BadConfig(
+            "bootstrap requires at least 20 replicates".into(),
+        ));
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(AutoSensError::BadConfig(format!(
+            "confidence level must be in (0,1), got {level}"
+        )));
+    }
+    let point = NormalizedPreference::fit(biased, unbiased, cfg)?;
+    let n_bins = point.binner().n_bins();
+
+    // Collect per-bin replicate values.
+    let mut values: Vec<Vec<f64>> = vec![Vec::new(); n_bins];
+    let mut ok = 0usize;
+    for _ in 0..replicates {
+        let b = resample_poisson(biased, rng)?;
+        let u = resample_poisson(unbiased, rng)?;
+        let Ok(fit) = NormalizedPreference::fit(&b, &u, cfg) else {
+            continue;
+        };
+        ok += 1;
+        for (x, v) in fit.series() {
+            if let Some(i) = point.binner().index_of(x) {
+                values[i].push(v);
+            }
+        }
+    }
+    if ok < replicates / 2 {
+        return Err(AutoSensError::InsufficientSupport {
+            what: "bootstrap replicates".into(),
+            supported: ok,
+            required: replicates / 2,
+        });
+    }
+
+    let alpha = (1.0 - level) / 2.0;
+    let mut lo = vec![None; n_bins];
+    let mut hi = vec![None; n_bins];
+    for (i, vals) in values.iter_mut().enumerate() {
+        if vals.len() * 2 < ok {
+            continue; // bin covered by fewer than half the replicates
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite fits"));
+        lo[i] = Some(autosens_stats::descriptive::quantile_sorted(vals, alpha));
+        hi[i] = Some(autosens_stats::descriptive::quantile_sorted(
+            vals,
+            1.0 - alpha,
+        ));
+    }
+
+    Ok(PreferenceCi {
+        point,
+        level,
+        replicates: ok,
+        lo,
+        hi,
+    })
+}
+
+/// Resample every bin of a histogram as `Poisson(observed mass)`.
+fn resample_poisson<R: Rng>(h: &Histogram, rng: &mut R) -> Result<Histogram, AutoSensError> {
+    let binner = h.binner().clone();
+    let mut out = Histogram::new(binner.clone());
+    for i in 0..binner.n_bins() {
+        let mass = h.count(i);
+        if mass > 0.0 {
+            let draw = poisson(rng, mass).map_err(AutoSensError::from)?;
+            if draw > 0 {
+                out.record_weighted(binner.center(i), draw as f64);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosens_stats::binning::{Binner, OutOfRange};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> AutoSensConfig {
+        AutoSensConfig {
+            latency_hi_ms: 1000.0,
+            savgol_window: 11,
+            savgol_degree: 3,
+            min_biased_count: 1.0,
+            min_unbiased_count: 1.0,
+            min_supported_bins: 10,
+            ..AutoSensConfig::default()
+        }
+    }
+
+    /// Histograms with ratio f and per-bin mass `scale`.
+    fn histograms(f: impl Fn(f64) -> f64, scale: f64) -> (Histogram, Histogram) {
+        let b = Binner::new(0.0, 1000.0, 10.0, OutOfRange::Discard).unwrap();
+        let mut biased = Histogram::new(b.clone());
+        let mut unbiased = Histogram::new(b.clone());
+        for i in 0..b.n_bins() {
+            let c = b.center(i);
+            unbiased.record_weighted(c, scale);
+            biased.record_weighted(c, scale * f(c));
+        }
+        (biased, unbiased)
+    }
+
+    #[test]
+    fn band_brackets_the_point_estimate() {
+        let (b, u) = histograms(|l| 1.5 - l / 1000.0, 500.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ci = preference_ci(&b, &u, &cfg(), 60, 0.95, &mut rng).unwrap();
+        assert!(ci.replicates >= 30);
+        for l in [200.0, 400.0, 600.0, 800.0] {
+            let v = ci.point.at(l).unwrap();
+            let (lo, hi) = ci.band_at(l).unwrap();
+            assert!(lo <= hi);
+            // The point estimate sits inside (or at worst grazes) the band.
+            assert!(
+                v >= lo - 0.02 && v <= hi + 0.02,
+                "@{l}: {v} not in [{lo}, {hi}]"
+            );
+        }
+        // Reference bin band is tight around 1 (normalization pins it).
+        let (lo, hi) = ci.band_at(300.0).unwrap();
+        assert!(lo > 0.9 && hi < 1.1, "[{lo}, {hi}]");
+    }
+
+    #[test]
+    fn more_data_gives_narrower_bands() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let width = |scale: f64, rng: &mut StdRng| {
+            let (b, u) = histograms(|l| 1.5 - l / 1000.0, scale);
+            let ci = preference_ci(&b, &u, &cfg(), 60, 0.95, rng).unwrap();
+            let (lo, hi) = ci.band_at(700.0).unwrap();
+            hi - lo
+        };
+        let wide = width(60.0, &mut rng);
+        let narrow = width(6000.0, &mut rng);
+        assert!(
+            narrow < wide * 0.5,
+            "band should shrink with data: {narrow:.4} vs {wide:.4}"
+        );
+    }
+
+    #[test]
+    fn band_covers_the_true_curve() {
+        // With Poisson noise actually present in the data-generating
+        // process, the 95% band should cover the truth at most probes.
+        let b0 = Binner::new(0.0, 1000.0, 10.0, OutOfRange::Discard).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let truth = |l: f64| 1.5 - l / 1000.0;
+        let mut biased = Histogram::new(b0.clone());
+        let mut unbiased = Histogram::new(b0.clone());
+        for i in 0..b0.n_bins() {
+            let c = b0.center(i);
+            let nb = poisson(&mut rng, 400.0 * truth(c)).unwrap();
+            let nu = poisson(&mut rng, 400.0).unwrap();
+            biased.record_weighted(c, nb as f64);
+            unbiased.record_weighted(c, nu.max(1) as f64);
+        }
+        let ci = preference_ci(&biased, &unbiased, &cfg(), 80, 0.95, &mut rng).unwrap();
+        let mut covered = 0;
+        let mut total = 0;
+        for l in (150..950).step_by(50) {
+            let l = l as f64;
+            let t = truth(l) / truth(305.0);
+            if let Some(inside) = ci.contains(l, t) {
+                total += 1;
+                if inside {
+                    covered += 1;
+                }
+            }
+        }
+        assert!(total >= 10);
+        assert!(
+            covered as f64 / total as f64 >= 0.8,
+            "coverage {covered}/{total}"
+        );
+    }
+
+    #[test]
+    fn band_series_matches_band_at() {
+        let (b, u) = histograms(|_| 1.0, 300.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let ci = preference_ci(&b, &u, &cfg(), 40, 0.9, &mut rng).unwrap();
+        let series = ci.band_series();
+        assert!(!series.is_empty());
+        for (x, lo, hi) in series.iter().take(10) {
+            assert_eq!(ci.band_at(*x), Some((*lo, *hi)));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let (b, u) = histograms(|_| 1.0, 300.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(preference_ci(&b, &u, &cfg(), 10, 0.95, &mut rng).is_err());
+        assert!(preference_ci(&b, &u, &cfg(), 40, 0.0, &mut rng).is_err());
+        assert!(preference_ci(&b, &u, &cfg(), 40, 1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn fails_when_support_collapses() {
+        // Masses so small that most replicates lose the required support.
+        let (b, u) = histograms(|_| 1.0, 0.05);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(preference_ci(&b, &u, &cfg(), 40, 0.95, &mut rng).is_err());
+    }
+}

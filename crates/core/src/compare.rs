@@ -1,0 +1,128 @@
+//! Comparing two preference curves.
+//!
+//! Figure 9's month-over-month stability claim — and any operational
+//! regression check ("did last week's deploy make users more latency-
+//! sensitive?") — reduces to comparing two normalized preference curves
+//! over their shared support. This module computes the standard gap
+//! statistics between two fitted curves.
+
+use serde::{Deserialize, Serialize};
+
+use crate::preference::NormalizedPreference;
+
+/// Gap statistics between two curves over a shared latency grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurveComparison {
+    /// Mean absolute gap over the shared probes.
+    pub mae: f64,
+    /// Maximum absolute gap, with the latency where it occurs.
+    pub max_gap: (f64, f64),
+    /// Mean signed gap (`a - b`): positive when `a` sits above `b`,
+    /// i.e. `b` is the more latency-sensitive curve.
+    pub mean_signed: f64,
+    /// The compared points: `(latency, a, b)`.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+impl CurveComparison {
+    /// Whether the curves agree within `tolerance` everywhere probed.
+    pub fn agrees_within(&self, tolerance: f64) -> bool {
+        self.max_gap.1 <= tolerance
+    }
+}
+
+/// Compare two curves at the given latencies. Probes outside either
+/// curve's span are skipped; `None` when no probe is shared.
+pub fn compare_curves(
+    a: &NormalizedPreference,
+    b: &NormalizedPreference,
+    grid: &[f64],
+) -> Option<CurveComparison> {
+    let mut points = Vec::new();
+    for &l in grid {
+        if let (Some(va), Some(vb)) = (a.at(l), b.at(l)) {
+            points.push((l, va, vb));
+        }
+    }
+    if points.is_empty() {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mae = points.iter().map(|(_, x, y)| (x - y).abs()).sum::<f64>() / n;
+    let mean_signed = points.iter().map(|(_, x, y)| x - y).sum::<f64>() / n;
+    let max_gap = points
+        .iter()
+        .map(|(l, x, y)| (*l, (x - y).abs()))
+        .max_by(|p, q| p.1.partial_cmp(&q.1).expect("finite gaps"))
+        .expect("non-empty");
+    Some(CurveComparison {
+        mae,
+        max_gap,
+        mean_signed,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AutoSensConfig;
+    use autosens_stats::binning::{Binner, OutOfRange};
+    use autosens_stats::histogram::Histogram;
+
+    fn fit(f: impl Fn(f64) -> f64) -> NormalizedPreference {
+        let b = Binner::new(0.0, 1000.0, 10.0, OutOfRange::Discard).unwrap();
+        let mut biased = Histogram::new(b.clone());
+        let mut unbiased = Histogram::new(b.clone());
+        for i in 0..b.n_bins() {
+            let c = b.center(i);
+            unbiased.record_weighted(c, 1000.0);
+            biased.record_weighted(c, 1000.0 * f(c));
+        }
+        let cfg = AutoSensConfig {
+            latency_hi_ms: 1000.0,
+            savgol_window: 11,
+            min_biased_count: 1.0,
+            min_unbiased_count: 1.0,
+            min_supported_bins: 10,
+            ..AutoSensConfig::default()
+        };
+        NormalizedPreference::fit(&biased, &unbiased, &cfg).unwrap()
+    }
+
+    #[test]
+    fn identical_curves_have_zero_gap() {
+        let a = fit(|l| 1.5 - l / 1000.0);
+        let b = fit(|l| 1.5 - l / 1000.0);
+        let grid: Vec<f64> = (1..10).map(|i| i as f64 * 100.0).collect();
+        let cmp = compare_curves(&a, &b, &grid).unwrap();
+        assert!(cmp.mae < 1e-9);
+        assert!(cmp.max_gap.1 < 1e-9);
+        assert!(cmp.mean_signed.abs() < 1e-9);
+        assert!(cmp.agrees_within(0.01));
+        assert_eq!(cmp.points.len(), 9);
+    }
+
+    #[test]
+    fn shifted_curves_report_the_gap_and_its_sign() {
+        // `b` drops faster with latency -> more sensitive -> a - b > 0 at
+        // latencies above the reference.
+        let a = fit(|l| 2.0 - l / 1000.0);
+        let b = fit(|l| 2.0 - 1.5 * l / 1000.0);
+        let grid = [500.0, 700.0, 900.0];
+        let cmp = compare_curves(&a, &b, &grid).unwrap();
+        assert!(cmp.mae > 0.01);
+        assert!(cmp.mean_signed > 0.0, "{cmp:?}");
+        // The gap grows with latency, so the max is at the last probe.
+        assert_eq!(cmp.max_gap.0, 900.0);
+        assert!(!cmp.agrees_within(0.01));
+    }
+
+    #[test]
+    fn disjoint_probes_yield_none() {
+        let a = fit(|_| 1.0);
+        let b = fit(|_| 1.0);
+        assert!(compare_curves(&a, &b, &[5000.0, 9000.0]).is_none());
+        assert!(compare_curves(&a, &b, &[]).is_none());
+    }
+}

@@ -1,0 +1,411 @@
+//! The [`AutoSens`] façade: end-to-end analysis of a telemetry log, plus the
+//! per-slice drivers behind each of the paper's evaluation sections.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use autosens_stats::histogram::Histogram;
+use autosens_telemetry::log::TelemetryLog;
+use autosens_telemetry::query::Slice;
+use autosens_telemetry::record::{ActionType, UserClass};
+use autosens_telemetry::time::{DayPeriod, Month};
+use autosens_telemetry::users::{latency_quartiles, LatencyQuartiles};
+
+use crate::alpha::{estimate_alpha, AlphaEstimate, Grouping};
+use crate::biased::biased_histogram;
+use crate::config::AutoSensConfig;
+use crate::error::AutoSensError;
+use crate::preference::NormalizedPreference;
+use crate::unbiased::unbiased_histogram;
+
+/// The per-quartile analyses of [`AutoSens::by_latency_quartile`]:
+/// quartile index (0 = Q1, fastest users) paired with that slice's result.
+pub type QuartileAnalyses = Vec<(usize, Result<AnalysisReport, AutoSensError>)>;
+
+/// A completed analysis of one slice.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// The fitted normalized latency preference.
+    pub preference: NormalizedPreference,
+    /// The α estimate (present when the correction was enabled).
+    pub alpha: Option<AlphaEstimate>,
+    /// Number of (successful) actions analyzed.
+    pub n_actions: u64,
+    /// The pooled biased histogram that produced the curve (α-normalized
+    /// when the correction is enabled).
+    pub biased: Histogram,
+    /// The pooled unbiased histogram.
+    pub unbiased: Histogram,
+}
+
+/// The AutoSens analysis engine.
+#[derive(Debug, Clone)]
+pub struct AutoSens {
+    config: AutoSensConfig,
+}
+
+impl AutoSens {
+    /// Create an engine with a configuration (validated at analysis time).
+    pub fn new(config: AutoSensConfig) -> Self {
+        AutoSens { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &AutoSensConfig {
+        &self.config
+    }
+
+    /// Analyze a full log (successful actions only, as in the paper).
+    pub fn analyze(&self, log: &TelemetryLog) -> Result<AnalysisReport, AutoSensError> {
+        self.analyze_slice(log, &Slice::all())
+    }
+
+    /// Analyze one slice of a log.
+    pub fn analyze_slice(
+        &self,
+        log: &TelemetryLog,
+        slice: &Slice,
+    ) -> Result<AnalysisReport, AutoSensError> {
+        let binner = self.config.binner()?;
+        let mut sub = slice.clone().successes().apply(log);
+        sub.ensure_sorted();
+        if sub.is_empty() {
+            return Err(AutoSensError::EmptySlice(
+                "slice selected no successful actions".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        let grouping = if self.config.weekday_weekend_slots {
+            Grouping::HourSlotsByDayKind
+        } else {
+            Grouping::HourSlots
+        };
+        let (biased, unbiased, alpha) = if self.config.alpha_correction {
+            let est = estimate_alpha(&sub, &binner, grouping, &self.config, &mut rng)?;
+            let b = est.normalized_biased(&binner)?;
+            let u = est.pooled_unbiased(&binner)?;
+            (b, u, Some(est))
+        } else {
+            let b = biased_histogram(&sub, &binner);
+            let u = unbiased_histogram(&sub, &binner, self.config.unbiased_draws, &mut rng)?;
+            (b, u, None)
+        };
+
+        let preference = NormalizedPreference::fit(&biased, &unbiased, &self.config)?;
+        Ok(AnalysisReport {
+            preference,
+            alpha,
+            n_actions: sub.len() as u64,
+            biased,
+            unbiased,
+        })
+    }
+
+    /// §3.2 (Figure 4): one analysis per action type, on a base slice.
+    ///
+    /// Slices are analyzed in parallel; per-slice failures are returned
+    /// alongside the successes so a sparse slice does not sink the batch.
+    pub fn by_action_type(
+        &self,
+        log: &TelemetryLog,
+        base: &Slice,
+    ) -> Vec<(ActionType, Result<AnalysisReport, AutoSensError>)> {
+        let slices: Vec<(ActionType, Slice)> = ActionType::analyzed()
+            .into_iter()
+            .map(|a| (a, base.clone().action(a)))
+            .collect();
+        self.parallel_analyses(log, slices)
+    }
+
+    /// §3.3 (Figure 5): one analysis per user class.
+    pub fn by_user_class(
+        &self,
+        log: &TelemetryLog,
+        base: &Slice,
+    ) -> Vec<(UserClass, Result<AnalysisReport, AutoSensError>)> {
+        let slices: Vec<(UserClass, Slice)> = UserClass::all()
+            .into_iter()
+            .map(|c| (c, base.clone().class(c)))
+            .collect();
+        self.parallel_analyses(log, slices)
+    }
+
+    /// §3.4 (Figure 6): quartile users by per-user median latency over the
+    /// base slice, then analyze each quartile. Returns the quartile
+    /// assignment alongside the four analyses (Q1 = fastest first).
+    pub fn by_latency_quartile(
+        &self,
+        log: &TelemetryLog,
+        base: &Slice,
+        min_actions_per_user: usize,
+    ) -> Result<(LatencyQuartiles, QuartileAnalyses), AutoSensError> {
+        let sub = base.clone().successes().apply(log);
+        let quartiles = latency_quartiles(&sub, min_actions_per_user).ok_or_else(|| {
+            AutoSensError::EmptySlice("too few eligible users for quartiles".into())
+        })?;
+        let slices: Vec<(usize, Slice)> = (0..4)
+            .map(|q| (q, base.clone().users(quartiles.groups[q].clone())))
+            .collect();
+        let results = self.parallel_analyses(log, slices);
+        Ok((quartiles, results))
+    }
+
+    /// §3.6 (Figure 7): one analysis per 6-hour day period.
+    pub fn by_day_period(
+        &self,
+        log: &TelemetryLog,
+        base: &Slice,
+    ) -> Vec<(DayPeriod, Result<AnalysisReport, AutoSensError>)> {
+        let slices: Vec<(DayPeriod, Slice)> = DayPeriod::all()
+            .into_iter()
+            .map(|p| (p, base.clone().period(p)))
+            .collect();
+        self.parallel_analyses(log, slices)
+    }
+
+    /// §3.7 (Figure 9): one analysis per calendar month.
+    pub fn by_month(
+        &self,
+        log: &TelemetryLog,
+        base: &Slice,
+        months: &[Month],
+    ) -> Vec<(Month, Result<AnalysisReport, AutoSensError>)> {
+        let slices: Vec<(Month, Slice)> =
+            months.iter().map(|&m| (m, base.clone().month(m))).collect();
+        self.parallel_analyses(log, slices)
+    }
+
+    /// Like [`AutoSens::analyze_slice`], additionally fitting a bootstrap
+    /// confidence band (see [`crate::ci`]) with the given replicate count
+    /// and two-sided confidence level.
+    pub fn analyze_slice_with_ci(
+        &self,
+        log: &TelemetryLog,
+        slice: &Slice,
+        replicates: usize,
+        level: f64,
+    ) -> Result<(AnalysisReport, crate::ci::PreferenceCi), AutoSensError> {
+        let report = self.analyze_slice(log, slice)?;
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xC1);
+        let ci = crate::ci::preference_ci(
+            &report.biased,
+            &report.unbiased,
+            &self.config,
+            replicates,
+            level,
+            &mut rng,
+        )?;
+        Ok((report, ci))
+    }
+
+    /// Build the complete serializable analysis bundle for a slice: the
+    /// preference curve, per-period activity factors, the natural-
+    /// experiment precondition diagnostics, and the bottleneck comparison.
+    pub fn full_report(
+        &self,
+        log: &TelemetryLog,
+        slice: &Slice,
+        label: impl Into<String>,
+    ) -> Result<crate::report::FullReport, AutoSensError> {
+        use crate::report::{AlphaRow, FullReport, PreferenceSummary};
+        let label = label.into();
+        let analysis = self.analyze_slice(log, slice)?;
+        let alpha_est = self.alpha_by_period(log, slice)?;
+        let mut sub = slice.clone().successes().apply(log);
+        sub.ensure_sorted();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xF0);
+        let locality = crate::locality::locality_report(&sub, &mut rng)?;
+        let density = crate::locality::density_latency_correlation(&sub, 60_000)?;
+        let decorrelation = crate::locality::decorrelation_report(&sub, 60_000, 24 * 60).ok();
+        let bottleneck = crate::bottleneck::bottleneck_report(&analysis.preference, 500.0);
+        Ok(FullReport {
+            label: label.clone(),
+            n_actions: analysis.n_actions,
+            preference: PreferenceSummary::from_report(
+                label,
+                &analysis,
+                &crate::report::default_grid(),
+            ),
+            alpha_by_period: alpha_est
+                .groups
+                .iter()
+                .map(|g| AlphaRow {
+                    label: g.label.clone(),
+                    alpha: g.alpha,
+                    n_actions: g.n_actions,
+                })
+                .collect(),
+            locality,
+            density,
+            decorrelation,
+            bottleneck,
+        })
+    }
+
+    /// §3.6 (Figure 8): the activity factor per day period, with its
+    /// per-latency-bin series, using the paper's 8am–2pm reference.
+    pub fn alpha_by_period(
+        &self,
+        log: &TelemetryLog,
+        base: &Slice,
+    ) -> Result<AlphaEstimate, AutoSensError> {
+        let binner = self.config.binner()?;
+        let mut sub = base.clone().successes().apply(log);
+        sub.ensure_sorted();
+        if sub.is_empty() {
+            return Err(AutoSensError::EmptySlice("alpha_by_period".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xA1FA);
+        // Force the morning period as primary reference by reordering:
+        // estimate normally, then rescale every alpha by the morning value.
+        let mut est = estimate_alpha(&sub, &binner, Grouping::DayPeriods, &self.config, &mut rng)?;
+        let morning = 0usize; // group 0 = Morning8to14 by Grouping order
+        if let Some(m_alpha) = est.groups[morning].alpha {
+            for g in &mut est.groups {
+                if let Some(a) = g.alpha.as_mut() {
+                    *a /= m_alpha;
+                }
+            }
+            // Rescale the per-bin series to the same convention. The series
+            // is relative to the primary (largest) group; dividing by the
+            // morning mean re-expresses it against the morning period.
+            for g in &mut est.groups {
+                for (_, a) in &mut g.per_bin {
+                    *a /= m_alpha;
+                }
+            }
+        }
+        Ok(est)
+    }
+
+    /// Run labeled slice analyses in parallel threads.
+    fn parallel_analyses<K: Send + Copy>(
+        &self,
+        log: &TelemetryLog,
+        slices: Vec<(K, Slice)>,
+    ) -> Vec<(K, Result<AnalysisReport, AutoSensError>)> {
+        let mut out: Vec<Option<(K, Result<AnalysisReport, AutoSensError>)>> =
+            (0..slices.len()).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            for (slot, (key, slice)) in out.iter_mut().zip(slices) {
+                scope.spawn(move |_| {
+                    *slot = Some((key, self.analyze_slice(log, &slice)));
+                });
+            }
+        })
+        .expect("analysis worker panicked");
+        out.into_iter()
+            .map(|s| s.expect("filled by worker"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosens_sim::{generate, Scenario, SimConfig};
+
+    fn smoke_log() -> TelemetryLog {
+        let (log, _) = generate(&SimConfig::scenario(Scenario::Smoke)).unwrap();
+        log
+    }
+
+    fn fast_config() -> AutoSensConfig {
+        AutoSensConfig {
+            unbiased_draws: 48_000,
+            min_supported_bins: 15,
+            ..AutoSensConfig::default()
+        }
+    }
+
+    #[test]
+    fn analyze_produces_a_normalized_curve() {
+        let log = smoke_log();
+        let engine = AutoSens::new(fast_config());
+        let report = engine.analyze(&log).unwrap();
+        assert!(report.n_actions > 1000);
+        let pref = &report.preference;
+        assert!((pref.at(300.0).unwrap() - 1.0).abs() < 1e-9);
+        // The planted preference decreases with latency.
+        let hi = pref.at(1200.0);
+        if let Some(hi) = hi {
+            assert!(hi < 1.0, "pref(1200) = {hi}");
+        }
+        assert!(report.alpha.is_some());
+    }
+
+    #[test]
+    fn analyze_is_deterministic() {
+        let log = smoke_log();
+        let engine = AutoSens::new(fast_config());
+        let a = engine.analyze(&log).unwrap();
+        let b = engine.analyze(&log).unwrap();
+        assert_eq!(a.preference.series(), b.preference.series());
+    }
+
+    #[test]
+    fn empty_slice_is_an_error() {
+        let log = TelemetryLog::new();
+        let engine = AutoSens::new(fast_config());
+        assert!(matches!(
+            engine.analyze(&log),
+            Err(AutoSensError::EmptySlice(_))
+        ));
+    }
+
+    #[test]
+    fn alpha_correction_can_be_disabled() {
+        let log = smoke_log();
+        let mut cfg = fast_config();
+        cfg.alpha_correction = false;
+        let engine = AutoSens::new(cfg);
+        let report = engine.analyze(&log).unwrap();
+        assert!(report.alpha.is_none());
+        assert!(report.preference.at(300.0).is_some());
+    }
+
+    #[test]
+    fn by_action_type_returns_all_four() {
+        let log = smoke_log();
+        let engine = AutoSens::new(fast_config());
+        let results = engine.by_action_type(&log, &Slice::all());
+        assert_eq!(results.len(), 4);
+        let ok = results.iter().filter(|(_, r)| r.is_ok()).count();
+        assert!(ok >= 3, "expected most action slices to fit, got {ok}");
+    }
+
+    #[test]
+    fn by_user_class_returns_both() {
+        let log = smoke_log();
+        let engine = AutoSens::new(fast_config());
+        let results = engine.by_user_class(&log, &Slice::all());
+        assert_eq!(results.len(), 2);
+        for (_, r) in &results {
+            assert!(r.is_ok());
+        }
+    }
+
+    #[test]
+    fn by_quartile_partitions_users() {
+        let log = smoke_log();
+        let engine = AutoSens::new(fast_config());
+        let (quartiles, results) = engine.by_latency_quartile(&log, &Slice::all(), 10).unwrap();
+        assert_eq!(results.len(), 4);
+        let total: usize = quartiles.groups.iter().map(|g| g.len()).sum();
+        assert!(total > 100, "users partitioned: {total}");
+    }
+
+    #[test]
+    fn alpha_by_period_has_morning_reference_one() {
+        let log = smoke_log();
+        let engine = AutoSens::new(fast_config());
+        let est = engine.alpha_by_period(&log, &Slice::all()).unwrap();
+        assert_eq!(est.groups.len(), 4);
+        let morning = est.groups[0].alpha.unwrap();
+        assert!((morning - 1.0).abs() < 1e-9, "morning alpha = {morning}");
+        // Night activity factor is well below daytime.
+        let night = est.groups[3].alpha.unwrap();
+        assert!(night < 0.7, "night alpha = {night}");
+    }
+}

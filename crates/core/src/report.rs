@@ -1,0 +1,236 @@
+//! Serializable result types and plain-text rendering.
+//!
+//! The experiment regenerators print the same rows/series the paper's tables
+//! and figures report; this module holds the shared formatting helpers and
+//! the serde-friendly summary types the CLI emits as JSON.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bottleneck::BottleneckReport;
+use crate::locality::{DecorrelationReport, DensityLatencyReport, LocalityReport};
+use crate::pipeline::AnalysisReport;
+use crate::preference::NormalizedPreference;
+
+/// A compact, serializable summary of one preference analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreferenceSummary {
+    /// Label of the slice ("SelectMail / Business / Feb", ...).
+    pub label: String,
+    /// Number of actions analyzed.
+    pub n_actions: u64,
+    /// Reference latency (ms).
+    pub reference_ms: f64,
+    /// Fitted span (ms).
+    pub span_ms: (f64, f64),
+    /// Preference sampled on a fixed latency grid: `(latency, value)`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl PreferenceSummary {
+    /// Summarize a report, sampling the curve at the given latencies
+    /// (out-of-span latencies are skipped).
+    pub fn from_report(label: impl Into<String>, report: &AnalysisReport, grid: &[f64]) -> Self {
+        PreferenceSummary {
+            label: label.into(),
+            n_actions: report.n_actions,
+            reference_ms: report.preference.reference_ms(),
+            span_ms: report.preference.span_ms(),
+            points: sample_curve(&report.preference, grid),
+        }
+    }
+}
+
+/// One row of the per-period activity-factor table in a [`FullReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlphaRow {
+    /// Period label ("8am-2pm", ...).
+    pub label: String,
+    /// The activity factor (reference period = 1), when estimable.
+    pub alpha: Option<f64>,
+    /// Actions in the period.
+    pub n_actions: u64,
+}
+
+/// A complete, serializable analysis bundle for one slice: everything an
+/// operator needs to archive or feed to a dashboard — the preference
+/// curve, the activity factors, the natural-experiment precondition
+/// diagnostics, and the §3.5 bottleneck comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FullReport {
+    /// Slice label.
+    pub label: String,
+    /// Number of successful actions analyzed.
+    pub n_actions: u64,
+    /// The preference curve summary.
+    pub preference: PreferenceSummary,
+    /// Per-day-period activity factors (8am–2pm reference).
+    pub alpha_by_period: Vec<AlphaRow>,
+    /// Figure 1 locality diagnostics.
+    pub locality: LocalityReport,
+    /// Figure 2 density/latency correlation.
+    pub density: DensityLatencyReport,
+    /// Latency-level decorrelation estimate (when computable).
+    pub decorrelation: Option<DecorrelationReport>,
+    /// Drop factors per latency doubling vs. the bottleneck prediction.
+    pub bottleneck: BottleneckReport,
+}
+
+/// Sample a preference curve at the given latencies, skipping unsupported
+/// points.
+pub fn sample_curve(pref: &NormalizedPreference, grid: &[f64]) -> Vec<(f64, f64)> {
+    grid.iter()
+        .filter_map(|&l| pref.at(l).map(|v| (l, v)))
+        .collect()
+}
+
+/// The default latency grid used when printing curves: every 100 ms from
+/// 100 ms to 2500 ms (the span of the paper's figures).
+pub fn default_grid() -> Vec<f64> {
+    (1..=25).map(|i| i as f64 * 100.0).collect()
+}
+
+/// Render rows as a fixed-width text table.
+///
+/// `headers.len()` must equal the width of every row.
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = headers.len();
+    for row in rows {
+        assert_eq!(row.len(), n_cols, "row width mismatch");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<w$}"));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n_cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(|s| s.as_str()).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float with 3 decimal places (the precision used in reports).
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Write a `(x, y)` series as a two-column CSV string.
+pub fn series_csv(header: (&str, &str), series: &[(f64, f64)]) -> String {
+    let mut out = format!("{},{}\n", header.0, header.1);
+    for (x, y) in series {
+        out.push_str(&format!("{x},{y}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_spans_the_figures() {
+        let g = default_grid();
+        assert_eq!(g.first(), Some(&100.0));
+        assert_eq!(g.last(), Some(&2500.0));
+        assert_eq!(g.len(), 25);
+    }
+
+    #[test]
+    fn text_table_renders_aligned() {
+        let t = text_table(
+            &["latency", "pref"],
+            &[
+                vec!["500".into(), "0.88".into()],
+                vec!["1000".into(), "0.68".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("latency"));
+        assert!(lines[2].starts_with("500"));
+        // Columns align: "pref" column starts at the same offset everywhere.
+        let col = lines[0].find("pref").unwrap();
+        assert_eq!(&lines[2][col..col + 4], "0.88");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn text_table_rejects_ragged_rows() {
+        text_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn series_csv_format() {
+        let csv = series_csv(("x", "y"), &[(1.0, 2.5), (2.0, 3.5)]);
+        assert_eq!(csv, "x,y\n1,2.5\n2,3.5\n");
+    }
+
+    #[test]
+    fn f3_rounds() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f3(1.0), "1.000");
+    }
+
+    #[test]
+    fn full_report_serde_roundtrip() {
+        use crate::bottleneck::BottleneckReport;
+        use crate::locality::{DensityLatencyReport, LocalityReport};
+        let report = FullReport {
+            label: "SelectMail / Business".into(),
+            n_actions: 12345,
+            preference: PreferenceSummary {
+                label: "SelectMail / Business".into(),
+                n_actions: 12345,
+                reference_ms: 300.0,
+                span_ms: (55.0, 1995.0),
+                points: vec![(500.0, 0.9), (1000.0, 0.68)],
+            },
+            alpha_by_period: vec![AlphaRow {
+                label: "8am-2pm".into(),
+                alpha: Some(1.0),
+                n_actions: 9999,
+            }],
+            locality: LocalityReport {
+                msd_mad_actual: 0.44,
+                msd_mad_shuffled: 1.0,
+                msd_mad_sorted: 0.0001,
+                von_neumann: 0.43,
+                n_samples: 12345,
+            },
+            density: DensityLatencyReport {
+                correlation: 0.2,
+                n_windows: 5000,
+                window_ms: 60_000,
+            },
+            decorrelation: None,
+            bottleneck: BottleneckReport {
+                doublings: vec![(500.0, 1000.0, 1.32)],
+                bottleneck_factor: 2.0,
+            },
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: FullReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        // Spot-check the JSON shape the CLI consumers rely on.
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["label"], "SelectMail / Business");
+        assert_eq!(value["bottleneck"]["bottleneck_factor"], 2.0);
+        assert_eq!(value["alpha_by_period"][0]["alpha"], 1.0);
+    }
+}

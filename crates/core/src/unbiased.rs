@@ -1,0 +1,218 @@
+//! The unbiased latency distribution `U` (§2.2).
+//!
+//! `U` approximates the latency the service would have delivered at times
+//! *unrelated* to user behaviour. Direct measurements do not exist at such
+//! times, so the paper's estimator draws instants uniformly at random over
+//! the analysis span and, for each, takes the latency of the observed sample
+//! nearest in time (breaking ties uniformly at random). Because instants are
+//! drawn uniformly in *time* — not in proportion to action volume — slow
+//! periods contribute according to their duration, undoing the activity
+//! bias.
+
+use rand::Rng;
+
+use autosens_stats::binning::Binner;
+use autosens_stats::histogram::Histogram;
+use autosens_telemetry::log::TelemetryLog;
+use autosens_telemetry::time::SimTime;
+
+use crate::error::AutoSensError;
+
+/// Estimate `U` over the whole span of a (sorted, non-empty) log.
+///
+/// Draws `n_draws` uniformly random instants in `[start, end]` and
+/// histograms the latency of the nearest sample to each.
+pub fn unbiased_histogram<R: Rng>(
+    log: &TelemetryLog,
+    binner: &Binner,
+    n_draws: usize,
+    rng: &mut R,
+) -> Result<Histogram, AutoSensError> {
+    let (start, end) = match (log.start_time(), log.end_time()) {
+        (Some(s), Some(e)) => (s.millis(), e.millis()),
+        _ => return Err(AutoSensError::EmptySlice("unbiased estimation".into())),
+    };
+    let windows = [(start, end)];
+    unbiased_histogram_in_windows(log, binner, &windows, n_draws, rng)
+}
+
+/// Estimate `U` restricted to a set of time windows (each `[lo, hi]`,
+/// inclusive), drawing instants uniformly over the union of the windows.
+///
+/// This is the slot-conditional variant used by the α machinery: the
+/// windows are, e.g., every occurrence of the 14:00–15:00 hour across the
+/// analysis span. Nearest-sample lookups still search the whole log — the
+/// nearest observation to an instant inside a window may lie just outside
+/// it, which is exactly the paper's estimator behaviour.
+pub fn unbiased_histogram_in_windows<R: Rng>(
+    log: &TelemetryLog,
+    binner: &Binner,
+    windows: &[(i64, i64)],
+    n_draws: usize,
+    rng: &mut R,
+) -> Result<Histogram, AutoSensError> {
+    if log.is_empty() {
+        return Err(AutoSensError::EmptySlice("unbiased estimation".into()));
+    }
+    if n_draws == 0 {
+        return Err(AutoSensError::BadConfig(
+            "unbiased draws must be > 0".into(),
+        ));
+    }
+    let lens: Vec<i64> = windows
+        .iter()
+        .map(|&(lo, hi)| if hi < lo { 0 } else { hi - lo + 1 })
+        .collect();
+    let total_len: i64 = lens.iter().sum();
+    if total_len <= 0 {
+        return Err(AutoSensError::BadConfig(
+            "unbiased windows have zero total length".into(),
+        ));
+    }
+
+    let mut h = Histogram::new(binner.clone());
+    for _ in 0..n_draws {
+        // Pick a window proportionally to its length, then an instant in it.
+        let mut pick = rng.gen_range(0..total_len);
+        let mut t = 0i64;
+        for (i, &len) in lens.iter().enumerate() {
+            if pick < len {
+                t = windows[i].0 + pick;
+                break;
+            }
+            pick -= len;
+        }
+        let (lo, hi) = log
+            .nearest_in_time(SimTime(t))
+            .map_err(AutoSensError::from)?;
+        let idx = if hi - lo == 1 {
+            lo
+        } else {
+            rng.gen_range(lo..hi)
+        };
+        h.record(log.records()[idx].latency_ms);
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosens_stats::binning::OutOfRange;
+    use autosens_telemetry::record::{ActionRecord, ActionType, Outcome, UserClass, UserId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rec(t: i64, latency: f64) -> ActionRecord {
+        ActionRecord {
+            time: SimTime(t),
+            action: ActionType::SelectMail,
+            latency_ms: latency,
+            user: UserId(0),
+            class: UserClass::Business,
+            tz_offset_ms: 0,
+            outcome: Outcome::Success,
+        }
+    }
+
+    fn binner() -> Binner {
+        Binner::new(0.0, 1000.0, 10.0, OutOfRange::Discard).unwrap()
+    }
+
+    #[test]
+    fn time_weighted_not_count_weighted() {
+        // 10 actions at latency 100 cluster in the first second; one action
+        // at latency 500 sits alone at t = 100 s. By count, latency 100
+        // dominates 10:1 (~91%). The nearest-sample estimator instead
+        // weights each sample by the time it is nearest to: the cluster
+        // owns [0, ~50.45 s] and the lone sample owns the other half, so
+        // the unbiased split is ~50/50 — time-weighted, not count-weighted.
+        let mut records: Vec<ActionRecord> = (0..10).map(|i| rec(i * 100, 100.0)).collect();
+        records.push(rec(100_000, 500.0));
+        let log = TelemetryLog::from_records(records).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = unbiased_histogram(&log, &binner(), 20_000, &mut rng).unwrap();
+        let frac_fast = h.count(10) / h.total();
+        let frac_slow = h.count(50) / h.total();
+        assert!(
+            (frac_fast - 0.5045).abs() < 0.02,
+            "fast {frac_fast} (count share would be 0.91)"
+        );
+        assert!((frac_slow - 0.4955).abs() < 0.02, "slow {frac_slow}");
+    }
+
+    #[test]
+    fn uniform_coverage_of_homogeneous_log() {
+        // Regularly spaced samples alternating between two latencies get
+        // roughly equal unbiased mass.
+        let records: Vec<ActionRecord> = (0..1000)
+            .map(|i| rec(i * 1000, if i % 2 == 0 { 105.0 } else { 505.0 }))
+            .collect();
+        let log = TelemetryLog::from_records(records).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = unbiased_histogram(&log, &binner(), 30_000, &mut rng).unwrap();
+        let a = h.count(10) / h.total();
+        let b = h.count(50) / h.total();
+        assert!((a - 0.5).abs() < 0.02, "a = {a}");
+        assert!((b - 0.5).abs() < 0.02, "b = {b}");
+    }
+
+    #[test]
+    fn tie_breaking_samples_all_duplicates() {
+        // Three simultaneous records; nearest lookup always returns all
+        // three, so random tie-breaking must spread mass across them.
+        let log =
+            TelemetryLog::from_records(vec![rec(500, 105.0), rec(500, 405.0), rec(500, 705.0)])
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = unbiased_histogram(&log, &binner(), 9_000, &mut rng).unwrap();
+        for bin in [10, 40, 70] {
+            let frac = h.count(bin) / h.total();
+            assert!((frac - 1.0 / 3.0).abs() < 0.03, "bin {bin}: {frac}");
+        }
+    }
+
+    #[test]
+    fn windows_restrict_the_draws() {
+        // Latency 100 in the first 10 s, latency 500 in the next 10 s.
+        let mut records: Vec<ActionRecord> = (0..100).map(|i| rec(i * 100, 100.0)).collect();
+        records.extend((0..100).map(|i| rec(10_000 + i * 100, 500.0)));
+        let log = TelemetryLog::from_records(records).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        // Draw only from the second window.
+        let h =
+            unbiased_histogram_in_windows(&log, &binner(), &[(10_000, 19_900)], 5_000, &mut rng)
+                .unwrap();
+        assert!(h.count(50) / h.total() > 0.97);
+        // Draw from both windows: roughly 50/50.
+        let h = unbiased_histogram_in_windows(
+            &log,
+            &binner(),
+            &[(0, 9_900), (10_000, 19_900)],
+            20_000,
+            &mut rng,
+        )
+        .unwrap();
+        let frac = h.count(10) / h.total();
+        assert!((frac - 0.5).abs() < 0.05, "frac = {frac}");
+    }
+
+    #[test]
+    fn error_cases() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let empty = TelemetryLog::new();
+        assert!(unbiased_histogram(&empty, &binner(), 100, &mut rng).is_err());
+        let log = TelemetryLog::from_records(vec![rec(0, 100.0)]).unwrap();
+        assert!(unbiased_histogram(&log, &binner(), 0, &mut rng).is_err());
+        assert!(unbiased_histogram_in_windows(&log, &binner(), &[(10, 5)], 10, &mut rng).is_err());
+        assert!(unbiased_histogram_in_windows(&log, &binner(), &[], 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn single_record_log_is_degenerate_but_works() {
+        let log = TelemetryLog::from_records(vec![rec(1000, 250.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let h = unbiased_histogram(&log, &binner(), 100, &mut rng).unwrap();
+        assert_eq!(h.count(25), 100.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Tests of the artifact registry and the cheap (dataset-free) artifacts;
+//! the full-scale shape checks run via the `autosens-experiments all`
+//! binary and the workspace integration tests.
+
+use autosens_experiments::artifacts;
+use autosens_experiments::dataset::{Dataset, Scale};
+
+#[test]
+fn registry_ids_are_unique_and_resolvable_on_demand() {
+    let ids = artifacts::ids();
+    assert_eq!(ids.len(), 11);
+    let unique: std::collections::HashSet<_> = ids.iter().collect();
+    assert_eq!(unique.len(), ids.len());
+    // Paper order: figures first interleaved with table1, bottleneck last.
+    assert_eq!(ids[0], "fig1");
+    assert_eq!(ids[3], "table1");
+    assert_eq!(*ids.last().unwrap(), "bottleneck");
+}
+
+#[test]
+fn table1_is_dataset_free_and_exact() {
+    let artifact = artifacts::table1::generate();
+    assert_eq!(artifact.id, "table1");
+    assert!(artifact.all_pass(), "{}", artifact.render_checks());
+    assert!(artifact.rendered.contains("250"));
+    assert!(artifact.rendered.contains("38"));
+    assert_eq!(artifact.csv.len(), 1);
+    assert!(artifact.csv[0].1.contains("Night,Low,26,80,250"));
+}
+
+#[test]
+fn unknown_ids_resolve_to_none() {
+    // `by_id` needs a dataset for most artifacts, but an unknown id must
+    // be rejected before any analysis happens — use the cheap path by
+    // checking table1 (dataset ignored) and the unknown id on a tiny
+    // dataset.
+    let data = tiny_dataset();
+    assert!(artifacts::by_id(&data, "fig999").is_none());
+    assert!(artifacts::by_id(&data, "").is_none());
+    assert!(artifacts::by_id(&data, "table1").is_some());
+}
+
+#[test]
+fn fig1_and_fig2_render_on_a_small_dataset() {
+    let data = tiny_dataset();
+    let fig1 = artifacts::by_id(&data, "fig1").expect("known id");
+    assert!(fig1.rendered.contains("MSD/MAD"));
+    assert!(!fig1.csv.is_empty());
+    // Locality holds even at tiny scale (it is a property of the
+    // congestion process, not of volume).
+    assert!(
+        fig1.checks.iter().any(|c| c.pass),
+        "{}",
+        fig1.render_checks()
+    );
+    let fig2 = artifacts::by_id(&data, "fig2").expect("known id");
+    assert!(fig2.rendered.contains("activity"));
+}
+
+/// A deliberately small dataset for registry tests (not the shared Bench
+/// scale — these tests only need mechanics, not statistics).
+fn tiny_dataset() -> Dataset {
+    use autosens_core::AutoSensConfig;
+    use autosens_sim::{Scenario, SimConfig};
+    let mut cfg = SimConfig::scenario(Scenario::Smoke);
+    cfg.days = 3;
+    cfg.n_business = 80;
+    cfg.n_consumer = 80;
+    Dataset::from_config(&cfg, AutoSensConfig::default()).expect("valid")
+}
+
+#[test]
+fn dataset_scales_resolve() {
+    // `Scale::Bench` is exercised across the bench suite; here just check
+    // the enum round-trips through `load` without panicking at tiny scale
+    // via from_config (Full scale is covered by the experiments binary).
+    let _ = Scale::Bench;
+    let d = tiny_dataset();
+    assert!(d.log.len() > 100);
+}

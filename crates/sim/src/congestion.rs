@@ -1,0 +1,256 @@
+//! The global congestion process: a latency multiplier sampled on a
+//! 1-minute lattice.
+//!
+//! Three components compose multiplicatively (additively in log space):
+//!
+//! 1. a **diurnal load curve** — latency is higher during busy hours, which
+//!    is exactly what makes time a confounder (§2.4.1);
+//! 2. a **mean-reverting AR(1)** fluctuation — smooth drift that gives
+//!    latency the temporal locality the method requires (§2.1, Figure 1);
+//! 3. occasional **incidents** — regime spikes where latency jumps by a
+//!    large factor for tens of minutes, mimicking production outages and
+//!    giving the series its interspersed fast/slow periods (Figure 2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use autosens_stats::dist::{standard_normal, Exponential, LogNormal};
+
+use crate::config::CongestionConfig;
+
+/// A realized congestion series: one multiplier per simulated minute.
+#[derive(Debug, Clone)]
+pub struct CongestionSeries {
+    multipliers: Vec<f64>,
+}
+
+impl CongestionSeries {
+    /// Generate a series of `n_minutes` multipliers.
+    ///
+    /// The diurnal component uses *server* time (epoch hours); per-user
+    /// timezone offsets are irrelevant here because congestion is a property
+    /// of the service, not of the viewer.
+    pub fn generate(cfg: &CongestionConfig, n_minutes: usize, seed: u64) -> CongestionSeries {
+        assert!(n_minutes > 0, "need at least one minute");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0_0C_E5_51);
+        let incident_duration = Exponential::new(1.0 / cfg.incident_mean_duration_min)
+            .expect("validated mean duration");
+        let incident_size = LogNormal::from_median(cfg.incident_median_multiplier, 0.35)
+            .expect("validated multiplier");
+
+        let mut multipliers = Vec::with_capacity(n_minutes);
+        // AR(1) state, started at its stationary distribution.
+        let mut x = cfg.sigma * standard_normal(&mut rng);
+        // Innovation scale preserving stationary variance sigma^2.
+        let innovation = cfg.sigma * (1.0 - cfg.rho * cfg.rho).sqrt();
+        // Incident state: remaining minutes and log-multiplier.
+        let mut incident_left = 0.0f64;
+        let mut incident_log = 0.0f64;
+
+        for minute in 0..n_minutes {
+            let hour = (minute / 60) % 24;
+            let mut diurnal = diurnal_log(cfg, hour as u8);
+            // Weekend load shift: the epoch (Jan 1) is a Friday, so days
+            // 1 and 2 of each week-from-epoch are Saturday/Sunday.
+            let day = minute / 1440;
+            let weekday = (day + 4) % 7; // 0 = Monday .. 6 = Sunday
+            if weekday >= 5 {
+                diurnal += cfg.weekend_load_log;
+            }
+
+            x = cfg.rho * x + innovation * standard_normal(&mut rng);
+
+            if incident_left <= 0.0 && rng.gen::<f64>() < cfg.incident_rate_per_min {
+                incident_left = incident_duration.sample(&mut rng).max(1.0);
+                incident_log = incident_size.sample(&mut rng).ln();
+            }
+            let inc = if incident_left > 0.0 {
+                incident_left -= 1.0;
+                incident_log
+            } else {
+                0.0
+            };
+
+            multipliers.push((diurnal + x + inc).exp());
+        }
+        CongestionSeries { multipliers }
+    }
+
+    /// Multiplier for a given minute index; minutes past the end clamp to
+    /// the last value (robustness for boundary timestamps).
+    pub fn at_minute(&self, minute: usize) -> f64 {
+        let i = minute.min(self.multipliers.len() - 1);
+        self.multipliers[i]
+    }
+
+    /// Multiplier at a millisecond timestamp since the epoch.
+    pub fn at_millis(&self, t_ms: i64) -> f64 {
+        let minute = (t_ms.max(0) / 60_000) as usize;
+        self.at_minute(minute)
+    }
+
+    /// Number of minutes in the series.
+    pub fn len(&self) -> usize {
+        self.multipliers.len()
+    }
+
+    /// Whether the series is empty (never true after generation).
+    pub fn is_empty(&self) -> bool {
+        self.multipliers.is_empty()
+    }
+
+    /// The raw multiplier series.
+    pub fn multipliers(&self) -> &[f64] {
+        &self.multipliers
+    }
+}
+
+/// The diurnal log-load at a server-local hour: a smooth curve peaking
+/// mid-workday, interpolating between the configured trough and peak.
+pub fn diurnal_log(cfg: &CongestionConfig, hour: u8) -> f64 {
+    assert!(hour < 24, "hour {hour} out of range");
+    // Raised-cosine bump centered at 13:00 with ~9 h half-width; clamped so
+    // deep night sits at the trough.
+    let h = hour as f64;
+    let dist = {
+        let d = (h - 13.0).abs();
+        d.min(24.0 - d)
+    };
+    let shape = if dist >= 9.0 {
+        0.0
+    } else {
+        0.5 * (1.0 + (std::f64::consts::PI * dist / 9.0).cos())
+    };
+    cfg.diurnal_trough_log + (cfg.diurnal_peak_log - cfg.diurnal_trough_log) * shape
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosens_stats::succdiff;
+
+    fn cfg() -> CongestionConfig {
+        CongestionConfig::default()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CongestionSeries::generate(&cfg(), 2000, 7);
+        let b = CongestionSeries::generate(&cfg(), 2000, 7);
+        assert_eq!(a.multipliers(), b.multipliers());
+        let c = CongestionSeries::generate(&cfg(), 2000, 8);
+        assert_ne!(a.multipliers(), c.multipliers());
+    }
+
+    #[test]
+    fn multipliers_are_positive_and_sane() {
+        let s = CongestionSeries::generate(&cfg(), 7 * 1440, 1);
+        assert_eq!(s.len(), 7 * 1440);
+        assert!(!s.is_empty());
+        for &m in s.multipliers() {
+            assert!(m > 0.0 && m < 100.0, "multiplier {m}");
+        }
+    }
+
+    #[test]
+    fn diurnal_peaks_midday_and_troughs_at_night() {
+        let c = cfg();
+        let peak = diurnal_log(&c, 13);
+        let night = diurnal_log(&c, 3);
+        assert!((peak - c.diurnal_peak_log).abs() < 1e-9);
+        assert!((night - c.diurnal_trough_log).abs() < 0.05);
+        assert!(peak > diurnal_log(&c, 9));
+        assert!(diurnal_log(&c, 9) > night);
+        // Wrap-around distance: hour 23 is closer to 13 than |23-13|=10
+        // suggests? No: min(10, 14) = 10 > 9 -> trough.
+        assert!((diurnal_log(&c, 23) - c.diurnal_trough_log).abs() < 1e-9);
+    }
+
+    #[test]
+    fn day_minutes_are_slower_than_night_minutes_on_average() {
+        let s = CongestionSeries::generate(&cfg(), 30 * 1440, 3);
+        let mut day = Vec::new();
+        let mut night = Vec::new();
+        for (minute, &m) in s.multipliers().iter().enumerate() {
+            let hour = (minute / 60) % 24;
+            if (10..16).contains(&hour) {
+                day.push(m);
+            } else if !(6..22).contains(&hour) {
+                night.push(m);
+            }
+        }
+        let day_mean: f64 = day.iter().sum::<f64>() / day.len() as f64;
+        let night_mean: f64 = night.iter().sum::<f64>() / night.len() as f64;
+        assert!(
+            day_mean > 1.4 * night_mean,
+            "day {day_mean} vs night {night_mean}"
+        );
+    }
+
+    #[test]
+    fn series_has_strong_temporal_locality() {
+        let s = CongestionSeries::generate(&cfg(), 14 * 1440, 5);
+        let ratio = succdiff::msd_mad_ratio(s.multipliers()).unwrap();
+        assert!(ratio < 0.35, "MSD/MAD = {ratio}");
+    }
+
+    #[test]
+    fn incidents_produce_large_excursions() {
+        // Crank the incident rate so several occur, then verify spikes exist.
+        let mut c = cfg();
+        c.incident_rate_per_min = 1.0 / 300.0;
+        let s = CongestionSeries::generate(&c, 7 * 1440, 11);
+        let max = s.multipliers().iter().cloned().fold(0.0, f64::max);
+        assert!(max > 2.0, "max multiplier {max}");
+    }
+
+    #[test]
+    fn no_incidents_when_rate_is_zero() {
+        let mut c = cfg();
+        c.incident_rate_per_min = 0.0;
+        c.sigma = 0.0;
+        let s = CongestionSeries::generate(&c, 1440, 2);
+        // Pure diurnal: bounded by e^trough..e^peak.
+        for &m in s.multipliers() {
+            assert!(m >= (c.diurnal_trough_log).exp() - 1e-9);
+            assert!(m <= (c.diurnal_peak_log).exp() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn weekend_load_shift_applies_on_weekends_only() {
+        let mut c = cfg();
+        c.sigma = 0.0;
+        c.incident_rate_per_min = 0.0;
+        c.weekend_load_log = -0.5;
+        // 7 days from the epoch (a Friday): days 1 and 2 are the weekend.
+        let s = CongestionSeries::generate(&c, 7 * 1440, 1);
+        let noon = |day: usize| s.at_minute(day * 1440 + 12 * 60);
+        let friday = noon(0);
+        let saturday = noon(1);
+        let sunday = noon(2);
+        let monday = noon(3);
+        assert!((saturday / friday - (-0.5f64).exp()).abs() < 1e-9);
+        assert!((sunday / friday - (-0.5f64).exp()).abs() < 1e-9);
+        assert!((monday - friday).abs() < 1e-12);
+        // Default zero shift leaves weekends untouched.
+        let mut c0 = cfg();
+        c0.sigma = 0.0;
+        c0.incident_rate_per_min = 0.0;
+        let s0 = CongestionSeries::generate(&c0, 3 * 1440, 1);
+        assert!((s0.at_minute(12 * 60) - s0.at_minute(1440 + 12 * 60)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_by_minute_and_millis() {
+        let s = CongestionSeries::generate(&cfg(), 100, 1);
+        assert_eq!(s.at_minute(0), s.multipliers()[0]);
+        assert_eq!(s.at_minute(99), s.multipliers()[99]);
+        // Clamps past the end.
+        assert_eq!(s.at_minute(1000), s.multipliers()[99]);
+        assert_eq!(s.at_millis(0), s.multipliers()[0]);
+        assert_eq!(s.at_millis(59_999), s.multipliers()[0]);
+        assert_eq!(s.at_millis(60_000), s.multipliers()[1]);
+        assert_eq!(s.at_millis(-5), s.multipliers()[0]);
+    }
+}

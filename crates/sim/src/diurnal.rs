@@ -1,0 +1,142 @@
+//! Hour-of-day activity profiles — the ground truth behind the paper's
+//! time-based activity factor `α` (§2.4.1, Figure 8).
+//!
+//! A profile maps local hour (0..24) to a relative activity level in
+//! `(0, 1]`. Business users peak during working hours and largely vanish on
+//! weekends; consumers have a flatter curve with an evening bump and remain
+//! active on weekends.
+
+use autosens_telemetry::record::UserClass;
+use autosens_telemetry::time::DayPeriod;
+
+/// Business-hours activity profile, peak normalized to 1.0.
+const BUSINESS_PROFILE: [f64; 24] = [
+    0.06, 0.05, 0.04, 0.04, 0.05, 0.07, // 0-5: night trough
+    0.10, 0.22, 0.75, 0.95, 1.00, 0.98, // 6-11: morning ramp to peak
+    0.90, 0.95, 1.00, 0.95, 0.85, 0.70, // 12-17: working afternoon
+    0.45, 0.30, 0.22, 0.16, 0.12, 0.08, // 18-23: evening decline
+];
+
+/// Consumer activity profile: flatter, with an evening bump.
+const CONSUMER_PROFILE: [f64; 24] = [
+    0.12, 0.08, 0.06, 0.05, 0.06, 0.09, // 0-5
+    0.15, 0.30, 0.45, 0.55, 0.60, 0.62, // 6-11
+    0.65, 0.62, 0.60, 0.62, 0.68, 0.78, // 12-17
+    0.90, 1.00, 0.95, 0.75, 0.45, 0.22, // 18-23: evening peak
+];
+
+/// Weekend multiplier per class.
+fn weekend_factor(class: UserClass) -> f64 {
+    match class {
+        UserClass::Business => 0.25,
+        UserClass::Consumer => 0.90,
+    }
+}
+
+/// Relative activity level for a class at a local hour (0..24) and weekday
+/// flag. Always strictly positive so nighttime data exists (as it does in
+/// any global service).
+pub fn activity_level(class: UserClass, hour: u8, weekend: bool) -> f64 {
+    assert!(hour < 24, "hour {hour} out of range");
+    let base = match class {
+        UserClass::Business => BUSINESS_PROFILE[hour as usize],
+        UserClass::Consumer => CONSUMER_PROFILE[hour as usize],
+    };
+    if weekend {
+        base * weekend_factor(class)
+    } else {
+        base
+    }
+}
+
+/// Mean activity level of a class over a 6-hour day period (weekdays).
+///
+/// This is the ground-truth counterpart of the per-period activity factor
+/// `α` the pipeline estimates for Figure 8 (up to normalization by the
+/// reference period).
+pub fn period_mean_activity(class: UserClass, period: DayPeriod) -> f64 {
+    let hours: [u8; 6] = match period {
+        DayPeriod::Morning8to14 => [8, 9, 10, 11, 12, 13],
+        DayPeriod::Afternoon14to20 => [14, 15, 16, 17, 18, 19],
+        DayPeriod::Evening20to2 => [20, 21, 22, 23, 0, 1],
+        DayPeriod::Night2to8 => [2, 3, 4, 5, 6, 7],
+    };
+    hours
+        .iter()
+        .map(|&h| activity_level(class, h, false))
+        .sum::<f64>()
+        / 6.0
+}
+
+/// Ground-truth `α` for a period relative to the paper's reference period
+/// (8am–2pm), weekdays.
+pub fn true_alpha(class: UserClass, period: DayPeriod) -> f64 {
+    period_mean_activity(class, period) / period_mean_activity(class, DayPeriod::Morning8to14)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_positive_and_peak_at_one() {
+        for h in 0..24 {
+            for class in UserClass::all() {
+                for weekend in [false, true] {
+                    let a = activity_level(class, h, weekend);
+                    assert!(a > 0.0 && a <= 1.0, "{class:?} h{h} weekend={weekend}: {a}");
+                }
+            }
+        }
+        let peak_b = (0..24)
+            .map(|h| activity_level(UserClass::Business, h, false))
+            .fold(0.0, f64::max);
+        assert_eq!(peak_b, 1.0);
+        let peak_c = (0..24)
+            .map(|h| activity_level(UserClass::Consumer, h, false))
+            .fold(0.0, f64::max);
+        assert_eq!(peak_c, 1.0);
+    }
+
+    #[test]
+    fn business_day_night_contrast_is_strong() {
+        let day = activity_level(UserClass::Business, 10, false);
+        let night = activity_level(UserClass::Business, 3, false);
+        assert!(day / night > 10.0, "day {day} night {night}");
+    }
+
+    #[test]
+    fn consumers_peak_in_the_evening() {
+        let evening = activity_level(UserClass::Consumer, 19, false);
+        let morning = activity_level(UserClass::Consumer, 9, false);
+        assert!(evening > morning);
+    }
+
+    #[test]
+    fn weekends_suppress_business_more_than_consumer() {
+        let b_ratio = activity_level(UserClass::Business, 10, true)
+            / activity_level(UserClass::Business, 10, false);
+        let c_ratio = activity_level(UserClass::Consumer, 10, true)
+            / activity_level(UserClass::Consumer, 10, false);
+        assert!(b_ratio < 0.3);
+        assert!(c_ratio > 0.8);
+    }
+
+    #[test]
+    fn true_alpha_reference_is_one_and_night_is_lowest() {
+        for class in UserClass::all() {
+            assert!((true_alpha(class, DayPeriod::Morning8to14) - 1.0).abs() < 1e-12);
+            let night = true_alpha(class, DayPeriod::Night2to8);
+            for p in DayPeriod::all() {
+                assert!(true_alpha(class, p) >= night - 1e-12, "{class:?} {p:?}");
+            }
+            assert!(night < 0.5, "{class:?} night alpha {night}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_hour_panics() {
+        activity_level(UserClass::Business, 24, false);
+    }
+}

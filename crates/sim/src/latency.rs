@@ -1,0 +1,164 @@
+//! Latency synthesis: composing base action cost, per-user network quality,
+//! the global congestion multiplier, and per-action noise into one
+//! end-to-end latency sample.
+//!
+//! `L = base_median(action) x network(user) x congestion(t) x lognoise`
+//!
+//! The *level* (everything except the lognormal noise) is the predictable
+//! component a user could plausibly sense; the noise is per-action jitter.
+
+use rand::Rng;
+
+use autosens_stats::dist::LogNormal;
+use autosens_telemetry::record::ActionType;
+
+use crate::congestion::CongestionSeries;
+use crate::population::UserProfile;
+
+/// Median base latency per action type in ms (unit congestion, unit network).
+///
+/// Search is intrinsically the slowest (it scans the mailbox); folder
+/// switches and mail selection are fast render paths; ComposeSend measures
+/// the (quick) UI acknowledgement of an asynchronous send.
+pub fn base_median_ms(action: ActionType) -> f64 {
+    match action {
+        ActionType::SelectMail => 260.0,
+        ActionType::SwitchFolder => 290.0,
+        ActionType::Search => 420.0,
+        ActionType::ComposeSend => 300.0,
+        ActionType::Other => 320.0,
+    }
+}
+
+/// Synthesizes latencies against a congestion series.
+#[derive(Debug, Clone)]
+pub struct LatencyModel<'a> {
+    congestion: &'a CongestionSeries,
+    noise_sigma: f64,
+}
+
+impl<'a> LatencyModel<'a> {
+    /// Create a model over a congestion series with the configured per-action
+    /// lognormal noise sigma.
+    pub fn new(congestion: &'a CongestionSeries, noise_sigma: f64) -> Self {
+        assert!(
+            noise_sigma.is_finite() && noise_sigma >= 0.0,
+            "noise sigma must be finite and >= 0"
+        );
+        LatencyModel {
+            congestion,
+            noise_sigma,
+        }
+    }
+
+    /// The predictable latency level for (user, action) at time `t_ms`:
+    /// everything but the per-action noise.
+    pub fn level_ms(&self, user: &UserProfile, action: ActionType, t_ms: i64) -> f64 {
+        base_median_ms(action) * user.network_factor * self.congestion.at_millis(t_ms)
+    }
+
+    /// Draw one end-to-end latency sample.
+    pub fn sample_ms<R: Rng>(
+        &self,
+        user: &UserProfile,
+        action: ActionType,
+        t_ms: i64,
+        rng: &mut R,
+    ) -> f64 {
+        let level = self.level_ms(user, action, t_ms);
+        if self.noise_sigma == 0.0 {
+            return level;
+        }
+        let noise = LogNormal::new(0.0, self.noise_sigma).expect("validated sigma");
+        level * noise.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CongestionConfig;
+    use autosens_telemetry::record::{UserClass, UserId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn user(network: f64) -> UserProfile {
+        UserProfile {
+            id: UserId(0),
+            class: UserClass::Business,
+            network_factor: network,
+            rate_per_active_hour: 1.0,
+            tz_offset_ms: 0,
+            conditioning_gamma: 1.0,
+        }
+    }
+
+    fn flat_congestion() -> CongestionSeries {
+        let cfg = CongestionConfig {
+            sigma: 0.0,
+            incident_rate_per_min: 0.0,
+            diurnal_peak_log: 0.0,
+            diurnal_trough_log: 0.0,
+            ..CongestionConfig::default()
+        };
+        CongestionSeries::generate(&cfg, 100, 0)
+    }
+
+    #[test]
+    fn base_medians_order_as_designed() {
+        assert!(base_median_ms(ActionType::SelectMail) < base_median_ms(ActionType::Search));
+        assert!(base_median_ms(ActionType::SwitchFolder) < base_median_ms(ActionType::Search));
+        for a in ActionType::analyzed() {
+            assert!(base_median_ms(a) > 0.0);
+        }
+    }
+
+    #[test]
+    fn level_composes_multiplicatively() {
+        let c = flat_congestion();
+        let m = LatencyModel::new(&c, 0.0);
+        let u = user(1.5);
+        let level = m.level_ms(&u, ActionType::SelectMail, 0);
+        assert!((level - 260.0 * 1.5).abs() < 1e-9);
+        // Noise-free sampling returns the level exactly.
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(m.sample_ms(&u, ActionType::SelectMail, 0, &mut rng), level);
+    }
+
+    #[test]
+    fn noise_centers_on_the_level() {
+        let c = flat_congestion();
+        let m = LatencyModel::new(&c, 0.3);
+        let u = user(1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut samples: Vec<f64> = (0..20_000)
+            .map(|_| m.sample_ms(&u, ActionType::Search, 0, &mut rng))
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median - 420.0).abs() / 420.0 < 0.03, "median = {median}");
+        assert!(samples.iter().all(|s| *s > 0.0));
+    }
+
+    #[test]
+    fn congestion_moves_latency() {
+        let cfg = CongestionConfig::default();
+        let c = CongestionSeries::generate(&cfg, 1440, 3);
+        let m = LatencyModel::new(&c, 0.0);
+        let u = user(1.0);
+        // 13:00 (busiest) vs 03:00 (trough): day must be slower on average.
+        let day = m.level_ms(&u, ActionType::SelectMail, 13 * 3_600_000);
+        let night = m.level_ms(&u, ActionType::SelectMail, 3 * 3_600_000);
+        // Individual minutes are noisy; just require positive values and
+        // check the diurnal-mean property on the congestion series itself
+        // (covered in congestion tests). Here: sanity.
+        assert!(day > 0.0 && night > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise sigma")]
+    fn rejects_bad_sigma() {
+        let c = flat_congestion();
+        let _ = LatencyModel::new(&c, f64::NAN);
+    }
+}

@@ -1,0 +1,45 @@
+//! OWA-like telemetry simulator with planted ground truth.
+//!
+//! The AutoSens paper is evaluated on two months of Microsoft OWA server
+//! logs, which are not available. This crate substitutes a deterministic,
+//! seeded simulator that emits the same `(T, A, L, M)` telemetry stream the
+//! paper's pipeline consumed, with three properties the methodology needs:
+//!
+//! 1. **Temporal locality of latency** — a global congestion process
+//!    (mean-reverting log-AR(1) on a 1-minute lattice, plus a diurnal load
+//!    curve and occasional incident regimes) multiplies every latency sample,
+//!    so low-latency and high-latency periods cluster in time (paper §2.1).
+//! 2. **A time confounder** — user activity *and* congestion both follow the
+//!    clock (busy hours are both the most active and the slowest), so naive
+//!    pooling misattributes the time effect to latency, exactly the failure
+//!    mode §2.4.1's activity factor corrects.
+//! 3. **Planted latency preference** — each candidate action is accepted
+//!    with a probability given by a configurable ground-truth preference
+//!    curve (per action type × user class, modulated per user and per time
+//!    of day), so the inference pipeline's output can be validated against
+//!    a known truth — something the paper itself could not do.
+//!
+//! The crate is organized as:
+//!
+//! * [`config`] — serde-serializable scenario configuration and presets.
+//! * [`diurnal`] — hour-of-day activity profiles (ground truth for `α`).
+//! * [`congestion`] — the latency-multiplier process.
+//! * [`preference`] — ground-truth preference curves.
+//! * [`population`] — user sampling (class, network quality, activity rate).
+//! * [`latency`] — composing base/user/congestion/noise into a latency.
+//! * [`engine`] — the generator proper (thinned inhomogeneous Poisson).
+//! * [`truth`] — exported ground truth for validation.
+
+pub mod config;
+pub mod congestion;
+pub mod diurnal;
+pub mod engine;
+pub mod latency;
+pub mod population;
+pub mod preference;
+pub mod sessions;
+pub mod truth;
+
+pub use config::{Scenario, SimConfig};
+pub use engine::generate;
+pub use truth::GroundTruth;

@@ -1,0 +1,201 @@
+//! User population sampling.
+//!
+//! Each simulated user carries the static attributes the generative model
+//! needs: subscription class, a network-quality factor (per-user latency
+//! multiplier, lognormal across the population — the ground truth behind
+//! the §3.4 median-latency quartiles), a base activity rate, a timezone
+//! offset, and a derived conditioning exponent.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use autosens_stats::dist::LogNormal;
+use autosens_telemetry::record::{UserClass, UserId};
+
+use crate::config::SimConfig;
+use crate::preference::conditioning_exponent;
+
+/// Static attributes of one simulated user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserProfile {
+    /// Stable anonymized id.
+    pub id: UserId,
+    /// Subscription class.
+    pub class: UserClass,
+    /// Per-user latency multiplier (median 1.0 across the population).
+    pub network_factor: f64,
+    /// Mean candidate actions per fully-active hour for this user.
+    pub rate_per_active_hour: f64,
+    /// Fixed timezone offset in ms (0 in the default scenarios: a single-
+    /// region population, like the paper's U.S. slices).
+    pub tz_offset_ms: i64,
+    /// Preference exponent from conditioning to speed (§3.4).
+    pub conditioning_gamma: f64,
+}
+
+/// Sample the full population for a configuration.
+///
+/// Users `0..n_business` are business, the rest consumers. Each user's
+/// attributes are drawn from an RNG seeded by `(config seed, user id)`, so
+/// the population is stable under any parallel generation order.
+pub fn sample_population(cfg: &SimConfig) -> Vec<UserProfile> {
+    let network = LogNormal::from_median(1.0, cfg.network_sigma).expect("validated sigma");
+    let activity = LogNormal::from_median(cfg.mean_actions_per_active_hour, cfg.activity_sigma)
+        .expect("validated rate");
+    (0..cfg.n_users())
+        .map(|i| {
+            let mut rng = user_rng(cfg.seed, i, 0);
+            let class = if i < cfg.n_business {
+                UserClass::Business
+            } else {
+                UserClass::Consumer
+            };
+            let network_factor = network.sample(&mut rng);
+            // Round-robin assignment keeps region sizes balanced and
+            // deterministic regardless of the RNG stream.
+            let tz_hours = cfg.tz_offsets_hours[i as usize % cfg.tz_offsets_hours.len()];
+            UserProfile {
+                id: UserId(i as u64),
+                class,
+                network_factor,
+                rate_per_active_hour: activity.sample(&mut rng),
+                tz_offset_ms: tz_hours * autosens_telemetry::time::MS_PER_HOUR,
+                conditioning_gamma: conditioning_exponent(
+                    network_factor,
+                    cfg.conditioning_strength,
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Derive the RNG for a (user, stream) pair from the master seed.
+///
+/// `stream` separates independent uses (0 = profile sampling, 1 = activity
+/// generation) so adding draws to one never perturbs the other.
+pub fn user_rng(master_seed: u64, user_index: u32, stream: u64) -> StdRng {
+    // SplitMix64-style mixing of (seed, user, stream) into one 64-bit state.
+    let mut z = master_seed
+        ^ (user_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ stream.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    StdRng::seed_from_u64(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scenario;
+
+    fn cfg() -> SimConfig {
+        SimConfig::scenario(Scenario::Smoke)
+    }
+
+    #[test]
+    fn population_sizes_and_classes() {
+        let cfg = cfg();
+        let pop = sample_population(&cfg);
+        assert_eq!(pop.len(), cfg.n_users() as usize);
+        let n_business = pop
+            .iter()
+            .filter(|u| u.class == UserClass::Business)
+            .count();
+        assert_eq!(n_business, cfg.n_business as usize);
+        // Ids are dense and ordered.
+        for (i, u) in pop.iter().enumerate() {
+            assert_eq!(u.id, UserId(i as u64));
+        }
+    }
+
+    #[test]
+    fn population_is_deterministic() {
+        let a = sample_population(&cfg());
+        let b = sample_population(&cfg());
+        assert_eq!(a, b);
+        let mut other = cfg();
+        other.seed += 1;
+        let c = sample_population(&other);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn network_factors_have_median_near_one_and_spread() {
+        let mut cfg = cfg();
+        cfg.n_business = 2000;
+        cfg.n_consumer = 0;
+        let pop = sample_population(&cfg);
+        let mut factors: Vec<f64> = pop.iter().map(|u| u.network_factor).collect();
+        factors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = factors[factors.len() / 2];
+        assert!((median - 1.0).abs() < 0.06, "median = {median}");
+        // p90/p10 of a lognormal with sigma 0.15 is e^(2*1.2816*0.15) ~ 1.47.
+        let spread = factors[factors.len() * 9 / 10] / factors[factors.len() / 10];
+        assert!((spread - 1.47).abs() < 0.15, "p90/p10 = {spread}");
+        assert!(factors.iter().all(|f| *f > 0.0));
+    }
+
+    #[test]
+    fn conditioning_gamma_tracks_network_factor() {
+        let pop = sample_population(&cfg());
+        for u in &pop {
+            let expect = conditioning_exponent(u.network_factor, cfg().conditioning_strength);
+            assert_eq!(u.conditioning_gamma, expect);
+        }
+        // Faster users are more sensitive.
+        let fast = pop
+            .iter()
+            .min_by(|a, b| a.network_factor.partial_cmp(&b.network_factor).unwrap())
+            .unwrap();
+        let slow = pop
+            .iter()
+            .max_by(|a, b| a.network_factor.partial_cmp(&b.network_factor).unwrap())
+            .unwrap();
+        assert!(fast.conditioning_gamma > slow.conditioning_gamma);
+    }
+
+    #[test]
+    fn rates_are_positive_with_configured_scale() {
+        let pop = sample_population(&cfg());
+        let mean_rate: f64 =
+            pop.iter().map(|u| u.rate_per_active_hour).sum::<f64>() / pop.len() as f64;
+        assert!(pop.iter().all(|u| u.rate_per_active_hour > 0.0));
+        // Lognormal mean exceeds the median; just sanity-bound it.
+        let cfg = cfg();
+        assert!(mean_rate > 0.5 * cfg.mean_actions_per_active_hour);
+        assert!(mean_rate < 3.0 * cfg.mean_actions_per_active_hour);
+    }
+
+    #[test]
+    fn tz_offsets_assigned_round_robin() {
+        use autosens_telemetry::time::MS_PER_HOUR;
+        let mut cfg = cfg();
+        cfg.tz_offsets_hours = vec![-8, -5, 0];
+        let pop = sample_population(&cfg);
+        for (i, u) in pop.iter().enumerate() {
+            let expect = cfg.tz_offsets_hours[i % 3] * MS_PER_HOUR;
+            assert_eq!(u.tz_offset_ms, expect);
+        }
+        // Default config keeps everyone at offset 0.
+        let pop = sample_population(&cfg0());
+        assert!(pop.iter().all(|u| u.tz_offset_ms == 0));
+    }
+
+    fn cfg0() -> SimConfig {
+        SimConfig::scenario(Scenario::Smoke)
+    }
+
+    #[test]
+    fn user_rng_streams_are_independent() {
+        use rand::Rng;
+        let mut a = user_rng(1, 5, 0);
+        let mut b = user_rng(1, 5, 1);
+        let va: u64 = a.gen();
+        let vb: u64 = b.gen();
+        assert_ne!(va, vb);
+        // Same triple reproduces.
+        let mut c = user_rng(1, 5, 0);
+        assert_eq!(va, c.gen::<u64>());
+    }
+}

@@ -1,0 +1,348 @@
+//! Exported ground truth for validating the inference pipeline.
+//!
+//! Because the simulator *plants* the latency preference, the reproduction
+//! can do something the paper could not: check the inferred normalized
+//! preference against the truth. [`GroundTruth`] bundles everything the
+//! validation needs — the population, the congestion series, and the
+//! configuration — and derives:
+//!
+//! * the planted normalized preference for an analysis slice (an
+//!   activity-weighted blend of the per-user curves),
+//! * the true time-based activity factor `α` per day period,
+//! * unbiased "probe" latency samples drawn at uniformly random times
+//!   (the quantity the paper's `U` estimator approximates).
+
+use rand::Rng;
+
+use autosens_telemetry::record::{ActionType, UserClass};
+use autosens_telemetry::time::{DayPeriod, MS_PER_MIN};
+
+use crate::config::SimConfig;
+use crate::congestion::CongestionSeries;
+use crate::diurnal::{activity_level, true_alpha};
+use crate::latency::LatencyModel;
+use crate::population::UserProfile;
+use crate::preference::{base_curve, period_exponent};
+
+/// The complete ground truth of one simulation run.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    config: SimConfig,
+    population: Vec<UserProfile>,
+    congestion: CongestionSeries,
+}
+
+impl GroundTruth {
+    /// Bundle the realized ground truth (called by the engine).
+    pub fn new(
+        config: SimConfig,
+        population: Vec<UserProfile>,
+        congestion: CongestionSeries,
+    ) -> Self {
+        GroundTruth {
+            config,
+            population,
+            congestion,
+        }
+    }
+
+    /// The configuration that produced this run.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The sampled user population.
+    pub fn population(&self) -> &[UserProfile] {
+        &self.population
+    }
+
+    /// The realized congestion series.
+    pub fn congestion(&self) -> &CongestionSeries {
+        &self.congestion
+    }
+
+    /// The planted *normalized* preference at `latency_ms` (relative to
+    /// `reference_ms`) for an (action, class) slice, pooled over all hours.
+    ///
+    /// Pooling uses the same weights the data itself carries: each user
+    /// contributes proportionally to their activity rate, and each day
+    /// period proportionally to its activity level, because that is how many
+    /// actions each (user, period) cell contributes to `B`. The blended
+    /// truth is `Σ w_i p(L)^γ_i / Σ w_i`, normalized at the reference.
+    pub fn normalized_preference(
+        &self,
+        action: ActionType,
+        class: UserClass,
+        latency_ms: f64,
+        reference_ms: f64,
+    ) -> f64 {
+        let raw = |l: f64| self.pooled_raw_preference(action, class, l, None, None);
+        raw(latency_ms) / raw(reference_ms)
+    }
+
+    /// Planted normalized preference restricted to one day period (Fig 7).
+    pub fn normalized_preference_in_period(
+        &self,
+        action: ActionType,
+        class: UserClass,
+        latency_ms: f64,
+        reference_ms: f64,
+        period: DayPeriod,
+    ) -> f64 {
+        let raw = |l: f64| self.pooled_raw_preference(action, class, l, Some(period), None);
+        raw(latency_ms) / raw(reference_ms)
+    }
+
+    /// Planted normalized preference restricted to a user subset (Fig 6),
+    /// identified by a predicate over profiles.
+    pub fn normalized_preference_for_users(
+        &self,
+        action: ActionType,
+        class: UserClass,
+        latency_ms: f64,
+        reference_ms: f64,
+        keep: &dyn Fn(&UserProfile) -> bool,
+    ) -> f64 {
+        let raw = |l: f64| self.pooled_raw_preference(action, class, l, None, Some(keep));
+        raw(latency_ms) / raw(reference_ms)
+    }
+
+    fn pooled_raw_preference(
+        &self,
+        action: ActionType,
+        class: UserClass,
+        latency_ms: f64,
+        period: Option<DayPeriod>,
+        keep: Option<&dyn Fn(&UserProfile) -> bool>,
+    ) -> f64 {
+        let curve = base_curve(action, class);
+        let periods: &[DayPeriod] = match &period {
+            Some(p) => std::slice::from_ref(p),
+            None => &[
+                DayPeriod::Morning8to14,
+                DayPeriod::Afternoon14to20,
+                DayPeriod::Evening20to2,
+                DayPeriod::Night2to8,
+            ],
+        };
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for user in self.population.iter().filter(|u| u.class == class) {
+            if let Some(keep) = keep {
+                if !keep(user) {
+                    continue;
+                }
+            }
+            for &p in periods {
+                let w = user.rate_per_active_hour * period_activity(class, p);
+                let gamma =
+                    user.conditioning_gamma * period_exponent(&self.config.period_exponents, p);
+                num += w * curve.eval(latency_ms).powf(gamma);
+                den += w;
+            }
+        }
+        if den == 0.0 {
+            return f64::NAN;
+        }
+        num / den
+    }
+
+    /// The ground-truth activity factor for a day period relative to the
+    /// 8am–2pm reference (Figure 8's expected level).
+    pub fn true_alpha(&self, class: UserClass, period: DayPeriod) -> f64 {
+        true_alpha(class, period)
+    }
+
+    /// Draw `n` unbiased probe latencies for an (action, class) slice:
+    /// uniformly random times over the simulated span, a random user of the
+    /// class, and a fresh latency draw — the true underlying `U`.
+    pub fn sample_unbiased_probes<R: Rng>(
+        &self,
+        action: ActionType,
+        class: UserClass,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let users: Vec<&UserProfile> = self
+            .population
+            .iter()
+            .filter(|u| u.class == class)
+            .collect();
+        assert!(!users.is_empty(), "no users of class {class:?}");
+        let model = LatencyModel::new(&self.congestion, self.config.latency_noise_sigma);
+        let span_ms = self.config.n_minutes() as i64 * MS_PER_MIN;
+        (0..n)
+            .map(|_| {
+                let t = rng.gen_range(0..span_ms);
+                let u = users[rng.gen_range(0..users.len())];
+                model.sample_ms(u, action, t, rng)
+            })
+            .collect()
+    }
+}
+
+/// Activity level of a class averaged over a period (weekday profile).
+fn period_activity(class: UserClass, period: DayPeriod) -> f64 {
+    let hours: [u8; 6] = match period {
+        DayPeriod::Morning8to14 => [8, 9, 10, 11, 12, 13],
+        DayPeriod::Afternoon14to20 => [14, 15, 16, 17, 18, 19],
+        DayPeriod::Evening20to2 => [20, 21, 22, 23, 0, 1],
+        DayPeriod::Night2to8 => [2, 3, 4, 5, 6, 7],
+    };
+    hours
+        .iter()
+        .map(|&h| activity_level(class, h, false))
+        .sum::<f64>()
+        / 6.0
+}
+
+/// A convenience for tests: evaluate the truth on a latency grid.
+pub fn truth_series(
+    truth: &GroundTruth,
+    action: ActionType,
+    class: UserClass,
+    latencies: &[f64],
+    reference_ms: f64,
+) -> Vec<f64> {
+    latencies
+        .iter()
+        .map(|&l| truth.normalized_preference(action, class, l, reference_ms))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scenario;
+    use crate::engine::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn truth() -> GroundTruth {
+        let cfg = SimConfig::scenario(Scenario::Smoke);
+        generate(&cfg).unwrap().1
+    }
+
+    #[test]
+    fn normalized_preference_is_one_at_reference_and_monotone() {
+        let t = truth();
+        let v300 =
+            t.normalized_preference(ActionType::SelectMail, UserClass::Business, 300.0, 300.0);
+        assert!((v300 - 1.0).abs() < 1e-12);
+        let mut prev = f64::INFINITY;
+        for l in (100..2500).step_by(100) {
+            let v = t.normalized_preference(
+                ActionType::SelectMail,
+                UserClass::Business,
+                l as f64,
+                300.0,
+            );
+            assert!(v <= prev + 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn planted_orderings_hold_in_the_blended_truth() {
+        let t = truth();
+        let l = 1500.0;
+        let n = |a, c| t.normalized_preference(a, c, l, 300.0);
+        // Figure 4 ordering.
+        assert!(
+            n(ActionType::SelectMail, UserClass::Business)
+                < n(ActionType::Search, UserClass::Business)
+        );
+        assert!(
+            n(ActionType::Search, UserClass::Business)
+                < n(ActionType::ComposeSend, UserClass::Business)
+        );
+        // Figure 5 ordering.
+        assert!(
+            n(ActionType::SelectMail, UserClass::Business)
+                < n(ActionType::SelectMail, UserClass::Consumer)
+        );
+    }
+
+    #[test]
+    fn period_truth_is_steeper_in_daytime() {
+        let t = truth();
+        let n = |p| {
+            t.normalized_preference_in_period(
+                ActionType::SelectMail,
+                UserClass::Business,
+                1500.0,
+                300.0,
+                p,
+            )
+        };
+        assert!(n(DayPeriod::Morning8to14) < n(DayPeriod::Evening20to2));
+        assert!(n(DayPeriod::Evening20to2) < n(DayPeriod::Night2to8) + 1e-9);
+        // Pooled curve sits within the envelope of the periods.
+        let pooled =
+            t.normalized_preference(ActionType::SelectMail, UserClass::Business, 1500.0, 300.0);
+        assert!(pooled > n(DayPeriod::Morning8to14));
+        assert!(pooled < n(DayPeriod::Night2to8));
+    }
+
+    #[test]
+    fn user_subset_truth_reflects_conditioning() {
+        let t = truth();
+        let fast = t.normalized_preference_for_users(
+            ActionType::SelectMail,
+            UserClass::Consumer,
+            1500.0,
+            300.0,
+            &|u: &UserProfile| u.network_factor < 0.9,
+        );
+        let slow = t.normalized_preference_for_users(
+            ActionType::SelectMail,
+            UserClass::Consumer,
+            1500.0,
+            300.0,
+            &|u: &UserProfile| u.network_factor > 1.1,
+        );
+        assert!(fast < slow, "fast {fast} slow {slow}");
+    }
+
+    #[test]
+    fn true_alpha_matches_diurnal_module() {
+        let t = truth();
+        for p in DayPeriod::all() {
+            assert_eq!(
+                t.true_alpha(UserClass::Business, p),
+                true_alpha(UserClass::Business, p)
+            );
+        }
+    }
+
+    #[test]
+    fn unbiased_probes_have_sane_scale() {
+        let t = truth();
+        let mut rng = StdRng::seed_from_u64(3);
+        let probes =
+            t.sample_unbiased_probes(ActionType::SelectMail, UserClass::Business, 5_000, &mut rng);
+        assert_eq!(probes.len(), 5_000);
+        assert!(probes.iter().all(|p| *p > 0.0));
+        let mut sorted = probes.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        // Base median 260ms scaled by congestion/network: broad sanity band.
+        assert!(median > 100.0 && median < 900.0, "median = {median}");
+    }
+
+    #[test]
+    fn truth_series_helper_evaluates_grid() {
+        let t = truth();
+        let grid = [300.0, 600.0, 900.0];
+        let s = truth_series(
+            &t,
+            ActionType::SelectMail,
+            UserClass::Business,
+            &grid,
+            300.0,
+        );
+        assert_eq!(s.len(), 3);
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        assert!(s[1] > s[2]);
+    }
+}

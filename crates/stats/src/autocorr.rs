@@ -1,0 +1,119 @@
+//! Autocorrelation and decorrelation-time estimation.
+//!
+//! The effective sample size of the unbiased-distribution estimate is
+//! bounded by the number of independent congestion *excursions* in the
+//! analysis span (DESIGN.md §8), i.e. span / decorrelation time. This
+//! module estimates the autocorrelation function of a regularly sampled
+//! series and the lag at which it first drops below `1/e` — surfaced by
+//! the diagnostics so operators can judge how much data they need.
+
+use crate::error::{invalid, StatsError};
+
+/// Autocorrelation of a series at lags `0..=max_lag`.
+///
+/// Uses the biased (1/n) normalization, which guarantees values in
+/// `[-1, 1]` and a positive-semidefinite sequence. Errors on series
+/// shorter than `max_lag + 2` or constant series.
+pub fn autocorrelation(series: &[f64], max_lag: usize) -> Result<Vec<f64>, StatsError> {
+    let n = series.len();
+    if n < max_lag + 2 {
+        return Err(invalid(
+            "max_lag",
+            format!(
+                "series of length {n} supports lags < {}",
+                n.saturating_sub(1)
+            ),
+        ));
+    }
+    if series.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFinite("autocorrelation input"));
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    if var == 0.0 {
+        return Err(invalid("series", "constant series: ACF undefined"));
+    }
+    let mut acf = Vec::with_capacity(max_lag + 1);
+    for lag in 0..=max_lag {
+        let cov: f64 = series[..n - lag]
+            .iter()
+            .zip(&series[lag..])
+            .map(|(a, b)| (a - mean) * (b - mean))
+            .sum::<f64>()
+            / n as f64;
+        acf.push(cov / var);
+    }
+    Ok(acf)
+}
+
+/// The first lag at which the ACF drops below `1/e` (the decorrelation
+/// time, in sample intervals). Returns `None` when the ACF stays above
+/// `1/e` through `max_lag` (the series is correlated beyond the horizon).
+pub fn decorrelation_lag(series: &[f64], max_lag: usize) -> Result<Option<usize>, StatsError> {
+    let acf = autocorrelation(series, max_lag)?;
+    let threshold = (-1.0f64).exp();
+    Ok(acf.iter().position(|&r| r < threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn acf_at_lag_zero_is_one() {
+        let s: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin()).collect();
+        let acf = autocorrelation(&s, 10).unwrap();
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+        assert!(acf.iter().all(|r| r.abs() <= 1.0 + 1e-9));
+        assert_eq!(acf.len(), 11);
+    }
+
+    #[test]
+    fn iid_series_decorrelates_immediately() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s: Vec<f64> = (0..20_000).map(|_| rng.gen::<f64>()).collect();
+        let acf = autocorrelation(&s, 5).unwrap();
+        for &r in &acf[1..] {
+            assert!(r.abs() < 0.05, "lag acf = {r}");
+        }
+        assert_eq!(decorrelation_lag(&s, 5).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn ar1_decorrelation_matches_theory() {
+        // AR(1) with coefficient rho has ACF rho^k; 1/e crossing at
+        // k ~ -1/ln(rho).
+        let rho: f64 = 0.95;
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut x = 0.0;
+        let s: Vec<f64> = (0..200_000)
+            .map(|_| {
+                x = rho * x + crate::dist::standard_normal(&mut rng);
+                x
+            })
+            .collect();
+        let expect = (-1.0 / rho.ln()).round() as usize; // ~19.5
+        let lag = decorrelation_lag(&s, 100).unwrap().expect("crosses");
+        assert!(
+            (lag as i64 - expect as i64).abs() <= 4,
+            "lag {lag} vs theory {expect}"
+        );
+    }
+
+    #[test]
+    fn strongly_correlated_series_may_never_cross() {
+        // A slow trend stays above 1/e for small max_lag.
+        let s: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        assert_eq!(decorrelation_lag(&s, 20).unwrap(), None);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(autocorrelation(&[1.0, 2.0], 5).is_err());
+        assert!(autocorrelation(&[1.0; 50], 5).is_err());
+        assert!(autocorrelation(&[1.0, f64::NAN, 2.0, 3.0], 1).is_err());
+        assert!(decorrelation_lag(&[], 3).is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! Seeded distribution samplers.
+//!
+//! `rand` 0.8 alone only supplies uniform primitives; the heavier `rand_distr`
+//! crate is avoided to keep the dependency set to the approved list, so the
+//! handful of distributions the simulator needs are implemented here:
+//! Normal (Box–Muller), LogNormal, Exponential (inverse CDF), Pareto
+//! (inverse CDF), and Poisson counts (Knuth's product method with a normal
+//! approximation for large means).
+
+use rand::Rng;
+
+use crate::error::{invalid, StatsError};
+
+/// Standard-normal draw via the Box–Muller transform.
+///
+/// Uses both uniforms each call and discards the spare; simplicity and
+/// statelessness are worth the extra uniform draw here.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Guard against ln(0): sample u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal distribution with the given mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Create a normal distribution; `std_dev` must be finite and >= 0.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, StatsError> {
+        if !mean.is_finite() || !std_dev.is_finite() {
+            return Err(StatsError::NonFinite("normal parameters"));
+        }
+        if std_dev < 0.0 {
+            return Err(invalid("std_dev", format!("must be >= 0, got {std_dev}")));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+
+    /// Draw one sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution parameterized by the mean/std-dev of the
+/// underlying normal (`ln X ~ N(mu, sigma^2)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Create from the log-space parameters.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, StatsError> {
+        if !mu.is_finite() || !sigma.is_finite() {
+            return Err(StatsError::NonFinite("lognormal parameters"));
+        }
+        if sigma < 0.0 {
+            return Err(invalid("sigma", format!("must be >= 0, got {sigma}")));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+
+    /// Create from the desired *median* of X and log-space sigma.
+    /// (`median = e^mu`, a more intuitive parameterization for latency.)
+    pub fn from_median(median: f64, sigma: f64) -> Result<Self, StatsError> {
+        if !median.is_finite() || median <= 0.0 {
+            return Err(invalid("median", format!("must be > 0, got {median}")));
+        }
+        LogNormal::new(median.ln(), sigma)
+    }
+
+    /// Draw one sample (always positive).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    /// The distribution median `e^mu`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// The distribution mean `e^(mu + sigma^2/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Exponential distribution with the given rate (inverse mean).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Create an exponential distribution; `rate` must be finite and > 0.
+    pub fn new(rate: f64) -> Result<Self, StatsError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(invalid("rate", format!("must be > 0, got {rate}")));
+        }
+        Ok(Exponential { rate })
+    }
+
+    /// Draw one sample via inverse CDF.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+        -u.ln() / self.rate
+    }
+}
+
+/// Pareto (type I) distribution: heavy-tailed latency spikes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Create a Pareto distribution with minimum `scale` and tail `shape`.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, StatsError> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(invalid("scale", format!("must be > 0, got {scale}")));
+        }
+        if !shape.is_finite() || shape <= 0.0 {
+            return Err(invalid("shape", format!("must be > 0, got {shape}")));
+        }
+        Ok(Pareto { scale, shape })
+    }
+
+    /// Draw one sample (always >= scale) via inverse CDF.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+        self.scale / u.powf(1.0 / self.shape)
+    }
+}
+
+/// Draw a Poisson-distributed count with the given mean.
+///
+/// Knuth's product method for `lambda <= 30`; for larger means a rounded
+/// normal approximation `N(lambda, lambda)` clipped at zero (adequate for
+/// workload generation, where lambda is a per-window event count).
+pub fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> Result<u64, StatsError> {
+    if !lambda.is_finite() || lambda < 0.0 {
+        return Err(invalid("lambda", format!("must be >= 0, got {lambda}")));
+    }
+    if lambda == 0.0 {
+        return Ok(0);
+    }
+    if lambda <= 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        Ok(count)
+    } else {
+        let draw = lambda + lambda.sqrt() * standard_normal(rng);
+        Ok(draw.round().max(0.0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N: usize = 50_000;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..N).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / N as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / N as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    fn normal_respects_parameters() {
+        let mut r = rng();
+        let d = Normal::new(10.0, 3.0).unwrap();
+        let xs: Vec<f64> = (0..N).map(|_| d.sample(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / N as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / N as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+        assert!((var - 9.0).abs() < 0.3);
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_median_and_positivity() {
+        let mut r = rng();
+        let d = LogNormal::from_median(200.0, 0.5).unwrap();
+        assert!((d.median() - 200.0).abs() < 1e-9);
+        let mut xs: Vec<f64> = (0..N).map(|_| d.sample(&mut r)).collect();
+        assert!(xs.iter().all(|x| *x > 0.0));
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[N / 2];
+        assert!((med - 200.0).abs() / 200.0 < 0.03, "median = {med}");
+        // mean = e^(mu + sigma^2/2)
+        let mean = xs.iter().sum::<f64>() / N as f64;
+        assert!((mean - d.mean()).abs() / d.mean() < 0.05);
+        assert!(LogNormal::from_median(0.0, 1.0).is_err());
+        assert!(LogNormal::new(0.0, -0.1).is_err());
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let d = Exponential::new(0.25).unwrap();
+        let xs: Vec<f64> = (0..N).map(|_| d.sample(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / N as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean = {mean}");
+        assert!(xs.iter().all(|x| *x >= 0.0));
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+    }
+
+    #[test]
+    fn pareto_minimum_and_tail() {
+        let mut r = rng();
+        let d = Pareto::new(100.0, 2.5).unwrap();
+        let xs: Vec<f64> = (0..N).map(|_| d.sample(&mut r)).collect();
+        assert!(xs.iter().all(|x| *x >= 100.0));
+        // Mean of Pareto(scale, shape>1) = scale * shape / (shape - 1).
+        let mean = xs.iter().sum::<f64>() / N as f64;
+        let expect = 100.0 * 2.5 / 1.5;
+        assert!((mean - expect).abs() / expect < 0.05, "mean = {mean}");
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn poisson_small_lambda_moments() {
+        let mut r = rng();
+        let lambda = 3.5;
+        let xs: Vec<f64> = (0..N)
+            .map(|_| poisson(&mut r, lambda).unwrap() as f64)
+            .collect();
+        let mean = xs.iter().sum::<f64>() / N as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / N as f64;
+        assert!((mean - lambda).abs() < 0.05, "mean = {mean}");
+        assert!((var - lambda).abs() < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_moments() {
+        let mut r = rng();
+        let lambda = 400.0;
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| poisson(&mut r, lambda).unwrap() as f64)
+            .collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - lambda).abs() / lambda < 0.01, "mean = {mean}");
+        assert!((var - lambda).abs() / lambda < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn poisson_edge_cases() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0).unwrap(), 0);
+        assert!(poisson(&mut r, -1.0).is_err());
+        assert!(poisson(&mut r, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let d = LogNormal::from_median(300.0, 0.4).unwrap();
+        let a: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(9);
+            (0..100).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = StdRng::seed_from_u64(9);
+            (0..100).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,115 @@
+//! Empirical cumulative distribution functions and two-sample
+//! Kolmogorov–Smirnov distances, used in tests to compare simulated latency
+//! marginals against their configured distributions.
+
+use crate::error::StatsError;
+
+/// An empirical CDF over a sorted copy of the sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample. Errors on empty or NaN-containing input.
+    pub fn new(sample: &[f64]) -> Result<Self, StatsError> {
+        if sample.is_empty() {
+            return Err(StatsError::EmptyInput("ecdf sample"));
+        }
+        if sample.iter().any(|x| x.is_nan()) {
+            return Err(StatsError::NonFinite("ecdf sample"));
+        }
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected above"));
+        Ok(Ecdf { sorted })
+    }
+
+    /// `F(x) = P(X <= x)` with the right-continuous step convention.
+    pub fn at(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic: the supremum distance between
+/// the empirical CDFs, evaluated at every sample point of both samples.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
+    let ea = Ecdf::new(a)?;
+    let eb = Ecdf::new(b)?;
+    let mut d: f64 = 0.0;
+    for &x in ea.sorted().iter().chain(eb.sorted().iter()) {
+        d = d.max((ea.at(x) - eb.at(x)).abs());
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ecdf_step_values() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.at(0.5), 0.0);
+        assert_eq!(e.at(1.0), 0.25);
+        assert_eq!(e.at(2.5), 0.5);
+        assert_eq!(e.at(4.0), 1.0);
+        assert_eq!(e.at(9.0), 1.0);
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn ecdf_handles_ties() {
+        let e = Ecdf::new(&[2.0, 2.0, 2.0, 5.0]).unwrap();
+        assert_eq!(e.at(2.0), 0.75);
+        assert_eq!(e.at(1.9), 0.0);
+    }
+
+    #[test]
+    fn ecdf_rejects_bad_input() {
+        assert!(Ecdf::new(&[]).is_err());
+        assert!(Ecdf::new(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn ks_identical_samples_is_zero() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(ks_two_sample(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn ks_disjoint_samples_is_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0];
+        assert_eq!(ks_two_sample(&a, &b).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn ks_same_distribution_is_small_different_is_large() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a: Vec<f64> = (0..5000).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..5000).map(|_| rng.gen::<f64>()).collect();
+        let shifted: Vec<f64> = (0..5000).map(|_| rng.gen::<f64>() + 0.3).collect();
+        assert!(ks_two_sample(&a, &b).unwrap() < 0.05);
+        assert!(ks_two_sample(&a, &shifted).unwrap() > 0.25);
+    }
+}

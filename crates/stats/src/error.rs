@@ -1,0 +1,84 @@
+//! Error type shared by the statistics substrate.
+
+use std::fmt;
+
+/// Errors produced by statistical routines in this crate.
+///
+/// The crate favours returning `Result` over panicking for conditions that
+/// can arise from data (empty inputs, degenerate configurations) and reserves
+/// panics for caller bugs (e.g. mismatched binners, which indicate mixed-up
+/// pipelines rather than bad data).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// An input slice was empty where at least one element is required.
+    EmptyInput(&'static str),
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Which parameter was invalid.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A numeric input was NaN or infinite where a finite value is required.
+    NonFinite(&'static str),
+    /// A linear system was singular (or numerically indistinguishable from
+    /// singular) and could not be solved.
+    SingularMatrix,
+    /// Two structures that must share a binner (histograms, PDFs) did not.
+    BinnerMismatch,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            StatsError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            StatsError::NonFinite(what) => write!(f, "non-finite value in {what}"),
+            StatsError::SingularMatrix => write!(f, "singular matrix in linear solve"),
+            StatsError::BinnerMismatch => write!(f, "operands use different binners"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience constructor for [`StatsError::InvalidParameter`].
+pub(crate) fn invalid(name: &'static str, reason: impl Into<String>) -> StatsError {
+    StatsError::InvalidParameter {
+        name,
+        reason: reason.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StatsError::EmptyInput("samples");
+        assert_eq!(e.to_string(), "empty input: samples");
+        let e = invalid("window", "must be odd");
+        assert_eq!(e.to_string(), "invalid parameter `window`: must be odd");
+        assert_eq!(
+            StatsError::NonFinite("latency").to_string(),
+            "non-finite value in latency"
+        );
+        assert_eq!(
+            StatsError::SingularMatrix.to_string(),
+            "singular matrix in linear solve"
+        );
+        assert_eq!(
+            StatsError::BinnerMismatch.to_string(),
+            "operands use different binners"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&StatsError::SingularMatrix);
+    }
+}

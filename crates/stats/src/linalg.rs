@@ -1,0 +1,292 @@
+//! Minimal dense linear algebra: just enough to derive Savitzky–Golay
+//! coefficients from first principles (normal equations of a polynomial
+//! least-squares fit).
+
+use crate::error::StatsError;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor. Panics on out-of-range indices (caller bug).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator. Panics on out-of-range indices (caller bug).
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Matrix product `self * other`. Panics on dimension mismatch
+    /// (caller bug: dimensions are structural, not data-dependent).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out.data[r * out.cols + c] += a * other.get(k, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self.get(r, c) * v[c]).sum())
+            .collect()
+    }
+
+    /// Solve `A x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// `A` must be square; returns [`StatsError::SingularMatrix`] when a pivot
+    /// is numerically zero.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, StatsError> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(self.rows, b.len(), "rhs length mismatch");
+        let n = self.rows;
+        // Augmented working copy.
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivot: find the row with the largest magnitude in this column.
+            let mut pivot = col;
+            let mut best = a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < 1e-300 {
+                return Err(StatsError::SingularMatrix);
+            }
+            if pivot != col {
+                for c in 0..n {
+                    a.swap(col * n + c, pivot * n + c);
+                }
+                x.swap(col, pivot);
+            }
+            // Eliminate below.
+            let pval = a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / pval;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    a[r * n + c] -= factor * a[col * n + c];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut v = x[col];
+            for c in (col + 1)..n {
+                v -= a[col * n + c] * x[c];
+            }
+            x[col] = v / a[col * n + col];
+        }
+        Ok(x)
+    }
+
+    /// Matrix inverse via column-by-column solves.
+    pub fn inverse(&self) -> Result<Matrix, StatsError> {
+        assert_eq!(self.rows, self.cols, "inverse requires a square matrix");
+        let n = self.rows;
+        let mut out = Matrix::zeros(n, n);
+        for c in 0..n {
+            let mut e = vec![0.0; n];
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            for (r, &v) in col.iter().enumerate() {
+                out.set(r, c, v);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        let id = Matrix::identity(3);
+        assert_eq!(id.get(0, 0), 1.0);
+        assert_eq!(id.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), m.get(1, 2));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_hand_computed() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r * 2 + c + 1) as f64); // [[1,2],[3,4]]
+        let b = Matrix::from_fn(2, 2, |r, c| ((r * 2 + c) * 2) as f64); // [[0,2],[4,6]]
+        let p = a.matmul(&b);
+        assert_eq!(p.get(0, 0), 8.0);
+        assert_eq!(p.get(0, 1), 14.0);
+        assert_eq!(p.get(1, 0), 16.0);
+        assert_eq!(p.get(1, 1), 30.0);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r + c) as f64);
+        let v = vec![1.0, 2.0, 3.0];
+        assert_eq!(a.matvec(&v), vec![8.0, 14.0]);
+    }
+
+    #[test]
+    fn solve_small_system() {
+        // 2x + y = 5 ; x - y = 1 -> x = 2, y = 1.
+        let a = Matrix::from_fn(2, 2, |r, c| match (r, c) {
+            (0, 0) => 2.0,
+            (0, 1) => 1.0,
+            (1, 0) => 1.0,
+            (1, 1) => -1.0,
+            _ => unreachable!(),
+        });
+        let x = a.solve(&[5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_fn(2, 2, |r, c| match (r, c) {
+            (0, 0) => 0.0,
+            (0, 1) => 1.0,
+            (1, 0) => 1.0,
+            (1, 1) => 0.0,
+            _ => unreachable!(),
+        });
+        let x = a.solve(&[3.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 3.0]);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Matrix::from_fn(2, 2, |_, c| if c == 0 { 1.0 } else { 2.0 });
+        assert_eq!(a.solve(&[1.0, 1.0]), Err(StatsError::SingularMatrix));
+        assert!(a.inverse().is_err());
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity() {
+        let a = Matrix::from_fn(3, 3, |r, c| {
+            // Well-conditioned test matrix.
+            1.0 / (1.0 + r as f64 + c as f64) + if r == c { 1.0 } else { 0.0 }
+        });
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv);
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((prod.get(r, c) - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_larger_random_system_consistency() {
+        // Diagonally dominant 8x8 system: solve then verify A x = b.
+        let n = 8;
+        let a = Matrix::from_fn(n, n, |r, c| {
+            if r == c {
+                10.0 + r as f64
+            } else {
+                ((r * 31 + c * 17) % 7) as f64 / 7.0
+            }
+        });
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin() * 5.0).collect();
+        let x = a.solve(&b).unwrap();
+        let back = a.matvec(&x);
+        for (u, v) in back.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+}

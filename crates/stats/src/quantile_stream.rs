@@ -1,0 +1,266 @@
+//! Streaming quantile estimation (the P² algorithm).
+//!
+//! The §3.4 conditioning analysis needs a per-user median latency. On logs
+//! that fit in memory the exact median is fine; for production-scale logs
+//! (the paper's dataset had *billions* of actions) storing every latency
+//! per user is not. The P² algorithm (Jain & Chlamtac, 1985) maintains a
+//! quantile estimate with five markers — O(1) memory per user — by
+//! adjusting marker heights with piecewise-parabolic interpolation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{invalid, StatsError};
+
+/// A P² estimator for a single quantile.
+///
+/// ```
+/// use autosens_stats::quantile_stream::P2Quantile;
+///
+/// let mut median = P2Quantile::median();
+/// for i in 0..10_001 {
+///     median.observe(i as f64).unwrap();
+/// }
+/// let est = median.estimate().unwrap();
+/// assert!((est - 5_000.0).abs() < 250.0);
+/// assert_eq!(median.count(), 10_001);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimates of the 0, q/2, q, (1+q)/2, 1 quantiles).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Number of observations seen.
+    count: u64,
+    /// Initial observations buffer (before the 5-marker state is formed).
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Create an estimator for quantile `q` in `(0, 1)`.
+    pub fn new(q: f64) -> Result<Self, StatsError> {
+        if !(0.0 < q && q < 1.0) {
+            return Err(invalid("q", format!("must be in (0,1), got {q}")));
+        }
+        Ok(P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        })
+    }
+
+    /// A median estimator.
+    pub fn median() -> Self {
+        P2Quantile::new(0.5).expect("0.5 is a valid quantile")
+    }
+
+    /// The target quantile.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations ingested.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Ingest one observation. Non-finite values are rejected.
+    pub fn observe(&mut self, x: f64) -> Result<(), StatsError> {
+        if !x.is_finite() {
+            return Err(StatsError::NonFinite("P2 observation"));
+        }
+        self.count += 1;
+        if self.count <= 5 {
+            self.initial.push(x);
+            if self.count == 5 {
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite checked"));
+                for (h, v) in self.heights.iter_mut().zip(&self.initial) {
+                    *h = *v;
+                }
+            }
+            return Ok(());
+        }
+
+        // Locate the cell containing x and bump the extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x < self.heights[1] {
+            0
+        } else if x < self.heights[2] {
+            1
+        } else if x < self.heights[3] {
+            2
+        } else if x <= self.heights[4] {
+            3
+        } else {
+            self.heights[4] = x;
+            3
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(&self.increments) {
+            *d += inc;
+        }
+
+        // Adjust the three interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let step_up = self.positions[i + 1] - self.positions[i] > 1.0;
+            let step_down = self.positions[i - 1] - self.positions[i] < -1.0;
+            if (d >= 1.0 && step_up) || (d <= -1.0 && step_down) {
+                let s = d.signum();
+                let candidate = self.parabolic(i, s);
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, s)
+                    };
+                self.heights[i] = new_height;
+                self.positions[i] += s;
+            }
+        }
+        Ok(())
+    }
+
+    /// The current quantile estimate; `None` before any data. For fewer
+    /// than five observations, the exact sample quantile of the buffer.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            let mut sorted = self.initial.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite on entry"));
+            return Some(crate::descriptive::quantile_sorted(&sorted, self.q));
+        }
+        Some(self.heights[2])
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + s / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + s) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - s) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = if s > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rejects_bad_quantiles_and_values() {
+        assert!(P2Quantile::new(0.0).is_err());
+        assert!(P2Quantile::new(1.0).is_err());
+        assert!(P2Quantile::new(-0.5).is_err());
+        let mut p = P2Quantile::median();
+        assert!(p.observe(f64::NAN).is_err());
+        assert!(p.observe(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let p = P2Quantile::median();
+        assert_eq!(p.estimate(), None);
+        assert_eq!(p.count(), 0);
+        let mut p = P2Quantile::median();
+        p.observe(7.0).unwrap();
+        assert_eq!(p.estimate(), Some(7.0));
+        p.observe(1.0).unwrap();
+        p.observe(4.0).unwrap();
+        // Exact median of {1, 4, 7}.
+        assert_eq!(p.estimate(), Some(4.0));
+    }
+
+    #[test]
+    fn matches_exact_median_on_uniform_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = P2Quantile::median();
+        let mut data = Vec::new();
+        for _ in 0..50_000 {
+            let x: f64 = rng.gen();
+            data.push(x);
+            p.observe(x).unwrap();
+        }
+        let exact = crate::descriptive::median(&data).unwrap();
+        let est = p.estimate().unwrap();
+        assert!((est - exact).abs() < 0.01, "est {est} vs exact {exact}");
+        assert_eq!(p.count(), 50_000);
+    }
+
+    #[test]
+    fn tracks_other_quantiles_of_skewed_data() {
+        // Lognormal-ish data, like latency.
+        let mut rng = StdRng::seed_from_u64(2);
+        for q in [0.25, 0.75, 0.9] {
+            let mut p = P2Quantile::new(q).unwrap();
+            let mut data = Vec::new();
+            for _ in 0..50_000 {
+                let x = (crate::dist::standard_normal(&mut rng) * 0.5).exp() * 100.0;
+                data.push(x);
+                p.observe(x).unwrap();
+            }
+            let exact = crate::descriptive::quantile(&data, q).unwrap();
+            let est = p.estimate().unwrap();
+            assert!(
+                (est - exact).abs() / exact < 0.03,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn sorted_input_is_handled() {
+        // Monotone input is a classic stress case for P2.
+        let mut p = P2Quantile::median();
+        for i in 0..10_001 {
+            p.observe(i as f64).unwrap();
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 5_000.0).abs() < 250.0, "est = {est}");
+    }
+
+    #[test]
+    fn constant_input_converges_to_the_constant() {
+        let mut p = P2Quantile::new(0.9).unwrap();
+        for _ in 0..1000 {
+            p.observe(42.0).unwrap();
+        }
+        assert_eq!(p.estimate(), Some(42.0));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_state() {
+        let mut p = P2Quantile::median();
+        for i in 0..100 {
+            p.observe((i % 17) as f64).unwrap();
+        }
+        let json = serde_json::to_string(&p).unwrap();
+        let back: P2Quantile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+        assert_eq!(p.estimate(), back.estimate());
+    }
+}

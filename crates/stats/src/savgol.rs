@@ -1,0 +1,308 @@
+//! Savitzky–Golay smoothing, derived from first principles.
+//!
+//! The paper smooths the noisy `B/U` ratio with a Savitzky–Golay filter of
+//! window 101 and polynomial degree 3 (§2.3). A Savitzky–Golay filter fits,
+//! around every point, a least-squares polynomial over a symmetric window and
+//! replaces the point with the polynomial's value there. For interior points
+//! this reduces to a fixed convolution; near the boundaries we fit the
+//! polynomial over the first/last full window and evaluate it at the edge
+//! offsets (the same behaviour as SciPy's `mode="interp"`).
+//!
+//! Coefficients are obtained by solving the normal equations of the
+//! polynomial fit with the small dense solver in [`crate::linalg`]; no
+//! tabulated kernels are used.
+
+use crate::error::{invalid, StatsError};
+use crate::linalg::Matrix;
+
+/// A configured Savitzky–Golay filter.
+///
+/// ```
+/// use autosens_stats::savgol::SavGol;
+///
+/// // A degree-3 filter reproduces any cubic exactly...
+/// let filter = SavGol::new(11, 3).unwrap();
+/// let cubic: Vec<f64> = (0..40).map(|i| {
+///     let x = i as f64;
+///     0.5 * x * x * x - 2.0 * x * x + 3.0 * x - 7.0
+/// }).collect();
+/// let smoothed = filter.smooth(&cubic).unwrap();
+/// for (a, b) in smoothed.iter().zip(&cubic) {
+///     assert!((a - b).abs() < 1e-6 * b.abs().max(1.0));
+/// }
+///
+/// // ...and the paper's default is window 101, degree 3.
+/// let paper = SavGol::paper_default();
+/// assert_eq!((paper.window(), paper.degree()), (101, 3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SavGol {
+    window: usize,
+    degree: usize,
+    /// `window x window` matrix of weights; row `r` holds the weights that
+    /// produce the fitted value at window offset `r` (0 = leftmost point).
+    /// Row `window/2` is the classical interior convolution kernel.
+    weights: Matrix,
+}
+
+impl SavGol {
+    /// Create a filter with the given odd `window` length and polynomial
+    /// `degree < window`.
+    pub fn new(window: usize, degree: usize) -> Result<Self, StatsError> {
+        if window < 3 || window.is_multiple_of(2) {
+            return Err(invalid(
+                "window",
+                format!("must be odd and >= 3, got {window}"),
+            ));
+        }
+        if degree >= window {
+            return Err(invalid(
+                "degree",
+                format!("must be < window ({window}), got {degree}"),
+            ));
+        }
+        let weights = projection_matrix(window, degree)?;
+        Ok(SavGol {
+            window,
+            degree,
+            weights,
+        })
+    }
+
+    /// The paper's configuration: window 101, degree 3.
+    pub fn paper_default() -> Self {
+        SavGol::new(101, 3).expect("101/3 is a valid configuration")
+    }
+
+    /// Window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The interior convolution kernel (weights for the window center).
+    pub fn kernel(&self) -> Vec<f64> {
+        let mid = self.window / 2;
+        (0..self.window).map(|c| self.weights.get(mid, c)).collect()
+    }
+
+    /// Smooth a series.
+    ///
+    /// When the series is shorter than the window, the filter transparently
+    /// degrades to the largest valid odd window (and, if necessary, a lower
+    /// degree) so short slices are smoothed rather than rejected — the paper
+    /// applies a window of 101 bins to curves whose well-supported range can
+    /// be shorter than that.
+    pub fn smooth(&self, data: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::EmptyInput("savgol input"));
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::NonFinite("savgol input"));
+        }
+        if data.len() < self.window {
+            // Degrade: largest odd window <= len, degree capped below it.
+            let mut w = data.len();
+            if w.is_multiple_of(2) {
+                w -= 1;
+            }
+            if w < 3 {
+                // 1- or 2-point series: nothing to fit, return unchanged.
+                return Ok(data.to_vec());
+            }
+            let deg = self.degree.min(w - 1);
+            let reduced = SavGol::new(w, deg)?;
+            return reduced.smooth(data);
+        }
+
+        let n = data.len();
+        let w = self.window;
+        let half = w / 2;
+        let mut out = vec![0.0; n];
+
+        // Interior: convolution with the center kernel.
+        let kernel = self.kernel();
+        for i in half..(n - half) {
+            let mut acc = 0.0;
+            for (k, &coef) in kernel.iter().enumerate() {
+                acc += coef * data[i - half + k];
+            }
+            out[i] = acc;
+        }
+        // Left edge: fit over the first window, evaluate at offsets 0..half.
+        for (i, slot) in out.iter_mut().enumerate().take(half) {
+            let mut acc = 0.0;
+            for (c, &v) in data.iter().enumerate().take(w) {
+                acc += self.weights.get(i, c) * v;
+            }
+            *slot = acc;
+        }
+        // Right edge: fit over the last window, evaluate at trailing offsets.
+        for (i, slot) in out.iter_mut().enumerate().skip(n - half) {
+            let offset = w - (n - i);
+            let mut acc = 0.0;
+            for (c, &v) in data[n - w..].iter().enumerate() {
+                acc += self.weights.get(offset, c) * v;
+            }
+            *slot = acc;
+        }
+        Ok(out)
+    }
+}
+
+/// The least-squares projection matrix `A (AᵀA)⁻¹ Aᵀ` for a Vandermonde
+/// design over window offsets centered at zero. Row `r` gives the weights
+/// producing the fitted value at offset position `r`.
+fn projection_matrix(window: usize, degree: usize) -> Result<Matrix, StatsError> {
+    let half = (window / 2) as isize;
+    // Design matrix: rows = window positions, cols = powers 0..=degree.
+    let a = Matrix::from_fn(window, degree + 1, |r, c| {
+        let t = (r as isize - half) as f64;
+        t.powi(c as i32)
+    });
+    let at = a.transpose();
+    let gram = at.matmul(&a);
+    let gram_inv = gram.inverse()?;
+    // P = A (AᵀA)⁻¹ Aᵀ  — symmetric, idempotent.
+    Ok(a.matmul(&gram_inv).matmul(&at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_configurations() {
+        assert!(SavGol::new(4, 2).is_err());
+        assert!(SavGol::new(1, 0).is_err());
+        assert!(SavGol::new(5, 5).is_err());
+        assert!(SavGol::new(5, 7).is_err());
+        assert!(SavGol::new(5, 2).is_ok());
+    }
+
+    #[test]
+    fn kernel_matches_published_5_point_quadratic() {
+        // The classical 5-point quadratic/cubic smoothing kernel is
+        // [-3, 12, 17, 12, -3] / 35 (Savitzky & Golay 1964).
+        let f = SavGol::new(5, 2).unwrap();
+        let expect = [-3.0, 12.0, 17.0, 12.0, -3.0].map(|v| v / 35.0);
+        for (a, b) in f.kernel().iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-12, "kernel {:?}", f.kernel());
+        }
+        // Degree 3 over the same window yields the identical smoothing kernel
+        // (odd-degree term does not affect the center value).
+        let f3 = SavGol::new(5, 3).unwrap();
+        for (a, b) in f3.kernel().iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kernel_matches_published_7_point_quadratic() {
+        // 7-point quadratic kernel: [-2, 3, 6, 7, 6, 3, -2] / 21.
+        let f = SavGol::new(7, 2).unwrap();
+        let expect = [-2.0, 3.0, 6.0, 7.0, 6.0, 3.0, -2.0].map(|v| v / 21.0);
+        for (a, b) in f.kernel().iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kernel_weights_sum_to_one() {
+        for (w, d) in [(5, 2), (7, 3), (11, 4), (101, 3)] {
+            let f = SavGol::new(w, d).unwrap();
+            let s: f64 = f.kernel().iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "window {w} degree {d}: sum {s}");
+        }
+    }
+
+    #[test]
+    fn polynomials_up_to_degree_pass_through_exactly() {
+        // A SavGol filter of degree d reproduces any polynomial of degree <= d
+        // exactly, including at the edges (interp-style edge handling).
+        let f = SavGol::new(7, 3).unwrap();
+        let data: Vec<f64> = (0..40)
+            .map(|i| {
+                let x = i as f64;
+                0.5 * x * x * x - 2.0 * x * x + 3.0 * x - 7.0
+            })
+            .collect();
+        let out = f.smooth(&data).unwrap();
+        for (a, b) in out.iter().zip(&data) {
+            assert!((a - b).abs() < 1e-6 * b.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn constant_series_is_unchanged() {
+        let f = SavGol::new(11, 3).unwrap();
+        let data = vec![4.2; 50];
+        let out = f.smooth(&data).unwrap();
+        for v in out {
+            assert!((v - 4.2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn noise_variance_is_reduced() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1);
+        let clean: Vec<f64> = (0..500).map(|i| (i as f64 / 50.0).sin()).collect();
+        let noisy: Vec<f64> = clean
+            .iter()
+            .map(|c| c + 0.3 * (rng.gen::<f64>() - 0.5))
+            .collect();
+        let f = SavGol::new(21, 3).unwrap();
+        let smoothed = f.smooth(&noisy).unwrap();
+        let err_noisy: f64 = noisy
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        let err_smooth: f64 = smoothed
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        assert!(
+            err_smooth < err_noisy / 3.0,
+            "smoothing should cut error at least 3x: {err_smooth} vs {err_noisy}"
+        );
+    }
+
+    #[test]
+    fn short_series_degrades_gracefully() {
+        let f = SavGol::new(101, 3).unwrap();
+        // Shorter than the window: must still smooth, not error.
+        let data: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let out = f.smooth(&data).unwrap();
+        assert_eq!(out.len(), 20);
+        // A line is a degree-1 polynomial: reproduced exactly by degree-3 fit.
+        for (a, b) in out.iter().zip(&data) {
+            assert!((a - b).abs() < 1e-8);
+        }
+        // 1- and 2-point series pass through.
+        assert_eq!(f.smooth(&[5.0]).unwrap(), vec![5.0]);
+        assert_eq!(f.smooth(&[5.0, 6.0]).unwrap(), vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn rejects_bad_data() {
+        let f = SavGol::new(5, 2).unwrap();
+        assert!(f.smooth(&[]).is_err());
+        assert!(f.smooth(&[1.0, f64::NAN, 2.0]).is_err());
+        assert!(f.smooth(&[1.0, f64::INFINITY, 2.0]).is_err());
+    }
+
+    #[test]
+    fn paper_default_configuration() {
+        let f = SavGol::paper_default();
+        assert_eq!(f.window(), 101);
+        assert_eq!(f.degree(), 3);
+    }
+}

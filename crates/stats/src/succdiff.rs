@@ -1,0 +1,233 @@
+//! Successive-difference locality diagnostics (paper §2.1, Figure 1).
+//!
+//! AutoSens requires latency to be *temporally local* (predictable) for a
+//! user preference to be actionable. The paper tests this with the ratio of
+//! the **mean successive difference** (MSD) — the average absolute difference
+//! between consecutive samples of the series — and the **mean absolute
+//! difference** (MAD) — the average absolute difference over *all* pairs,
+//! i.e. the Gini mean difference. For an exchangeable (shuffled) series the
+//! expected MSD equals the MAD, so the ratio is ~1; for a series with strong
+//! locality the ratio is well below 1; for a sorted series it approaches 0.
+//!
+//! The module also provides the classical von Neumann ratio (mean *squared*
+//! successive difference over the variance), whose expectation is 2 for an
+//! i.i.d. series.
+
+use rand::Rng;
+
+use crate::error::StatsError;
+use crate::sampling::shuffled;
+
+/// Mean absolute difference between consecutive samples:
+/// `MSD = (1/(n-1)) Σ |x[i+1] - x[i]|`.
+pub fn mean_successive_difference(series: &[f64]) -> Result<f64, StatsError> {
+    if series.len() < 2 {
+        return Err(StatsError::EmptyInput("MSD needs >= 2 points"));
+    }
+    if series.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFinite("MSD input"));
+    }
+    let sum: f64 = series.windows(2).map(|w| (w[1] - w[0]).abs()).sum();
+    Ok(sum / (series.len() - 1) as f64)
+}
+
+/// Mean absolute difference over all pairs (Gini mean difference):
+/// `MAD = (2 / (n(n-1))) Σ_{i<j} |x[i] - x[j]|`.
+///
+/// Computed in O(n log n) via the sorted-order identity
+/// `Σ_{i<j} (x_(j) - x_(i)) = Σ_k (2k - n + 1) x_(k)` (0-indexed).
+pub fn mean_absolute_difference(series: &[f64]) -> Result<f64, StatsError> {
+    let n = series.len();
+    if n < 2 {
+        return Err(StatsError::EmptyInput("MAD needs >= 2 points"));
+    }
+    if series.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFinite("MAD input"));
+    }
+    let mut sorted = series.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite checked above"));
+    let sum: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(k, x)| (2.0 * k as f64 - (n - 1) as f64) * x)
+        .sum();
+    Ok(2.0 * sum / (n as f64 * (n - 1) as f64))
+}
+
+/// The MSD/MAD locality ratio. ~1 for exchangeable series, ≪1 for series
+/// with temporal locality, →0 for a sorted series.
+///
+/// Errors when MAD is zero (constant series), since the ratio is undefined —
+/// a constant latency series carries no locality signal at all.
+pub fn msd_mad_ratio(series: &[f64]) -> Result<f64, StatsError> {
+    let msd = mean_successive_difference(series)?;
+    let mad = mean_absolute_difference(series)?;
+    if mad == 0.0 {
+        return Err(crate::error::invalid(
+            "series",
+            "constant series: MAD is zero, MSD/MAD undefined",
+        ));
+    }
+    Ok(msd / mad)
+}
+
+/// The three MSD/MAD ratios plotted in the paper's Figure 1: the series as
+/// observed, the same values randomly shuffled, and the same values sorted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalityRatios {
+    /// MSD/MAD of the series in observed order.
+    pub actual: f64,
+    /// MSD/MAD after a uniform random shuffle (expected ≈ 1).
+    pub shuffled: f64,
+    /// MSD/MAD after sorting ascending (the minimum attainable; → 0).
+    pub sorted: f64,
+}
+
+/// Compute [`LocalityRatios`] for a series, shuffling with the given RNG.
+pub fn locality_ratios<R: Rng>(series: &[f64], rng: &mut R) -> Result<LocalityRatios, StatsError> {
+    let actual = msd_mad_ratio(series)?;
+    let shuf = shuffled(series, rng);
+    let shuffled_ratio = msd_mad_ratio(&shuf)?;
+    let mut sorted = series.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite checked in msd_mad_ratio"));
+    let sorted_ratio = msd_mad_ratio(&sorted)?;
+    Ok(LocalityRatios {
+        actual,
+        shuffled: shuffled_ratio,
+        sorted: sorted_ratio,
+    })
+}
+
+/// Von Neumann ratio: mean squared successive difference divided by the
+/// (biased, n-denominator) variance. Expectation 2 for an i.i.d. series;
+/// below 2 indicates positive serial correlation.
+pub fn von_neumann_ratio(series: &[f64]) -> Result<f64, StatsError> {
+    let n = series.len();
+    if n < 2 {
+        return Err(StatsError::EmptyInput(
+            "von Neumann ratio needs >= 2 points",
+        ));
+    }
+    if series.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFinite("von Neumann input"));
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var: f64 = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    if var == 0.0 {
+        return Err(crate::error::invalid(
+            "series",
+            "constant series: variance is zero, von Neumann ratio undefined",
+        ));
+    }
+    let mssd: f64 = series
+        .windows(2)
+        .map(|w| (w[1] - w[0]) * (w[1] - w[0]))
+        .sum::<f64>()
+        / (n - 1) as f64;
+    Ok(mssd / var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn msd_hand_computed() {
+        // |2-1| + |0-2| + |4-0| = 7, over 3 gaps.
+        let s = [1.0, 2.0, 0.0, 4.0];
+        assert!((mean_successive_difference(&s).unwrap() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mad_matches_brute_force() {
+        let s: [f64; 6] = [1.0, 2.0, 0.0, 4.0, -3.0, 2.5];
+        let n = s.len();
+        let mut brute = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                brute += (s[i] - s[j]).abs();
+            }
+        }
+        brute *= 2.0 / (n as f64 * (n - 1) as f64);
+        assert!((mean_absolute_difference(&s).unwrap() - brute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_series_minimizes_ratio() {
+        // For a sorted series MSD = (max-min)/(n-1), the smallest possible.
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let ratio = msd_mad_ratio(&s).unwrap();
+        // MSD = 1, MAD = 3 -> ratio = 1/3; any permutation has MSD >= 1.
+        assert!((ratio - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_series_has_ratio_above_one() {
+        let s = [0.0, 10.0, 0.0, 10.0, 0.0, 10.0, 0.0, 10.0];
+        // MSD = 10, MAD = 2*16/ (8*7) * ... compute: equal halves ->
+        // mean pairwise |diff| = 10 * (4*4*2)/(8*7) = 320/56 = 5.714...
+        let ratio = msd_mad_ratio(&s).unwrap();
+        assert!(ratio > 1.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn shuffled_iid_series_ratio_near_one() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let series: Vec<f64> = (0..20_000).map(|_| rng.gen::<f64>()).collect();
+        let ratio = msd_mad_ratio(&series).unwrap();
+        assert!((ratio - 1.0).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn local_series_ratio_well_below_one() {
+        // Slow random walk: consecutive samples differ by ~0.01 while the
+        // overall spread is large.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut x = 0.0;
+        let series: Vec<f64> = (0..20_000)
+            .map(|_| {
+                x += rng.gen::<f64>() - 0.5;
+                x
+            })
+            .collect();
+        let ratio = msd_mad_ratio(&series).unwrap();
+        assert!(ratio < 0.1, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn locality_ratios_ordering() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut x = 50.0;
+        let series: Vec<f64> = (0..5_000)
+            .map(|_| {
+                x = 0.99 * x + rng.gen::<f64>();
+                x
+            })
+            .collect();
+        let r = locality_ratios(&series, &mut rng).unwrap();
+        assert!(r.sorted < r.actual, "{r:?}");
+        assert!(r.actual < r.shuffled, "{r:?}");
+        assert!((r.shuffled - 1.0).abs() < 0.1, "{r:?}");
+    }
+
+    #[test]
+    fn von_neumann_iid_near_two() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let series: Vec<f64> = (0..20_000).map(|_| rng.gen::<f64>()).collect();
+        let vn = von_neumann_ratio(&series).unwrap();
+        assert!((vn - 2.0).abs() < 0.1, "vn = {vn}");
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        assert!(mean_successive_difference(&[1.0]).is_err());
+        assert!(mean_absolute_difference(&[1.0]).is_err());
+        assert!(msd_mad_ratio(&[5.0, 5.0, 5.0]).is_err());
+        assert!(von_neumann_ratio(&[5.0, 5.0]).is_err());
+        assert!(mean_successive_difference(&[1.0, f64::NAN]).is_err());
+        assert!(mean_absolute_difference(&[1.0, f64::INFINITY]).is_err());
+        assert!(von_neumann_ratio(&[1.0, f64::NAN]).is_err());
+    }
+}

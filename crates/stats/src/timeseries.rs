@@ -1,0 +1,150 @@
+//! Fixed-window aggregation of timestamped values.
+//!
+//! The paper's Figure 2 diagnostic computes, over 1-minute windows, the
+//! temporal density of latency samples and the average latency in each
+//! window; this module provides that aggregation for any `(timestamp ms,
+//! value)` series.
+
+use crate::error::{invalid, StatsError};
+
+/// Aggregate statistics for one time window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStat {
+    /// Window start (ms since epoch, inclusive).
+    pub start_ms: i64,
+    /// Number of samples in the window.
+    pub count: u64,
+    /// Mean of the values in the window; `None` when the window is empty.
+    pub mean: Option<f64>,
+}
+
+/// Aggregate a time-sorted `(timestamp_ms, value)` series into consecutive
+/// windows of `window_ms`, starting at the first sample's window.
+///
+/// Every window between the first and last sample is emitted, including empty
+/// ones (their `mean` is `None`), so density comparisons see true gaps.
+/// Errors when the series is empty, unsorted, or contains non-finite values.
+pub fn aggregate_windows(
+    series: &[(i64, f64)],
+    window_ms: i64,
+) -> Result<Vec<WindowStat>, StatsError> {
+    if series.is_empty() {
+        return Err(StatsError::EmptyInput("window aggregation input"));
+    }
+    if window_ms <= 0 {
+        return Err(invalid(
+            "window_ms",
+            format!("must be > 0, got {window_ms}"),
+        ));
+    }
+    if series.windows(2).any(|w| w[1].0 < w[0].0) {
+        return Err(invalid("series", "timestamps must be sorted ascending"));
+    }
+    if series.iter().any(|(_, v)| !v.is_finite()) {
+        return Err(StatsError::NonFinite("window aggregation values"));
+    }
+
+    let first = series[0].0;
+    let base = first.div_euclid(window_ms) * window_ms;
+    let last = series[series.len() - 1].0;
+    let n_windows = ((last - base) / window_ms + 1) as usize;
+    let mut sums = vec![0.0; n_windows];
+    let mut counts = vec![0u64; n_windows];
+    for &(t, v) in series {
+        let w = ((t - base) / window_ms) as usize;
+        sums[w] += v;
+        counts[w] += 1;
+    }
+    Ok((0..n_windows)
+        .map(|w| WindowStat {
+            start_ms: base + w as i64 * window_ms,
+            count: counts[w],
+            mean: if counts[w] > 0 {
+                Some(sums[w] / counts[w] as f64)
+            } else {
+                None
+            },
+        })
+        .collect())
+}
+
+/// Extract the paired (density, mean-value) series used by the Figure 2
+/// correlation: one point per *non-empty* window — counts per window and the
+/// window's mean value.
+pub fn density_vs_mean(stats: &[WindowStat]) -> (Vec<f64>, Vec<f64>) {
+    let mut densities = Vec::new();
+    let mut means = Vec::new();
+    for s in stats {
+        if let Some(m) = s.mean {
+            densities.push(s.count as f64);
+            means.push(m);
+        }
+    }
+    (densities, means)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_basic_windows() {
+        let series = [(0, 10.0), (500, 20.0), (1000, 30.0), (2500, 40.0)];
+        let w = aggregate_windows(&series, 1000).unwrap();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].count, 2);
+        assert_eq!(w[0].mean, Some(15.0));
+        assert_eq!(w[1].count, 1);
+        assert_eq!(w[1].mean, Some(30.0));
+        assert_eq!(w[2].count, 1);
+        assert_eq!(w[2].mean, Some(40.0));
+        assert_eq!(w[0].start_ms, 0);
+        assert_eq!(w[2].start_ms, 2000);
+    }
+
+    #[test]
+    fn emits_empty_windows() {
+        let series = [(0, 1.0), (3500, 2.0)];
+        let w = aggregate_windows(&series, 1000).unwrap();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[1].count, 0);
+        assert_eq!(w[1].mean, None);
+        assert_eq!(w[2].count, 0);
+    }
+
+    #[test]
+    fn window_base_aligns_to_grid() {
+        // First sample at t=1500 with 1000ms windows -> base 1000.
+        let series = [(1500, 1.0), (1999, 3.0)];
+        let w = aggregate_windows(&series, 1000).unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].start_ms, 1000);
+        assert_eq!(w[0].mean, Some(2.0));
+    }
+
+    #[test]
+    fn negative_timestamps_align_correctly() {
+        let series = [(-1500, 2.0), (-500, 4.0)];
+        let w = aggregate_windows(&series, 1000).unwrap();
+        assert_eq!(w[0].start_ms, -2000);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[1].start_ms, -1000);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(aggregate_windows(&[], 1000).is_err());
+        assert!(aggregate_windows(&[(0, 1.0)], 0).is_err());
+        assert!(aggregate_windows(&[(10, 1.0), (5, 1.0)], 1000).is_err());
+        assert!(aggregate_windows(&[(0, f64::NAN)], 1000).is_err());
+    }
+
+    #[test]
+    fn density_vs_mean_skips_empty_windows() {
+        let series = [(0, 10.0), (2500, 20.0)];
+        let w = aggregate_windows(&series, 1000).unwrap();
+        let (d, m) = density_vs_mean(&w);
+        assert_eq!(d, vec![1.0, 1.0]);
+        assert_eq!(m, vec![10.0, 20.0]);
+    }
+}

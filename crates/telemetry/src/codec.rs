@@ -1,0 +1,330 @@
+//! CSV and JSONL import/export for telemetry logs.
+//!
+//! These codecs are the bring-your-own-data surface of the library: a
+//! downstream operator exports their web-access logs into either format and
+//! feeds them to the analysis CLI. Parsing is strict — a malformed row is an
+//! error carrying its line number, not a silent skip — with an explicit
+//! lenient mode that collects per-row errors instead of failing fast.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::error::TelemetryError;
+use crate::log::TelemetryLog;
+use crate::record::{ActionRecord, ActionType, Outcome, UserClass, UserId};
+use crate::time::SimTime;
+
+/// The CSV header written and expected by this codec.
+pub const CSV_HEADER: &str = "time_ms,action,latency_ms,user,class,tz_offset_ms,outcome";
+
+/// Write a log as CSV (with header).
+pub fn write_csv<W: Write>(log: &TelemetryLog, out: &mut W) -> Result<(), TelemetryError> {
+    writeln!(out, "{CSV_HEADER}")?;
+    for r in log.iter() {
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            r.time.millis(),
+            r.action.name(),
+            r.latency_ms,
+            r.user.0,
+            r.class.name(),
+            r.tz_offset_ms,
+            r.outcome.name()
+        )?;
+    }
+    Ok(())
+}
+
+/// Read a CSV log written by [`write_csv`]. Fails on the first malformed row.
+pub fn read_csv<R: Read>(input: R) -> Result<TelemetryLog, TelemetryError> {
+    let (log, errors) = read_csv_inner(input, true)?;
+    debug_assert!(errors.is_empty(), "strict mode fails fast");
+    Ok(log)
+}
+
+/// Read a CSV log, skipping malformed rows and returning them as errors
+/// alongside the successfully parsed log.
+pub fn read_csv_lenient<R: Read>(
+    input: R,
+) -> Result<(TelemetryLog, Vec<TelemetryError>), TelemetryError> {
+    read_csv_inner(input, false)
+}
+
+fn read_csv_inner<R: Read>(
+    input: R,
+    strict: bool,
+) -> Result<(TelemetryLog, Vec<TelemetryError>), TelemetryError> {
+    let reader = BufReader::new(input);
+    let mut log = TelemetryLog::new();
+    let mut errors = Vec::new();
+    let mut lines = reader.lines().enumerate();
+
+    // Header.
+    match lines.next() {
+        Some((_, Ok(h))) if h.trim() == CSV_HEADER => {}
+        Some((_, Ok(h))) => {
+            return Err(TelemetryError::Malformed {
+                line: 1,
+                reason: format!("unexpected header: {h:?} (expected {CSV_HEADER:?})"),
+            })
+        }
+        Some((_, Err(e))) => return Err(e.into()),
+        None => {
+            return Err(TelemetryError::Malformed {
+                line: 1,
+                reason: "empty input (missing header)".into(),
+            })
+        }
+    }
+
+    for (idx, line) in lines {
+        let line = line?;
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_csv_row(&line, lineno).and_then(|r| {
+            r.validate()?;
+            Ok(r)
+        }) {
+            Ok(record) => {
+                // Already validated; push cannot fail.
+                log.push(record).expect("record validated above");
+            }
+            Err(e) => {
+                if strict {
+                    return Err(e);
+                }
+                errors.push(e);
+            }
+        }
+    }
+    log.ensure_sorted();
+    Ok((log, errors))
+}
+
+fn parse_csv_row(line: &str, lineno: usize) -> Result<ActionRecord, TelemetryError> {
+    let malformed = |reason: String| TelemetryError::Malformed {
+        line: lineno,
+        reason,
+    };
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 7 {
+        return Err(malformed(format!(
+            "expected 7 fields, got {}",
+            fields.len()
+        )));
+    }
+    let time_ms: i64 = fields[0]
+        .trim()
+        .parse()
+        .map_err(|_| malformed(format!("bad time_ms: {:?}", fields[0])))?;
+    let action = ActionType::parse(fields[1].trim())
+        .ok_or_else(|| malformed(format!("bad action: {:?}", fields[1])))?;
+    let latency_ms: f64 = fields[2]
+        .trim()
+        .parse()
+        .map_err(|_| malformed(format!("bad latency_ms: {:?}", fields[2])))?;
+    let user: u64 = fields[3]
+        .trim()
+        .parse()
+        .map_err(|_| malformed(format!("bad user: {:?}", fields[3])))?;
+    let class = UserClass::parse(fields[4].trim())
+        .ok_or_else(|| malformed(format!("bad class: {:?}", fields[4])))?;
+    let tz_offset_ms: i64 = fields[5]
+        .trim()
+        .parse()
+        .map_err(|_| malformed(format!("bad tz_offset_ms: {:?}", fields[5])))?;
+    let outcome = Outcome::parse(fields[6].trim())
+        .ok_or_else(|| malformed(format!("bad outcome: {:?}", fields[6])))?;
+    Ok(ActionRecord {
+        time: SimTime(time_ms),
+        action,
+        latency_ms,
+        user: UserId(user),
+        class,
+        tz_offset_ms,
+        outcome,
+    })
+}
+
+/// Write a log as JSON Lines (one serde-serialized record per line).
+pub fn write_jsonl<W: Write>(log: &TelemetryLog, out: &mut W) -> Result<(), TelemetryError> {
+    for r in log.iter() {
+        let line = serde_json::to_string(r)
+            .map_err(|e| TelemetryError::InvalidRecord(format!("serialization failed: {e}")))?;
+        writeln!(out, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Read a JSONL log. Fails on the first malformed line.
+pub fn read_jsonl<R: Read>(input: R) -> Result<TelemetryLog, TelemetryError> {
+    let reader = BufReader::new(input);
+    let mut log = TelemetryLog::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: ActionRecord =
+            serde_json::from_str(&line).map_err(|e| TelemetryError::Malformed {
+                line: idx + 1,
+                reason: e.to_string(),
+            })?;
+        record.validate()?;
+        log.push(record).expect("record validated above");
+    }
+    log.ensure_sorted();
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t_ms: i64, latency: f64) -> ActionRecord {
+        ActionRecord {
+            time: SimTime(t_ms),
+            action: ActionType::Search,
+            latency_ms: latency,
+            user: UserId(42),
+            class: UserClass::Consumer,
+            tz_offset_ms: -18_000_000,
+            outcome: Outcome::Success,
+        }
+    }
+
+    fn sample_log() -> TelemetryLog {
+        TelemetryLog::from_records(vec![rec(1000, 150.5), rec(2000, 300.0)]).unwrap()
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        write_csv(&log, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.records(), log.records());
+    }
+
+    #[test]
+    fn csv_rejects_bad_header() {
+        let data = "wrong,header\n1,SelectMail,1.0,1,Business,0,Success\n";
+        let err = read_csv(data.as_bytes()).unwrap_err();
+        assert!(matches!(err, TelemetryError::Malformed { line: 1, .. }));
+        assert!(read_csv("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn csv_rejects_malformed_rows_with_line_numbers() {
+        let data = format!("{CSV_HEADER}\n1000,SelectMail,nope,1,Business,0,Success\n");
+        let err = read_csv(data.as_bytes()).unwrap_err();
+        match err {
+            TelemetryError::Malformed { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("latency"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn csv_rejects_wrong_field_count_and_bad_enums() {
+        let rows = [
+            "1000,SelectMail,1.0,1,Business,0",            // 6 fields
+            "1000,Click,1.0,1,Business,0,Success",         // bad action
+            "1000,SelectMail,1.0,1,Premium,0,Success",     // bad class
+            "1000,SelectMail,1.0,1,Business,0,Maybe",      // bad outcome
+            "x,SelectMail,1.0,1,Business,0,Success",       // bad time
+            "1000,SelectMail,1.0,u1,Business,0,Success",   // bad user
+            "1000,SelectMail,1.0,1,Business,zero,Success", // bad tz
+        ];
+        for row in rows {
+            let data = format!("{CSV_HEADER}\n{row}\n");
+            assert!(read_csv(data.as_bytes()).is_err(), "row should fail: {row}");
+        }
+    }
+
+    #[test]
+    fn csv_rejects_semantically_invalid_records() {
+        // Parses fine but fails validation (negative latency).
+        let data = format!("{CSV_HEADER}\n1000,SelectMail,-5.0,1,Business,0,Success\n");
+        assert!(matches!(
+            read_csv(data.as_bytes()),
+            Err(TelemetryError::InvalidRecord(_))
+        ));
+        // NaN latency parses as f64 but must be rejected.
+        let data = format!("{CSV_HEADER}\n1000,SelectMail,NaN,1,Business,0,Success\n");
+        assert!(read_csv(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn lenient_mode_collects_errors_and_keeps_good_rows() {
+        let data = format!(
+            "{CSV_HEADER}\n\
+             1000,SelectMail,100.0,1,Business,0,Success\n\
+             bad row\n\
+             2000,Search,200.0,2,Consumer,0,Success\n\
+             3000,SelectMail,-1.0,3,Business,0,Success\n"
+        );
+        let (log, errors) = read_csv_lenient(data.as_bytes()).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(errors.len(), 2);
+    }
+
+    #[test]
+    fn csv_skips_blank_lines() {
+        let data = format!("{CSV_HEADER}\n\n1000,SelectMail,100.0,1,Business,0,Success\n\n");
+        let log = read_csv(data.as_bytes()).unwrap();
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn csv_sorts_unsorted_input() {
+        let data = format!(
+            "{CSV_HEADER}\n\
+             2000,Search,200.0,2,Consumer,0,Success\n\
+             1000,SelectMail,100.0,1,Business,0,Success\n"
+        );
+        let log = read_csv(data.as_bytes()).unwrap();
+        assert!(log.is_sorted());
+        assert_eq!(log.records()[0].time.millis(), 1000);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        write_jsonl(&log, &mut buf).unwrap();
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back.records(), log.records());
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed_lines() {
+        let data = "{\"not\": \"a record\"}\n";
+        let err = read_jsonl(data.as_bytes()).unwrap_err();
+        assert!(matches!(err, TelemetryError::Malformed { line: 1, .. }));
+        let data = "not json at all\n";
+        assert!(read_jsonl(data.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn jsonl_validates_semantics() {
+        let mut bad = rec(0, 1.0);
+        bad.latency_ms = 1.0;
+        let mut buf = Vec::new();
+        write_jsonl(&TelemetryLog::from_records(vec![bad]).unwrap(), &mut buf).unwrap();
+        // Corrupt the latency to a negative value in the serialized form.
+        let text = String::from_utf8(buf).unwrap().replace("1.0", "-1.0");
+        assert!(read_jsonl(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn jsonl_empty_input_is_empty_log() {
+        let log = read_jsonl("".as_bytes()).unwrap();
+        assert!(log.is_empty());
+    }
+}

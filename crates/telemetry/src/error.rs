@@ -1,0 +1,88 @@
+//! Error type for telemetry parsing and validation.
+
+use std::fmt;
+
+/// Errors arising from telemetry ingestion and validation.
+#[derive(Debug)]
+pub enum TelemetryError {
+    /// An I/O failure while reading or writing a log.
+    Io(std::io::Error),
+    /// A malformed row in a CSV/JSONL input, with its 1-based line number.
+    Malformed {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A record failed semantic validation (e.g. negative latency).
+    InvalidRecord(String),
+    /// The log was required to be time-sorted but was not.
+    Unsorted {
+        /// Index of the first out-of-order record.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryError::Io(e) => write!(f, "telemetry I/O error: {e}"),
+            TelemetryError::Malformed { line, reason } => {
+                write!(f, "malformed telemetry at line {line}: {reason}")
+            }
+            TelemetryError::InvalidRecord(reason) => {
+                write!(f, "invalid telemetry record: {reason}")
+            }
+            TelemetryError::Unsorted { index } => {
+                write!(f, "telemetry log unsorted at record index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TelemetryError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TelemetryError {
+    fn from(e: std::io::Error) -> Self {
+        TelemetryError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = TelemetryError::Malformed {
+            line: 7,
+            reason: "missing latency".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "malformed telemetry at line 7: missing latency"
+        );
+        assert_eq!(
+            TelemetryError::Unsorted { index: 3 }.to_string(),
+            "telemetry log unsorted at record index 3"
+        );
+        assert!(TelemetryError::InvalidRecord("x".into())
+            .to_string()
+            .contains("x"));
+    }
+
+    #[test]
+    fn io_error_wraps_with_source() {
+        use std::error::Error;
+        let e: TelemetryError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,29 @@
+//! Telemetry substrate for the AutoSens reproduction.
+//!
+//! AutoSens consumes minimal server-side telemetry: one record per user
+//! action, carrying the start timestamp, the action type, the client-measured
+//! end-to-end latency, an anonymized user id, and coarse user metadata
+//! (paper §2.1). This crate provides that data model plus the machinery the
+//! analyses need around it:
+//!
+//! * [`time`] — millisecond timestamps, hour slots, the paper's four 6-hour
+//!   day periods, and months, including per-user local-time handling.
+//! * [`record`] — [`record::ActionRecord`] and its enums.
+//! * [`log`] — [`log::TelemetryLog`], a time-sorted store with binary search
+//!   and slicing.
+//! * [`query`] — composable record filters for the paper's analysis slices.
+//! * [`users`] — per-user aggregates and the §3.4 median-latency quartiles.
+//! * [`codec`] — CSV and JSONL import/export with strict validation.
+
+pub mod codec;
+pub mod error;
+pub mod log;
+pub mod query;
+pub mod record;
+pub mod time;
+pub mod users;
+
+pub use error::TelemetryError;
+pub use log::TelemetryLog;
+pub use record::{ActionRecord, ActionType, Outcome, UserClass, UserId};
+pub use time::SimTime;

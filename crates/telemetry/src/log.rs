@@ -1,0 +1,422 @@
+//! [`TelemetryLog`]: a validated, time-sorted store of action records.
+//!
+//! The unbiased-distribution estimator needs fast nearest-in-time lookups
+//! (binary search over timestamps), so the log maintains a sorted-by-time
+//! invariant. Appends may arrive out of order (e.g. merged shards); the log
+//! tracks sortedness and `ensure_sorted` performs a stable sort on demand.
+
+use crate::error::TelemetryError;
+use crate::record::{ActionRecord, Outcome};
+use crate::time::SimTime;
+
+/// A collection of action records with a maintained time order.
+///
+/// ```
+/// use autosens_telemetry::log::TelemetryLog;
+/// use autosens_telemetry::record::{ActionRecord, ActionType, Outcome, UserClass, UserId};
+/// use autosens_telemetry::time::SimTime;
+///
+/// let rec = |t: i64, latency: f64| ActionRecord {
+///     time: SimTime(t),
+///     action: ActionType::SelectMail,
+///     latency_ms: latency,
+///     user: UserId(1),
+///     class: UserClass::Business,
+///     tz_offset_ms: 0,
+///     outcome: Outcome::Success,
+/// };
+/// // Out-of-order input is sorted on construction...
+/// let log = TelemetryLog::from_records(vec![rec(2000, 5.0), rec(0, 1.0)]).unwrap();
+/// assert!(log.is_sorted());
+/// // ...enabling binary-searched range and nearest-in-time queries.
+/// assert_eq!(log.range(SimTime(0), SimTime(1000)).unwrap().len(), 1);
+/// let (lo, hi) = log.nearest_in_time(SimTime(1500)).unwrap();
+/// assert_eq!((lo, hi), (1, 2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryLog {
+    records: Vec<ActionRecord>,
+    sorted: bool,
+}
+
+impl TelemetryLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        TelemetryLog {
+            records: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Build from a vector of records, validating each. The result is sorted.
+    pub fn from_records(records: Vec<ActionRecord>) -> Result<Self, TelemetryError> {
+        for r in &records {
+            r.validate()?;
+        }
+        let mut log = TelemetryLog {
+            sorted: records.windows(2).all(|w| w[0].time <= w[1].time),
+            records,
+        };
+        log.ensure_sorted();
+        Ok(log)
+    }
+
+    /// Append one validated record, tracking whether order is preserved.
+    pub fn push(&mut self, record: ActionRecord) -> Result<(), TelemetryError> {
+        record.validate()?;
+        if let Some(last) = self.records.last() {
+            if record.time < last.time {
+                self.sorted = false;
+            }
+        }
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether the records are currently in time order.
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// Stable-sort the records by time if needed.
+    pub fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.records.sort_by_key(|r| r.time);
+            self.sorted = true;
+        }
+    }
+
+    /// All records in storage order. Time-ordered iff [`Self::is_sorted`].
+    pub fn records(&self) -> &[ActionRecord] {
+        &self.records
+    }
+
+    /// Iterate records.
+    pub fn iter(&self) -> impl Iterator<Item = &ActionRecord> {
+        self.records.iter()
+    }
+
+    /// The records whose time lies in `[from, to)`.
+    ///
+    /// Requires a sorted log; errors otherwise (call
+    /// [`Self::ensure_sorted`] first).
+    pub fn range(&self, from: SimTime, to: SimTime) -> Result<&[ActionRecord], TelemetryError> {
+        self.require_sorted()?;
+        let lo = self.records.partition_point(|r| r.time < from);
+        let hi = self.records.partition_point(|r| r.time < to);
+        Ok(&self.records[lo..hi])
+    }
+
+    /// Index range `[lo, hi)` of records with time in `[from, to)`.
+    pub fn range_indices(
+        &self,
+        from: SimTime,
+        to: SimTime,
+    ) -> Result<(usize, usize), TelemetryError> {
+        self.require_sorted()?;
+        let lo = self.records.partition_point(|r| r.time < from);
+        let hi = self.records.partition_point(|r| r.time < to);
+        Ok((lo, hi))
+    }
+
+    /// The record(s) nearest in time to `t`: returns the index range
+    /// `[lo, hi)` of *all* records sharing the minimal |time - t|, so the
+    /// caller can break ties randomly as the paper's §2.2 prescribes.
+    ///
+    /// Errors on an empty or unsorted log.
+    pub fn nearest_in_time(&self, t: SimTime) -> Result<(usize, usize), TelemetryError> {
+        self.require_sorted()?;
+        if self.records.is_empty() {
+            return Err(TelemetryError::InvalidRecord(
+                "nearest_in_time on empty log".into(),
+            ));
+        }
+        let n = self.records.len();
+        // First record at or after t.
+        let idx = self.records.partition_point(|r| r.time < t);
+        // Candidate distances on each side of the insertion point.
+        let best = if idx == 0 {
+            self.records[0].time.millis() - t.millis()
+        } else if idx == n {
+            t.millis() - self.records[n - 1].time.millis()
+        } else {
+            let after = self.records[idx].time.millis() - t.millis();
+            let before = t.millis() - self.records[idx - 1].time.millis();
+            after.min(before)
+        };
+        // All records at distance `best` form two (possibly empty) runs of
+        // equal timestamps: one at t-best, one at t+best. Locate them.
+        let lo_time = SimTime(t.millis() - best);
+        let hi_time = SimTime(t.millis() + best);
+        let lo = self.records.partition_point(|r| r.time < lo_time);
+        let hi = self.records.partition_point(|r| r.time <= hi_time);
+        debug_assert!(lo < hi, "at least one record at the minimal distance");
+        Ok((lo, hi))
+    }
+
+    /// Merge another log's records into this one (e.g. shards produced by
+    /// parallel exporters), restoring the time order afterwards.
+    pub fn merge(&mut self, other: &TelemetryLog) {
+        if other.is_empty() {
+            return;
+        }
+        if let (Some(last), Some(first)) = (self.records.last(), other.records.first()) {
+            if first.time < last.time {
+                self.sorted = false;
+            }
+        }
+        self.sorted = self.sorted && other.sorted;
+        self.records.extend_from_slice(&other.records);
+        self.ensure_sorted();
+    }
+
+    /// Retain only successful actions (the paper analyzes successes only).
+    pub fn successes_only(&self) -> TelemetryLog {
+        TelemetryLog {
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.outcome == Outcome::Success)
+                .copied()
+                .collect(),
+            sorted: self.sorted,
+        }
+    }
+
+    /// Earliest record time (requires sorted, non-empty log).
+    pub fn start_time(&self) -> Option<SimTime> {
+        if self.sorted {
+            self.records.first().map(|r| r.time)
+        } else {
+            self.records.iter().map(|r| r.time).min()
+        }
+    }
+
+    /// Latest record time.
+    pub fn end_time(&self) -> Option<SimTime> {
+        if self.sorted {
+            self.records.last().map(|r| r.time)
+        } else {
+            self.records.iter().map(|r| r.time).max()
+        }
+    }
+
+    /// The `(timestamp ms, latency)` series of the log, in time order.
+    /// Errors on an unsorted log.
+    pub fn latency_series(&self) -> Result<Vec<(i64, f64)>, TelemetryError> {
+        self.require_sorted()?;
+        Ok(self
+            .records
+            .iter()
+            .map(|r| (r.time.millis(), r.latency_ms))
+            .collect())
+    }
+
+    fn require_sorted(&self) -> Result<(), TelemetryError> {
+        if !self.sorted {
+            // Find the first violation for a useful message.
+            let index = self
+                .records
+                .windows(2)
+                .position(|w| w[1].time < w[0].time)
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            return Err(TelemetryError::Unsorted { index });
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a TelemetryLog {
+    type Item = &'a ActionRecord;
+    type IntoIter = std::slice::Iter<'a, ActionRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{ActionType, UserClass, UserId};
+
+    fn rec(t_ms: i64, latency: f64) -> ActionRecord {
+        ActionRecord {
+            time: SimTime(t_ms),
+            action: ActionType::SelectMail,
+            latency_ms: latency,
+            user: UserId(1),
+            class: UserClass::Business,
+            tz_offset_ms: 0,
+            outcome: Outcome::Success,
+        }
+    }
+
+    #[test]
+    fn push_tracks_sortedness() {
+        let mut log = TelemetryLog::new();
+        assert!(log.is_sorted());
+        log.push(rec(10, 1.0)).unwrap();
+        log.push(rec(20, 2.0)).unwrap();
+        assert!(log.is_sorted());
+        log.push(rec(15, 3.0)).unwrap();
+        assert!(!log.is_sorted());
+        log.ensure_sorted();
+        assert!(log.is_sorted());
+        let times: Vec<i64> = log.iter().map(|r| r.time.millis()).collect();
+        assert_eq!(times, vec![10, 15, 20]);
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut log = TelemetryLog::new();
+        assert!(log.push(rec(0, -1.0)).is_err());
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn from_records_sorts_and_validates() {
+        let log =
+            TelemetryLog::from_records(vec![rec(30, 1.0), rec(10, 2.0), rec(20, 3.0)]).unwrap();
+        assert!(log.is_sorted());
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.records()[0].time.millis(), 10);
+        assert!(TelemetryLog::from_records(vec![rec(0, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn range_selects_half_open_interval() {
+        let log =
+            TelemetryLog::from_records((0..10).map(|i| rec(i * 10, i as f64)).collect()).unwrap();
+        let r = log.range(SimTime(20), SimTime(50)).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].time.millis(), 20);
+        assert_eq!(r[2].time.millis(), 40);
+        assert_eq!(log.range(SimTime(95), SimTime(200)).unwrap().len(), 0);
+        let (lo, hi) = log.range_indices(SimTime(20), SimTime(50)).unwrap();
+        assert_eq!((lo, hi), (2, 5));
+    }
+
+    #[test]
+    fn range_requires_sorted() {
+        let mut log = TelemetryLog::new();
+        log.push(rec(20, 1.0)).unwrap();
+        log.push(rec(10, 1.0)).unwrap();
+        assert!(matches!(
+            log.range(SimTime(0), SimTime(100)),
+            Err(TelemetryError::Unsorted { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn nearest_in_time_basic() {
+        let log =
+            TelemetryLog::from_records(vec![rec(0, 0.0), rec(100, 1.0), rec(200, 2.0)]).unwrap();
+        // Closest to 140 is the record at 100.
+        let (lo, hi) = log.nearest_in_time(SimTime(140)).unwrap();
+        assert_eq!((lo, hi), (1, 2));
+        // Exactly between 100 and 200: both are at distance 50.
+        let (lo, hi) = log.nearest_in_time(SimTime(150)).unwrap();
+        assert_eq!((lo, hi), (1, 3));
+        // Before the first record.
+        let (lo, hi) = log.nearest_in_time(SimTime(-50)).unwrap();
+        assert_eq!((lo, hi), (0, 1));
+        // After the last record.
+        let (lo, hi) = log.nearest_in_time(SimTime(10_000)).unwrap();
+        assert_eq!((lo, hi), (2, 3));
+    }
+
+    #[test]
+    fn nearest_in_time_with_duplicate_timestamps() {
+        let log = TelemetryLog::from_records(vec![
+            rec(100, 1.0),
+            rec(100, 2.0),
+            rec(100, 3.0),
+            rec(300, 4.0),
+        ])
+        .unwrap();
+        // All three records at t=100 tie for nearest.
+        let (lo, hi) = log.nearest_in_time(SimTime(120)).unwrap();
+        assert_eq!((lo, hi), (0, 3));
+        // Exact hit on a timestamp includes only that run.
+        let (lo, hi) = log.nearest_in_time(SimTime(100)).unwrap();
+        assert_eq!((lo, hi), (0, 3));
+        // Equidistant between the runs: both runs tie.
+        let (lo, hi) = log.nearest_in_time(SimTime(200)).unwrap();
+        assert_eq!((lo, hi), (0, 4));
+    }
+
+    #[test]
+    fn nearest_in_time_errors() {
+        let log = TelemetryLog::new();
+        assert!(log.nearest_in_time(SimTime(0)).is_err());
+        let mut log = TelemetryLog::new();
+        log.push(rec(10, 1.0)).unwrap();
+        log.push(rec(5, 1.0)).unwrap();
+        assert!(log.nearest_in_time(SimTime(0)).is_err());
+    }
+
+    #[test]
+    fn merge_combines_shards_in_time_order() {
+        let mut a = TelemetryLog::from_records(vec![rec(0, 1.0), rec(100, 2.0)]).unwrap();
+        let b = TelemetryLog::from_records(vec![rec(50, 3.0), rec(150, 4.0)]).unwrap();
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert!(a.is_sorted());
+        let times: Vec<i64> = a.iter().map(|r| r.time.millis()).collect();
+        assert_eq!(times, vec![0, 50, 100, 150]);
+        // Merging an empty log is a no-op.
+        a.merge(&TelemetryLog::new());
+        assert_eq!(a.len(), 4);
+        // Merging into an empty log copies.
+        let mut empty = TelemetryLog::new();
+        empty.merge(&a);
+        assert_eq!(empty.records(), a.records());
+    }
+
+    #[test]
+    fn successes_only_filters_errors() {
+        let mut bad = rec(50, 1.0);
+        bad.outcome = Outcome::Error;
+        let log = TelemetryLog::from_records(vec![rec(0, 1.0), bad, rec(100, 2.0)]).unwrap();
+        let ok = log.successes_only();
+        assert_eq!(ok.len(), 2);
+        assert!(ok.iter().all(|r| r.outcome == Outcome::Success));
+    }
+
+    #[test]
+    fn start_end_and_series() {
+        let log = TelemetryLog::from_records(vec![rec(5, 1.5), rec(15, 2.5)]).unwrap();
+        assert_eq!(log.start_time(), Some(SimTime(5)));
+        assert_eq!(log.end_time(), Some(SimTime(15)));
+        assert_eq!(log.latency_series().unwrap(), vec![(5, 1.5), (15, 2.5)]);
+        assert_eq!(TelemetryLog::new().start_time(), None);
+    }
+
+    #[test]
+    fn unsorted_start_end_still_correct() {
+        let mut log = TelemetryLog::new();
+        log.push(rec(50, 1.0)).unwrap();
+        log.push(rec(10, 1.0)).unwrap();
+        assert_eq!(log.start_time(), Some(SimTime(10)));
+        assert_eq!(log.end_time(), Some(SimTime(50)));
+    }
+
+    #[test]
+    fn into_iterator_works() {
+        let log = TelemetryLog::from_records(vec![rec(0, 1.0), rec(10, 2.0)]).unwrap();
+        let total: f64 = (&log).into_iter().map(|r| r.latency_ms).sum();
+        assert_eq!(total, 3.0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Time handling for telemetry and analysis.
+//!
+//! The reproduction runs on a simulated calendar: time is milliseconds since
+//! a simulation epoch that is defined to be **00:00 local standard time on
+//! Friday, January 1** of the simulated year. Per-user timezones are modeled
+//! as fixed offsets applied before local-time arithmetic; all of the paper's
+//! time machinery (hour-of-day, the four 6-hour day periods, months,
+//! weekends) only needs that much.
+
+use serde::{Deserialize, Serialize};
+
+/// Milliseconds per second.
+pub const MS_PER_SEC: i64 = 1_000;
+/// Milliseconds per minute.
+pub const MS_PER_MIN: i64 = 60 * MS_PER_SEC;
+/// Milliseconds per hour.
+pub const MS_PER_HOUR: i64 = 60 * MS_PER_MIN;
+/// Milliseconds per day.
+pub const MS_PER_DAY: i64 = 24 * MS_PER_HOUR;
+
+/// A point in simulated time: milliseconds since the simulation epoch
+/// (00:00 on January 1 of the simulated year, a Friday — as in 2021,
+/// the year of the paper's dataset).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SimTime(pub i64);
+
+impl SimTime {
+    /// The epoch itself.
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Construct from whole days, hours, minutes since the epoch.
+    pub fn from_dhm(days: i64, hours: i64, minutes: i64) -> SimTime {
+        SimTime(days * MS_PER_DAY + hours * MS_PER_HOUR + minutes * MS_PER_MIN)
+    }
+
+    /// Milliseconds since the epoch.
+    pub fn millis(self) -> i64 {
+        self.0
+    }
+
+    /// Shift by a number of milliseconds.
+    pub fn plus_millis(self, ms: i64) -> SimTime {
+        SimTime(self.0 + ms)
+    }
+
+    /// Whole days since the epoch (floor), in the given timezone offset.
+    pub fn day_local(self, tz_offset_ms: i64) -> i64 {
+        (self.0 + tz_offset_ms).div_euclid(MS_PER_DAY)
+    }
+
+    /// Local hour of day `0..24` under the given timezone offset.
+    pub fn hour_of_day_local(self, tz_offset_ms: i64) -> u8 {
+        ((self.0 + tz_offset_ms).rem_euclid(MS_PER_DAY) / MS_PER_HOUR) as u8
+    }
+
+    /// Day of week, `0 = Monday .. 6 = Sunday`, under the given offset.
+    /// The epoch (Jan 1) is a Friday (= 4), matching 2021.
+    pub fn weekday_local(self, tz_offset_ms: i64) -> u8 {
+        let day = self.day_local(tz_offset_ms);
+        ((day + 4).rem_euclid(7)) as u8
+    }
+
+    /// True on Saturday or Sunday local time.
+    pub fn is_weekend_local(self, tz_offset_ms: i64) -> bool {
+        self.weekday_local(tz_offset_ms) >= 5
+    }
+
+    /// Calendar month under the given offset, using the real (non-leap)
+    /// month lengths of the simulated year.
+    pub fn month_local(self, tz_offset_ms: i64) -> Month {
+        Month::of_day(self.day_local(tz_offset_ms))
+    }
+
+    /// The paper's four 6-hour local-time periods (§3.6).
+    pub fn day_period_local(self, tz_offset_ms: i64) -> DayPeriod {
+        DayPeriod::of_hour(self.hour_of_day_local(tz_offset_ms))
+    }
+
+    /// The 1-hour confounder slot this instant falls into: the slot index is
+    /// the *local* hour-of-day (0..24), so data from the same local hour on
+    /// different days pools into the same slot, as in the paper's §2.4.1.
+    pub fn hour_slot_local(self, tz_offset_ms: i64) -> HourSlot {
+        HourSlot(self.hour_of_day_local(tz_offset_ms))
+    }
+}
+
+/// A 1-hour local-time slot (hour-of-day, 0..24), the discretization used by
+/// the time-confounder correction in §2.4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HourSlot(pub u8);
+
+impl HourSlot {
+    /// All 24 slots in order.
+    pub fn all() -> impl Iterator<Item = HourSlot> {
+        (0..24).map(HourSlot)
+    }
+}
+
+/// The four 6-hour local-time periods used in the paper's §3.6 analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DayPeriod {
+    /// 8am–2pm local time (the paper's reference period).
+    Morning8to14,
+    /// 2pm–8pm local time.
+    Afternoon14to20,
+    /// 8pm–2am local time.
+    Evening20to2,
+    /// 2am–8am local time.
+    Night2to8,
+}
+
+impl DayPeriod {
+    /// Period containing a local hour of day.
+    pub fn of_hour(hour: u8) -> DayPeriod {
+        match hour {
+            8..=13 => DayPeriod::Morning8to14,
+            14..=19 => DayPeriod::Afternoon14to20,
+            20..=23 | 0..=1 => DayPeriod::Evening20to2,
+            _ => DayPeriod::Night2to8,
+        }
+    }
+
+    /// All four periods, reference (8am–2pm) first.
+    pub fn all() -> [DayPeriod; 4] {
+        [
+            DayPeriod::Morning8to14,
+            DayPeriod::Afternoon14to20,
+            DayPeriod::Evening20to2,
+            DayPeriod::Night2to8,
+        ]
+    }
+
+    /// Human-readable label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            DayPeriod::Morning8to14 => "8am-2pm",
+            DayPeriod::Afternoon14to20 => "2pm-8pm",
+            DayPeriod::Evening20to2 => "8pm-2am",
+            DayPeriod::Night2to8 => "2am-8am",
+        }
+    }
+
+    /// Whether this is one of the two daytime periods.
+    pub fn is_daytime(self) -> bool {
+        matches!(self, DayPeriod::Morning8to14 | DayPeriod::Afternoon14to20)
+    }
+}
+
+/// A calendar month of the simulated (non-leap) year.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Month {
+    /// January (days 0..31).
+    Jan,
+    /// February (days 31..59).
+    Feb,
+    /// March.
+    Mar,
+    /// April.
+    Apr,
+    /// May.
+    May,
+    /// June.
+    Jun,
+    /// July.
+    Jul,
+    /// August.
+    Aug,
+    /// September.
+    Sep,
+    /// October.
+    Oct,
+    /// November.
+    Nov,
+    /// December (and any overflow past the simulated year).
+    Dec,
+}
+
+/// Cumulative day-of-year at which each month starts (non-leap year).
+const MONTH_STARTS: [i64; 12] = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334];
+
+impl Month {
+    /// Month containing a (0-based) day of the simulated year. Days beyond
+    /// day 364 are clamped into December; negative days into January.
+    pub fn of_day(day: i64) -> Month {
+        let months = [
+            Month::Jan,
+            Month::Feb,
+            Month::Mar,
+            Month::Apr,
+            Month::May,
+            Month::Jun,
+            Month::Jul,
+            Month::Aug,
+            Month::Sep,
+            Month::Oct,
+            Month::Nov,
+            Month::Dec,
+        ];
+        if day < 0 {
+            return Month::Jan;
+        }
+        for i in (0..12).rev() {
+            if day >= MONTH_STARTS[i] {
+                return months[i];
+            }
+        }
+        Month::Jan
+    }
+
+    /// Short label ("Jan", "Feb", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            Month::Jan => "Jan",
+            Month::Feb => "Feb",
+            Month::Mar => "Mar",
+            Month::Apr => "Apr",
+            Month::May => "May",
+            Month::Jun => "Jun",
+            Month::Jul => "Jul",
+            Month::Aug => "Aug",
+            Month::Sep => "Sep",
+            Month::Oct => "Oct",
+            Month::Nov => "Nov",
+            Month::Dec => "Dec",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(MS_PER_DAY, 86_400_000);
+        assert_eq!(MS_PER_HOUR, 3_600_000);
+    }
+
+    #[test]
+    fn from_dhm_and_accessors() {
+        let t = SimTime::from_dhm(2, 3, 30);
+        assert_eq!(
+            t.millis(),
+            2 * MS_PER_DAY + 3 * MS_PER_HOUR + 30 * MS_PER_MIN
+        );
+        assert_eq!(t.day_local(0), 2);
+        assert_eq!(t.hour_of_day_local(0), 3);
+        assert_eq!(t.plus_millis(MS_PER_HOUR).hour_of_day_local(0), 4);
+    }
+
+    #[test]
+    fn timezone_offsets_shift_local_time() {
+        let t = SimTime::from_dhm(0, 23, 0);
+        assert_eq!(t.hour_of_day_local(0), 23);
+        // +2h offset rolls into the next local day.
+        assert_eq!(t.hour_of_day_local(2 * MS_PER_HOUR), 1);
+        assert_eq!(t.day_local(2 * MS_PER_HOUR), 1);
+        // -5h offset (US East relative to the epoch zone).
+        assert_eq!(t.hour_of_day_local(-5 * MS_PER_HOUR), 18);
+        assert_eq!(t.day_local(-5 * MS_PER_HOUR), 0);
+    }
+
+    #[test]
+    fn negative_times_use_euclidean_arithmetic() {
+        let t = SimTime(-1);
+        assert_eq!(t.day_local(0), -1);
+        assert_eq!(t.hour_of_day_local(0), 23);
+    }
+
+    #[test]
+    fn weekday_epoch_is_friday() {
+        // Jan 1 of the simulated year is a Friday (like 2021).
+        assert_eq!(SimTime::EPOCH.weekday_local(0), 4);
+        // Jan 2 = Saturday, Jan 3 = Sunday, Jan 4 = Monday.
+        assert_eq!(SimTime::from_dhm(1, 0, 0).weekday_local(0), 5);
+        assert!(SimTime::from_dhm(1, 0, 0).is_weekend_local(0));
+        assert!(SimTime::from_dhm(2, 0, 0).is_weekend_local(0));
+        assert_eq!(SimTime::from_dhm(3, 0, 0).weekday_local(0), 0);
+        assert!(!SimTime::from_dhm(3, 0, 0).is_weekend_local(0));
+    }
+
+    #[test]
+    fn day_periods_partition_the_day() {
+        assert_eq!(DayPeriod::of_hour(8), DayPeriod::Morning8to14);
+        assert_eq!(DayPeriod::of_hour(13), DayPeriod::Morning8to14);
+        assert_eq!(DayPeriod::of_hour(14), DayPeriod::Afternoon14to20);
+        assert_eq!(DayPeriod::of_hour(19), DayPeriod::Afternoon14to20);
+        assert_eq!(DayPeriod::of_hour(20), DayPeriod::Evening20to2);
+        assert_eq!(DayPeriod::of_hour(23), DayPeriod::Evening20to2);
+        assert_eq!(DayPeriod::of_hour(0), DayPeriod::Evening20to2);
+        assert_eq!(DayPeriod::of_hour(1), DayPeriod::Evening20to2);
+        assert_eq!(DayPeriod::of_hour(2), DayPeriod::Night2to8);
+        assert_eq!(DayPeriod::of_hour(7), DayPeriod::Night2to8);
+        // Every hour belongs to exactly one period.
+        let mut counts = std::collections::HashMap::new();
+        for h in 0..24 {
+            *counts.entry(DayPeriod::of_hour(h)).or_insert(0) += 1;
+        }
+        assert!(counts.values().all(|&c| c == 6));
+    }
+
+    #[test]
+    fn day_period_metadata() {
+        assert!(DayPeriod::Morning8to14.is_daytime());
+        assert!(DayPeriod::Afternoon14to20.is_daytime());
+        assert!(!DayPeriod::Evening20to2.is_daytime());
+        assert!(!DayPeriod::Night2to8.is_daytime());
+        assert_eq!(DayPeriod::all()[0], DayPeriod::Morning8to14);
+        assert_eq!(DayPeriod::Morning8to14.label(), "8am-2pm");
+    }
+
+    #[test]
+    fn months_follow_calendar() {
+        assert_eq!(Month::of_day(0), Month::Jan);
+        assert_eq!(Month::of_day(30), Month::Jan);
+        assert_eq!(Month::of_day(31), Month::Feb);
+        assert_eq!(Month::of_day(58), Month::Feb);
+        assert_eq!(Month::of_day(59), Month::Mar);
+        assert_eq!(Month::of_day(364), Month::Dec);
+        assert_eq!(Month::of_day(1000), Month::Dec);
+        assert_eq!(Month::of_day(-1), Month::Jan);
+        assert_eq!(Month::Feb.label(), "Feb");
+    }
+
+    #[test]
+    fn month_local_respects_timezone() {
+        // Last millisecond of Jan 31 in epoch zone...
+        let t = SimTime(31 * MS_PER_DAY - 1);
+        assert_eq!(t.month_local(0), Month::Jan);
+        // ...is already February for a +1h user.
+        assert_eq!(t.month_local(MS_PER_HOUR), Month::Feb);
+    }
+
+    #[test]
+    fn hour_slots_enumerate_24() {
+        let all: Vec<HourSlot> = HourSlot::all().collect();
+        assert_eq!(all.len(), 24);
+        assert_eq!(all[0], HourSlot(0));
+        assert_eq!(all[23], HourSlot(23));
+        let t = SimTime::from_dhm(5, 17, 12);
+        assert_eq!(t.hour_slot_local(0), HourSlot(17));
+    }
+}

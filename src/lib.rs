@@ -1,0 +1,11 @@
+//! Workspace umbrella crate for the AutoSens reproduction.
+//!
+//! This crate exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`) that exercise the public
+//! APIs of the member crates together. It re-exports the member crates under
+//! short names so examples read naturally.
+
+pub use autosens_core as core;
+pub use autosens_sim as sim;
+pub use autosens_stats as stats;
+pub use autosens_telemetry as telemetry;

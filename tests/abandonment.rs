@@ -1,0 +1,94 @@
+//! Non-sticky-service extension (paper §4): recover the planted session
+//! continuation curve from session-structured telemetry. Unlike the
+//! rate-based preference pipeline, the continuation analysis conditions on
+//! each action's own latency, so recovery is direct — a strong end-to-end
+//! check of sessionization + fit.
+
+use autosens_core::abandonment::session_continuation;
+use autosens_core::AutoSensConfig;
+use autosens_sim::config::{Scenario, SimConfig};
+use autosens_sim::sessions::{generate_sessions, SessionConfig};
+use autosens_telemetry::record::UserClass;
+
+fn configs() -> (SimConfig, SessionConfig) {
+    let mut cfg = SimConfig::scenario(Scenario::Smoke);
+    cfg.days = 14;
+    cfg.n_business = 300;
+    cfg.n_consumer = 300;
+    (cfg, SessionConfig::default())
+}
+
+#[test]
+fn planted_continuation_curve_is_recovered() {
+    let (cfg, scfg) = configs();
+    let (log, _) = generate_sessions(&cfg, &scfg).expect("valid configs");
+    assert!(log.len() > 30_000, "need volume, got {}", log.len());
+
+    // Business slice (its planted curve is steeper).
+    let business = autosens_telemetry::query::Slice::all()
+        .class(UserClass::Business)
+        .apply(&log);
+    let report =
+        session_continuation(&business, &AutoSensConfig::default(), 10 * 60_000).expect("fits");
+    let c = &report.continuation;
+    let q = scfg.continuation(UserClass::Business);
+
+    // Direct recovery: measured normalized continuation tracks q(L)/q(300).
+    let mut err = 0.0;
+    let mut n = 0;
+    for l in (400..=1200).step_by(100) {
+        let l = l as f64;
+        if let Some(m) = c.at(l) {
+            let t = q.eval(l) / q.eval(300.0);
+            err += (m - t).abs();
+            n += 1;
+        }
+    }
+    assert!(n >= 7, "too few supported probes: {n}");
+    let mae = err / n as f64;
+    assert!(mae < 0.06, "MAE vs planted continuation = {mae:.4}");
+
+    // And the curve is genuinely informative: clear drop by 1000 ms.
+    let v1000 = c.at(1000.0).expect("supported");
+    assert!(v1000 < 0.85, "continuation(1000) = {v1000:.3}");
+}
+
+#[test]
+fn business_abandons_faster_than_consumers() {
+    let (cfg, scfg) = configs();
+    let (log, _) = generate_sessions(&cfg, &scfg).expect("valid configs");
+    let curve = |class: UserClass| {
+        let slice = autosens_telemetry::query::Slice::all()
+            .class(class)
+            .apply(&log);
+        session_continuation(&slice, &AutoSensConfig::default(), 10 * 60_000)
+            .expect("fits")
+            .continuation
+    };
+    let b = curve(UserClass::Business);
+    let c = curve(UserClass::Consumer);
+    for probe in [800.0, 1100.0] {
+        let vb = b.at(probe).expect("supported");
+        let vc = c.at(probe).expect("supported");
+        assert!(
+            vb < vc,
+            "@{probe}: business continuation {vb:.3} should drop below consumer {vc:.3}"
+        );
+    }
+}
+
+#[test]
+fn session_stats_are_plausible() {
+    let (cfg, scfg) = configs();
+    let (log, _) = generate_sessions(&cfg, &scfg).expect("valid configs");
+    let report = session_continuation(&log, &AutoSensConfig::default(), 10 * 60_000).expect("fits");
+    let s = &report.stats;
+    assert!(s.n_sessions > 5_000);
+    assert!(
+        s.mean_session_len > 2.0 && s.mean_session_len < 20.0,
+        "{s:?}"
+    );
+    // Overall continuation sits near base_continue x average q.
+    let rate = s.overall_continuation();
+    assert!(rate > 0.5 && rate < scfg.base_continue, "rate = {rate:.3}");
+}

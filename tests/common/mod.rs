@@ -1,0 +1,30 @@
+//! Shared setup for the workspace integration tests: a 59-day,
+//! reduced-population scenario. Two full months are needed so the
+//! month-stability and confounder analyses have their real structure; the
+//! population is trimmed to keep debug-mode test time reasonable.
+
+use std::sync::OnceLock;
+
+use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_sim::{generate, GroundTruth, Scenario, SimConfig};
+use autosens_telemetry::TelemetryLog;
+
+/// The validation scenario: both months, 600 users.
+pub fn validation_config() -> SimConfig {
+    let mut cfg = SimConfig::scenario(Scenario::Default);
+    cfg.n_business = 300;
+    cfg.n_consumer = 300;
+    cfg
+}
+
+static DATA: OnceLock<(TelemetryLog, GroundTruth)> = OnceLock::new();
+
+/// The shared validation dataset (generated once per test binary).
+pub fn data() -> &'static (TelemetryLog, GroundTruth) {
+    DATA.get_or_init(|| generate(&validation_config()).expect("valid config"))
+}
+
+/// An engine with the paper's default configuration.
+pub fn engine() -> AutoSens {
+    AutoSens::new(AutoSensConfig::default())
+}

@@ -1,0 +1,67 @@
+//! Bootstrap confidence bands on simulated telemetry: the band must bracket
+//! the point estimate, mostly cover the planted truth, and behave sanely.
+
+mod common;
+
+use autosens_telemetry::query::Slice;
+use autosens_telemetry::record::{ActionType, UserClass};
+
+fn slice() -> Slice {
+    Slice::all()
+        .action(ActionType::SelectMail)
+        .class(UserClass::Business)
+}
+
+#[test]
+fn band_brackets_point_and_mostly_covers_truth() {
+    let (log, truth) = common::data();
+    let (report, ci) = common::engine()
+        .analyze_slice_with_ci(log, &slice(), 40, 0.95)
+        .expect("fits");
+    assert!(ci.replicates >= 20);
+
+    let mut covered = 0;
+    let mut total = 0;
+    for l in (400..=1200).step_by(100) {
+        let l = l as f64;
+        let point = report.preference.at(l).expect("supported");
+        let (lo, hi) = ci.band_at(l).expect("band exists");
+        assert!(lo <= hi, "@{l}: [{lo}, {hi}]");
+        assert!(
+            point >= lo - 0.03 && point <= hi + 0.03,
+            "@{l}: point {point:.3} vs band [{lo:.3}, {hi:.3}]"
+        );
+        // Bands should be informative, not vacuous.
+        assert!(hi - lo < 0.5, "@{l}: band too wide [{lo:.3}, {hi:.3}]");
+
+        let planted =
+            truth.normalized_preference(ActionType::SelectMail, UserClass::Business, l, 300.0);
+        total += 1;
+        // Allow a small tolerance around the band for the dilution bias
+        // (the measured curve is a slightly shrunk version of the truth).
+        if planted >= lo - 0.05 && planted <= hi + 0.05 {
+            covered += 1;
+        }
+    }
+    assert!(
+        covered * 10 >= total * 7,
+        "truth coverage too low: {covered}/{total}"
+    );
+}
+
+#[test]
+fn ci_is_deterministic_for_a_seed() {
+    let (log, _) = common::data();
+    let (_, a) = common::engine()
+        .analyze_slice_with_ci(log, &slice(), 25, 0.9)
+        .expect("fits");
+    let (_, b) = common::engine()
+        .analyze_slice_with_ci(log, &slice(), 25, 0.9)
+        .expect("fits");
+    assert_eq!(a.band_series().len(), b.band_series().len());
+    for ((x1, l1, h1), (x2, l2, h2)) in a.band_series().iter().zip(b.band_series().iter()) {
+        assert_eq!(x1, x2);
+        assert_eq!(l1, l2);
+        assert_eq!(h1, h2);
+    }
+}
