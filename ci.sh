@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Local CI gate: everything a PR must pass, in the order a failure is
+# cheapest to notice. Run from the repo root.
+set -eu
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> ci.sh: all green"

@@ -16,6 +16,8 @@ usage:
   autosens alpha    --in <path> [--format csv|jsonl] [--action A] [--class C]
   autosens abandonment --in <path> [--format csv|jsonl] [--class C] [--gap MS]
   autosens report   --in <path> [--format csv|jsonl] [--action A] [--class C]
+  autosens audit    --in <path> [--format csv|jsonl] [--json]
+  autosens inject   --in <path> --plan <plan.json> --out <path> [--format csv|jsonl]
 
   actions: SelectMail | SwitchFolder | Search | ComposeSend | Other
   classes: Business | Consumer
@@ -102,6 +104,26 @@ pub enum Command {
         /// Slice filters.
         slice: SliceArgs,
     },
+    /// Audit a log's data quality (loss, duplicates, heaping, nulls).
+    Audit {
+        /// Input path.
+        input: String,
+        /// Input format.
+        format: Format,
+        /// Emit the quality report as JSON instead of text.
+        json: bool,
+    },
+    /// Apply a fault-injection plan to a log and write the corrupted copy.
+    Inject {
+        /// Input path.
+        input: String,
+        /// Path to the JSON fault plan.
+        plan: String,
+        /// Output path for the corrupted log.
+        out: String,
+        /// Input and output format.
+        format: Format,
+    },
     /// Session-abandonment analysis (non-sticky services).
     Abandonment {
         /// Input path.
@@ -144,6 +166,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "--ci",
         "--gap",
         "--json",
+        "--plan",
     ];
     // Reject unknown flags early (typos must not be silently ignored).
     let mut skip_next = false;
@@ -236,6 +259,17 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             input: flag("--in").ok_or("report requires --in")?.to_string(),
             format,
             slice: slice()?,
+        }),
+        "audit" => Ok(Command::Audit {
+            input: flag("--in").ok_or("audit requires --in")?.to_string(),
+            format,
+            json: has("--json"),
+        }),
+        "inject" => Ok(Command::Inject {
+            input: flag("--in").ok_or("inject requires --in")?.to_string(),
+            plan: flag("--plan").ok_or("inject requires --plan")?.to_string(),
+            out: flag("--out").ok_or("inject requires --out")?.to_string(),
+            format,
         }),
         "abandonment" => Ok(Command::Abandonment {
             input: flag("--in").ok_or("abandonment requires --in")?.to_string(),
@@ -373,6 +407,36 @@ mod tests {
             parse(&sv(&["alpha", "--in", "x.csv", "--class", "Consumer"])).unwrap(),
             Command::Alpha { .. }
         ));
+    }
+
+    #[test]
+    fn parses_audit_and_inject() {
+        let cmd = parse(&sv(&["audit", "--in", "x.csv", "--json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Audit {
+                input: "x.csv".into(),
+                format: Format::Csv,
+                json: true,
+            }
+        );
+        let cmd = parse(&sv(&[
+            "inject", "--in", "x.jsonl", "--plan", "p.json", "--out", "y.jsonl", "--format",
+            "jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Inject {
+                input: "x.jsonl".into(),
+                plan: "p.json".into(),
+                out: "y.jsonl".into(),
+                format: Format::Jsonl,
+            }
+        );
+        assert!(parse(&sv(&["audit"])).is_err()); // missing --in
+        assert!(parse(&sv(&["inject", "--in", "x"])).is_err()); // missing --plan
+        assert!(parse(&sv(&["inject", "--in", "x", "--plan", "p"])).is_err()); // missing --out
     }
 
     #[test]

@@ -6,8 +6,10 @@ use std::io::{BufReader, BufWriter};
 use autosens_core::locality::{decorrelation_report, density_latency_correlation, locality_report};
 use autosens_core::report::{f3, text_table, PreferenceSummary};
 use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_faults::FaultPlan;
 use autosens_sim::{generate, SimConfig};
 use autosens_telemetry::codec;
+use autosens_telemetry::quality;
 use autosens_telemetry::query::Slice;
 use autosens_telemetry::TelemetryLog;
 use rand::rngs::StdRng;
@@ -75,6 +77,11 @@ pub fn run(cmd: Command) -> Result<(), String> {
                     None,
                 ),
             };
+            // Surface survived data-quality problems on stderr so they are
+            // visible in both output modes without contaminating the JSON.
+            for d in &report.degradations {
+                eprintln!("warning: degraded input: {d}");
+            }
             if json {
                 let summary = PreferenceSummary::from_report(
                     slice_label(&slice),
@@ -217,6 +224,69 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 "{}",
                 text_table(&["latency (ms)", "normalized continuation"], &rows)
             );
+            Ok(())
+        }
+        Command::Audit {
+            input,
+            format,
+            json,
+        } => {
+            // Lenient read: an audit must survive the very corruption it is
+            // meant to measure. Malformed rows are counted, not fatal.
+            let file = File::open(&input).map_err(|e| format!("open {input}: {e}"))?;
+            let reader = BufReader::new(file);
+            let (log, errors) = match format {
+                Format::Csv => codec::read_csv_lenient(reader),
+                Format::Jsonl => codec::read_jsonl_lenient(reader),
+            }
+            .map_err(|e| e.to_string())?;
+            if !errors.is_empty() {
+                eprintln!(
+                    "warning: skipped {} malformed row(s) ({} stored, {} past cap)",
+                    errors.total(),
+                    errors.len(),
+                    errors.overflow()
+                );
+            }
+            let report = quality::audit(&log);
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+                );
+            } else {
+                print!("{}", report.render());
+            }
+            Ok(())
+        }
+        Command::Inject {
+            input,
+            plan,
+            out,
+            format,
+        } => {
+            let log = read_log(&input, format)?;
+            let plan_text =
+                std::fs::read_to_string(&plan).map_err(|e| format!("read {plan}: {e}"))?;
+            let plan = FaultPlan::from_json(&plan_text)?;
+            let corrupted = plan.apply(&log).map_err(|e| e.to_string())?;
+            let file = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
+            let mut w = BufWriter::new(file);
+            match format {
+                Format::Csv => codec::write_csv(&corrupted, &mut w),
+                Format::Jsonl => codec::write_jsonl(&corrupted, &mut w),
+            }
+            .map_err(|e| e.to_string())?;
+            eprintln!(
+                "injected {} fault op(s) (seed {}): {} -> {} records, wrote {out}",
+                plan.ops.len(),
+                plan.seed,
+                log.len(),
+                corrupted.len()
+            );
+            for op in &plan.ops {
+                eprintln!("  - {}", op.describe());
+            }
             Ok(())
         }
         Command::Alpha {

@@ -7,12 +7,17 @@
 //!                  [--reference 300] [--json]
 //! autosens diagnose --in logs.csv
 //! autosens alpha --in logs.csv [--action SelectMail] [--class Business]
+//! autosens audit --in logs.csv [--format csv|jsonl] [--json]
+//! autosens inject --in logs.csv --plan plan.json --out corrupted.csv
 //! ```
 //!
 //! `analyze` prints the normalized latency preference curve for the
 //! requested slice of the given telemetry; `diagnose` checks the
 //! natural-experiment preconditions (latency locality); `alpha` prints the
-//! time-based activity factors per day period.
+//! time-based activity factors per day period; `audit` grades the data
+//! quality of a log (loss, duplication, ordering, heaping, metadata
+//! nulls); `inject` applies a seeded [`autosens_faults::FaultPlan`] to a
+//! log, producing a reproducibly corrupted copy for robustness testing.
 
 use std::process::ExitCode;
 

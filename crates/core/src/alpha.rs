@@ -156,6 +156,13 @@ impl AlphaEstimate {
         let mut pooled = Histogram::new(binner.clone());
         for g in &self.groups {
             if let Some(alpha) = g.alpha {
+                // estimate_alpha never stores such an α, but the fields are
+                // public; fail typed rather than scaling by NaN/∞/0.
+                if !(alpha.is_finite() && alpha > 0.0) {
+                    return Err(AutoSensError::NonFinite {
+                        what: format!("alpha for group {}", g.label),
+                    });
+                }
                 let mut h = g.biased.clone();
                 h.scale(1.0 / alpha).map_err(AutoSensError::from)?;
                 pooled.merge(&h).map_err(AutoSensError::from)?;
@@ -309,6 +316,7 @@ pub fn estimate_alpha<R: Rng>(
     // allocated in proportion to each group's total window time, so the
     // pooled U (a plain merge) stays time-weighted even for groupings
     // whose groups cover unequal time (weekday vs weekend slots).
+    // Invariant: the is_empty() guard above makes these Some.
     let start = log.start_time().expect("non-empty").millis();
     let end = log.end_time().expect("non-empty").millis();
     // The timezone defining the slot windows: when the slice is
@@ -438,7 +446,12 @@ pub fn estimate_alpha<R: Rng>(
             group: g,
             label: grouping.label(g),
             alpha: if alpha_n[g] > 0 {
-                Some(alpha_sum[g] / alpha_n[g] as f64)
+                let a = alpha_sum[g] / alpha_n[g] as f64;
+                // A non-finite or non-positive α would poison the 1/α count
+                // scaling downstream; treat the group as having no usable α
+                // (it is then excluded from pooling, with a degradation
+                // warning at the pipeline level).
+                (a.is_finite() && a > 0.0).then_some(a)
             } else {
                 None
             },

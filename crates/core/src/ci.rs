@@ -120,10 +120,14 @@ pub fn preference_ci<R: Rng>(
     let mut lo = vec![None; n_bins];
     let mut hi = vec![None; n_bins];
     for (i, vals) in values.iter_mut().enumerate() {
+        // A degenerate refit could in principle emit a non-finite value;
+        // drop those rather than letting them poison the quantiles (or
+        // panic a comparator).
+        vals.retain(|v| v.is_finite());
         if vals.len() * 2 < ok {
             continue; // bin covered by fewer than half the replicates
         }
-        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite fits"));
+        vals.sort_by(f64::total_cmp);
         lo[i] = Some(autosens_stats::descriptive::quantile_sorted(vals, alpha));
         hi[i] = Some(autosens_stats::descriptive::quantile_sorted(
             vals,

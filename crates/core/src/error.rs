@@ -26,6 +26,15 @@ pub enum AutoSensError {
         /// The configured reference latency.
         reference_ms: f64,
     },
+    /// A data-dependent computation produced a non-finite value (NaN or ±∞)
+    /// that would otherwise silently poison downstream estimates.
+    NonFinite {
+        /// What was being computed.
+        what: String,
+    },
+    /// An internal failure the pipeline recovered into a typed error rather
+    /// than a panic (e.g. an analysis worker thread panicked).
+    Internal(String),
     /// An underlying statistics error.
     Stats(StatsError),
     /// An underlying telemetry error.
@@ -49,6 +58,10 @@ impl fmt::Display for AutoSensError {
                 f,
                 "reference latency {reference_ms} ms is outside the supported range"
             ),
+            AutoSensError::NonFinite { what } => {
+                write!(f, "non-finite value while computing {what}")
+            }
+            AutoSensError::Internal(what) => write!(f, "internal failure: {what}"),
             AutoSensError::Stats(e) => write!(f, "statistics error: {e}"),
             AutoSensError::Telemetry(e) => write!(f, "telemetry error: {e}"),
         }
@@ -102,5 +115,11 @@ mod tests {
         assert!(e.to_string().contains("300"));
         let e = AutoSensError::BadConfig("bin width".into());
         assert!(e.to_string().contains("bin width"));
+        let e = AutoSensError::NonFinite {
+            what: "alpha mean".into(),
+        };
+        assert!(e.to_string().contains("alpha mean"));
+        let e = AutoSensError::Internal("worker panicked".into());
+        assert!(e.to_string().contains("worker panicked"));
     }
 }

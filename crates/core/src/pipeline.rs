@@ -22,6 +22,23 @@ use crate::unbiased::unbiased_histogram;
 /// quartile index (0 = Q1, fastest users) paired with that slice's result.
 pub type QuartileAnalyses = Vec<(usize, Result<AnalysisReport, AutoSensError>)>;
 
+/// A recoverable data-quality problem the pipeline worked around instead of
+/// aborting. An [`AnalysisReport`] carrying degradations is still a valid
+/// result; the warnings tell the operator how much the input was repaired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// The pipeline stage that recovered (e.g. `"sanitize"`, `"alpha"`).
+    pub stage: String,
+    /// What was wrong and what was done about it.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.stage, self.detail)
+    }
+}
+
 /// A completed analysis of one slice.
 #[derive(Debug, Clone)]
 pub struct AnalysisReport {
@@ -36,6 +53,8 @@ pub struct AnalysisReport {
     pub biased: Histogram,
     /// The pooled unbiased histogram.
     pub unbiased: Histogram,
+    /// Data-quality problems survived along the way (empty on clean input).
+    pub degradations: Vec<Degradation>,
 }
 
 /// The AutoSens analysis engine.
@@ -67,8 +86,26 @@ impl AutoSens {
         slice: &Slice,
     ) -> Result<AnalysisReport, AutoSensError> {
         let binner = self.config.binner()?;
+        let mut degradations = Vec::new();
+        // Sanitize: real telemetry arrives out of order (shard merges, clock
+        // skew) and duplicated (re-delivered upload batches). Repair what is
+        // repairable and record the repair instead of failing. Slicing
+        // re-sorts as a side effect, so the order check looks at the input.
+        if !log.is_sorted() {
+            degradations.push(Degradation {
+                stage: "sanitize".into(),
+                detail: "records arrived out of time order; re-sorted".into(),
+            });
+        }
         let mut sub = slice.clone().successes().apply(log);
         sub.ensure_sorted();
+        let removed = sub.dedup_exact();
+        if removed > 0 {
+            degradations.push(Degradation {
+                stage: "sanitize".into(),
+                detail: format!("removed {removed} exact duplicate records"),
+            });
+        }
         if sub.is_empty() {
             return Err(AutoSensError::EmptySlice(
                 "slice selected no successful actions".into(),
@@ -83,6 +120,20 @@ impl AutoSens {
         };
         let (biased, unbiased, alpha) = if self.config.alpha_correction {
             let est = estimate_alpha(&sub, &binner, grouping, &self.config, &mut rng)?;
+            // Groups with data but no usable α are dropped from the pooled
+            // histograms; surface each exclusion as a degradation so the
+            // operator knows which time windows the curve no longer covers.
+            for g in &est.groups {
+                if g.n_actions > 0 && g.alpha.is_none() {
+                    degradations.push(Degradation {
+                        stage: "alpha".into(),
+                        detail: format!(
+                            "group {} ({} actions) excluded: no usable alpha",
+                            g.label, g.n_actions
+                        ),
+                    });
+                }
+            }
             let b = est.normalized_biased(&binner)?;
             let u = est.pooled_unbiased(&binner)?;
             (b, u, Some(est))
@@ -99,6 +150,7 @@ impl AutoSens {
             n_actions: sub.len() as u64,
             biased,
             unbiased,
+            degradations,
         })
     }
 
@@ -279,7 +331,9 @@ impl AutoSens {
         Ok(est)
     }
 
-    /// Run labeled slice analyses in parallel threads.
+    /// Run labeled slice analyses in parallel threads. A worker that panics
+    /// yields a per-slice [`AutoSensError::Internal`] instead of sinking the
+    /// whole batch.
     fn parallel_analyses<K: Send + Copy>(
         &self,
         log: &TelemetryLog,
@@ -290,12 +344,29 @@ impl AutoSens {
         crossbeam::thread::scope(|scope| {
             for (slot, (key, slice)) in out.iter_mut().zip(slices) {
                 scope.spawn(move |_| {
-                    *slot = Some((key, self.analyze_slice(log, &slice)));
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.analyze_slice(log, &slice)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "unknown panic".into());
+                        Err(AutoSensError::Internal(format!(
+                            "analysis worker panicked: {msg}"
+                        )))
+                    });
+                    *slot = Some((key, result));
                 });
             }
         })
-        .expect("analysis worker panicked");
+        // Invariant: workers catch their own unwinds above, so the scope
+        // itself can only fail on a non-unwinding abort.
+        .expect("analysis scope failed");
         out.into_iter()
+            // Invariant: every slot is written exactly once by its worker
+            // before the scope joins.
             .map(|s| s.expect("filled by worker"))
             .collect()
     }
@@ -394,6 +465,61 @@ mod tests {
         assert_eq!(results.len(), 4);
         let total: usize = quartiles.groups.iter().map(|g| g.len()).sum();
         assert!(total > 100, "users partitioned: {total}");
+    }
+
+    #[test]
+    fn clean_input_reports_no_degradations() {
+        let log = smoke_log();
+        let engine = AutoSens::new(fast_config());
+        let report = engine.analyze(&log).unwrap();
+        assert!(
+            report.degradations.is_empty(),
+            "unexpected: {:?}",
+            report.degradations
+        );
+    }
+
+    #[test]
+    fn corrupted_input_completes_with_degradations() {
+        use autosens_faults::{FaultOp, FaultPlan};
+        let log = smoke_log();
+        let plan = FaultPlan {
+            seed: 0xBAD,
+            ops: vec![
+                FaultOp::DropBursty {
+                    rate: 0.3,
+                    mean_burst: 25,
+                },
+                FaultOp::Duplicate { rate: 0.05 },
+                FaultOp::Reorder {
+                    rate: 0.05,
+                    max_shift_ms: 60_000,
+                },
+            ],
+        };
+        let corrupted = plan.apply(&log).unwrap();
+        assert!(!corrupted.is_sorted());
+        let engine = AutoSens::new(fast_config());
+        let report = engine.analyze(&corrupted).unwrap();
+        // The analysis completes with a curve and structured warnings.
+        assert!((report.preference.at(300.0).unwrap() - 1.0).abs() < 1e-9);
+        let stages: Vec<&str> = report
+            .degradations
+            .iter()
+            .map(|d| d.stage.as_str())
+            .collect();
+        assert!(stages.contains(&"sanitize"), "stages: {stages:?}");
+        let text = report.degradations[0].to_string();
+        assert!(text.starts_with("[sanitize]"), "{text}");
+        // Re-sorting and dedup were both reported.
+        assert!(report
+            .degradations
+            .iter()
+            .any(|d| d.detail.contains("re-sorted")));
+        assert!(report
+            .degradations
+            .iter()
+            .any(|d| d.detail.contains("duplicate")));
     }
 
     #[test]

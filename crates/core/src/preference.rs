@@ -80,6 +80,8 @@ impl NormalizedPreference {
             });
         }
         let first = supported[0];
+        // Invariant: `supported.len() >= min_supported_bins >= 1` was just
+        // checked, so a last element exists.
         let last = *supported.last().expect("non-empty");
 
         // Contiguous series over the span with interpolated holes.
@@ -89,6 +91,14 @@ impl NormalizedPreference {
         let filter =
             SavGol::new(cfg.savgol_window, cfg.savgol_degree).map_err(AutoSensError::from)?;
         let smoothed = filter.smooth(&series).map_err(AutoSensError::from)?;
+        // The raw ratios are finite by construction (positive totals, u > 0)
+        // and smoothing is a finite linear combination — but extreme masses
+        // can overflow to ∞. Fail typed instead of emitting a NaN curve.
+        if smoothed.iter().any(|v| !v.is_finite()) {
+            return Err(AutoSensError::NonFinite {
+                what: "smoothed B/U ratio".into(),
+            });
+        }
 
         let ref_bin = binner
             .index_of(cfg.reference_latency_ms)
@@ -191,7 +201,9 @@ fn interpolate_holes(window: &[Option<f64>]) -> Vec<f64> {
                 i += 1;
             }
             None => {
-                // Find the hole extent [i, j).
+                // Find the hole extent [i, j). Invariant: the caller trims
+                // the span to supported endpoints, so a hole always has a
+                // supported neighbour on each side.
                 let prev = i.checked_sub(1).expect("first element is supported");
                 let mut j = i;
                 while j < n && window[j].is_none() {

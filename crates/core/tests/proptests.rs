@@ -4,8 +4,10 @@
 
 use autosens_core::alpha::alpha_vs_reference;
 use autosens_core::config::AutoSensConfig;
+use autosens_core::pipeline::AutoSens;
 use autosens_core::preference::NormalizedPreference;
 use autosens_core::unbiased::unbiased_histogram;
+use autosens_faults::{FaultOp, FaultPlan};
 use autosens_stats::binning::{Binner, OutOfRange};
 use autosens_stats::histogram::Histogram;
 use autosens_telemetry::log::TelemetryLog;
@@ -191,6 +193,68 @@ proptest! {
         // Every draw resolves to exactly one in-range sample.
         prop_assert_eq!(h.n_recorded() as usize, draws);
         prop_assert!((h.total() - draws as f64).abs() < 1e-9);
+    }
+
+    // ---------- end-to-end robustness ----------
+
+    #[test]
+    fn analyze_never_panics_on_fault_injected_logs(
+        latencies in prop::collection::vec(0.0f64..2000.0, 20..150),
+        step_ms in 1_000i64..600_000,
+        seed in any::<u64>(),
+        drop_rate in 0.0f64..0.9,
+        dup_rate in 0.0f64..0.5,
+        reorder_rate in 0.0f64..0.5,
+        grain in 1.0f64..200.0,
+    ) {
+        // Arbitrary logs pushed through the full corruption battery and the
+        // full analysis: the pipeline must either produce a finite curve or
+        // return a typed error — never panic, never emit NaN.
+        let records: Vec<ActionRecord> = latencies
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| ActionRecord {
+                time: SimTime(i as i64 * step_ms),
+                action: ActionType::SelectMail,
+                latency_ms: l,
+                user: UserId(i as u64 % 7),
+                class: UserClass::Business,
+                tz_offset_ms: 0,
+                outcome: Outcome::Success,
+            })
+            .collect();
+        let log = TelemetryLog::from_records(records).unwrap();
+        let plan = FaultPlan {
+            seed,
+            ops: vec![
+                FaultOp::DropBursty { rate: drop_rate, mean_burst: 10 },
+                FaultOp::Duplicate { rate: dup_rate },
+                FaultOp::Reorder { rate: reorder_rate, max_shift_ms: 300_000 },
+                FaultOp::ClockSkew { max_offset_ms: 3_600_000, drift_ms_per_day: 60_000 },
+                FaultOp::QuantizeLatency { grain_ms: grain },
+                FaultOp::NullMetadata { rate: 0.5 },
+            ],
+        };
+        let corrupted = plan.apply(&log).unwrap();
+        let cfg = AutoSensConfig {
+            unbiased_draws: 4_000,
+            savgol_window: 11,
+            savgol_degree: 3,
+            min_biased_count: 1.0,
+            min_unbiased_count: 1.0,
+            min_supported_bins: 5,
+            ..AutoSensConfig::default()
+        };
+        match AutoSens::new(cfg).analyze(&corrupted) {
+            Ok(report) => {
+                for (x, v) in report.preference.series() {
+                    prop_assert!(v.is_finite() && v >= 0.0, "pref({x}) = {v}");
+                }
+            }
+            // Typed failure (empty slice, support collapse, …) is the
+            // accepted graceful outcome for unanalyzable corruption.
+            Err(_) => {}
+        }
     }
 
     #[test]

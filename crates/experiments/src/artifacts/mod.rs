@@ -11,6 +11,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod robustness;
 pub mod sweep;
 pub mod table1;
 
@@ -110,6 +111,7 @@ pub fn by_id(data: &Dataset, id: &str) -> Option<Artifact> {
         // `autosens-experiments sweep` / `abandonment-ext`.
         "sweep" => Some(sweep::generate_sweep()),
         "abandonment-ext" => Some(abandonment_ext::generate_abandonment()),
+        "robustness" => Some(robustness::generate_robustness()),
         _ => None,
     }
 }

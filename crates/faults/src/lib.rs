@@ -1,0 +1,5 @@
+//! Deterministic fault injection over [`autosens_telemetry::TelemetryLog`].
+
+pub mod plan;
+
+pub use plan::{FaultOp, FaultPlan};

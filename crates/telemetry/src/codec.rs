@@ -35,28 +35,126 @@ pub fn write_csv<W: Write>(log: &TelemetryLog, out: &mut W) -> Result<(), Teleme
     Ok(())
 }
 
+/// Default cap on errors retained by the lenient readers. A pathological
+/// input (e.g. a multi-gigabyte file in the wrong format) would otherwise
+/// balloon memory with one error per line; past the cap, errors are only
+/// counted, not stored.
+pub const DEFAULT_LENIENT_ERROR_CAP: usize = 1_000;
+
+/// Errors collected by a lenient read, bounded in memory by a cap.
+///
+/// Behaves like a `Vec<TelemetryError>` for the common cases (`len`,
+/// `is_empty`, indexing via [`Self::errors`], iteration) but stops *storing*
+/// errors past the configured cap; [`Self::overflow`] counts the discarded
+/// remainder and [`Self::total`] is the true malformed-row count.
+#[derive(Debug, Default)]
+pub struct LenientErrors {
+    errors: Vec<TelemetryError>,
+    overflow: usize,
+    cap: usize,
+}
+
+impl LenientErrors {
+    fn with_cap(cap: usize) -> LenientErrors {
+        LenientErrors {
+            errors: Vec::new(),
+            overflow: 0,
+            cap,
+        }
+    }
+
+    fn record(&mut self, e: TelemetryError) {
+        if self.errors.len() < self.cap {
+            self.errors.push(e);
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Number of *stored* errors (capped).
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Whether any error occurred at all (stored or overflowed).
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty() && self.overflow == 0
+    }
+
+    /// The stored errors, oldest first.
+    pub fn errors(&self) -> &[TelemetryError] {
+        &self.errors
+    }
+
+    /// Iterate the stored errors.
+    pub fn iter(&self) -> impl Iterator<Item = &TelemetryError> {
+        self.errors.iter()
+    }
+
+    /// How many errors were discarded after the cap filled.
+    pub fn overflow(&self) -> usize {
+        self.overflow
+    }
+
+    /// Total malformed rows encountered: stored plus overflowed.
+    pub fn total(&self) -> usize {
+        self.errors.len() + self.overflow
+    }
+}
+
+impl<'a> IntoIterator for &'a LenientErrors {
+    type Item = &'a TelemetryError;
+    type IntoIter = std::slice::Iter<'a, TelemetryError>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.errors.iter()
+    }
+}
+
+/// Parsing strictness for the row-oriented readers.
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Fail on the first malformed row.
+    Strict,
+    /// Skip malformed rows, storing at most this many errors.
+    Lenient(usize),
+}
+
 /// Read a CSV log written by [`write_csv`]. Fails on the first malformed row.
 pub fn read_csv<R: Read>(input: R) -> Result<TelemetryLog, TelemetryError> {
-    let (log, errors) = read_csv_inner(input, true)?;
+    let (log, errors) = read_csv_inner(input, Mode::Strict)?;
     debug_assert!(errors.is_empty(), "strict mode fails fast");
     Ok(log)
 }
 
 /// Read a CSV log, skipping malformed rows and returning them as errors
-/// alongside the successfully parsed log.
+/// alongside the successfully parsed log. At most
+/// [`DEFAULT_LENIENT_ERROR_CAP`] errors are stored; see
+/// [`read_csv_lenient_capped`] to choose the cap.
 pub fn read_csv_lenient<R: Read>(
     input: R,
-) -> Result<(TelemetryLog, Vec<TelemetryError>), TelemetryError> {
-    read_csv_inner(input, false)
+) -> Result<(TelemetryLog, LenientErrors), TelemetryError> {
+    read_csv_inner(input, Mode::Lenient(DEFAULT_LENIENT_ERROR_CAP))
+}
+
+/// [`read_csv_lenient`] with an explicit cap on stored errors.
+pub fn read_csv_lenient_capped<R: Read>(
+    input: R,
+    cap: usize,
+) -> Result<(TelemetryLog, LenientErrors), TelemetryError> {
+    read_csv_inner(input, Mode::Lenient(cap))
 }
 
 fn read_csv_inner<R: Read>(
     input: R,
-    strict: bool,
-) -> Result<(TelemetryLog, Vec<TelemetryError>), TelemetryError> {
+    mode: Mode,
+) -> Result<(TelemetryLog, LenientErrors), TelemetryError> {
     let reader = BufReader::new(input);
     let mut log = TelemetryLog::new();
-    let mut errors = Vec::new();
+    let mut errors = LenientErrors::with_cap(match mode {
+        Mode::Strict => 0,
+        Mode::Lenient(cap) => cap,
+    });
     let mut lines = reader.lines().enumerate();
 
     // Header.
@@ -92,10 +190,10 @@ fn read_csv_inner<R: Read>(
                 log.push(record).expect("record validated above");
             }
             Err(e) => {
-                if strict {
+                if matches!(mode, Mode::Strict) {
                     return Err(e);
                 }
-                errors.push(e);
+                errors.record(e);
             }
         }
     }
@@ -160,23 +258,72 @@ pub fn write_jsonl<W: Write>(log: &TelemetryLog, out: &mut W) -> Result<(), Tele
 
 /// Read a JSONL log. Fails on the first malformed line.
 pub fn read_jsonl<R: Read>(input: R) -> Result<TelemetryLog, TelemetryError> {
+    let (log, errors) = read_jsonl_inner(input, Mode::Strict)?;
+    debug_assert!(errors.is_empty(), "strict mode fails fast");
+    Ok(log)
+}
+
+/// Read a JSONL log, skipping malformed lines and returning them as errors
+/// alongside the successfully parsed log. At most
+/// [`DEFAULT_LENIENT_ERROR_CAP`] errors are stored; see
+/// [`read_jsonl_lenient_capped`] to choose the cap.
+pub fn read_jsonl_lenient<R: Read>(
+    input: R,
+) -> Result<(TelemetryLog, LenientErrors), TelemetryError> {
+    read_jsonl_inner(input, Mode::Lenient(DEFAULT_LENIENT_ERROR_CAP))
+}
+
+/// [`read_jsonl_lenient`] with an explicit cap on stored errors.
+pub fn read_jsonl_lenient_capped<R: Read>(
+    input: R,
+    cap: usize,
+) -> Result<(TelemetryLog, LenientErrors), TelemetryError> {
+    read_jsonl_inner(input, Mode::Lenient(cap))
+}
+
+fn read_jsonl_inner<R: Read>(
+    input: R,
+    mode: Mode,
+) -> Result<(TelemetryLog, LenientErrors), TelemetryError> {
     let reader = BufReader::new(input);
     let mut log = TelemetryLog::new();
+    let mut errors = LenientErrors::with_cap(match mode {
+        Mode::Strict => 0,
+        Mode::Lenient(cap) => cap,
+    });
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
+        let lineno = idx + 1;
         if line.trim().is_empty() {
             continue;
         }
-        let record: ActionRecord =
-            serde_json::from_str(&line).map_err(|e| TelemetryError::Malformed {
-                line: idx + 1,
+        let parsed = serde_json::from_str::<ActionRecord>(&line)
+            .map_err(|e| TelemetryError::Malformed {
+                line: lineno,
                 reason: e.to_string(),
-            })?;
-        record.validate()?;
-        log.push(record).expect("record validated above");
+            })
+            .and_then(|r| {
+                r.validate().map_err(|e| TelemetryError::Malformed {
+                    line: lineno,
+                    reason: e.to_string(),
+                })?;
+                Ok(r)
+            });
+        match parsed {
+            Ok(record) => {
+                // Already validated; push cannot fail.
+                log.push(record).expect("record validated above");
+            }
+            Err(e) => {
+                if matches!(mode, Mode::Strict) {
+                    return Err(e);
+                }
+                errors.record(e);
+            }
+        }
     }
     log.ensure_sorted();
-    Ok(log)
+    Ok((log, errors))
 }
 
 #[cfg(test)]
@@ -326,5 +473,122 @@ mod tests {
     fn jsonl_empty_input_is_empty_log() {
         let log = read_jsonl("".as_bytes()).unwrap();
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn jsonl_lenient_collects_errors_and_keeps_good_lines() {
+        let log = sample_log();
+        let mut buf = Vec::new();
+        write_jsonl(&log, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("garbage line\n");
+        let (back, errors) = read_jsonl_lenient(text.as_bytes()).unwrap();
+        assert_eq!(back.records(), log.records());
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors.overflow(), 0);
+        assert!(matches!(
+            errors.errors()[0],
+            TelemetryError::Malformed { line: 3, .. }
+        ));
+    }
+
+    /// Corrupt N of M CSV rows; exactly M−N records survive lenient parsing
+    /// and each error carries the corrupted row's line number.
+    #[test]
+    fn csv_lenient_roundtrip_survives_corruption() {
+        let m = 50;
+        let log = TelemetryLog::from_records((0..m).map(|i| rec(i as i64 * 1000, 100.0)).collect())
+            .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&log, &mut buf).unwrap();
+        let mut lines: Vec<String> = String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        // Corrupt every 5th data row (rows are at index 1.., after the header).
+        let corrupted: Vec<usize> = (1..lines.len()).step_by(5).collect();
+        for &i in &corrupted {
+            lines[i] = format!("corrupt<{i}>");
+        }
+        let text = lines.join("\n");
+        let (back, errors) = read_csv_lenient(text.as_bytes()).unwrap();
+        assert_eq!(back.len(), m - corrupted.len());
+        assert_eq!(errors.total(), corrupted.len());
+        // Line numbers are 1-based over the whole file, header included.
+        let got: Vec<usize> = errors
+            .iter()
+            .map(|e| match e {
+                TelemetryError::Malformed { line, .. } => *line,
+                other => panic!("unexpected error {other}"),
+            })
+            .collect();
+        let want: Vec<usize> = corrupted.iter().map(|i| i + 1).collect();
+        assert_eq!(got, want);
+        // The surviving records are exactly the uncorrupted ones.
+        let survivor_times: Vec<i64> = back.iter().map(|r| r.time.millis()).collect();
+        let expected_times: Vec<i64> = (0..m)
+            .filter(|i| !corrupted.contains(&(i + 1)))
+            .map(|i| i as i64 * 1000)
+            .collect();
+        assert_eq!(survivor_times, expected_times);
+    }
+
+    /// Same contract for JSONL (no header line, so data row k is line k+1).
+    #[test]
+    fn jsonl_lenient_roundtrip_survives_corruption() {
+        let m = 40;
+        let log = TelemetryLog::from_records((0..m).map(|i| rec(i as i64 * 1000, 100.0)).collect())
+            .unwrap();
+        let mut buf = Vec::new();
+        write_jsonl(&log, &mut buf).unwrap();
+        let mut lines: Vec<String> = String::from_utf8(buf)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        let corrupted: Vec<usize> = (0..lines.len()).step_by(7).collect();
+        for &i in &corrupted {
+            lines[i] = "{broken".into();
+        }
+        let text = lines.join("\n");
+        let (back, errors) = read_jsonl_lenient(text.as_bytes()).unwrap();
+        assert_eq!(back.len(), m - corrupted.len());
+        assert_eq!(errors.total(), corrupted.len());
+        let got: Vec<usize> = errors
+            .iter()
+            .map(|e| match e {
+                TelemetryError::Malformed { line, .. } => *line,
+                other => panic!("unexpected error {other}"),
+            })
+            .collect();
+        let want: Vec<usize> = corrupted.iter().map(|i| i + 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn lenient_cap_counts_overflow_instead_of_storing() {
+        let mut data = String::from(CSV_HEADER);
+        data.push('\n');
+        for i in 0..10 {
+            data.push_str(&format!("bad row {i}\n"));
+        }
+        data.push_str("1000,SelectMail,100.0,1,Business,0,Success\n");
+        let (log, errors) = read_csv_lenient_capped(data.as_bytes(), 3).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(errors.len(), 3);
+        assert_eq!(errors.overflow(), 7);
+        assert_eq!(errors.total(), 10);
+        assert!(!errors.is_empty());
+        // A zero cap stores nothing but still counts.
+        let (_, errors) = read_csv_lenient_capped(data.as_bytes(), 0).unwrap();
+        assert_eq!(errors.len(), 0);
+        assert_eq!(errors.overflow(), 10);
+        assert!(!errors.is_empty());
+        // JSONL honors the cap too.
+        let jsonl = "x\ny\nz\n";
+        let (_, errors) = read_jsonl_lenient_capped(jsonl.as_bytes(), 1).unwrap();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors.overflow(), 2);
     }
 }

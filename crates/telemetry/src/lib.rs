@@ -14,10 +14,12 @@
 //! * [`query`] — composable record filters for the paper's analysis slices.
 //! * [`users`] — per-user aggregates and the §3.4 median-latency quartiles.
 //! * [`codec`] — CSV and JSONL import/export with strict validation.
+//! * [`quality`] — data-quality auditing (loss, duplicates, heaping, nulls).
 
 pub mod codec;
 pub mod error;
 pub mod log;
+pub mod quality;
 pub mod query;
 pub mod record;
 pub mod time;

@@ -180,6 +180,28 @@ impl TelemetryLog {
         self.ensure_sorted();
     }
 
+    /// Remove exact field-for-field duplicate records (re-delivered upload
+    /// batches), keeping the first occurrence of each. Storage order is
+    /// preserved, so sortedness is unaffected. Returns how many records
+    /// were removed.
+    pub fn dedup_exact(&mut self) -> usize {
+        let mut seen: std::collections::HashSet<(i64, u8, u64, u64, u8, i64, u8)> =
+            std::collections::HashSet::with_capacity(self.records.len());
+        let before = self.records.len();
+        self.records.retain(|r| {
+            seen.insert((
+                r.time.millis(),
+                r.action as u8,
+                r.latency_ms.to_bits(),
+                r.user.0,
+                r.class as u8,
+                r.tz_offset_ms,
+                r.outcome as u8,
+            ))
+        });
+        before - self.records.len()
+    }
+
     /// Retain only successful actions (the paper analyzes successes only).
     pub fn successes_only(&self) -> TelemetryLog {
         TelemetryLog {
@@ -411,6 +433,39 @@ mod tests {
         log.push(rec(10, 1.0)).unwrap();
         assert_eq!(log.start_time(), Some(SimTime(10)));
         assert_eq!(log.end_time(), Some(SimTime(50)));
+    }
+
+    #[test]
+    fn dedup_exact_removes_only_exact_copies() {
+        // Two exact duplicates of the t=10 record, non-adjacent within the
+        // equal-time run, plus a same-time record differing in latency.
+        let log = TelemetryLog::from_records(vec![
+            rec(10, 1.0),
+            rec(10, 2.0),
+            rec(10, 1.0),
+            rec(20, 3.0),
+            rec(10, 1.0),
+        ])
+        .unwrap();
+        let mut log = log;
+        let removed = log.dedup_exact();
+        assert_eq!(removed, 2);
+        assert_eq!(log.len(), 3);
+        assert!(log.is_sorted());
+        let latencies: Vec<f64> = log.iter().map(|r| r.latency_ms).collect();
+        assert_eq!(latencies, vec![1.0, 2.0, 3.0]);
+        // Unsorted logs dedup too, preserving storage order.
+        let mut unsorted = TelemetryLog::new();
+        unsorted.push(rec(30, 1.0)).unwrap();
+        unsorted.push(rec(10, 1.0)).unwrap();
+        unsorted.push(rec(30, 1.0)).unwrap();
+        assert_eq!(unsorted.dedup_exact(), 1);
+        assert!(!unsorted.is_sorted());
+        assert_eq!(unsorted.records()[0].time.millis(), 30);
+        // A clean log is untouched.
+        let mut clean = TelemetryLog::from_records(vec![rec(0, 1.0), rec(5, 2.0)]).unwrap();
+        assert_eq!(clean.dedup_exact(), 0);
+        assert_eq!(clean.len(), 2);
     }
 
     #[test]
