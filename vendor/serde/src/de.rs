@@ -1,0 +1,53 @@
+//! Deserialization error type for the serde stand-in.
+
+use crate::Value;
+
+/// Message-carrying deserialization error (the stub has no byte offsets at
+/// the data-model layer; `serde_json` adds positions for parse errors).
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn custom(msg: impl std::fmt::Display) -> DeError {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+
+    pub fn missing_field(field: &str) -> DeError {
+        DeError {
+            msg: format!("missing field `{field}`"),
+        }
+    }
+
+    pub fn type_mismatch(expected: &str, got: &Value) -> DeError {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        DeError {
+            msg: format!("expected {expected}, got {kind}"),
+        }
+    }
+
+    /// Prefix the error with the struct field it occurred in.
+    pub fn in_field(self, field: &str) -> DeError {
+        DeError {
+            msg: format!("field `{field}`: {}", self.msg),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}

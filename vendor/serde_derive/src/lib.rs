@@ -1,0 +1,600 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the shapes this workspace
+//! actually uses — named-field structs, tuple structs (newtypes serialize
+//! transparently), and unit-variant enums (serialized as the variant name)
+//! — honoring `#[serde(default)]` and `#[serde(default = "path")]`.
+//! Implemented directly over `proc_macro::TokenTree` (no syn/quote, which
+//! are unavailable offline). Unsupported shapes (generics, data-carrying
+//! enums, unions) produce a clear `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+/// How a missing field is filled during deserialization.
+#[derive(Clone, PartialEq)]
+enum FieldDefault {
+    /// No `#[serde(default)]`: delegate to `Deserialize::from_missing`.
+    None,
+    /// `#[serde(default)]`.
+    StdDefault,
+    /// `#[serde(default = "path")]`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    default: FieldDefault,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(Vec<String>),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, types: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match mode {
+            Mode::Ser => gen_serialize(&item),
+            Mode::De => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive stub produced invalid Rust: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Scan one `#[...]` attribute group for a serde field default.
+fn attr_default(group: &proc_macro::Group, out: &mut FieldDefault) {
+    let mut it = group.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(inner)) = it.next() else {
+        return;
+    };
+    let parts: Vec<TokenTree> = inner.stream().into_iter().collect();
+    match parts.as_slice() {
+        [TokenTree::Ident(id)] if id.to_string() == "default" => {
+            *out = FieldDefault::StdDefault;
+        }
+        [TokenTree::Ident(id), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+            if id.to_string() == "default" && eq.as_char() == '=' =>
+        {
+            let raw = lit.to_string();
+            let path = raw.trim_matches('"').to_string();
+            *out = FieldDefault::Path(path);
+        }
+        _ => {}
+    }
+}
+
+/// Consume leading attributes, recording any serde default directive.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize, default: &mut FieldDefault) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                attr_default(g, default);
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Consume a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut ignored = FieldDefault::None;
+    let mut i = skip_attrs(&tokens, 0, &mut ignored);
+    i = skip_vis(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde stub: expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde stub: expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stub: generic type `{name}` is not supported"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+                name,
+                fields: parse_named_fields(g)?,
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    types: parse_tuple_fields(g)?,
+                })
+            }
+            _ => Err(format!("serde stub: unit struct `{name}` is not supported")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name: name.clone(),
+                variants: parse_variants(g, &name)?,
+            }),
+            _ => Err(format!("serde stub: malformed enum `{name}`")),
+        },
+        other => Err(format!("serde stub: cannot derive for `{other}` items")),
+    }
+}
+
+/// Render a type's token run back to source text.
+fn type_text(tokens: &[TokenTree]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&t.to_string());
+    }
+    out
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = FieldDefault::None;
+        i = skip_attrs(&tokens, i, &mut default);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("serde stub: expected field name, got {other}")),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("serde stub: expected `:`, got {other}")),
+        }
+        // The type runs until a comma at zero angle-bracket depth (parens
+        // and square brackets arrive as atomic groups).
+        let start = i;
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            ty: type_text(&tokens[start..i]),
+            default,
+        });
+        i += 1; // past the comma (or the end)
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut types = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = FieldDefault::None;
+        i = skip_attrs(&tokens, i, &mut default);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let start = i;
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        types.push(type_text(&tokens[start..i]));
+        i += 1;
+    }
+    Ok(types)
+}
+
+fn parse_variants(group: &proc_macro::Group, enum_name: &str) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut ignored = FieldDefault::None;
+        i = skip_attrs(&tokens, i, &mut ignored);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde stub: expected variant in `{enum_name}`, got {other}"
+                ))
+            }
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(parse_tuple_fields(g)?)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => break,
+            Some(other) => {
+                return Err(format!(
+                    "serde stub: unexpected token {other} in enum `{enum_name}`"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__obj.push((::std::string::String::from({:?}), ::serde::Serialize::to_value(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(__obj)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, types } => {
+            if types.len() == 1 {
+                // Newtype structs serialize transparently, like real serde.
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n\
+                     }}"
+                )
+            } else {
+                let elems: Vec<String> = (0..types.len())
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> ::serde::Value {{\n\
+                             ::serde::Value::Array(vec![{}])\n\
+                         }}\n\
+                     }}",
+                    elems.join(", ")
+                )
+            }
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String(::std::string::String::from({vname:?}))"
+                        ),
+                        VariantKind::Tuple(types) => {
+                            let binds: Vec<String> =
+                                (0..types.len()).map(|i| format!("__f{i}")).collect();
+                            let inner = if types.len() == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![(::std::string::String::from({vname:?}), {inner})])",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({:?}), ::serde::Serialize::to_value({}))",
+                                        f.name, f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![(::std::string::String::from({vname:?}), ::serde::Value::Object(vec![{}]))])",
+                                binds.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let missing = match &f.default {
+                    FieldDefault::None => format!(
+                        "<{} as ::serde::Deserialize>::from_missing({:?})?",
+                        f.ty, f.name
+                    ),
+                    FieldDefault::StdDefault => "::std::default::Default::default()".to_string(),
+                    FieldDefault::Path(path) => format!("{path}()"),
+                };
+                inits.push_str(&format!(
+                    "{field}: match ::serde::__field(__obj, {fname:?}) {{\n\
+                         ::std::option::Option::Some(__fv) => <{ty} as ::serde::Deserialize>::from_value(__fv).map_err(|e| e.in_field({fname:?}))?,\n\
+                         ::std::option::Option::None => {missing},\n\
+                     }},\n",
+                    field = f.name,
+                    fname = f.name,
+                    ty = f.ty,
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<{name}, ::serde::DeError> {{\n\
+                         let __obj = match __v {{\n\
+                             ::serde::Value::Object(entries) => entries,\n\
+                             other => return ::std::result::Result::Err(::serde::DeError::type_mismatch(\"object\", other)),\n\
+                         }};\n\
+                         ::std::result::Result::Ok({name} {{\n\
+                             {inits}\
+                         }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, types } => {
+            if types.len() == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_value(__v: &::serde::Value) -> ::std::result::Result<{name}, ::serde::DeError> {{\n\
+                             ::std::result::Result::Ok({name}(<{} as ::serde::Deserialize>::from_value(__v)?))\n\
+                         }}\n\
+                     }}",
+                    types[0]
+                )
+            } else {
+                let n = types.len();
+                let elems: Vec<String> = types
+                    .iter()
+                    .enumerate()
+                    .map(|(i, ty)| {
+                        format!("<{ty} as ::serde::Deserialize>::from_value(&__items[{i}])?")
+                    })
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_value(__v: &::serde::Value) -> ::std::result::Result<{name}, ::serde::DeError> {{\n\
+                             let __items = match __v {{\n\
+                                 ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                                 other => return ::std::result::Result::Err(::serde::DeError::type_mismatch(\"array of length {n}\", other)),\n\
+                             }};\n\
+                             ::std::result::Result::Ok({name}({}))\n\
+                         }}\n\
+                     }}",
+                    elems.join(", ")
+                )
+            }
+        }
+        Item::Enum { name, variants } => {
+            // Externally tagged, like real serde: unit variants are plain
+            // strings; data-carrying variants are single-key objects.
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "{vname:?} => return ::std::result::Result::Ok({name}::{vname})",
+                        vname = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    let body = match &v.kind {
+                        VariantKind::Unit => return None,
+                        VariantKind::Tuple(types) if types.len() == 1 => format!(
+                            "::std::result::Result::Ok({name}::{vname}(<{} as ::serde::Deserialize>::from_value(__inner)?))",
+                            types[0]
+                        ),
+                        VariantKind::Tuple(types) => {
+                            let n = types.len();
+                            let elems: Vec<String> = types
+                                .iter()
+                                .enumerate()
+                                .map(|(i, ty)| {
+                                    format!("<{ty} as ::serde::Deserialize>::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{{ let __items = match __inner {{\n\
+                                     ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                                     other => return ::std::result::Result::Err(::serde::DeError::type_mismatch(\"array of length {n}\", other)),\n\
+                                 }};\n\
+                                 ::std::result::Result::Ok({name}::{vname}({})) }}",
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let mut inits = String::new();
+                            for f in fields {
+                                let missing = match &f.default {
+                                    FieldDefault::None => format!(
+                                        "<{} as ::serde::Deserialize>::from_missing({:?})?",
+                                        f.ty, f.name
+                                    ),
+                                    FieldDefault::StdDefault => {
+                                        "::std::default::Default::default()".to_string()
+                                    }
+                                    FieldDefault::Path(path) => format!("{path}()"),
+                                };
+                                inits.push_str(&format!(
+                                    "{field}: match ::serde::__field(__fields, {fname:?}) {{\n\
+                                         ::std::option::Option::Some(__fv) => <{ty} as ::serde::Deserialize>::from_value(__fv).map_err(|e| e.in_field({fname:?}))?,\n\
+                                         ::std::option::Option::None => {missing},\n\
+                                     }},\n",
+                                    field = f.name,
+                                    fname = f.name,
+                                    ty = f.ty,
+                                ));
+                            }
+                            format!(
+                                "{{ let __fields = match __inner {{\n\
+                                     ::serde::Value::Object(entries) => entries,\n\
+                                     other => return ::std::result::Result::Err(::serde::DeError::type_mismatch(\"object\", other)),\n\
+                                 }};\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {inits} }}) }}"
+                            )
+                        }
+                    };
+                    Some(format!("{vname:?} => return {body}"))
+                })
+                .collect();
+            let string_arm = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::serde::Value::String(__s) = __v {{\n\
+                         match __s.as_str() {{\n\
+                             {},\n\
+                             _ => {{}}\n\
+                         }}\n\
+                     }}\n",
+                    unit_arms.join(",\n")
+                )
+            };
+            let object_arm = if tagged_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::serde::Value::Object(__entries) = __v {{\n\
+                         if __entries.len() == 1 {{\n\
+                             let (__tag, __inner) = &__entries[0];\n\
+                             match __tag.as_str() {{\n\
+                                 {},\n\
+                                 _ => {{}}\n\
+                             }}\n\
+                         }}\n\
+                     }}\n",
+                    tagged_arms.join(",\n")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<{name}, ::serde::DeError> {{\n\
+                         {string_arm}\
+                         {object_arm}\
+                         ::std::result::Result::Err(::serde::DeError::custom(format!(\"invalid value for enum {name}: {{:?}}\", __v)))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}

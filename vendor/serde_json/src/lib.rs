@@ -1,0 +1,237 @@
+//! Minimal offline stand-in for `serde_json`: JSON text ⇄ the vendored
+//! serde [`Value`] tree. Floats print via Rust's shortest-roundtrip `{}`
+//! formatting with a trailing `.0` forced for whole numbers (so `1.0`
+//! round-trips as `1.0`, which the codec tests rely on); non-finite floats
+//! serialize as `null`, matching real serde_json.
+
+use serde::{Deserialize, Serialize};
+
+pub use serde::{Number, Value};
+
+mod parse;
+
+/// Error for both serialization and parsing (message + optional position).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+    /// 1-based line/column of a parse error, when known.
+    pos: Option<(usize, usize)>,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error {
+            msg: msg.into(),
+            pos: None,
+        }
+    }
+
+    fn at(msg: impl Into<String>, line: usize, col: usize) -> Error {
+        Error {
+            msg: msg.into(),
+            pos: Some((line, col)),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.pos {
+            Some((line, col)) => write!(f, "{} at line {} column {}", self.msg, line, col),
+            None => f.write_str(&self.msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to human-readable JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into any `Deserialize` type (or [`Value`] itself).
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T> {
+    let value = parse::parse(input)?;
+    Ok(T::from_value(&value)?)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), items.len(), indent, depth, |o, x, d| {
+            write_value(o, x, indent, d)
+        }),
+        Value::Object(entries) => write_seq(
+            out,
+            entries.iter(),
+            entries.len(),
+            indent,
+            depth,
+            |o, (k, x), d| {
+                write_string(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, x, indent, d);
+            },
+        ),
+    }
+}
+
+/// Shared layout for arrays and objects (only the delimiters differ).
+fn write_seq<I: Iterator>(
+    out: &mut String,
+    items: I,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, I::Item, usize),
+) where
+    I::Item: IsEntry,
+{
+    let (open, close) = if I::Item::IS_ENTRY {
+        ('{', '}')
+    } else {
+        ('[', ']')
+    };
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+/// Marker distinguishing object entries from array elements in `write_seq`.
+trait IsEntry {
+    const IS_ENTRY: bool;
+}
+
+impl IsEntry for &Value {
+    const IS_ENTRY: bool = false;
+}
+
+impl IsEntry for &(String, Value) {
+    const IS_ENTRY: bool = true;
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match n {
+        Number::UInt(u) => out.push_str(&u.to_string()),
+        Number::Int(i) => out.push_str(&i.to_string()),
+        Number::Float(f) if f.is_finite() => {
+            let s = format!("{f}");
+            out.push_str(&s);
+            // `{}` prints whole floats without a fractional part; force one
+            // so the value re-parses as a float, not an integer.
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        // serde_json serializes NaN/∞ as null.
+        Number::Float(_) => out.push_str("null"),
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_floats_keep_fraction() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&300.0f64).unwrap(), "300.0");
+        assert_eq!(to_string(&1.25f64).unwrap(), "1.25");
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let text = r#"{"a": [1, -2, 3.5], "b": null, "c": "x\"y", "d": true}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["a"][0], 1u64);
+        assert_eq!(v["a"][1], -2i64);
+        assert_eq!(v["a"][2], 3.5);
+        assert!(v["b"].is_null());
+        assert_eq!(v["c"], "x\"y");
+        let back = to_string(&v).unwrap();
+        let v2: Value = from_str(&back).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn big_u64_roundtrips_exactly() {
+        let id = u64::MAX - 3;
+        let text = to_string(&id).unwrap();
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(from_str::<Value>("{} x").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+    }
+
+    #[test]
+    fn pretty_prints_indented() {
+        let v: Value = from_str(r#"{"a":[1]}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+}
