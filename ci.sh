@@ -15,4 +15,27 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> profiled smoke run (stage spans + finite metrics)"
+# End-to-end observability gate: generate a smoke log, analyze it with
+# profiling on, and fail if any documented pipeline stage is missing from
+# the trace or any exported metric is non-finite (the CLI itself errors on
+# non-finite metrics; the greps below are belt and braces).
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cargo build --release -q -p autosens-cli
+./target/release/autosens generate --scenario smoke --out "$SMOKE_DIR/smoke.csv" --quiet
+./target/release/autosens analyze --in "$SMOKE_DIR/smoke.csv" --ci 25 \
+    --profile --trace-out "$SMOKE_DIR/trace.jsonl" \
+    --metrics-out "$SMOKE_DIR/metrics.json" --quiet > /dev/null
+for stage in sanitize alpha biased_pdf unbiased_pdf smoothing normalization ci_bootstrap; do
+    grep -q "\"$stage\"" "$SMOKE_DIR/trace.jsonl" || {
+        echo "ci.sh: stage span '$stage' missing from trace" >&2
+        exit 1
+    }
+done
+if grep -Eq 'NaN|[Ii]nf|null' "$SMOKE_DIR/metrics.json"; then
+    echo "ci.sh: non-finite value in metrics export" >&2
+    exit 1
+fi
+
 echo "==> ci.sh: all green"

@@ -1,0 +1,80 @@
+//! `bench_pipeline` — one-shot pipeline throughput baseline.
+//!
+//! Generates the paper-scale scenario (pass `--smoke` for a quick run),
+//! runs the full analysis (with a bootstrap confidence band) under a
+//! collecting recorder, and writes `BENCH_pipeline.json`: total
+//! wall-clock, per-stage timings, and a records/second throughput figure.
+//! The checked-in copy at the repo root is the baseline future
+//! performance PRs diff against; regenerate with
+//!
+//! ```text
+//! cargo run --release -p autosens-bench --bin bench_pipeline
+//! ```
+
+use std::time::Instant;
+
+use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_experiments::dataset::Dataset;
+use autosens_obs::{Recorder, StageTiming};
+use autosens_sim::{Scenario, SimConfig};
+use autosens_telemetry::query::Slice;
+use autosens_telemetry::record::{ActionType, UserClass};
+use serde::Serialize;
+
+/// Bootstrap replicates included in the timed run.
+const CI_REPLICATES: usize = 50;
+
+#[derive(Serialize)]
+struct PipelineBaseline {
+    scenario: String,
+    records: usize,
+    generate_ms: f64,
+    analyze_ms: f64,
+    records_per_sec: f64,
+    ci_replicates: usize,
+    stages: Vec<StageTiming>,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (scenario, name) = if smoke {
+        (Scenario::Smoke, "smoke")
+    } else {
+        (Scenario::PaperScale, "paper-scale")
+    };
+    let t0 = Instant::now();
+    let data = Dataset::from_config(&SimConfig::scenario(scenario), AutoSensConfig::default())
+        .expect("preset scenarios are valid");
+    let generate_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+    let recorder = Recorder::new();
+    let engine = AutoSens::with_recorder(AutoSensConfig::default(), recorder.clone());
+    let slice = Slice::all()
+        .action(ActionType::SelectMail)
+        .class(UserClass::Business);
+
+    let t1 = Instant::now();
+    let (report, _ci) = engine
+        .analyze_slice_with_ci(&data.log, &slice, CI_REPLICATES, 0.95)
+        .expect("bench-scale analysis succeeds");
+    let analyze_ms = t1.elapsed().as_secs_f64() * 1000.0;
+
+    let baseline = PipelineBaseline {
+        scenario: name.to_string(),
+        records: data.log.len(),
+        generate_ms,
+        analyze_ms,
+        records_per_sec: data.log.len() as f64 / (analyze_ms / 1000.0),
+        ci_replicates: CI_REPLICATES,
+        stages: report.stage_timings.unwrap_or_default(),
+    };
+
+    let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    let path = "BENCH_pipeline.json";
+    std::fs::write(path, format!("{json}\n")).expect("write baseline");
+    eprintln!(
+        "wrote {path}: {} records analyzed in {:.1} ms ({:.0} records/s)",
+        baseline.records, baseline.analyze_ms, baseline.records_per_sec
+    );
+    eprintln!("{}", recorder.finish().render());
+}

@@ -12,12 +12,15 @@ usage:
   autosens analyze  --in <path> [--format csv|jsonl] [--action A] [--class C]
                     [--period P] [--month M] [--tz HOURS] [--no-alpha]
                     [--reference MS] [--ci REPLICATES] [--json]
+                    [--profile] [--trace-out PATH] [--metrics-out PATH]
   autosens diagnose --in <path> [--format csv|jsonl]
   autosens alpha    --in <path> [--format csv|jsonl] [--action A] [--class C]
   autosens abandonment --in <path> [--format csv|jsonl] [--class C] [--gap MS]
   autosens report   --in <path> [--format csv|jsonl] [--action A] [--class C]
   autosens audit    --in <path> [--format csv|jsonl] [--json]
   autosens inject   --in <path> --plan <plan.json> --out <path> [--format csv|jsonl]
+
+  global:  [--quiet|-q] [--verbose|-v]
 
   actions: SelectMail | SwitchFolder | Search | ComposeSend | Other
   classes: Business | Consumer
@@ -78,6 +81,12 @@ pub enum Command {
         ci_replicates: Option<usize>,
         /// Emit JSON instead of a text table.
         json: bool,
+        /// Print the per-stage wall-clock profile to stderr.
+        profile: bool,
+        /// Write the span trace as JSONL to this path.
+        trace_out: Option<String>,
+        /// Write the metrics snapshot as JSON to this path.
+        metrics_out: Option<String>,
     },
     /// Run the locality diagnostics.
     Diagnose {
@@ -167,7 +176,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "--gap",
         "--json",
         "--plan",
+        "--profile",
+        "--trace-out",
+        "--metrics-out",
+        "--quiet",
+        "--verbose",
     ];
+    // Boolean flags take no value token.
+    let is_boolean = |a: &str| {
+        matches!(
+            a,
+            "--no-alpha" | "--json" | "--profile" | "--quiet" | "--verbose"
+        )
+    };
     // Reject unknown flags early (typos must not be silently ignored).
     let mut skip_next = false;
     for a in &rest {
@@ -175,12 +196,16 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             skip_next = false;
             continue;
         }
+        if matches!(a.as_str(), "-q" | "-v") {
+            // Short verbosity aliases, valid anywhere.
+            continue;
+        }
         if a.starts_with("--") {
             if !known_flags.contains(&a.as_str()) {
                 return Err(format!("unknown flag {a}"));
             }
             // Flags with values consume the next token.
-            if !matches!(a.as_str(), "--no-alpha" | "--json") {
+            if !is_boolean(a.as_str()) {
                 skip_next = true;
             }
         } else {
@@ -245,6 +270,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 })
                 .transpose()?,
             json: has("--json"),
+            profile: has("--profile"),
+            trace_out: flag("--trace-out").map(str::to_string),
+            metrics_out: flag("--metrics-out").map(str::to_string),
         }),
         "diagnose" => Ok(Command::Diagnose {
             input: flag("--in").ok_or("diagnose requires --in")?.to_string(),
@@ -282,6 +310,21 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         }),
         other => Err(format!("unknown subcommand {other:?}")),
     }
+}
+
+/// Extract the output verbosity from an argument vector. Independent of
+/// subcommand parsing so warnings emitted *during* parsing already honor it;
+/// the last flag wins when several are given.
+pub fn verbosity(argv: &[String]) -> autosens_obs::Verbosity {
+    let mut v = autosens_obs::Verbosity::Normal;
+    for a in argv {
+        match a.as_str() {
+            "--quiet" | "-q" => v = autosens_obs::Verbosity::Quiet,
+            "--verbose" | "-v" => v = autosens_obs::Verbosity::Verbose,
+            _ => {}
+        }
+    }
+    v
 }
 
 fn parse_period(s: &str) -> Result<DayPeriod, String> {
@@ -456,6 +499,50 @@ mod tests {
         assert!(parse(&sv(&["analyze", "--in", "x", "--bogus", "y"])).is_err());
         assert!(parse(&sv(&["analyze", "--in", "x", "stray"])).is_err());
         assert!(parse(&sv(&["generate", "--out", "x", "--scenario", "huge"])).is_err());
+    }
+
+    #[test]
+    fn parses_profiling_flags() {
+        let cmd = parse(&sv(&[
+            "analyze",
+            "--in",
+            "x.csv",
+            "--profile",
+            "--trace-out",
+            "trace.jsonl",
+            "--metrics-out",
+            "metrics.json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Analyze {
+                profile,
+                trace_out,
+                metrics_out,
+                ..
+            } => {
+                assert!(profile);
+                assert_eq!(trace_out.as_deref(), Some("trace.jsonl"));
+                assert_eq!(metrics_out.as_deref(), Some("metrics.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Verbosity flags are accepted anywhere, long or short.
+        assert!(parse(&sv(&["analyze", "--in", "x.csv", "--quiet"])).is_ok());
+        assert!(parse(&sv(&["audit", "--in", "x.csv", "-v"])).is_ok());
+    }
+
+    #[test]
+    fn extracts_verbosity() {
+        use autosens_obs::Verbosity;
+        assert_eq!(verbosity(&sv(&["analyze", "--in", "x"])), Verbosity::Normal);
+        assert_eq!(verbosity(&sv(&["analyze", "-q"])), Verbosity::Quiet);
+        assert_eq!(
+            verbosity(&sv(&["analyze", "--verbose"])),
+            Verbosity::Verbose
+        );
+        // Last one wins.
+        assert_eq!(verbosity(&sv(&["-v", "--quiet"])), Verbosity::Quiet);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             if let Some(seed) = seed {
                 cfg.seed = seed;
             }
-            eprintln!(
+            autosens_obs::info!(
                 "generating {} days for {} users (seed {})...",
                 cfg.days,
                 cfg.n_users(),
@@ -44,7 +44,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 Format::Jsonl => codec::write_jsonl(&log, &mut w),
             }
             .map_err(|e| e.to_string())?;
-            eprintln!("wrote {} records to {out}", log.len());
+            autosens_obs::info!("wrote {} records to {out}", log.len());
             Ok(())
         }
         Command::Analyze {
@@ -55,14 +55,25 @@ pub fn run(cmd: Command) -> Result<(), String> {
             reference_ms,
             ci_replicates,
             json,
+            profile,
+            trace_out,
+            metrics_out,
         } => {
+            let profiling = profile || trace_out.is_some() || metrics_out.is_some();
+            // One recorder for the whole run — the global one, so the codec
+            // spans emitted while reading the log land in the same trace as
+            // the pipeline stages, and every counter shares one registry.
+            let recorder = autosens_obs::Recorder::global().clone();
+            if profiling {
+                recorder.set_collecting(true);
+            }
             let log = read_log(&input, format)?;
             let config = AutoSensConfig {
                 alpha_correction: !no_alpha,
                 reference_latency_ms: reference_ms,
                 ..AutoSensConfig::default()
             };
-            let engine = AutoSens::new(config);
+            let engine = AutoSens::with_recorder(config, recorder.clone());
             let (report, ci) = match ci_replicates {
                 Some(replicates) => {
                     let (report, ci) = engine
@@ -80,7 +91,25 @@ pub fn run(cmd: Command) -> Result<(), String> {
             // Surface survived data-quality problems on stderr so they are
             // visible in both output modes without contaminating the JSON.
             for d in &report.degradations {
-                eprintln!("warning: degraded input: {d}");
+                autosens_obs::warn!("degraded input: {d}");
+            }
+            if profiling {
+                let tree = recorder.finish();
+                if profile {
+                    eprint!("{}", tree.render());
+                }
+                if let Some(path) = &trace_out {
+                    std::fs::write(path, tree.to_jsonl())
+                        .map_err(|e| format!("write {path}: {e}"))?;
+                }
+                if let Some(path) = &metrics_out {
+                    let snapshot = recorder.metrics().snapshot();
+                    snapshot
+                        .validate_finite()
+                        .map_err(|e| format!("non-finite metric: {e}"))?;
+                    std::fs::write(path, snapshot.to_json())
+                        .map_err(|e| format!("write {path}: {e}"))?;
+                }
             }
             if json {
                 let summary = PreferenceSummary::from_report(
@@ -241,8 +270,8 @@ pub fn run(cmd: Command) -> Result<(), String> {
             }
             .map_err(|e| e.to_string())?;
             if !errors.is_empty() {
-                eprintln!(
-                    "warning: skipped {} malformed row(s) ({} stored, {} past cap)",
+                autosens_obs::warn!(
+                    "skipped {} malformed row(s) ({} stored, {} past cap)",
                     errors.total(),
                     errors.len(),
                     errors.overflow()
@@ -277,7 +306,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 Format::Jsonl => codec::write_jsonl(&corrupted, &mut w),
             }
             .map_err(|e| e.to_string())?;
-            eprintln!(
+            autosens_obs::info!(
                 "injected {} fault op(s) (seed {}): {} -> {} records, wrote {out}",
                 plan.ops.len(),
                 plan.seed,
@@ -285,7 +314,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 corrupted.len()
             );
             for op in &plan.ops {
-                eprintln!("  - {}", op.describe());
+                autosens_obs::debug!("fault op: {}", op.describe());
             }
             Ok(())
         }

@@ -26,6 +26,7 @@ mod commands;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    autosens_obs::set_verbosity(args::verbosity(&argv));
     match args::parse(&argv) {
         Ok(cmd) => match commands::run(cmd) {
             Ok(()) => ExitCode::SUCCESS,

@@ -197,6 +197,94 @@ fn abandonment_command_prints_continuation() {
 }
 
 #[test]
+fn profile_prints_stage_tree_and_writes_artifacts() {
+    let path = tmp_path("profile.csv");
+    let trace = tmp_path("trace.jsonl");
+    let metrics = tmp_path("metrics.json");
+    generate_csv(&path);
+    let out = run_ok(bin().args([
+        "analyze",
+        "--in",
+        path.to_str().unwrap(),
+        "--ci",
+        "25",
+        "--profile",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        metrics.to_str().unwrap(),
+    ]));
+    // The stage tree lands on stderr with every documented stage.
+    let err = String::from_utf8_lossy(&out.stderr);
+    for stage in [
+        "analyze",
+        "sanitize",
+        "alpha",
+        "biased_pdf",
+        "unbiased_pdf",
+        "smoothing",
+        "normalization",
+        "ci_bootstrap",
+        "codec.read_csv",
+    ] {
+        assert!(err.contains(stage), "missing stage {stage:?} in:\n{err}");
+    }
+    // stdout is still the normal table, untouched by profiling.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ci lo"));
+
+    // The trace is valid JSONL: every line parses as a JSON object.
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(!trace_text.trim().is_empty());
+    for line in trace_text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid trace line");
+        assert!(v["name"].as_str().is_some(), "{line}");
+    }
+
+    // The metrics snapshot is valid JSON and carries the pipeline counters.
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics written");
+    let v: serde_json::Value = serde_json::from_str(&metrics_text).expect("valid metrics JSON");
+    let counters = v["counters"].as_array().expect("counters array");
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|c| c["name"] == name)
+            .and_then(|c| c["value"].as_f64())
+            .unwrap_or_else(|| panic!("missing counter {name} in {metrics_text}"))
+    };
+    assert_eq!(get("autosens_core_analyses_total"), 1.0);
+    assert!(get("autosens_core_records_read_total") > 0.0);
+    assert!(get("autosens_telemetry_records_read_total") > 0.0);
+    assert!(get("autosens_core_bootstrap_replicates_total") >= 25.0);
+
+    for p in [&path, &trace, &metrics] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn quiet_suppresses_progress_and_json_stays_clean() {
+    let path = tmp_path("quiet.csv");
+    let out = run_ok(bin().args([
+        "generate",
+        "--scenario",
+        "smoke",
+        "--out",
+        path.to_str().unwrap(),
+        "--quiet",
+    ]));
+    assert!(
+        out.stderr.is_empty(),
+        "quiet generate still wrote stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = run_ok(bin().args(["analyze", "--in", path.to_str().unwrap(), "--json", "-q"]));
+    assert!(out.stderr.is_empty());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let _: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn bad_usage_exits_nonzero_with_usage_text() {
     let out = bin().args(["frobnicate"]).output().expect("runs");
     assert!(!out.status.success());

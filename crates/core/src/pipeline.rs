@@ -4,6 +4,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use autosens_obs::{Recorder, StageTiming};
 use autosens_stats::histogram::Histogram;
 use autosens_telemetry::log::TelemetryLog;
 use autosens_telemetry::query::Slice;
@@ -21,6 +22,21 @@ use crate::unbiased::unbiased_histogram;
 /// The per-quartile analyses of [`AutoSens::by_latency_quartile`]:
 /// quartile index (0 = Q1, fastest users) paired with that slice's result.
 pub type QuartileAnalyses = Vec<(usize, Result<AnalysisReport, AutoSensError>)>;
+
+/// The span names of the documented pipeline stages, in execution order.
+/// Every [`AutoSens::analyze_slice`] run (with the α correction enabled)
+/// produces exactly one span per stage under its `"analyze"` root.
+pub const STAGES: &[&str] = &[
+    "sanitize",
+    "alpha",
+    "biased_pdf",
+    "unbiased_pdf",
+    "smoothing",
+    "normalization",
+];
+
+/// The additional stage traced by [`AutoSens::analyze_slice_with_ci`].
+pub const CI_STAGE: &str = "ci_bootstrap";
 
 /// A recoverable data-quality problem the pipeline worked around instead of
 /// aborting. An [`AnalysisReport`] carrying degradations is still a valid
@@ -55,18 +71,42 @@ pub struct AnalysisReport {
     pub unbiased: Histogram,
     /// Data-quality problems survived along the way (empty on clean input).
     pub degradations: Vec<Degradation>,
+    /// Wall-clock time per pipeline stage (see [`STAGES`]), in execution
+    /// order. `None` only for reports built before instrumentation ran
+    /// (e.g. deserialized from older artifacts).
+    pub stage_timings: Option<Vec<StageTiming>>,
 }
 
 /// The AutoSens analysis engine.
 #[derive(Debug, Clone)]
 pub struct AutoSens {
     config: AutoSensConfig,
+    recorder: Recorder,
 }
 
 impl AutoSens {
     /// Create an engine with a configuration (validated at analysis time).
+    ///
+    /// The engine times its stages (so reports carry `stage_timings`) but
+    /// does not buffer trace spans; use [`AutoSens::with_recorder`] to
+    /// collect a full span tree and per-analysis metrics.
     pub fn new(config: AutoSensConfig) -> Self {
-        AutoSens { config }
+        AutoSens {
+            config,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Create an engine that records spans and metrics into `recorder`.
+    pub fn with_recorder(config: AutoSensConfig, recorder: Recorder) -> Self {
+        AutoSens { config, recorder }
+    }
+
+    /// The engine's recorder (drain it with [`Recorder::finish`] after a
+    /// run to obtain the span tree; its metrics registry holds the
+    /// pipeline counters).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The engine's configuration.
@@ -87,10 +127,14 @@ impl AutoSens {
     ) -> Result<AnalysisReport, AutoSensError> {
         let binner = self.config.binner()?;
         let mut degradations = Vec::new();
+        let mut timings: Vec<StageTiming> = Vec::new();
+        let mut root = self.recorder.root("analyze");
+
         // Sanitize: real telemetry arrives out of order (shard merges, clock
         // skew) and duplicated (re-delivered upload batches). Repair what is
         // repairable and record the repair instead of failing. Slicing
         // re-sorts as a side effect, so the order check looks at the input.
+        let mut span = root.child("sanitize");
         if !log.is_sorted() {
             degradations.push(Degradation {
                 stage: "sanitize".into(),
@@ -99,6 +143,7 @@ impl AutoSens {
         }
         let mut sub = slice.clone().successes().apply(log);
         sub.ensure_sorted();
+        let records_in = sub.len();
         let removed = sub.dedup_exact();
         if removed > 0 {
             degradations.push(Degradation {
@@ -106,6 +151,12 @@ impl AutoSens {
                 detail: format!("removed {removed} exact duplicate records"),
             });
         }
+        span.field("records_in", records_in);
+        span.field("records_dropped", removed);
+        timings.push(StageTiming {
+            stage: "sanitize".into(),
+            wall_ms: span.finish(),
+        });
         if sub.is_empty() {
             return Err(AutoSensError::EmptySlice(
                 "slice selected no successful actions".into(),
@@ -119,6 +170,8 @@ impl AutoSens {
             Grouping::HourSlots
         };
         let (biased, unbiased, alpha) = if self.config.alpha_correction {
+            let mut span = root.child("alpha");
+            span.field("groups", grouping.n_groups());
             let est = estimate_alpha(&sub, &binner, grouping, &self.config, &mut rng)?;
             // Groups with data but no usable α are dropped from the pooled
             // histograms; surface each exclusion as a degradation so the
@@ -134,16 +187,67 @@ impl AutoSens {
                     });
                 }
             }
+            timings.push(StageTiming {
+                stage: "alpha".into(),
+                wall_ms: span.finish(),
+            });
+            let span = root.child("biased_pdf");
             let b = est.normalized_biased(&binner)?;
+            timings.push(StageTiming {
+                stage: "biased_pdf".into(),
+                wall_ms: span.finish(),
+            });
+            let span = root.child("unbiased_pdf");
             let u = est.pooled_unbiased(&binner)?;
+            timings.push(StageTiming {
+                stage: "unbiased_pdf".into(),
+                wall_ms: span.finish(),
+            });
             (b, u, Some(est))
         } else {
+            let span = root.child("biased_pdf");
             let b = biased_histogram(&sub, &binner);
+            timings.push(StageTiming {
+                stage: "biased_pdf".into(),
+                wall_ms: span.finish(),
+            });
+            let mut span = root.child("unbiased_pdf");
+            span.field("draws", self.config.unbiased_draws);
             let u = unbiased_histogram(&sub, &binner, self.config.unbiased_draws, &mut rng)?;
+            timings.push(StageTiming {
+                stage: "unbiased_pdf".into(),
+                wall_ms: span.finish(),
+            });
             (b, u, None)
         };
 
-        let preference = NormalizedPreference::fit(&biased, &unbiased, &self.config)?;
+        let preference = NormalizedPreference::fit_traced(
+            &biased,
+            &unbiased,
+            &self.config,
+            &root,
+            &mut timings,
+        )?;
+
+        let metrics = self.recorder.metrics();
+        metrics.counter("autosens_core_analyses_total").inc();
+        metrics
+            .counter("autosens_core_records_read_total")
+            .add(records_in as u64);
+        metrics
+            .counter("autosens_core_records_dropped_total")
+            .add(removed as u64);
+        metrics
+            .counter("autosens_core_degradations_total")
+            .add(degradations.len() as u64);
+        for d in &degradations {
+            metrics
+                .counter(&format!("autosens_core_degradations_{}_total", d.stage))
+                .inc();
+        }
+        root.field("n_actions", sub.len());
+        root.field("degradations", degradations.len());
+
         Ok(AnalysisReport {
             preference,
             alpha,
@@ -151,6 +255,7 @@ impl AutoSens {
             biased,
             unbiased,
             degradations,
+            stage_timings: Some(timings),
         })
     }
 
@@ -238,8 +343,10 @@ impl AutoSens {
         replicates: usize,
         level: f64,
     ) -> Result<(AnalysisReport, crate::ci::PreferenceCi), AutoSensError> {
-        let report = self.analyze_slice(log, slice)?;
+        let mut report = self.analyze_slice(log, slice)?;
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xC1);
+        let mut span = self.recorder.root(CI_STAGE);
+        span.field("replicates_requested", replicates);
         let ci = crate::ci::preference_ci(
             &report.biased,
             &report.unbiased,
@@ -248,6 +355,18 @@ impl AutoSens {
             level,
             &mut rng,
         )?;
+        span.field("replicates_ok", ci.replicates);
+        self.recorder
+            .metrics()
+            .counter("autosens_core_bootstrap_replicates_total")
+            .add(ci.replicates as u64);
+        let wall_ms = span.finish();
+        if let Some(timings) = report.stage_timings.as_mut() {
+            timings.push(StageTiming {
+                stage: CI_STAGE.into(),
+                wall_ms,
+            });
+        }
         Ok((report, ci))
     }
 
@@ -520,6 +639,107 @@ mod tests {
             .degradations
             .iter()
             .any(|d| d.detail.contains("duplicate")));
+    }
+
+    #[test]
+    fn analyze_produces_one_span_per_documented_stage() {
+        let log = smoke_log();
+        let recorder = autosens_obs::Recorder::new();
+        let engine = AutoSens::with_recorder(fast_config(), recorder.clone());
+        let report = engine.analyze(&log).unwrap();
+        let tree = recorder.finish();
+        assert_eq!(tree.count_named("analyze"), 1, "{}", tree.render());
+        for stage in STAGES {
+            assert_eq!(
+                tree.count_named(stage),
+                1,
+                "stage {stage} missing or duplicated:\n{}",
+                tree.render()
+            );
+        }
+        // Stage timings mirror the span tree (same stages, same order).
+        let timings = report.stage_timings.as_ref().unwrap();
+        let stages: Vec<&str> = timings.iter().map(|t| t.stage.as_str()).collect();
+        assert_eq!(stages, STAGES.to_vec());
+        assert!(timings.iter().all(|t| t.wall_ms >= 0.0));
+        // Every stage span nests under the analyze root.
+        let root_id = tree
+            .spans()
+            .iter()
+            .find(|s| s.name == "analyze")
+            .unwrap()
+            .id;
+        for stage in ["sanitize", "alpha", "biased_pdf", "unbiased_pdf"] {
+            let span = tree.spans().iter().find(|s| s.name == stage).unwrap();
+            assert_eq!(span.parent, Some(root_id), "{stage} not under analyze");
+        }
+    }
+
+    #[test]
+    fn ci_analysis_adds_the_bootstrap_stage() {
+        let log = smoke_log();
+        let recorder = autosens_obs::Recorder::new();
+        let engine = AutoSens::with_recorder(fast_config(), recorder.clone());
+        let (report, ci) = engine
+            .analyze_slice_with_ci(&log, &Slice::all(), 25, 0.95)
+            .unwrap();
+        let timings = report.stage_timings.unwrap();
+        assert_eq!(timings.last().unwrap().stage, CI_STAGE);
+        assert_eq!(recorder.finish().count_named(CI_STAGE), 1);
+        assert_eq!(
+            recorder
+                .metrics()
+                .snapshot()
+                .counter("autosens_core_bootstrap_replicates_total"),
+            Some(ci.replicates as u64)
+        );
+    }
+
+    #[test]
+    fn degradation_counters_match_the_report() {
+        use autosens_faults::{FaultOp, FaultPlan};
+        let log = smoke_log();
+        let plan = FaultPlan {
+            seed: 0xBAD2,
+            ops: vec![
+                FaultOp::Duplicate { rate: 0.05 },
+                FaultOp::Reorder {
+                    rate: 0.05,
+                    max_shift_ms: 60_000,
+                },
+            ],
+        };
+        let corrupted = plan.apply(&log).unwrap();
+        let recorder = autosens_obs::Recorder::new();
+        let engine = AutoSens::with_recorder(fast_config(), recorder.clone());
+        let report = engine.analyze(&corrupted).unwrap();
+        assert!(!report.degradations.is_empty());
+        let snap = recorder.metrics().snapshot();
+        assert_eq!(
+            snap.counter("autosens_core_degradations_total"),
+            Some(report.degradations.len() as u64)
+        );
+        // Per-kind counters partition the total exactly.
+        for stage in ["sanitize", "alpha"] {
+            let want = report
+                .degradations
+                .iter()
+                .filter(|d| d.stage == stage)
+                .count() as u64;
+            let got = snap
+                .counter(&format!("autosens_core_degradations_{stage}_total"))
+                .unwrap_or(0);
+            assert_eq!(got, want, "stage {stage}");
+        }
+        assert_eq!(
+            snap.counter("autosens_core_records_dropped_total")
+                .unwrap_or(0)
+                > 0,
+            report
+                .degradations
+                .iter()
+                .any(|d| d.detail.contains("duplicate"))
+        );
     }
 
     #[test]

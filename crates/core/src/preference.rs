@@ -45,6 +45,20 @@ impl NormalizedPreference {
         unbiased: &Histogram,
         cfg: &AutoSensConfig,
     ) -> Result<NormalizedPreference, AutoSensError> {
+        let parent = autosens_obs::Span::noop("fit");
+        NormalizedPreference::fit_traced(biased, unbiased, cfg, &parent, &mut Vec::new())
+    }
+
+    /// [`NormalizedPreference::fit`] with tracing: the smoothing and
+    /// normalization stages open child spans under `parent` and append
+    /// their wall-clock timings to `timings`.
+    pub(crate) fn fit_traced(
+        biased: &Histogram,
+        unbiased: &Histogram,
+        cfg: &AutoSensConfig,
+        parent: &autosens_obs::Span,
+        timings: &mut Vec<autosens_obs::StageTiming>,
+    ) -> Result<NormalizedPreference, AutoSensError> {
         cfg.validate()?;
         let binner = biased.binner().clone();
         if !binner.same_grid(unbiased.binner()) {
@@ -84,6 +98,9 @@ impl NormalizedPreference {
         // checked, so a last element exists.
         let last = *supported.last().expect("non-empty");
 
+        let mut span = parent.child("smoothing");
+        span.field("supported_bins", supported.len());
+        span.field("window", cfg.savgol_window);
         // Contiguous series over the span with interpolated holes.
         let series = interpolate_holes(&raw[first..=last]);
 
@@ -99,7 +116,12 @@ impl NormalizedPreference {
                 what: "smoothed B/U ratio".into(),
             });
         }
+        timings.push(autosens_obs::StageTiming {
+            stage: "smoothing".into(),
+            wall_ms: span.finish(),
+        });
 
+        let span = parent.child("normalization");
         let ref_bin = binner
             .index_of(cfg.reference_latency_ms)
             .filter(|&i| i >= first && i <= last)
@@ -119,6 +141,10 @@ impl NormalizedPreference {
             // clamp at zero (a negative preference is meaningless).
             normalized[first + k] = Some((v / ref_value).max(0.0));
         }
+        timings.push(autosens_obs::StageTiming {
+            stage: "normalization".into(),
+            wall_ms: span.finish(),
+        });
 
         Ok(NormalizedPreference {
             binner,

@@ -11,6 +11,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod profile;
 pub mod robustness;
 pub mod sweep;
 pub mod table1;
@@ -112,6 +113,8 @@ pub fn by_id(data: &Dataset, id: &str) -> Option<Artifact> {
         "sweep" => Some(sweep::generate_sweep()),
         "abandonment-ext" => Some(abandonment_ext::generate_abandonment()),
         "robustness" => Some(robustness::generate_robustness()),
+        // Profiles the *loaded* dataset, so `--bench` profiles smoke scale.
+        "profile" => Some(profile::generate(data)),
         _ => None,
     }
 }

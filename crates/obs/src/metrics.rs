@@ -1,0 +1,526 @@
+//! The metrics registry: named monotonic counters, gauges, and fixed-bucket
+//! histograms, updated lock-free from any thread and exported as a
+//! [`MetricsSnapshot`] (JSON via serde, or Prometheus text exposition
+//! format).
+//!
+//! Naming convention: `autosens_<crate>_<name>`, lower snake case, with a
+//! `_total` suffix on monotonic counters — e.g.
+//! `autosens_core_records_read_total`. Histogram buckets reuse
+//! [`autosens_stats::binning::Binner`], so pipeline code and its metrics
+//! agree about bin edges.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use autosens_stats::binning::Binner;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A monotonic counter handle (cheap to clone, lock-free to update).
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a settable `f64` (stored as bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    binner: Binner,
+    buckets: Vec<AtomicU64>,
+    /// Samples above the last bin edge (the `+Inf` bucket's exclusive part).
+    overflow: AtomicU64,
+    count: AtomicU64,
+    /// Sum of observed values, as f64 bits updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle. Buckets come from a
+/// [`Binner`]; samples below the range land in the first bucket, samples
+/// above it in the implicit `+Inf` bucket.
+#[derive(Debug, Clone)]
+pub struct HistogramMetric(Arc<HistInner>);
+
+impl HistogramMetric {
+    /// Record one observation. NaN observations are ignored (a NaN would
+    /// poison the sum and match no bucket).
+    pub fn observe(&self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let inner = &self.0;
+        match inner.binner.index_of(value.max(inner.binner.lo())) {
+            Some(i) => inner.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => inner.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        let mut old = inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(old) + value).to_bits();
+            match inner.sum_bits.compare_exchange_weak(
+                old,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => old = actual,
+            }
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations so far.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, HistogramMetric>>,
+}
+
+/// A named-metric registry. Cloning is cheap (an `Arc` handle); handles
+/// returned by the getters stay valid for the registry's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+fn assert_metric_name(name: &str) {
+    debug_assert!(
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+        "metric names are lower snake case (autosens_<crate>_<name>), got {name:?}"
+    );
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The process-wide registry used by instrumentation in crates that
+    /// have no handle to thread (telemetry codecs, the simulator).
+    pub fn global() -> &'static MetricsRegistry {
+        use std::sync::OnceLock;
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// Get or create a monotonic counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        assert_metric_name(name);
+        self.inner
+            .counters
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Get or create a gauge (initial value 0.0).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        assert_metric_name(name);
+        self.inner
+            .gauges
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+            .clone()
+    }
+
+    /// Get or create a fixed-bucket histogram. The binner is only used on
+    /// first creation; later calls return the existing histogram unchanged.
+    pub fn histogram(&self, name: &str, binner: &Binner) -> HistogramMetric {
+        assert_metric_name(name);
+        self.inner
+            .histograms
+            .lock()
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                let n = binner.n_bins();
+                HistogramMetric(Arc::new(HistInner {
+                    binner: binner.clone(),
+                    buckets: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                    overflow: AtomicU64::new(0),
+                    count: AtomicU64::new(0),
+                    sum_bits: AtomicU64::new(0f64.to_bits()),
+                }))
+            })
+            .clone()
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .iter()
+            .map(|(name, c)| CounterSample {
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .iter()
+            .map(|(name, g)| GaugeSample {
+                name: name.clone(),
+                value: g.get(),
+            })
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .iter()
+            .map(|(name, h)| {
+                let inner = &h.0;
+                let mut cumulative = 0u64;
+                let buckets = inner
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| {
+                        cumulative += b.load(Ordering::Relaxed);
+                        HistogramBucket {
+                            le: inner.binner.lo() + inner.binner.width() * (i as f64 + 1.0),
+                            count: cumulative,
+                        }
+                    })
+                    .collect();
+                HistogramSample {
+                    name: name.clone(),
+                    buckets,
+                    sum: h.sum(),
+                    count: h.count(),
+                }
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// One counter in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Metric name.
+    pub name: String,
+    /// Counter value at snapshot time.
+    pub value: u64,
+}
+
+/// One gauge in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Metric name.
+    pub name: String,
+    /// Gauge value at snapshot time.
+    pub value: f64,
+}
+
+/// One histogram bucket: cumulative count of observations `<= le`
+/// (Prometheus semantics). The implicit `+Inf` bucket is the sample's
+/// total `count`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Upper bucket edge (inclusive).
+    pub le: f64,
+    /// Cumulative observation count up to this edge.
+    pub count: u64,
+}
+
+/// One histogram in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Metric name.
+    pub name: String,
+    /// Cumulative buckets, ascending by edge.
+    pub buckets: Vec<HistogramBucket>,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Total observation count (the `+Inf` bucket).
+    pub count: u64,
+}
+
+/// A point-in-time export of a [`MetricsRegistry`], serializable as JSON
+/// and renderable as Prometheus text exposition format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters, sorted by name.
+    pub counters: Vec<CounterSample>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<GaugeSample>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Look up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Error when any exported value is non-finite (a NaN or ±∞ in a
+    /// metrics artifact means the instrumentation itself is broken).
+    pub fn validate_finite(&self) -> Result<(), String> {
+        for g in &self.gauges {
+            if !g.value.is_finite() {
+                return Err(format!("gauge {} is non-finite ({})", g.name, g.value));
+            }
+        }
+        for h in &self.histograms {
+            if !h.sum.is_finite() {
+                return Err(format!(
+                    "histogram {} sum is non-finite ({})",
+                    h.name, h.sum
+                ));
+            }
+            for b in &h.buckets {
+                if !b.le.is_finite() {
+                    return Err(format!("histogram {} has non-finite bucket edge", h.name));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Parse the JSON produced by [`MetricsSnapshot::to_json`].
+    pub fn from_json(text: &str) -> Result<MetricsSnapshot, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Render as Prometheus text exposition format (version 0.0.4).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            out.push_str(&format!(
+                "# TYPE {} counter\n{} {}\n",
+                c.name, c.name, c.value
+            ));
+        }
+        for g in &self.gauges {
+            out.push_str(&format!(
+                "# TYPE {} gauge\n{} {}\n",
+                g.name, g.name, g.value
+            ));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!("# TYPE {} histogram\n", h.name));
+            for b in &h.buckets {
+                out.push_str(&format!(
+                    "{}_bucket{{le=\"{}\"}} {}\n",
+                    h.name, b.le, b.count
+                ));
+            }
+            out.push_str(&format!(
+                "{}_bucket{{le=\"+Inf\"}} {}\n{}_sum {}\n{}_count {}\n",
+                h.name, h.count, h.name, h.sum, h.name, h.count
+            ));
+        }
+        out
+    }
+
+    /// Parse the text produced by [`MetricsSnapshot::to_prometheus`] back
+    /// into a snapshot (used by tests to prove the export is lossless; not
+    /// a general Prometheus parser).
+    pub fn from_prometheus(text: &str) -> Result<MetricsSnapshot, String> {
+        let mut snap = MetricsSnapshot::default();
+        let mut kind_of: BTreeMap<String, String> = BTreeMap::new();
+        let mut hists: BTreeMap<String, HistogramSample> = BTreeMap::new();
+        let mut hist_order: Vec<String> = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            let at = |msg: &str| format!("prometheus line {}: {msg}", i + 1);
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, kind) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| at("malformed TYPE comment"))?;
+                kind_of.insert(name.to_string(), kind.to_string());
+                if kind == "histogram" {
+                    hist_order.push(name.to_string());
+                    hists.insert(
+                        name.to_string(),
+                        HistogramSample {
+                            name: name.to_string(),
+                            buckets: Vec::new(),
+                            sum: 0.0,
+                            count: 0,
+                        },
+                    );
+                }
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| at("expected `name value`"))?;
+            if let Some((name, label)) = key.split_once("_bucket{le=\"") {
+                let hist = hists
+                    .get_mut(name)
+                    .ok_or_else(|| at("bucket before TYPE"))?;
+                let edge = label
+                    .strip_suffix("\"}")
+                    .ok_or_else(|| at("malformed le label"))?;
+                let count: u64 = value.parse().map_err(|_| at("bad bucket count"))?;
+                if edge != "+Inf" {
+                    let le: f64 = edge.parse().map_err(|_| at("bad bucket edge"))?;
+                    hist.buckets.push(HistogramBucket { le, count });
+                }
+                continue;
+            }
+            if let Some(name) = key.strip_suffix("_sum") {
+                if let Some(hist) = hists.get_mut(name) {
+                    hist.sum = value.parse().map_err(|_| at("bad histogram sum"))?;
+                    continue;
+                }
+            }
+            if let Some(name) = key.strip_suffix("_count") {
+                if let Some(hist) = hists.get_mut(name) {
+                    hist.count = value.parse().map_err(|_| at("bad histogram count"))?;
+                    continue;
+                }
+            }
+            match kind_of.get(key).map(String::as_str) {
+                Some("counter") => snap.counters.push(CounterSample {
+                    name: key.to_string(),
+                    value: value.parse().map_err(|_| at("bad counter value"))?,
+                }),
+                Some("gauge") => snap.gauges.push(GaugeSample {
+                    name: key.to_string(),
+                    value: value.parse().map_err(|_| at("bad gauge value"))?,
+                }),
+                _ => return Err(at(&format!("sample {key:?} before its TYPE"))),
+            }
+        }
+        for name in hist_order {
+            // Invariant: every name in hist_order was inserted above.
+            snap.histograms.push(hists.remove(&name).expect("inserted"));
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosens_stats::binning::OutOfRange;
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("autosens_test_hits_total");
+        let b = reg.counter("autosens_test_hits_total");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        let g = reg.gauge("autosens_test_level");
+        g.set(2.5);
+        assert_eq!(reg.gauge("autosens_test_level").get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_snapshots() {
+        let reg = MetricsRegistry::new();
+        let binner = Binner::new(0.0, 30.0, 10.0, OutOfRange::Discard).unwrap();
+        let h = reg.histogram("autosens_test_latency_ms", &binner);
+        for v in [5.0, 15.0, 15.0, 25.0, 99.0, -3.0] {
+            h.observe(v);
+        }
+        h.observe(f64::NAN); // ignored
+        let snap = reg.snapshot();
+        let hist = &snap.histograms[0];
+        assert_eq!(hist.count, 6);
+        // Cumulative: <=10 holds 5.0 and the clamped-below -3.0; <=20 adds
+        // the two 15.0s; <=30 adds 25.0; 99.0 only reaches +Inf (count).
+        let counts: Vec<u64> = hist.buckets.iter().map(|b| b.count).collect();
+        assert_eq!(counts, vec![2, 4, 5]);
+        assert!((hist.sum - (5.0 + 15.0 + 15.0 + 25.0 + 99.0 - 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let reg = MetricsRegistry::new();
+        reg.counter("autosens_test_a_total").add(7);
+        reg.gauge("autosens_test_b").set(1.25);
+        let binner = Binner::new(0.0, 20.0, 10.0, OutOfRange::Discard).unwrap();
+        reg.histogram("autosens_test_c", &binner).observe(5.0);
+        let snap = reg.snapshot();
+        let parsed = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn validate_finite_catches_poisoned_gauges() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("autosens_test_bad").set(f64::INFINITY);
+        let err = reg.snapshot().validate_finite().unwrap_err();
+        assert!(err.contains("autosens_test_bad"), "{err}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Verbosity-gated operator messages.
+//!
+//! The CLI used to scatter bare `eprintln!` calls; this module centralizes
+//! them so (1) machine-readable stdout is never polluted — everything here
+//! goes to stderr, (2) `--quiet` can silence them, and (3) every warning is
+//! counted in the global metrics registry
+//! (`autosens_obs_warnings_total`), making warning volume observable.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::metrics::MetricsRegistry;
+
+/// How chatty stderr should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// Warnings and progress are suppressed (errors still print).
+    Quiet = 0,
+    /// Warnings and progress print (the default).
+    Normal = 1,
+    /// Additionally print diagnostic detail.
+    Verbose = 2,
+}
+
+static VERBOSITY: AtomicU8 = AtomicU8::new(Verbosity::Normal as u8);
+
+/// Set the process-wide verbosity.
+pub fn set_verbosity(v: Verbosity) {
+    VERBOSITY.store(v as u8, Ordering::Relaxed);
+}
+
+/// The process-wide verbosity.
+pub fn verbosity() -> Verbosity {
+    match VERBOSITY.load(Ordering::Relaxed) {
+        0 => Verbosity::Quiet,
+        1 => Verbosity::Normal,
+        _ => Verbosity::Verbose,
+    }
+}
+
+/// Emit a warning to stderr (unless quiet) and count it. Prefer the
+/// [`crate::warn!`] macro.
+pub fn emit_warning(args: std::fmt::Arguments<'_>) {
+    MetricsRegistry::global()
+        .counter("autosens_obs_warnings_total")
+        .inc();
+    if verbosity() >= Verbosity::Normal {
+        eprintln!("warning: {args}");
+    }
+}
+
+/// Emit a progress/info line to stderr (unless quiet). Prefer the
+/// [`crate::info!`] macro.
+pub fn emit_info(args: std::fmt::Arguments<'_>) {
+    if verbosity() >= Verbosity::Normal {
+        eprintln!("{args}");
+    }
+}
+
+/// Emit a diagnostic line to stderr (verbose runs only). Prefer the
+/// [`crate::debug!`] macro.
+pub fn emit_debug(args: std::fmt::Arguments<'_>) {
+    if verbosity() >= Verbosity::Verbose {
+        eprintln!("debug: {args}");
+    }
+}
+
+/// Print `warning: <formatted message>` to stderr (respecting verbosity)
+/// and bump `autosens_obs_warnings_total`.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::warn::emit_warning(format_args!($($arg)*))
+    };
+}
+
+/// Print a progress line to stderr, suppressed by `--quiet`.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::warn::emit_info(format_args!($($arg)*))
+    };
+}
+
+/// Print a diagnostic line to stderr, shown only with `-v`.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::warn::emit_debug(format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warnings_are_counted_even_when_quiet() {
+        let counter = MetricsRegistry::global().counter("autosens_obs_warnings_total");
+        let before = counter.get();
+        let saved = verbosity();
+        set_verbosity(Verbosity::Quiet);
+        crate::warn!("something {} happened", "odd");
+        set_verbosity(saved);
+        assert_eq!(counter.get(), before + 1);
+    }
+
+    #[test]
+    fn verbosity_orders() {
+        assert!(Verbosity::Quiet < Verbosity::Normal);
+        assert!(Verbosity::Normal < Verbosity::Verbose);
+    }
+}

@@ -71,6 +71,9 @@ fn draw_action<R: Rng>(rng: &mut R) -> ActionType {
 /// ```
 pub fn generate(cfg: &SimConfig) -> Result<(TelemetryLog, GroundTruth), String> {
     cfg.validate()?;
+    let mut span = autosens_obs::Recorder::global().root("sim.generate");
+    span.field("users", (cfg.n_business + cfg.n_consumer) as u64);
+    span.field("days", cfg.days as u64);
     let population = sample_population(cfg);
     let congestion = CongestionSeries::generate(&cfg.congestion, cfg.n_minutes(), cfg.seed);
 
@@ -104,6 +107,11 @@ pub fn generate(cfg: &SimConfig) -> Result<(TelemetryLog, GroundTruth), String> 
     let records: Vec<ActionRecord> = per_user.into_iter().flatten().collect();
     let mut log = TelemetryLog::from_records(records).map_err(|e| e.to_string())?;
     log.ensure_sorted();
+
+    span.field("records", log.len() as u64);
+    autosens_obs::MetricsRegistry::global()
+        .counter("autosens_sim_records_generated_total")
+        .add(log.len() as u64);
 
     let truth = GroundTruth::new(cfg.clone(), population, congestion);
     Ok((log, truth))

@@ -145,10 +145,28 @@ pub fn read_csv_lenient_capped<R: Read>(
     read_csv_inner(input, Mode::Lenient(cap))
 }
 
+/// Record one codec pass on the global recorder: close the `codec.*` span
+/// with its record/error fields and bump the records-read / lenient-error
+/// counters (`autosens_telemetry_records_read_total`,
+/// `autosens_telemetry_codec_lenient_errors_total`).
+fn observe_read(mut span: autosens_obs::Span, log: &TelemetryLog, errors: &LenientErrors) {
+    span.field("records", log.len());
+    span.field("lenient_errors", errors.total());
+    drop(span);
+    let metrics = autosens_obs::MetricsRegistry::global();
+    metrics
+        .counter("autosens_telemetry_records_read_total")
+        .add(log.len() as u64);
+    metrics
+        .counter("autosens_telemetry_codec_lenient_errors_total")
+        .add(errors.total() as u64);
+}
+
 fn read_csv_inner<R: Read>(
     input: R,
     mode: Mode,
 ) -> Result<(TelemetryLog, LenientErrors), TelemetryError> {
+    let span = autosens_obs::Recorder::global().root("codec.read_csv");
     let reader = BufReader::new(input);
     let mut log = TelemetryLog::new();
     let mut errors = LenientErrors::with_cap(match mode {
@@ -198,6 +216,7 @@ fn read_csv_inner<R: Read>(
         }
     }
     log.ensure_sorted();
+    observe_read(span, &log, &errors);
     Ok((log, errors))
 }
 
@@ -285,6 +304,7 @@ fn read_jsonl_inner<R: Read>(
     input: R,
     mode: Mode,
 ) -> Result<(TelemetryLog, LenientErrors), TelemetryError> {
+    let span = autosens_obs::Recorder::global().root("codec.read_jsonl");
     let reader = BufReader::new(input);
     let mut log = TelemetryLog::new();
     let mut errors = LenientErrors::with_cap(match mode {
@@ -323,6 +343,7 @@ fn read_jsonl_inner<R: Read>(
         }
     }
     log.ensure_sorted();
+    observe_read(span, &log, &errors);
     Ok((log, errors))
 }
 

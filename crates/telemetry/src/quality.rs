@@ -146,7 +146,12 @@ const HEAPING_GRAINS: [f64; 4] = [10.0, 25.0, 50.0, 100.0];
 /// Audit a log and grade each quality metric. Never mutates or fails: an
 /// empty log yields an all-zero, all-`Ok` report.
 pub fn audit(log: &TelemetryLog) -> QualityReport {
+    let mut span = autosens_obs::Recorder::global().root("quality.audit");
     let n = log.len() as u64;
+    span.field("records", n);
+    autosens_obs::MetricsRegistry::global()
+        .counter("autosens_telemetry_quality_audits_total")
+        .inc();
 
     // Duplicates: exact repeats of a full record key seen earlier.
     let mut seen: HashSet<(i64, &str, u64, u64, &str, i64, &str)> = HashSet::new();
