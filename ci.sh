@@ -38,4 +38,21 @@ if grep -Eq 'NaN|[Ii]nf|null' "$SMOKE_DIR/metrics.json"; then
     exit 1
 fi
 
+echo "==> determinism gate (--threads 1 vs --threads 4)"
+# The scheduler promises worker count is a pure throughput knob: the same
+# analysis at 1 and 4 threads must export identical metrics. Timing-valued
+# keys (ms suffixes) are excluded — wall clock is the one thing allowed to
+# differ.
+./target/release/autosens analyze --in "$SMOKE_DIR/smoke.csv" --ci 25 \
+    --threads 1 --metrics-out "$SMOKE_DIR/metrics_t1.json" --quiet > /dev/null
+./target/release/autosens analyze --in "$SMOKE_DIR/smoke.csv" --ci 25 \
+    --threads 4 --metrics-out "$SMOKE_DIR/metrics_t4.json" --quiet > /dev/null
+strip_timings() { grep -Ev '_(ms|seconds)"' "$1"; }
+strip_timings "$SMOKE_DIR/metrics_t1.json" > "$SMOKE_DIR/metrics_t1.stripped"
+strip_timings "$SMOKE_DIR/metrics_t4.json" > "$SMOKE_DIR/metrics_t4.stripped"
+if ! diff -u "$SMOKE_DIR/metrics_t1.stripped" "$SMOKE_DIR/metrics_t4.stripped"; then
+    echo "ci.sh: metrics diverged between --threads 1 and --threads 4" >&2
+    exit 1
+fi
+
 echo "==> ci.sh: all green"

@@ -1,9 +1,11 @@
 //! `bench_pipeline` — one-shot pipeline throughput baseline.
 //!
 //! Generates the paper-scale scenario (pass `--smoke` for a quick run),
-//! runs the full analysis (with a bootstrap confidence band) under a
-//! collecting recorder, and writes `BENCH_pipeline.json`: total
-//! wall-clock, per-stage timings, and a records/second throughput figure.
+//! runs the full analysis (with a bootstrap confidence band) twice — once
+//! serially (`threads = 1`) and once on the chunked scheduler with the
+//! requested worker count (`--threads N`, default 4) — and writes
+//! `BENCH_pipeline.json`: total wall-clock for both runs, per-stage
+//! timings of the parallel run, and a records/second throughput figure.
 //! The checked-in copy at the repo root is the baseline future
 //! performance PRs diff against; regenerate with
 //!
@@ -28,15 +30,45 @@ const CI_REPLICATES: usize = 50;
 struct PipelineBaseline {
     scenario: String,
     records: usize,
+    threads: usize,
     generate_ms: f64,
+    /// Wall-clock of the full analysis at `threads = 1`.
+    analyze_serial_ms: f64,
+    /// Wall-clock of the full analysis at the requested worker count.
     analyze_ms: f64,
+    /// `analyze_serial_ms / analyze_ms`.
+    parallel_speedup: f64,
     records_per_sec: f64,
     ci_replicates: usize,
     stages: Vec<StageTiming>,
 }
 
+/// Time one full analysis (with CI band) at the given worker count.
+fn timed_analysis(data: &Dataset, slice: &Slice, threads: usize) -> (f64, Vec<StageTiming>) {
+    let recorder = Recorder::new();
+    let config = AutoSensConfig {
+        threads,
+        ..AutoSensConfig::default()
+    };
+    let engine = AutoSens::with_recorder(config, recorder.clone());
+    let t = Instant::now();
+    let (report, _ci) = engine
+        .analyze_slice_with_ci(&data.log, slice, CI_REPLICATES, 0.95)
+        .expect("bench-scale analysis succeeds");
+    let wall_ms = t.elapsed().as_secs_f64() * 1000.0;
+    eprintln!("{}", recorder.finish().render());
+    (wall_ms, report.stage_timings.unwrap_or_default())
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse::<usize>().expect("--threads takes an integer"))
+        .unwrap_or(4);
     let (scenario, name) = if smoke {
         (Scenario::Smoke, "smoke")
     } else {
@@ -47,34 +79,37 @@ fn main() {
         .expect("preset scenarios are valid");
     let generate_ms = t0.elapsed().as_secs_f64() * 1000.0;
 
-    let recorder = Recorder::new();
-    let engine = AutoSens::with_recorder(AutoSensConfig::default(), recorder.clone());
     let slice = Slice::all()
         .action(ActionType::SelectMail)
         .class(UserClass::Business);
 
-    let t1 = Instant::now();
-    let (report, _ci) = engine
-        .analyze_slice_with_ci(&data.log, &slice, CI_REPLICATES, 0.95)
-        .expect("bench-scale analysis succeeds");
-    let analyze_ms = t1.elapsed().as_secs_f64() * 1000.0;
+    // Serial reference first, then the scheduler run the baseline reports.
+    let (analyze_serial_ms, _) = timed_analysis(&data, &slice, 1);
+    let (analyze_ms, stages) = timed_analysis(&data, &slice, threads);
 
     let baseline = PipelineBaseline {
         scenario: name.to_string(),
         records: data.log.len(),
+        threads,
         generate_ms,
+        analyze_serial_ms,
         analyze_ms,
+        parallel_speedup: analyze_serial_ms / analyze_ms,
         records_per_sec: data.log.len() as f64 / (analyze_ms / 1000.0),
         ci_replicates: CI_REPLICATES,
-        stages: report.stage_timings.unwrap_or_default(),
+        stages,
     };
 
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
     let path = "BENCH_pipeline.json";
     std::fs::write(path, format!("{json}\n")).expect("write baseline");
     eprintln!(
-        "wrote {path}: {} records analyzed in {:.1} ms ({:.0} records/s)",
-        baseline.records, baseline.analyze_ms, baseline.records_per_sec
+        "wrote {path}: {} records analyzed in {:.1} ms at {} thread(s) \
+         ({:.1} ms serial, {:.0} records/s)",
+        baseline.records,
+        baseline.analyze_ms,
+        baseline.threads,
+        baseline.analyze_serial_ms,
+        baseline.records_per_sec
     );
-    eprintln!("{}", recorder.finish().render());
 }

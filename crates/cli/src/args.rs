@@ -9,9 +9,10 @@ use autosens_telemetry::time::{DayPeriod, Month};
 pub const USAGE: &str = "\
 usage:
   autosens generate --scenario <smoke|default|paper-scale> --out <path> [--format csv|jsonl] [--seed N]
+                    [--threads N]
   autosens analyze  --in <path> [--format csv|jsonl] [--action A] [--class C]
                     [--period P] [--month M] [--tz HOURS] [--no-alpha]
-                    [--reference MS] [--ci REPLICATES] [--json]
+                    [--reference MS] [--ci REPLICATES] [--json] [--threads N]
                     [--profile] [--trace-out PATH] [--metrics-out PATH]
   autosens diagnose --in <path> [--format csv|jsonl]
   autosens alpha    --in <path> [--format csv|jsonl] [--action A] [--class C]
@@ -64,6 +65,8 @@ pub enum Command {
         format: Format,
         /// Optional seed override.
         seed: Option<u64>,
+        /// Worker threads (0 = auto).
+        threads: usize,
     },
     /// Analyze a log and print the preference curve.
     Analyze {
@@ -87,6 +90,8 @@ pub enum Command {
         trace_out: Option<String>,
         /// Write the metrics snapshot as JSON to this path.
         metrics_out: Option<String>,
+        /// Worker threads (0 = auto).
+        threads: usize,
     },
     /// Run the locality diagnostics.
     Diagnose {
@@ -179,6 +184,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "--profile",
         "--trace-out",
         "--metrics-out",
+        "--threads",
         "--quiet",
         "--verbose",
     ];
@@ -235,6 +241,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         })
     };
 
+    let threads = flag("--threads")
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|_| format!("bad thread count {s:?}"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+
     match sub.as_str() {
         "generate" => {
             let scenario = match flag("--scenario").unwrap_or("default") {
@@ -252,6 +266,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 out,
                 format,
                 seed,
+                threads,
             })
         }
         "analyze" => Ok(Command::Analyze {
@@ -273,6 +288,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             profile: has("--profile"),
             trace_out: flag("--trace-out").map(str::to_string),
             metrics_out: flag("--metrics-out").map(str::to_string),
+            threads,
         }),
         "diagnose" => Ok(Command::Diagnose {
             input: flag("--in").ok_or("diagnose requires --in")?.to_string(),
@@ -377,6 +393,7 @@ mod tests {
                 out: "x.csv".into(),
                 format: Format::Csv,
                 seed: None,
+                threads: 0,
             }
         );
         let cmd = parse(&sv(&[
@@ -499,6 +516,24 @@ mod tests {
         assert!(parse(&sv(&["analyze", "--in", "x", "--bogus", "y"])).is_err());
         assert!(parse(&sv(&["analyze", "--in", "x", "stray"])).is_err());
         assert!(parse(&sv(&["generate", "--out", "x", "--scenario", "huge"])).is_err());
+        assert!(parse(&sv(&["analyze", "--in", "x", "--threads", "many"])).is_err());
+    }
+
+    #[test]
+    fn parses_threads() {
+        // Default is 0 (auto); explicit values pass through on both commands.
+        match parse(&sv(&["analyze", "--in", "x.csv"])).unwrap() {
+            Command::Analyze { threads, .. } => assert_eq!(threads, 0),
+            other => panic!("{other:?}"),
+        }
+        match parse(&sv(&["analyze", "--in", "x.csv", "--threads", "4"])).unwrap() {
+            Command::Analyze { threads, .. } => assert_eq!(threads, 4),
+            other => panic!("{other:?}"),
+        }
+        match parse(&sv(&["generate", "--out", "x.csv", "--threads", "2"])).unwrap() {
+            Command::Generate { threads, .. } => assert_eq!(threads, 2),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@ use autosens_core::locality::{decorrelation_report, density_latency_correlation,
 use autosens_core::report::{f3, text_table, PreferenceSummary};
 use autosens_core::{AutoSens, AutoSensConfig};
 use autosens_faults::FaultPlan;
-use autosens_sim::{generate, SimConfig};
+use autosens_sim::{generate_with_threads, SimConfig};
 use autosens_telemetry::codec;
 use autosens_telemetry::quality;
 use autosens_telemetry::query::Slice;
@@ -25,6 +25,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             out,
             format,
             seed,
+            threads,
         } => {
             let mut cfg = SimConfig::scenario(scenario);
             if let Some(seed) = seed {
@@ -36,7 +37,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 cfg.n_users(),
                 cfg.seed
             );
-            let (log, _) = generate(&cfg)?;
+            let (log, _) = generate_with_threads(&cfg, threads)?;
             let file = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
             let mut w = BufWriter::new(file);
             match format {
@@ -58,6 +59,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             profile,
             trace_out,
             metrics_out,
+            threads,
         } => {
             let profiling = profile || trace_out.is_some() || metrics_out.is_some();
             // One recorder for the whole run — the global one, so the codec
@@ -71,6 +73,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             let config = AutoSensConfig {
                 alpha_correction: !no_alpha,
                 reference_latency_ms: reference_ms,
+                threads,
                 ..AutoSensConfig::default()
             };
             let engine = AutoSens::with_recorder(config, recorder.clone());

@@ -21,6 +21,7 @@
 
 use rand::Rng;
 
+use autosens_exec::ExecReport;
 use autosens_stats::binning::Binner;
 use autosens_stats::histogram::Histogram;
 use autosens_telemetry::log::TelemetryLog;
@@ -29,7 +30,7 @@ use autosens_telemetry::time::{DayPeriod, MS_PER_DAY, MS_PER_HOUR};
 
 use crate::config::AutoSensConfig;
 use crate::error::AutoSensError;
-use crate::unbiased::unbiased_histogram_in_windows;
+use crate::unbiased::unbiased_histogram_in_windows_par;
 
 /// How records are grouped in time for the confounder correction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +140,10 @@ pub struct AlphaEstimate {
     pub primary_reference: usize,
     /// The reference groups used for averaging.
     pub references: Vec<usize>,
+    /// Scheduling reports of the data-parallel jobs that built the
+    /// estimate (the slot partition plus one draw job per populated
+    /// group), for the pipeline's observability layer.
+    pub exec_reports: Vec<ExecReport>,
 }
 
 impl AlphaEstimate {
@@ -298,18 +303,34 @@ pub fn estimate_alpha<R: Rng>(
         return Err(AutoSensError::EmptySlice("alpha estimation".into()));
     }
     let n_groups = grouping.n_groups();
+    let mut exec_reports: Vec<ExecReport> = Vec::new();
 
-    // Partition counts by group (records' own local hour and day kind).
-    let mut biased: Vec<Histogram> = (0..n_groups)
-        .map(|_| Histogram::new(binner.clone()))
-        .collect();
-    let mut n_actions = vec![0u64; n_groups];
-    for r in log.iter() {
-        let weekend = r.time.is_weekend_local(r.tz_offset_ms);
-        let g = grouping.group_of(r.hour_slot().0, weekend);
-        biased[g].record(r.latency_ms);
-        n_actions[g] += 1;
-    }
+    // Partition counts by group (records' own local hour and day kind) as
+    // a chunked map-reduce: each chunk builds its own per-group histograms
+    // and counters, merged in chunk order.
+    let records = log.records();
+    let (partial, partition_report) = autosens_exec::map_reduce(
+        "alpha_partition",
+        records.len(),
+        autosens_exec::chunk_size_for(records.len()),
+        cfg.threads,
+        |_, range| {
+            let mut biased: Vec<Histogram> = (0..n_groups)
+                .map(|_| Histogram::new(binner.clone()))
+                .collect();
+            let mut n_actions = vec![0u64; n_groups];
+            for r in &records[range] {
+                let weekend = r.time.is_weekend_local(r.tz_offset_ms);
+                let g = grouping.group_of(r.hour_slot().0, weekend);
+                biased[g].record(r.latency_ms);
+                n_actions[g] += 1;
+            }
+            (biased, n_actions)
+        },
+    )?;
+    exec_reports.push(partition_report);
+    // Invariant: the is_empty() guard above means at least one chunk ran.
+    let (biased, n_actions) = partial.expect("non-empty log partitions");
 
     // Group-conditional unbiased histograms: draws restricted to each
     // group's hour windows across every day the log spans. Draws are
@@ -371,7 +392,16 @@ pub fn estimate_alpha<R: Rng>(
         let h = if group_windows[g].is_empty() || n_actions[g] == 0 {
             Histogram::new(binner.clone())
         } else {
-            unbiased_histogram_in_windows(log, binner, &group_windows[g], draws, rng)?
+            let (h, report) = unbiased_histogram_in_windows_par(
+                log,
+                binner,
+                &group_windows[g],
+                draws,
+                cfg.threads,
+                rng,
+            )?;
+            exec_reports.push(report);
+            h
         };
         unbiased.push(h);
     }
@@ -468,6 +498,7 @@ pub fn estimate_alpha<R: Rng>(
         groups,
         primary_reference: primary,
         references,
+        exec_reports,
     })
 }
 

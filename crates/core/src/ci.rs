@@ -14,14 +14,21 @@
 //! draw-allocated variants (scaled counts; the Poisson spread is then
 //! slightly conservative for masses above the raw counts).
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
+use autosens_exec::ExecReport;
 use autosens_stats::dist::poisson;
 use autosens_stats::histogram::Histogram;
 
 use crate::config::AutoSensConfig;
 use crate::error::AutoSensError;
 use crate::preference::NormalizedPreference;
+
+/// The scheduler job label of the bootstrap replicate job (also the name
+/// of its pipeline stage span). Fault-injection tests arm chunk panics
+/// against this label to prove the containment contract.
+pub const CI_CHUNK_LABEL: &str = "ci_bootstrap";
 
 /// A preference curve with a bootstrap confidence band.
 #[derive(Debug, Clone)]
@@ -79,6 +86,25 @@ pub fn preference_ci<R: Rng>(
     level: f64,
     rng: &mut R,
 ) -> Result<PreferenceCi, AutoSensError> {
+    preference_ci_traced(biased, unbiased, cfg, replicates, level, rng).map(|(ci, _)| ci)
+}
+
+/// [`preference_ci`] plus the scheduling report of the replicate job, for
+/// callers that feed the observability layer.
+///
+/// Replicates run as a chunked data-parallel job (`cfg.threads` workers).
+/// Each replicate resamples from its own RNG stream — seeded from one
+/// `u64` taken off the caller's `rng`, mixed with the replicate index —
+/// so the band is bit-identical for every thread count and every chunk
+/// geometry.
+pub fn preference_ci_traced<R: Rng>(
+    biased: &Histogram,
+    unbiased: &Histogram,
+    cfg: &AutoSensConfig,
+    replicates: usize,
+    level: f64,
+    rng: &mut R,
+) -> Result<(PreferenceCi, ExecReport), AutoSensError> {
     if replicates < 20 {
         return Err(AutoSensError::BadConfig(
             "bootstrap requires at least 20 replicates".into(),
@@ -92,20 +118,43 @@ pub fn preference_ci<R: Rng>(
     let point = NormalizedPreference::fit(biased, unbiased, cfg)?;
     let n_bins = point.binner().n_bins();
 
-    // Collect per-bin replicate values.
+    // Collect per-bin replicate values: each chunk refits a range of
+    // replicates, partials concatenate in chunk order.
+    let base_seed = rng.gen::<u64>();
+    type ChunkValues = Result<(usize, Vec<Vec<f64>>), AutoSensError>;
+    let (parts, report) = autosens_exec::run_chunks(
+        CI_CHUNK_LABEL,
+        replicates,
+        8,
+        cfg.threads,
+        |_, range| -> ChunkValues {
+            let mut ok = 0usize;
+            let mut values: Vec<Vec<f64>> = vec![Vec::new(); n_bins];
+            for rep in range {
+                let mut rng =
+                    StdRng::seed_from_u64(autosens_exec::chunk_seed(base_seed, rep as u64));
+                let b = resample_poisson(biased, &mut rng)?;
+                let u = resample_poisson(unbiased, &mut rng)?;
+                let Ok(fit) = NormalizedPreference::fit(&b, &u, cfg) else {
+                    continue;
+                };
+                ok += 1;
+                for (x, v) in fit.series() {
+                    if let Some(i) = point.binner().index_of(x) {
+                        values[i].push(v);
+                    }
+                }
+            }
+            Ok((ok, values))
+        },
+    )?;
     let mut values: Vec<Vec<f64>> = vec![Vec::new(); n_bins];
     let mut ok = 0usize;
-    for _ in 0..replicates {
-        let b = resample_poisson(biased, rng)?;
-        let u = resample_poisson(unbiased, rng)?;
-        let Ok(fit) = NormalizedPreference::fit(&b, &u, cfg) else {
-            continue;
-        };
-        ok += 1;
-        for (x, v) in fit.series() {
-            if let Some(i) = point.binner().index_of(x) {
-                values[i].push(v);
-            }
+    for part in parts {
+        let (part_ok, part_values) = part?;
+        ok += part_ok;
+        for (acc, mut vs) in values.iter_mut().zip(part_values) {
+            acc.append(&mut vs);
         }
     }
     if ok < replicates / 2 {
@@ -135,13 +184,16 @@ pub fn preference_ci<R: Rng>(
         ));
     }
 
-    Ok(PreferenceCi {
-        point,
-        level,
-        replicates: ok,
-        lo,
-        hi,
-    })
+    Ok((
+        PreferenceCi {
+            point,
+            level,
+            replicates: ok,
+            lo,
+            hi,
+        },
+        report,
+    ))
 }
 
 /// Resample every bin of a histogram as `Poisson(observed mass)`.
@@ -275,6 +327,22 @@ mod tests {
         assert!(!series.is_empty());
         for (x, lo, hi) in series.iter().take(10) {
             assert_eq!(ci.band_at(*x), Some((*lo, *hi)));
+        }
+    }
+
+    #[test]
+    fn band_is_identical_across_thread_counts() {
+        let (b, u) = histograms(|l| 1.5 - l / 1000.0, 500.0);
+        let band_with = |threads: usize| {
+            let cfg = AutoSensConfig { threads, ..cfg() };
+            let mut rng = StdRng::seed_from_u64(9);
+            let (ci, report) = preference_ci_traced(&b, &u, &cfg, 40, 0.95, &mut rng).unwrap();
+            assert_eq!(report.label, CI_CHUNK_LABEL);
+            (ci.replicates, ci.band_series())
+        };
+        let baseline = band_with(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(band_with(threads), baseline, "threads={threads}");
         }
     }
 

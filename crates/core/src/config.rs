@@ -58,6 +58,13 @@ pub struct AutoSensConfig {
     /// the paper exactly.
     #[serde(default)]
     pub alpha_precision_weighting: bool,
+    /// Worker threads for the data-parallel stages (sanitize, α partition,
+    /// unbiased draws, bootstrap replicates). `0` means "all available
+    /// cores". The analysis output is bit-identical for every value: chunk
+    /// boundaries depend only on the data, and partials merge in chunk
+    /// order.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for AutoSensConfig {
@@ -78,6 +85,7 @@ impl Default for AutoSensConfig {
             slot_tz_offset_ms: 0,
             weekday_weekend_slots: false,
             alpha_precision_weighting: false,
+            threads: 0,
         }
     }
 }

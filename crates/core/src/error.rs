@@ -90,6 +90,15 @@ impl From<TelemetryError> for AutoSensError {
     }
 }
 
+/// A chunk of a data-parallel job panicked: the scheduler captured the
+/// unwind and the pipeline surfaces it as a typed internal error (the same
+/// containment contract as the per-slice analysis workers).
+impl From<autosens_exec::ExecError> for AutoSensError {
+    fn from(e: autosens_exec::ExecError) -> Self {
+        AutoSensError::Internal(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,7 +4,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use autosens_obs::{Recorder, StageTiming};
+use autosens_exec::ExecReport;
+use autosens_obs::{Recorder, Span, StageTiming};
 use autosens_stats::histogram::Histogram;
 use autosens_telemetry::log::TelemetryLog;
 use autosens_telemetry::query::Slice;
@@ -17,7 +18,7 @@ use crate::biased::biased_histogram;
 use crate::config::AutoSensConfig;
 use crate::error::AutoSensError;
 use crate::preference::NormalizedPreference;
-use crate::unbiased::unbiased_histogram;
+use crate::unbiased::unbiased_histogram_par;
 
 /// The per-quartile analyses of [`AutoSens::by_latency_quartile`]:
 /// quartile index (0 = Q1, fastest users) paired with that slice's result.
@@ -114,6 +115,25 @@ impl AutoSens {
         &self.config
     }
 
+    /// Feed one data-parallel job's scheduling report into the obs layer:
+    /// a chunk counter plus one child span per worker (timing carried in
+    /// the `wall_ms` field — the work already happened).
+    fn record_exec(&self, parent: &Span, exec: &ExecReport) {
+        self.recorder
+            .metrics()
+            .counter("autosens_exec_chunks_total")
+            .add(exec.n_chunks as u64);
+        for w in &exec.workers {
+            let mut span = parent.child("exec_worker");
+            span.field("job", exec.label.clone());
+            span.field("worker", w.worker);
+            span.field("chunks", w.chunks);
+            span.field("steals", w.steals);
+            span.field("wall_ms", w.wall_ms);
+            span.finish();
+        }
+    }
+
     /// Analyze a full log (successful actions only, as in the paper).
     pub fn analyze(&self, log: &TelemetryLog) -> Result<AnalysisReport, AutoSensError> {
         self.analyze_slice(log, &Slice::all())
@@ -141,10 +161,14 @@ impl AutoSens {
                 detail: "records arrived out of time order; re-sorted".into(),
             });
         }
-        let mut sub = slice.clone().successes().apply(log);
+        let (mut sub, filter_report) = slice
+            .clone()
+            .successes()
+            .apply_par(log, self.config.threads)?;
+        self.record_exec(&span, &filter_report);
         sub.ensure_sorted();
         let records_in = sub.len();
-        let removed = sub.dedup_exact();
+        let removed = sub.dedup_exact_par(self.config.threads);
         if removed > 0 {
             degradations.push(Degradation {
                 stage: "sanitize".into(),
@@ -173,6 +197,9 @@ impl AutoSens {
             let mut span = root.child("alpha");
             span.field("groups", grouping.n_groups());
             let est = estimate_alpha(&sub, &binner, grouping, &self.config, &mut rng)?;
+            for r in &est.exec_reports {
+                self.record_exec(&span, r);
+            }
             // Groups with data but no usable α are dropped from the pooled
             // histograms; surface each exclusion as a degradation so the
             // operator knows which time windows the curve no longer covers.
@@ -213,7 +240,14 @@ impl AutoSens {
             });
             let mut span = root.child("unbiased_pdf");
             span.field("draws", self.config.unbiased_draws);
-            let u = unbiased_histogram(&sub, &binner, self.config.unbiased_draws, &mut rng)?;
+            let (u, draw_report) = unbiased_histogram_par(
+                &sub,
+                &binner,
+                self.config.unbiased_draws,
+                self.config.threads,
+                &mut rng,
+            )?;
+            self.record_exec(&span, &draw_report);
             timings.push(StageTiming {
                 stage: "unbiased_pdf".into(),
                 wall_ms: span.finish(),
@@ -347,7 +381,7 @@ impl AutoSens {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xC1);
         let mut span = self.recorder.root(CI_STAGE);
         span.field("replicates_requested", replicates);
-        let ci = crate::ci::preference_ci(
+        let (ci, exec_report) = crate::ci::preference_ci_traced(
             &report.biased,
             &report.unbiased,
             &self.config,
@@ -355,6 +389,7 @@ impl AutoSens {
             level,
             &mut rng,
         )?;
+        self.record_exec(&span, &exec_report);
         span.field("replicates_ok", ci.replicates);
         self.recorder
             .metrics()
@@ -450,44 +485,46 @@ impl AutoSens {
         Ok(est)
     }
 
-    /// Run labeled slice analyses in parallel threads. A worker that panics
-    /// yields a per-slice [`AutoSensError::Internal`] instead of sinking the
-    /// whole batch.
-    fn parallel_analyses<K: Send + Copy>(
+    /// Run labeled slice analyses through the work-stealing scheduler, one
+    /// slice per chunk. Results come back in input order regardless of the
+    /// worker count, and a slice whose analysis panics yields a per-slice
+    /// [`AutoSensError::Internal`] instead of sinking the whole batch.
+    fn parallel_analyses<K: Send + Sync + Copy>(
         &self,
         log: &TelemetryLog,
         slices: Vec<(K, Slice)>,
     ) -> Vec<(K, Result<AnalysisReport, AutoSensError>)> {
-        let mut out: Vec<Option<(K, Result<AnalysisReport, AutoSensError>)>> =
-            (0..slices.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
-            for (slot, (key, slice)) in out.iter_mut().zip(slices) {
-                scope.spawn(move |_| {
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        self.analyze_slice(log, &slice)
-                    }))
-                    .unwrap_or_else(|payload| {
-                        let msg = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| (*s).to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "unknown panic".into());
-                        Err(AutoSensError::Internal(format!(
-                            "analysis worker panicked: {msg}"
-                        )))
-                    });
-                    *slot = Some((key, result));
+        let (out, report) = autosens_exec::run_chunks(
+            "parallel_analyses",
+            slices.len(),
+            1,
+            self.config.threads,
+            |chunk, _| {
+                let (key, slice) = &slices[chunk];
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.analyze_slice(log, slice)
+                }))
+                .unwrap_or_else(|payload| {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "unknown panic".into());
+                    Err(AutoSensError::Internal(format!(
+                        "analysis worker panicked: {msg}"
+                    )))
                 });
-            }
-        })
-        // Invariant: workers catch their own unwinds above, so the scope
-        // itself can only fail on a non-unwinding abort.
-        .expect("analysis scope failed");
-        out.into_iter()
-            // Invariant: every slot is written exactly once by its worker
-            // before the scope joins.
-            .map(|s| s.expect("filled by worker"))
-            .collect()
+                (*key, result)
+            },
+        )
+        // Invariant: the per-chunk closure catches its own unwinds, so the
+        // job itself cannot fail.
+        .expect("slice analyses catch their own panics");
+        self.recorder
+            .metrics()
+            .counter("autosens_exec_chunks_total")
+            .add(report.n_chunks as u64);
+        out
     }
 }
 
@@ -584,6 +621,32 @@ mod tests {
         assert_eq!(results.len(), 4);
         let total: usize = quartiles.groups.iter().map(|g| g.len()).sum();
         assert!(total > 100, "users partitioned: {total}");
+    }
+
+    #[test]
+    fn batch_analyses_return_slices_in_input_order() {
+        // The scheduler reassembles per-slice results by chunk index, so
+        // batch outputs follow the input slice order for any worker count.
+        let log = smoke_log();
+        for threads in [1, 4] {
+            let cfg = AutoSensConfig {
+                threads,
+                ..fast_config()
+            };
+            let engine = AutoSens::new(cfg);
+            let actions: Vec<ActionType> = engine
+                .by_action_type(&log, &Slice::all())
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect();
+            assert_eq!(actions, ActionType::analyzed(), "threads={threads}");
+            let periods: Vec<DayPeriod> = engine
+                .by_day_period(&log, &Slice::all())
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect();
+            assert_eq!(periods, DayPeriod::all().to_vec(), "threads={threads}");
+        }
     }
 
     #[test]

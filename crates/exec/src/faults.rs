@@ -1,0 +1,55 @@
+//! Fault injection for the scheduler, in the spirit of `autosens-faults`:
+//! tests arm a panic on one `(job label, chunk index)` pair to prove that
+//! a chunk dying mid-map surfaces as a typed error — never a hang, never
+//! a partially merged result.
+//!
+//! The hook is process-global (the scheduler runs on worker threads, so a
+//! thread-local could not reach it); tests that arm it must target a job
+//! label no concurrently running test executes, and disarm when done.
+
+use std::sync::Mutex;
+
+static ARMED: Mutex<Option<(String, usize)>> = Mutex::new(None);
+
+/// Arm a panic: the next time a job labeled `label` executes chunk
+/// `chunk`, that chunk panics. Stays armed (affecting every matching run)
+/// until [`disarm_chunk_panic`] is called.
+pub fn arm_chunk_panic(label: &str, chunk: usize) {
+    *ARMED.lock().expect("fault hook lock") = Some((label.to_string(), chunk));
+}
+
+/// Disarm the injected panic.
+pub fn disarm_chunk_panic() {
+    *ARMED.lock().expect("fault hook lock") = None;
+}
+
+/// Called by the scheduler before running a chunk; panics iff armed for
+/// this exact `(label, chunk)`.
+pub(crate) fn check(label: &str, chunk: usize) {
+    let armed = ARMED.lock().expect("fault hook lock");
+    let hit = matches!(&*armed, Some((l, c)) if l == label && *c == chunk);
+    // Release the lock before unwinding so the hook is not poisoned for
+    // the rest of the process.
+    drop(armed);
+    if hit {
+        panic!("injected fault: chunk {chunk} of job '{label}'");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::run_chunks;
+
+    #[test]
+    fn armed_fault_fires_and_disarms_cleanly() {
+        arm_chunk_panic("faults_test_job", 2);
+        let err = run_chunks("faults_test_job", 40, 10, 2, |c, _| c).unwrap_err();
+        assert_eq!(err.chunk, 2);
+        assert!(err.message.contains("injected fault"), "{}", err.message);
+        // Other labels are unaffected while armed.
+        assert!(run_chunks("faults_other_job", 40, 10, 2, |c, _| c).is_ok());
+        disarm_chunk_panic();
+        assert!(run_chunks("faults_test_job", 40, 10, 2, |c, _| c).is_ok());
+    }
+}

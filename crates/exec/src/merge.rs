@@ -1,0 +1,103 @@
+//! The [`Mergeable`] partial-aggregate trait.
+//!
+//! A chunked map produces one partial aggregate per chunk; the scheduler
+//! folds them **in chunk order** into the final result. `merge` therefore
+//! only needs to be associative — the fold order is fixed by the chunking,
+//! so even floating-point aggregates come out bit-identical for any
+//! worker count.
+
+/// A partial aggregate that can absorb another partial of the same shape.
+pub trait Mergeable {
+    /// Fold `other` into `self`. Called in chunk order by
+    /// [`crate::scheduler::map_reduce`].
+    fn merge(&mut self, other: Self);
+}
+
+impl Mergeable for () {
+    fn merge(&mut self, _other: Self) {}
+}
+
+/// Counters merge by summation.
+impl Mergeable for u64 {
+    fn merge(&mut self, other: Self) {
+        *self += other;
+    }
+}
+
+/// Weighted totals merge by summation (fold order is fixed, so the
+/// floating-point result is still deterministic).
+impl Mergeable for f64 {
+    fn merge(&mut self, other: Self) {
+        *self += other;
+    }
+}
+
+/// Fixed-shape vectors of partials (e.g. one histogram per α slot) merge
+/// element-wise. Panics on a length mismatch — chunk partials of one job
+/// always share a shape, so a mismatch is a programming error.
+impl<T: Mergeable> Mergeable for Vec<T> {
+    fn merge(&mut self, other: Self) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "cannot merge partial vectors of different lengths"
+        );
+        for (a, b) in self.iter_mut().zip(other) {
+            a.merge(b);
+        }
+    }
+}
+
+impl<A: Mergeable, B: Mergeable> Mergeable for (A, B) {
+    fn merge(&mut self, other: Self) {
+        self.0.merge(other.0);
+        self.1.merge(other.1);
+    }
+}
+
+impl<A: Mergeable, B: Mergeable, C: Mergeable> Mergeable for (A, B, C) {
+    fn merge(&mut self, other: Self) {
+        self.0.merge(other.0);
+        self.1.merge(other.1);
+        self.2.merge(other.2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_sum() {
+        let mut a = 3u64;
+        a.merge(4);
+        assert_eq!(a, 7);
+        let mut x = 1.5f64;
+        x.merge(0.25);
+        assert_eq!(x, 1.75);
+    }
+
+    #[test]
+    fn vectors_merge_elementwise() {
+        let mut a = vec![1u64, 2, 3];
+        a.merge(vec![10, 20, 30]);
+        assert_eq!(a, vec![11, 22, 33]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different lengths")]
+    fn vector_length_mismatch_panics() {
+        let mut a = vec![1u64];
+        a.merge(vec![1, 2]);
+    }
+
+    #[test]
+    fn tuples_merge_componentwise() {
+        let mut a = (1u64, vec![1.0f64, 2.0]);
+        a.merge((2, vec![0.5, 0.5]));
+        assert_eq!(a, (3, vec![1.5, 2.5]));
+        let mut b = (1u64, 2u64, 3.0f64);
+        b.merge((1, 1, 1.0));
+        assert_eq!(b, (2, 3, 4.0));
+    }
+}

@@ -1,7 +1,7 @@
 //! Shared dataset setup for the experiment regenerators.
 
 use autosens_core::{AutoSens, AutoSensConfig};
-use autosens_sim::{generate, GroundTruth, Scenario, SimConfig};
+use autosens_sim::{generate, generate_with_threads, GroundTruth, Scenario, SimConfig};
 use autosens_telemetry::TelemetryLog;
 
 /// How much data to generate for the artifacts.
@@ -26,16 +26,26 @@ pub struct Dataset {
 impl Dataset {
     /// Generate a dataset at the given scale.
     pub fn load(scale: Scale) -> Dataset {
+        Dataset::load_with_threads(scale, 0)
+    }
+
+    /// Generate a dataset at the given scale with an explicit worker count
+    /// (0 = auto). Generation and every pipeline stage use the same count.
+    pub fn load_with_threads(scale: Scale, threads: usize) -> Dataset {
         let scenario = match scale {
             Scale::Full => Scenario::Default,
             Scale::Bench => Scenario::Smoke,
         };
         let cfg = SimConfig::scenario(scenario);
-        let (log, truth) = generate(&cfg).expect("preset scenarios are valid");
+        let (log, truth) =
+            generate_with_threads(&cfg, threads).expect("preset scenarios are valid");
         Dataset {
             log,
             truth,
-            engine: AutoSens::new(AutoSensConfig::default()),
+            engine: AutoSens::new(AutoSensConfig {
+                threads,
+                ..AutoSensConfig::default()
+            }),
         }
     }
 

@@ -6,6 +6,7 @@
 //! autosens-experiments all               # every artifact, full scale
 //! autosens-experiments fig4              # one artifact
 //! autosens-experiments fig4 --bench      # smaller (smoke) dataset
+//! autosens-experiments all --threads 4   # explicit worker count (0 = auto)
 //! autosens-experiments list              # artifact ids
 //! ```
 //!
@@ -21,13 +22,36 @@ use autosens_experiments::dataset::{Dataset, Scale};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let bench = args.iter().any(|a| a == "--bench");
-    let targets: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let threads = match args.iter().position(|a| a == "--threads") {
+        Some(i) => match args.get(i + 1).map(|s| s.parse::<usize>()) {
+            Some(Ok(n)) => n,
+            _ => {
+                eprintln!("--threads requires a non-negative integer");
+                std::process::exit(2);
+            }
+        },
+        None => 0,
+    };
+    let mut skip = false;
+    let targets: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            if skip {
+                skip = false;
+                return false;
+            }
+            if a.as_str() == "--threads" {
+                skip = true;
+            }
+            !a.starts_with("--")
+        })
+        .collect();
 
     let target = match targets.first() {
         Some(t) => t.as_str(),
         None => {
             eprintln!(
-                "usage: autosens-experiments <all|list|{}> [--bench]",
+                "usage: autosens-experiments <all|list|{}> [--bench] [--threads N]",
                 artifacts::ids().join("|")
             );
             std::process::exit(2);
@@ -44,7 +68,7 @@ fn main() {
     let scale = if bench { Scale::Bench } else { Scale::Full };
     eprintln!("loading dataset ({scale:?})...");
     let t0 = std::time::Instant::now();
-    let data = Dataset::load(scale);
+    let data = Dataset::load_with_threads(scale, threads);
     eprintln!(
         "generated {} records in {:.1?}\n",
         data.log.len(),

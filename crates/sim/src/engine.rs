@@ -70,6 +70,19 @@ fn draw_action<R: Rng>(rng: &mut R) -> ActionType {
 /// assert_eq!(log.records(), again.records());
 /// ```
 pub fn generate(cfg: &SimConfig) -> Result<(TelemetryLog, GroundTruth), String> {
+    generate_with_threads(cfg, 0)
+}
+
+/// [`generate`] with an explicit worker count (`0` = all available cores).
+///
+/// Generation runs as a chunked job over the user population on the
+/// work-stealing scheduler. Every user's records come from an RNG derived
+/// from `(master seed, user id)` and per-chunk shards concatenate in user
+/// order, so the telemetry is byte-identical for every thread count.
+pub fn generate_with_threads(
+    cfg: &SimConfig,
+    threads: usize,
+) -> Result<(TelemetryLog, GroundTruth), String> {
     cfg.validate()?;
     let mut span = autosens_obs::Recorder::global().root("sim.generate");
     span.field("users", (cfg.n_business + cfg.n_consumer) as u64);
@@ -77,41 +90,45 @@ pub fn generate(cfg: &SimConfig) -> Result<(TelemetryLog, GroundTruth), String> 
     let population = sample_population(cfg);
     let congestion = CongestionSeries::generate(&cfg.congestion, cfg.n_minutes(), cfg.seed);
 
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(population.len().max(1));
-    let chunk = population.len().div_ceil(n_threads);
+    // Users are heavy items (a full simulated calendar each), so chunks
+    // are much smaller than record-range chunks; boundaries still depend
+    // only on the population size.
+    let n_users = population.len();
+    let chunk_size = (n_users / 64).clamp(1, 256);
+    let (shards, report) = autosens_exec::run_chunks(
+        "sim_generate",
+        n_users,
+        chunk_size,
+        threads,
+        |_, range| -> Vec<ActionRecord> {
+            let mut out = Vec::new();
+            for i in range {
+                out.extend(generate_for_user(
+                    cfg,
+                    &population[i],
+                    i as u32,
+                    &congestion,
+                ));
+            }
+            out
+        },
+    )
+    .map_err(|e| format!("generation worker panicked: {e}"))?;
 
-    // One record vector per user, filled in parallel, flattened in order.
-    let mut per_user: Vec<Vec<ActionRecord>> = Vec::with_capacity(population.len());
-    per_user.resize_with(population.len(), Vec::new);
-
-    crossbeam::thread::scope(|scope| {
-        for (chunk_idx, (users, out)) in population
-            .chunks(chunk)
-            .zip(per_user.chunks_mut(chunk))
-            .enumerate()
-        {
-            let congestion = &congestion;
-            scope.spawn(move |_| {
-                for (i, user) in users.iter().enumerate() {
-                    let user_index = (chunk_idx * chunk + i) as u32;
-                    out[i] = generate_for_user(cfg, user, user_index, congestion);
-                }
-            });
-        }
-    })
-    .expect("generation worker panicked");
-
-    let records: Vec<ActionRecord> = per_user.into_iter().flatten().collect();
-    let mut log = TelemetryLog::from_records(records).map_err(|e| e.to_string())?;
+    // Simulated records are valid by construction; skip re-validation.
+    let mut log = TelemetryLog::from_trusted_records(shards.concat());
     log.ensure_sorted();
 
     span.field("records", log.len() as u64);
-    autosens_obs::MetricsRegistry::global()
+    span.field("exec_chunks", report.n_chunks as u64);
+    span.field("exec_threads", report.threads as u64);
+    let metrics = autosens_obs::MetricsRegistry::global();
+    metrics
         .counter("autosens_sim_records_generated_total")
         .add(log.len() as u64);
+    metrics
+        .counter("autosens_exec_chunks_total")
+        .add(report.n_chunks as u64);
 
     let truth = GroundTruth::new(cfg.clone(), population, congestion);
     Ok((log, truth))
@@ -231,6 +248,16 @@ mod tests {
         let (a, _) = generate(&cfg).unwrap();
         let (b, _) = generate(&cfg).unwrap();
         assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn generation_is_identical_across_thread_counts() {
+        let cfg = smoke();
+        let (reference, _) = generate_with_threads(&cfg, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let (log, _) = generate_with_threads(&cfg, threads).unwrap();
+            assert_eq!(log.records(), reference.records(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -41,5 +41,5 @@ pub mod sessions;
 pub mod truth;
 
 pub use config::{Scenario, SimConfig};
-pub use engine::generate;
+pub use engine::{generate, generate_with_threads};
 pub use truth::GroundTruth;

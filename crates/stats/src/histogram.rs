@@ -199,6 +199,18 @@ impl Histogram {
     }
 }
 
+/// Histograms are the canonical per-chunk partial aggregate of the
+/// data-parallel pipeline: a chunked map builds one histogram per chunk
+/// (or one `Vec<Histogram>` per chunk for the per-slot α partition) and
+/// the scheduler folds them in chunk order. Partials of one job share one
+/// binner by construction, so a grid mismatch is a programming error and
+/// panics (the scheduler's panic capture turns it into a typed error).
+impl autosens_exec::Mergeable for Histogram {
+    fn merge(&mut self, other: Self) {
+        Histogram::merge(self, &other).expect("chunk partials share one binner grid");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +314,24 @@ mod tests {
         // Bin centers 5 and 15 -> mean 10.
         assert_eq!(h.mean(), Some(10.0));
         assert_eq!(Histogram::new(binner()).mean(), None);
+    }
+
+    #[test]
+    fn mergeable_impl_matches_inherent_merge() {
+        let mut a = Histogram::from_values(binner(), &[5.0, 15.0]);
+        let b = Histogram::from_values(binner(), &[15.0, 25.0]);
+        let mut expected = a.clone();
+        expected.merge(&b).unwrap();
+        autosens_exec::Mergeable::merge(&mut a, b);
+        assert_eq!(a, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one binner grid")]
+    fn mergeable_impl_panics_on_grid_mismatch() {
+        let mut a = Histogram::new(binner());
+        let b = Histogram::new(Binner::new(0.0, 100.0, 20.0, OutOfRange::Discard).unwrap());
+        autosens_exec::Mergeable::merge(&mut a, b);
     }
 
     #[test]

@@ -53,12 +53,26 @@ impl TelemetryLog {
         for r in &records {
             r.validate()?;
         }
+        Ok(TelemetryLog::from_trusted_records(records))
+    }
+
+    /// Build from records that are individually known-valid — e.g. records
+    /// filtered out of an existing (validated) log, or emitted by the
+    /// simulator, which constructs only valid records. Skips the per-record
+    /// re-validation pass — the dominant cost of materializing large
+    /// sub-logs — but still establishes the time-order invariant. Debug
+    /// builds re-validate to catch misuse.
+    pub fn from_trusted_records(records: Vec<ActionRecord>) -> Self {
+        debug_assert!(
+            records.iter().all(|r| r.validate().is_ok()),
+            "from_trusted_records fed an invalid record"
+        );
         let mut log = TelemetryLog {
             sorted: records.windows(2).all(|w| w[0].time <= w[1].time),
             records,
         };
         log.ensure_sorted();
-        Ok(log)
+        log
     }
 
     /// Append one validated record, tracking whether order is preserved.
@@ -202,6 +216,85 @@ impl TelemetryLog {
         before - self.records.len()
     }
 
+    /// Data-parallel variant of [`TelemetryLog::dedup_exact`] for sorted
+    /// logs: exact duplicates necessarily share a timestamp, so a record is
+    /// a repeat iff an identical record occurs *earlier within its run of
+    /// equal timestamps*. Each chunk decides its own records independently
+    /// (backward scans may read across a chunk boundary, which is safe on
+    /// the shared slice) and kept records are concatenated in chunk order —
+    /// the result is identical to `dedup_exact` for any thread count.
+    ///
+    /// Unsorted logs, and sorted logs with a pathologically long
+    /// equal-timestamp run (where the run-local scan would go quadratic),
+    /// fall back to the serial hash-set pass; the fallback condition
+    /// depends only on the data, never on `threads`, so determinism holds.
+    pub fn dedup_exact_par(&mut self, threads: usize) -> usize {
+        const MAX_RUN: usize = 256;
+        if !self.sorted || self.max_equal_time_run() > MAX_RUN {
+            return self.dedup_exact();
+        }
+        let records = &self.records;
+        let n = records.len();
+        // Map phase finds duplicate *indices* only — the common clean-log
+        // case then costs one scan and zero copies.
+        let (parts, _) = autosens_exec::run_chunks(
+            "dedup_exact",
+            n,
+            autosens_exec::chunk_size_for(n),
+            threads,
+            |_, range| {
+                let mut dups: Vec<usize> = Vec::new();
+                for i in range {
+                    let r = &records[i];
+                    let mut j = i;
+                    while j > 0 && records[j - 1].time == r.time {
+                        j -= 1;
+                        if Self::same_record_exact(&records[j], r) {
+                            dups.push(i);
+                            break;
+                        }
+                    }
+                }
+                dups
+            },
+        )
+        .expect("dedup scan does not panic");
+        let removed: usize = parts.iter().map(Vec::len).sum();
+        if removed == 0 {
+            return 0;
+        }
+        // Chunk order makes the concatenated duplicate indices ascending.
+        let mut dup_iter = parts.iter().flatten().copied();
+        let mut next_dup = dup_iter.next();
+        let mut kept: Vec<ActionRecord> = Vec::with_capacity(n - removed);
+        for (i, r) in self.records.iter().enumerate() {
+            if Some(i) == next_dup {
+                next_dup = dup_iter.next();
+            } else {
+                kept.push(*r);
+            }
+        }
+        self.records = kept;
+        removed
+    }
+
+    /// Length of the longest run of records sharing one timestamp.
+    fn max_equal_time_run(&self) -> usize {
+        let mut max = 0usize;
+        let mut run = 0usize;
+        let mut last: Option<SimTime> = None;
+        for r in &self.records {
+            if last == Some(r.time) {
+                run += 1;
+            } else {
+                run = 1;
+                last = Some(r.time);
+            }
+            max = max.max(run);
+        }
+        max
+    }
+
     /// Retain only successful actions (the paper analyzes successes only).
     pub fn successes_only(&self) -> TelemetryLog {
         TelemetryLog {
@@ -242,6 +335,18 @@ impl TelemetryLog {
             .iter()
             .map(|r| (r.time.millis(), r.latency_ms))
             .collect())
+    }
+
+    /// Field-for-field identity at the bit level, matching the key used by
+    /// [`TelemetryLog::dedup_exact`]'s hash set (latency compared as bits).
+    fn same_record_exact(a: &ActionRecord, b: &ActionRecord) -> bool {
+        a.time == b.time
+            && a.action == b.action
+            && a.latency_ms.to_bits() == b.latency_ms.to_bits()
+            && a.user == b.user
+            && a.class == b.class
+            && a.tz_offset_ms == b.tz_offset_ms
+            && a.outcome == b.outcome
     }
 
     fn require_sorted(&self) -> Result<(), TelemetryError> {
@@ -466,6 +571,54 @@ mod tests {
         let mut clean = TelemetryLog::from_records(vec![rec(0, 1.0), rec(5, 2.0)]).unwrap();
         assert_eq!(clean.dedup_exact(), 0);
         assert_eq!(clean.len(), 2);
+    }
+
+    #[test]
+    fn dedup_exact_par_matches_serial_for_any_thread_count() {
+        // Duplicates scattered through equal-time runs across many chunks.
+        let mut records: Vec<ActionRecord> = Vec::new();
+        for i in 0..5_000i64 {
+            records.push(rec(i / 3, (i % 7) as f64 + 1.0));
+        }
+        // Exact copies of every 10th record.
+        for i in (0..5_000i64).step_by(10) {
+            records.push(rec(i / 3, (i % 7) as f64 + 1.0));
+        }
+        let mut serial = TelemetryLog::from_records(records.clone()).unwrap();
+        let removed_serial = serial.dedup_exact();
+        assert!(removed_serial > 0);
+        for threads in [1, 2, 4, 8] {
+            let mut par = TelemetryLog::from_records(records.clone()).unwrap();
+            let removed = par.dedup_exact_par(threads);
+            assert_eq!(removed, removed_serial, "threads={threads}");
+            assert_eq!(par.records(), serial.records(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dedup_exact_par_falls_back_on_unsorted_and_long_runs() {
+        // Unsorted: falls back to the serial hash-set pass.
+        let mut unsorted = TelemetryLog::new();
+        unsorted.push(rec(30, 1.0)).unwrap();
+        unsorted.push(rec(10, 1.0)).unwrap();
+        unsorted.push(rec(30, 1.0)).unwrap();
+        assert_eq!(unsorted.dedup_exact_par(4), 1);
+        // One giant equal-timestamp run (beyond the run-scan cap): the
+        // fallback still removes the exact duplicates.
+        let mut records: Vec<ActionRecord> = (0..600).map(|i| rec(42, i as f64 + 1.0)).collect();
+        records.push(rec(42, 1.0));
+        let mut log = TelemetryLog::from_records(records).unwrap();
+        assert_eq!(log.dedup_exact_par(4), 1);
+        assert_eq!(log.len(), 600);
+    }
+
+    #[test]
+    fn from_trusted_records_sorts_like_from_records() {
+        let records = vec![rec(2000, 5.0), rec(0, 1.0), rec(1000, 2.0)];
+        let a = TelemetryLog::from_records(records.clone()).unwrap();
+        let b = TelemetryLog::from_trusted_records(records);
+        assert!(b.is_sorted());
+        assert_eq!(a.records(), b.records());
     }
 
     #[test]

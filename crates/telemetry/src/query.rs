@@ -130,9 +130,39 @@ impl Slice {
     /// yields a sorted output).
     pub fn apply(&self, log: &TelemetryLog) -> TelemetryLog {
         let records: Vec<ActionRecord> = log.iter().filter(|r| self.matches(r)).copied().collect();
-        // Filtering preserves order; construction cannot fail because every
-        // record was already validated on entry to the source log.
-        TelemetryLog::from_records(records).expect("filtered records remain valid")
+        // Filtering preserves order, and every record was already validated
+        // on entry to the source log, so revalidation would be pure waste.
+        TelemetryLog::from_trusted_records(records)
+    }
+
+    /// Chunked [`Slice::apply`]: filter the log as a data-parallel job and
+    /// concatenate the per-chunk survivors in chunk order.
+    ///
+    /// The result is identical to `apply` for every thread count (chunk
+    /// boundaries depend only on the record count). Returns the filtered
+    /// log plus the scheduler's [`autosens_exec::ExecReport`] so callers
+    /// can record per-worker spans.
+    pub fn apply_par(
+        &self,
+        log: &TelemetryLog,
+        threads: usize,
+    ) -> Result<(TelemetryLog, autosens_exec::ExecReport), autosens_exec::ExecError> {
+        let records = log.records();
+        let n = records.len();
+        let (parts, report) = autosens_exec::run_chunks(
+            "slice_filter",
+            n,
+            autosens_exec::chunk_size_for(n),
+            threads,
+            |_, range| -> Vec<ActionRecord> {
+                records[range]
+                    .iter()
+                    .filter(|r| self.matches(r))
+                    .copied()
+                    .collect()
+            },
+        )?;
+        Ok((TelemetryLog::from_trusted_records(parts.concat()), report))
     }
 }
 
@@ -293,6 +323,18 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert_eq!(s.records()[0].user.0, 2);
         assert!(Slice::all().tz_offset_hours(3).apply(&log).is_empty());
+    }
+
+    #[test]
+    fn apply_par_matches_apply_for_any_thread_count() {
+        let log = sample_log();
+        let slice = Slice::all().action(ActionType::SelectMail).successes();
+        let serial = slice.apply(&log);
+        for threads in [1, 2, 4, 8] {
+            let (par, report) = slice.apply_par(&log, threads).unwrap();
+            assert_eq!(par.records(), serial.records(), "threads={threads}");
+            assert_eq!(report.n_items, log.len());
+        }
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Determinism suite for the chunked execution engine.
+//!
+//! The scheduler in `autosens-exec` promises that worker count is purely a
+//! throughput knob: chunk boundaries depend only on item count, partials
+//! merge in chunk order, and every randomized job derives per-chunk RNG
+//! streams from one sequentially drawn base seed. These properties make the
+//! whole analysis a pure function of `(log, config minus threads)`. The
+//! tests here pin that contract at the `AnalysisReport` level: for random
+//! telemetry logs, runs at 1, 2, 4, and 8 threads must be *bit*-identical —
+//! same preference curve, same degradations, same α table, same pooled
+//! histograms, and the same bootstrap confidence band from the same seed.
+
+use autosens_core::pipeline::AnalysisReport;
+use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_telemetry::query::Slice;
+use autosens_telemetry::record::{ActionRecord, ActionType, Outcome, UserClass, UserId};
+use autosens_telemetry::time::SimTime;
+use autosens_telemetry::TelemetryLog;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Thread counts the contract is checked over (1 is the serial reference).
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// A random but *valid* telemetry log: sorted timestamps spanning about two
+/// weeks, latencies across the analyzable range, mixed actions, classes,
+/// timezones, and outcomes. Everything derives from `seed`.
+fn random_log(seed: u64, n: usize) -> TelemetryLog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0i64;
+    let records: Vec<ActionRecord> = (0..n)
+        .map(|_| {
+            t += rng.gen_range(1_000i64..80_000);
+            let actions = ActionType::analyzed();
+            ActionRecord {
+                time: SimTime(t),
+                action: actions[rng.gen_range(0..actions.len())],
+                latency_ms: rng.gen_range(50.0..1500.0),
+                user: UserId(rng.gen_range(0..500)),
+                class: if rng.gen_range(0..2) == 0 {
+                    UserClass::Business
+                } else {
+                    UserClass::Consumer
+                },
+                tz_offset_ms: rng.gen_range(-5i64..=5) * 3_600_000,
+                outcome: if rng.gen_range(0..50) == 0 {
+                    Outcome::Error
+                } else {
+                    Outcome::Success
+                },
+            }
+        })
+        .collect();
+    TelemetryLog::from_records(records).expect("generated records are valid")
+}
+
+fn config(threads: usize) -> AutoSensConfig {
+    AutoSensConfig {
+        threads,
+        ..AutoSensConfig::default()
+    }
+}
+
+/// Bitwise equality for an f64 series (NaN-free by construction).
+fn bits(series: &[(f64, f64)]) -> Vec<(u64, u64)> {
+    series
+        .iter()
+        .map(|&(x, y)| (x.to_bits(), y.to_bits()))
+        .collect()
+}
+
+/// Assert two reports are bit-identical in every analyst-visible field.
+fn assert_reports_identical(a: &AnalysisReport, b: &AnalysisReport, what: &str) {
+    assert_eq!(
+        bits(&a.preference.series()),
+        bits(&b.preference.series()),
+        "{what}: normalized preference diverged"
+    );
+    assert_eq!(
+        bits(&a.preference.raw_series()),
+        bits(&b.preference.raw_series()),
+        "{what}: raw preference diverged"
+    );
+    assert_eq!(a.n_actions, b.n_actions, "{what}: action count diverged");
+    assert_eq!(
+        a.degradations, b.degradations,
+        "{what}: degradations diverged"
+    );
+    let counts = |h: &autosens_stats::histogram::Histogram| -> Vec<u64> {
+        h.counts().iter().map(|c| c.to_bits()).collect()
+    };
+    assert_eq!(
+        counts(&a.biased),
+        counts(&b.biased),
+        "{what}: biased histogram diverged"
+    );
+    assert_eq!(
+        counts(&a.unbiased),
+        counts(&b.unbiased),
+        "{what}: unbiased histogram diverged"
+    );
+    let alpha_table = |r: &AnalysisReport| -> Vec<(String, u64, Option<u64>, Vec<(u64, u64)>)> {
+        r.alpha
+            .as_ref()
+            .map(|est| {
+                est.groups
+                    .iter()
+                    .map(|g| {
+                        (
+                            g.label.clone(),
+                            g.n_actions,
+                            g.alpha.map(f64::to_bits),
+                            bits(&g.per_bin),
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    assert_eq!(
+        alpha_table(a),
+        alpha_table(b),
+        "{what}: alpha table diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn analysis_is_bit_identical_for_any_thread_count(seed in 0u64..1u64 << 48) {
+        let log = random_log(seed, 30_000);
+        let reference = AutoSens::new(config(1))
+            .analyze(&log)
+            .expect("reference analysis succeeds");
+        for threads in THREADS {
+            let report = AutoSens::new(config(threads))
+                .analyze(&log)
+                .expect("parallel analysis succeeds");
+            assert_reports_identical(&reference, &report, &format!("threads={threads}"));
+        }
+    }
+
+    #[test]
+    fn bootstrap_ci_is_identical_for_any_thread_count(seed in 0u64..1u64 << 48) {
+        let log = random_log(seed, 25_000);
+        let slice = Slice::all();
+        let (ref_report, ref_ci) = AutoSens::new(config(1))
+            .analyze_slice_with_ci(&log, &slice, 30, 0.95)
+            .expect("reference analysis succeeds");
+        let ref_band: Vec<(u64, u64, u64)> = ref_ci
+            .band_series()
+            .iter()
+            .map(|&(x, lo, hi)| (x.to_bits(), lo.to_bits(), hi.to_bits()))
+            .collect();
+        for threads in THREADS {
+            let (report, ci) = AutoSens::new(config(threads))
+                .analyze_slice_with_ci(&log, &slice, 30, 0.95)
+                .expect("parallel analysis succeeds");
+            assert_reports_identical(&ref_report, &report, &format!("threads={threads}"));
+            let band: Vec<(u64, u64, u64)> = ci
+                .band_series()
+                .iter()
+                .map(|&(x, lo, hi)| (x.to_bits(), lo.to_bits(), hi.to_bits()))
+                .collect();
+            assert_eq!(ref_ci.replicates, ci.replicates, "threads={threads}");
+            assert_eq!(ref_band, band, "threads={threads}: CI band diverged");
+        }
+    }
+}
+
+/// The same contract holds for sliced analyses (the slice filter itself is
+/// a chunked job), pinned on one fixed log rather than a proptest sweep.
+#[test]
+fn sliced_analysis_is_bit_identical_across_thread_counts() {
+    let log = random_log(0xD15E_A5E, 120_000);
+    let slice = Slice::all()
+        .action(ActionType::SelectMail)
+        .class(UserClass::Business);
+    let reference = AutoSens::new(config(1))
+        .analyze_slice(&log, &slice)
+        .expect("reference analysis succeeds");
+    for threads in THREADS {
+        let report = AutoSens::new(config(threads))
+            .analyze_slice(&log, &slice)
+            .expect("parallel analysis succeeds");
+        assert_reports_identical(&reference, &report, &format!("threads={threads}"));
+    }
+}

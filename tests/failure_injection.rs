@@ -150,6 +150,40 @@ fn unsorted_log_errors_surface_through_the_pipeline() {
 }
 
 #[test]
+fn injected_chunk_panic_surfaces_as_typed_error() {
+    // A worker panic inside a scheduler chunk must come back as a typed
+    // `AutoSensError`, never a hang or a partially merged result.
+    let records: Vec<ActionRecord> = (0..30_000)
+        .map(|i| rec(i * 100, 100.0 + (i % 900) as f64))
+        .collect();
+    let log = TelemetryLog::from_records(records).unwrap();
+    let cfg = AutoSensConfig {
+        alpha_correction: false,
+        threads: 2,
+        ..AutoSensConfig::default()
+    };
+    let engine = AutoSens::new(cfg);
+    // Sanity: the same analysis succeeds while no fault is armed.
+    engine
+        .analyze_slice_with_ci(&log, &Slice::all(), 20, 0.95)
+        .expect("clean run succeeds");
+
+    autosens_exec::faults::arm_chunk_panic(autosens_core::ci::CI_CHUNK_LABEL, 0);
+    let result = engine.analyze_slice_with_ci(&log, &Slice::all(), 20, 0.95);
+    autosens_exec::faults::disarm_chunk_panic();
+    match result {
+        Err(AutoSensError::Internal(msg)) => {
+            assert!(msg.contains(autosens_core::ci::CI_CHUNK_LABEL), "{msg}");
+        }
+        other => panic!("expected Internal, got {other:?}"),
+    }
+    // The hook is disarmed: the pipeline is healthy again.
+    engine
+        .analyze_slice_with_ci(&log, &Slice::all(), 20, 0.95)
+        .expect("post-fault run succeeds");
+}
+
+#[test]
 fn nan_and_negative_latencies_never_enter_a_log() {
     let mut log = TelemetryLog::new();
     assert!(log.push(rec(0, f64::NAN)).is_err());

@@ -1,0 +1,131 @@
+//! Golden-curve regression test.
+//!
+//! A small fixed telemetry log is checked in under `tests/fixtures/`
+//! together with the normalized preference curve the pipeline produced for
+//! it. Any change to sanitize, α estimation, the unbiased estimator,
+//! smoothing, or normalization that moves the curve — even in the last
+//! bits — fails this test, so numerical drift has to be a deliberate,
+//! reviewed fixture update rather than an accident.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```text
+//! cargo test --test golden_curve -- --ignored regenerate_golden_fixture
+//! ```
+
+use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_telemetry::codec;
+use autosens_telemetry::record::{ActionRecord, ActionType, Outcome, UserClass, UserId};
+use autosens_telemetry::time::SimTime;
+use autosens_telemetry::TelemetryLog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const LOG_PATH: &str = "tests/fixtures/golden_telemetry.csv";
+const CURVE_PATH: &str = "tests/fixtures/golden_curve.json";
+const MAX_ABS_DEVIATION: f64 = 1e-9;
+
+/// The fixture source: a deterministic pseudo-random fortnight of telemetry,
+/// small enough to check in, rich enough to exercise the full default
+/// pipeline (α correction included).
+fn build_fixture_log() -> TelemetryLog {
+    let mut rng = StdRng::seed_from_u64(0x601D);
+    let mut t = 0i64;
+    let records: Vec<ActionRecord> = (0..30_000)
+        .map(|_| {
+            t += rng.gen_range(1_000i64..50_000);
+            let actions = ActionType::analyzed();
+            ActionRecord {
+                time: SimTime(t),
+                action: actions[rng.gen_range(0..actions.len())],
+                latency_ms: rng.gen_range(50.0..1500.0),
+                user: UserId(rng.gen_range(0..400)),
+                class: if rng.gen_range(0..2) == 0 {
+                    UserClass::Business
+                } else {
+                    UserClass::Consumer
+                },
+                tz_offset_ms: rng.gen_range(-5i64..=5) * 3_600_000,
+                outcome: if rng.gen_range(0..40) == 0 {
+                    Outcome::Error
+                } else {
+                    Outcome::Success
+                },
+            }
+        })
+        .collect();
+    TelemetryLog::from_records(records).expect("fixture records are valid")
+}
+
+fn analyze(log: &TelemetryLog, threads: usize) -> Vec<(f64, f64)> {
+    let engine = AutoSens::new(AutoSensConfig {
+        threads,
+        ..AutoSensConfig::default()
+    });
+    engine
+        .analyze(log)
+        .expect("fixture analysis succeeds")
+        .preference
+        .series()
+}
+
+#[test]
+fn golden_curve_matches_fixture() {
+    let file = std::fs::File::open(LOG_PATH).expect("fixture log exists (see module docs)");
+    let log = codec::read_csv(std::io::BufReader::new(file)).expect("fixture log parses");
+    let expected: Vec<(f64, f64)> =
+        serde_json::from_str(&std::fs::read_to_string(CURVE_PATH).expect("fixture curve exists"))
+            .expect("fixture curve parses");
+    assert!(!expected.is_empty());
+
+    // The curve must match the checked-in golden copy at every grid point,
+    // serially and through the chunked scheduler alike.
+    for threads in [1, 4] {
+        let series = analyze(&log, threads);
+        assert_eq!(
+            series.len(),
+            expected.len(),
+            "threads={threads}: curve length changed"
+        );
+        let mut worst = 0.0f64;
+        for (&(x, y), &(ex, ey)) in series.iter().zip(&expected) {
+            assert_eq!(x.to_bits(), ex.to_bits(), "threads={threads}: grid moved");
+            worst = worst.max((y - ey).abs());
+        }
+        assert!(
+            worst < MAX_ABS_DEVIATION,
+            "threads={threads}: max abs deviation {worst:e} >= {MAX_ABS_DEVIATION:e}"
+        );
+    }
+}
+
+#[test]
+fn fixture_log_matches_its_generator() {
+    // The checked-in CSV must stay in sync with `build_fixture_log` — if
+    // someone edits one without the other, point the finger here, not at
+    // the curve comparison.
+    let file = std::fs::File::open(LOG_PATH).expect("fixture log exists");
+    let on_disk = codec::read_csv(std::io::BufReader::new(file)).expect("fixture log parses");
+    let built = build_fixture_log();
+    assert_eq!(on_disk.len(), built.len(), "fixture record count changed");
+}
+
+#[test]
+#[ignore = "writes tests/fixtures/; run manually after an intentional curve change"]
+fn regenerate_golden_fixture() {
+    std::fs::create_dir_all("tests/fixtures").expect("create fixtures dir");
+    let log = build_fixture_log();
+    let file = std::fs::File::create(LOG_PATH).expect("create fixture log");
+    codec::write_csv(&log, &mut std::io::BufWriter::new(file)).expect("write fixture log");
+    let series = analyze(&log, 1);
+    std::fs::write(
+        CURVE_PATH,
+        serde_json::to_string_pretty(&series).expect("curve serializes"),
+    )
+    .expect("write fixture curve");
+    eprintln!(
+        "regenerated {LOG_PATH} ({} records) and {CURVE_PATH} ({} points)",
+        log.len(),
+        series.len()
+    );
+}

@@ -1,7 +1,180 @@
 //! Minimal offline stand-in for `crossbeam`, covering only
-//! `crossbeam::thread::scope` + `Scope::spawn` as used by this workspace.
+//! `crossbeam::thread::scope` + `Scope::spawn` and the `deque`
+//! work-stealing primitives as used by this workspace.
 //! Built on `std::thread::scope`; the outer `Result` mirrors crossbeam's
 //! contract (Err iff some spawned thread panicked).
+
+pub mod deque {
+    //! Work-stealing deques with crossbeam's `Worker`/`Stealer`/`Injector`
+    //! shape. The real crate uses a lock-free Chase–Lev deque; this
+    //! stand-in wraps a `Mutex<VecDeque>`, which preserves the API and the
+    //! scheduling semantics (LIFO owner pops, FIFO steals) at the chunk
+    //! granularity this workspace schedules — coarse enough that lock
+    //! contention is negligible.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// A race was detected; the caller should try again.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// The owner end of a work-stealing queue.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// A FIFO worker queue (crossbeam's `new_fifo`).
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// A LIFO worker queue (crossbeam's `new_lifo`); this stand-in
+        /// only distinguishes the pop end, which is what matters for
+        /// scheduling order.
+        pub fn new_lifo() -> Worker<T> {
+            Worker::new_fifo()
+        }
+
+        /// Push a task onto the owner end.
+        pub fn push(&self, task: T) {
+            self.inner.lock().expect("deque lock").push_back(task);
+        }
+
+        /// Pop a task from the owner end (FIFO for `new_fifo`).
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("deque lock").pop_front()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("deque lock").is_empty()
+        }
+
+        /// A handle other workers can steal from.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    /// A thief's handle onto another worker's queue.
+    #[derive(Clone)]
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one task from the far end of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().expect("deque lock").pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("deque lock").is_empty()
+        }
+    }
+
+    /// A shared FIFO injector queue all workers can push to and steal from.
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Injector<T> {
+            Injector {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.inner.lock().expect("injector lock").push_back(task);
+        }
+
+        /// Steal one task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().expect("injector lock").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("injector lock").is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn worker_pops_fifo_and_stealer_takes_the_far_end() {
+            let w = Worker::new_fifo();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            let s = w.stealer();
+            assert_eq!(s.steal(), Steal::Success(3));
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+            assert_eq!(s.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push("a");
+            inj.push("b");
+            assert_eq!(inj.steal(), Steal::Success("a"));
+            assert_eq!(inj.steal(), Steal::Success("b"));
+            assert!(inj.is_empty());
+            assert_eq!(inj.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn steal_success_accessor() {
+            assert_eq!(Steal::Success(7).success(), Some(7));
+            assert_eq!(Steal::<i32>::Empty.success(), None);
+            assert_eq!(Steal::<i32>::Retry.success(), None);
+        }
+    }
+}
 
 pub mod thread {
     use std::panic::{catch_unwind, AssertUnwindSafe};
