@@ -55,4 +55,37 @@ if ! diff -u "$SMOKE_DIR/metrics_t1.stripped" "$SMOKE_DIR/metrics_t4.stripped"; 
     exit 1
 fi
 
+echo "==> streaming-batch equivalence gate (analyze vs watch --until-eof)"
+# The streaming engine promises that draining a finite log and snapshotting
+# produces the *bit-identical* analysis the batch pipeline computes: same
+# JSON report, same autosens_core_* counters. Any divergence — curve bits,
+# degradation bookkeeping, record accounting — fails the build. Stream-side
+# metrics (autosens_stream_*, exec chunk counts) legitimately differ, so the
+# metrics diff is restricted to the core counters, timings excluded.
+./target/release/autosens analyze --in "$SMOKE_DIR/smoke.csv" --json \
+    --metrics-out "$SMOKE_DIR/metrics_batch.json" --quiet > "$SMOKE_DIR/report_batch.json"
+./target/release/autosens watch --in "$SMOKE_DIR/smoke.csv" --until-eof --json \
+    --metrics-out "$SMOKE_DIR/metrics_stream.json" --quiet > "$SMOKE_DIR/report_stream.json"
+if ! diff -u "$SMOKE_DIR/report_batch.json" "$SMOKE_DIR/report_stream.json"; then
+    echo "ci.sh: streamed report diverged from batch analyze" >&2
+    exit 1
+fi
+# The export is pretty-printed (name and value on separate lines), so join
+# first, then pick out name/value pairs for core counters, timings excluded.
+core_counters() {
+    tr -d ' \n' < "$1" \
+        | grep -o '"name":"autosens_core_[a-z_]*","value":[0-9.e+-]*' \
+        | grep -Ev '_(ms|seconds)"' | sort
+}
+core_counters "$SMOKE_DIR/metrics_batch.json" > "$SMOKE_DIR/core_batch.txt"
+core_counters "$SMOKE_DIR/metrics_stream.json" > "$SMOKE_DIR/core_stream.txt"
+test -s "$SMOKE_DIR/core_batch.txt" || {
+    echo "ci.sh: no autosens_core_ counters found in batch metrics" >&2
+    exit 1
+}
+if ! diff -u "$SMOKE_DIR/core_batch.txt" "$SMOKE_DIR/core_stream.txt"; then
+    echo "ci.sh: core metrics diverged between batch analyze and streamed watch" >&2
+    exit 1
+fi
+
 echo "==> ci.sh: all green"

@@ -20,6 +20,13 @@ usage:
   autosens report   --in <path> [--format csv|jsonl] [--action A] [--class C]
   autosens audit    --in <path> [--format csv|jsonl] [--json]
   autosens inject   --in <path> --plan <plan.json> --out <path> [--format csv|jsonl]
+  autosens watch    --in <path> [--format csv|jsonl] [--action A] [--class C]
+                    [--period P] [--month M] [--tz HOURS] [--no-alpha]
+                    [--reference MS] [--json] [--threads N]
+                    [--every-events N] [--every-ms MS] [--until-eof]
+                    [--shard-ms MS] [--lateness-ms MS]
+                    [--checkpoint PATH] [--resume]
+                    [--trace-out PATH] [--metrics-out PATH]
 
   global:  [--quiet|-q] [--verbose|-v]
 
@@ -138,6 +145,41 @@ pub enum Command {
         /// Input and output format.
         format: Format,
     },
+    /// Tail a growing log and emit updated curves via the streaming engine.
+    Watch {
+        /// Input path (may still be growing).
+        input: String,
+        /// Input format.
+        format: Format,
+        /// Slice filters.
+        slice: SliceArgs,
+        /// Disable the time-confounder correction.
+        no_alpha: bool,
+        /// Reference latency in ms.
+        reference_ms: f64,
+        /// Emit JSON instead of a text table.
+        json: bool,
+        /// Emit a snapshot every N admitted events (None = final only).
+        every_events: Option<u64>,
+        /// Emit a snapshot at least every M wall-clock ms (None = final only).
+        every_ms: Option<u64>,
+        /// Stop at end-of-file instead of waiting for growth.
+        until_eof: bool,
+        /// Shard width in event-time ms.
+        shard_ms: i64,
+        /// Allowed lateness (watermark budget) in ms.
+        lateness_ms: i64,
+        /// Checkpoint file to write after each flush (and read with --resume).
+        checkpoint: Option<String>,
+        /// Resume from the --checkpoint file instead of starting fresh.
+        resume: bool,
+        /// Write the span trace as JSONL to this path.
+        trace_out: Option<String>,
+        /// Write the metrics snapshot as JSON to this path.
+        metrics_out: Option<String>,
+        /// Worker threads (0 = auto).
+        threads: usize,
+    },
     /// Session-abandonment analysis (non-sticky services).
     Abandonment {
         /// Input path.
@@ -185,6 +227,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "--trace-out",
         "--metrics-out",
         "--threads",
+        "--every-events",
+        "--every-ms",
+        "--until-eof",
+        "--shard-ms",
+        "--lateness-ms",
+        "--checkpoint",
+        "--resume",
         "--quiet",
         "--verbose",
     ];
@@ -192,7 +241,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     let is_boolean = |a: &str| {
         matches!(
             a,
-            "--no-alpha" | "--json" | "--profile" | "--quiet" | "--verbose"
+            "--no-alpha"
+                | "--json"
+                | "--profile"
+                | "--until-eof"
+                | "--resume"
+                | "--quiet"
+                | "--verbose"
         )
     };
     // Reject unknown flags early (typos must not be silently ignored).
@@ -315,6 +370,55 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             out: flag("--out").ok_or("inject requires --out")?.to_string(),
             format,
         }),
+        "watch" => {
+            let parse_u64 = |name: &str| {
+                flag(name)
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|_| format!("bad value for {name}: {s:?}"))
+                    })
+                    .transpose()
+            };
+            let parse_ms = |name: &str, default: i64| -> Result<i64, String> {
+                let v = flag(name)
+                    .map(|s| {
+                        s.parse::<i64>()
+                            .map_err(|_| format!("bad value for {name}: {s:?}"))
+                    })
+                    .transpose()?
+                    .unwrap_or(default);
+                if v <= 0 {
+                    return Err(format!("{name} must be > 0, got {v}"));
+                }
+                Ok(v)
+            };
+            let checkpoint = flag("--checkpoint").map(str::to_string);
+            let resume = has("--resume");
+            if resume && checkpoint.is_none() {
+                return Err("--resume requires --checkpoint".into());
+            }
+            Ok(Command::Watch {
+                input: flag("--in").ok_or("watch requires --in")?.to_string(),
+                format,
+                slice: slice()?,
+                no_alpha: has("--no-alpha"),
+                reference_ms: flag("--reference")
+                    .map(|s| s.parse::<f64>().map_err(|_| format!("bad reference {s:?}")))
+                    .transpose()?
+                    .unwrap_or(300.0),
+                json: has("--json"),
+                every_events: parse_u64("--every-events")?,
+                every_ms: parse_u64("--every-ms")?,
+                until_eof: has("--until-eof"),
+                shard_ms: parse_ms("--shard-ms", 6 * 3_600_000)?,
+                lateness_ms: parse_ms("--lateness-ms", 3_600_000)?,
+                checkpoint,
+                resume,
+                trace_out: flag("--trace-out").map(str::to_string),
+                metrics_out: flag("--metrics-out").map(str::to_string),
+                threads,
+            })
+        }
         "abandonment" => Ok(Command::Abandonment {
             input: flag("--in").ok_or("abandonment requires --in")?.to_string(),
             format,
@@ -497,6 +601,80 @@ mod tests {
         assert!(parse(&sv(&["audit"])).is_err()); // missing --in
         assert!(parse(&sv(&["inject", "--in", "x"])).is_err()); // missing --plan
         assert!(parse(&sv(&["inject", "--in", "x", "--plan", "p"])).is_err()); // missing --out
+    }
+
+    #[test]
+    fn parses_watch() {
+        let cmd = parse(&sv(&["watch", "--in", "x.csv", "--until-eof", "--json"])).unwrap();
+        match cmd {
+            Command::Watch {
+                input,
+                until_eof,
+                json,
+                every_events,
+                every_ms,
+                shard_ms,
+                lateness_ms,
+                checkpoint,
+                resume,
+                ..
+            } => {
+                assert_eq!(input, "x.csv");
+                assert!(until_eof);
+                assert!(json);
+                assert_eq!(every_events, None);
+                assert_eq!(every_ms, None);
+                assert_eq!(shard_ms, 6 * 3_600_000);
+                assert_eq!(lateness_ms, 3_600_000);
+                assert_eq!(checkpoint, None);
+                assert!(!resume);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&sv(&[
+            "watch",
+            "--in",
+            "x.csv",
+            "--every-events",
+            "5000",
+            "--every-ms",
+            "2000",
+            "--shard-ms",
+            "3600000",
+            "--lateness-ms",
+            "60000",
+            "--checkpoint",
+            "ck.json",
+            "--resume",
+            "--action",
+            "Search",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Watch {
+                every_events,
+                every_ms,
+                shard_ms,
+                lateness_ms,
+                checkpoint,
+                resume,
+                slice,
+                ..
+            } => {
+                assert_eq!(every_events, Some(5000));
+                assert_eq!(every_ms, Some(2000));
+                assert_eq!(shard_ms, 3_600_000);
+                assert_eq!(lateness_ms, 60_000);
+                assert_eq!(checkpoint.as_deref(), Some("ck.json"));
+                assert!(resume);
+                assert_eq!(slice.action, Some(ActionType::Search));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&sv(&["watch"])).is_err()); // missing --in
+        assert!(parse(&sv(&["watch", "--in", "x", "--resume"])).is_err()); // no --checkpoint
+        assert!(parse(&sv(&["watch", "--in", "x", "--shard-ms", "0"])).is_err());
+        assert!(parse(&sv(&["watch", "--in", "x", "--every-events", "soon"])).is_err());
     }
 
     #[test]

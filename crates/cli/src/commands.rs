@@ -8,10 +8,11 @@ use autosens_core::report::{f3, text_table, PreferenceSummary};
 use autosens_core::{AutoSens, AutoSensConfig};
 use autosens_faults::FaultPlan;
 use autosens_sim::{generate_with_threads, SimConfig};
+use autosens_stream::{Checkpoint, Ingestor, Offer, OverflowPolicy, StreamConfig, StreamEngine};
 use autosens_telemetry::codec;
 use autosens_telemetry::quality;
 use autosens_telemetry::query::Slice;
-use autosens_telemetry::TelemetryLog;
+use autosens_telemetry::{TailFormat, TailReader, TelemetryLog};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -321,6 +322,41 @@ pub fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Watch {
+            input,
+            format,
+            slice,
+            no_alpha,
+            reference_ms,
+            json,
+            every_events,
+            every_ms,
+            until_eof,
+            shard_ms,
+            lateness_ms,
+            checkpoint,
+            resume,
+            trace_out,
+            metrics_out,
+            threads,
+        } => run_watch(WatchArgs {
+            input,
+            format,
+            slice,
+            no_alpha,
+            reference_ms,
+            json,
+            every_events,
+            every_ms,
+            until_eof,
+            shard_ms,
+            lateness_ms,
+            checkpoint,
+            resume,
+            trace_out,
+            metrics_out,
+            threads,
+        }),
         Command::Alpha {
             input,
             format,
@@ -347,6 +383,230 @@ pub fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// The `watch` parameters, bundled so the run function stays callable.
+struct WatchArgs {
+    input: String,
+    format: Format,
+    slice: SliceArgs,
+    no_alpha: bool,
+    reference_ms: f64,
+    json: bool,
+    every_events: Option<u64>,
+    every_ms: Option<u64>,
+    until_eof: bool,
+    shard_ms: i64,
+    lateness_ms: i64,
+    checkpoint: Option<String>,
+    resume: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    threads: usize,
+}
+
+/// Tail a telemetry file through the streaming engine, emitting updated
+/// curves on the requested cadence. With `--until-eof` and no cadence the
+/// single final snapshot is byte-identical to batch `analyze` over the
+/// same file (the CI equivalence gate depends on this).
+fn run_watch(args: WatchArgs) -> Result<(), String> {
+    let profiling = args.trace_out.is_some() || args.metrics_out.is_some();
+    let recorder = autosens_obs::Recorder::global().clone();
+    if profiling {
+        recorder.set_collecting(true);
+    }
+    let tail_format = match args.format {
+        Format::Csv => TailFormat::Csv,
+        Format::Jsonl => TailFormat::Jsonl,
+    };
+    let filter = to_slice(&args.slice);
+    let label = slice_label(&args.slice);
+
+    // Fresh start or checkpoint resume: the checkpoint carries the full
+    // streaming configuration and the tailed file's byte offset, so a
+    // resumed watch continues exactly where the checkpointed one stopped.
+    let (mut engine, mut reader) = match (&args.checkpoint, args.resume) {
+        (Some(path), true) => {
+            let ck = Checkpoint::load(std::path::Path::new(path))
+                .map_err(|e| format!("resume from {path}: {e}"))?;
+            let offset = ck.source_offset;
+            autosens_obs::info!(
+                "resuming from {path}: {} live records, offset {offset}",
+                ck.shards.iter().map(|s| s.records.len()).sum::<usize>()
+            );
+            let engine = StreamEngine::restore(ck, filter, recorder.clone())
+                .map_err(|e| format!("resume from {path}: {e}"))?;
+            let reader = TailReader::resume(&args.input, tail_format, offset);
+            (engine, reader)
+        }
+        _ => {
+            let config = StreamConfig {
+                analysis: AutoSensConfig {
+                    alpha_correction: !args.no_alpha,
+                    reference_latency_ms: args.reference_ms,
+                    threads: args.threads,
+                    ..AutoSensConfig::default()
+                },
+                shard_ms: args.shard_ms,
+                allowed_lateness_ms: args.lateness_ms,
+                retain_ms: None,
+            };
+            let engine = StreamEngine::with_recorder(config, filter, recorder.clone())
+                .map_err(|e| e.to_string())?;
+            (engine, TailReader::new(&args.input, tail_format))
+        }
+    };
+
+    let ingestor = Ingestor::new(65_536, OverflowPolicy::Block, recorder.clone());
+    let mut admitted_since_emit: u64 = 0;
+    let mut last_emit = std::time::Instant::now();
+    let mut emitted_any = false;
+
+    let save_checkpoint = |engine: &StreamEngine, reader: &TailReader| -> Result<(), String> {
+        if let Some(path) = &args.checkpoint {
+            engine
+                .checkpoint(reader.offset())
+                .save(std::path::Path::new(path))
+                .map_err(|e| format!("checkpoint {path}: {e}"))?;
+            autosens_obs::debug!("checkpointed to {path} at offset {}", reader.offset());
+        }
+        Ok(())
+    };
+
+    loop {
+        let (records, errors) = reader.poll().map_err(|e| e.to_string())?;
+        if !errors.is_empty() {
+            autosens_obs::warn!("skipped {} malformed row(s) while tailing", errors.total());
+        }
+        let got_new = !records.is_empty();
+        for r in records {
+            // The bounded queue applies backpressure: drain before retrying.
+            if ingestor.offer(r) == Offer::Full {
+                let summary = ingestor
+                    .drain_into(&mut engine)
+                    .map_err(|e| e.to_string())?;
+                admitted_since_emit += summary.admitted as u64;
+                if ingestor.offer(r) != Offer::Accepted {
+                    return Err("ingest queue rejected a record after draining".into());
+                }
+            }
+        }
+        let summary = ingestor
+            .drain_into(&mut engine)
+            .map_err(|e| e.to_string())?;
+        admitted_since_emit += summary.admitted as u64;
+
+        // Cadence-driven intermediate snapshots.
+        let due_events = args.every_events.is_some_and(|n| admitted_since_emit >= n);
+        let due_time = args
+            .every_ms
+            .is_some_and(|ms| last_emit.elapsed().as_millis() as u64 >= ms)
+            && admitted_since_emit > 0;
+        if due_events || due_time {
+            emit_snapshot(&engine, &label, args.json, args.reference_ms, false)?;
+            emitted_any = true;
+            admitted_since_emit = 0;
+            last_emit = std::time::Instant::now();
+            save_checkpoint(&engine, &reader)?;
+        }
+
+        if !got_new {
+            if args.until_eof {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(200));
+        }
+    }
+
+    // Final snapshot: always emitted at EOF unless a cadence snapshot
+    // already covered the complete stream.
+    if admitted_since_emit > 0 || !emitted_any {
+        emit_snapshot(&engine, &label, args.json, args.reference_ms, true)?;
+    }
+    save_checkpoint(&engine, &reader)?;
+
+    if profiling {
+        let tree = recorder.finish();
+        if let Some(path) = &args.trace_out {
+            std::fs::write(path, tree.to_jsonl()).map_err(|e| format!("write {path}: {e}"))?;
+        }
+        if let Some(path) = &args.metrics_out {
+            let snapshot = recorder.metrics().snapshot();
+            snapshot
+                .validate_finite()
+                .map_err(|e| format!("non-finite metric: {e}"))?;
+            std::fs::write(path, snapshot.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Print one streaming snapshot in the same shape `analyze` uses, so the
+/// final `--until-eof` emission diffs clean against the batch output.
+fn emit_snapshot(
+    engine: &StreamEngine,
+    label: &str,
+    json: bool,
+    reference_ms: f64,
+    final_emit: bool,
+) -> Result<(), String> {
+    let report = match engine.snapshot() {
+        Ok(report) => report,
+        // An empty window is not fatal mid-stream (records may simply not
+        // have arrived yet); only the final snapshot insists on data.
+        Err(e) if !final_emit => {
+            autosens_obs::debug!("skipping snapshot: {e}");
+            return Ok(());
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    for d in &report.degradations {
+        autosens_obs::warn!("degraded input: {d}");
+    }
+    let status = engine.status();
+    if !final_emit {
+        autosens_obs::info!(
+            "snapshot after {} events ({} live records, {} shards, {} late, {} dup)",
+            status.events,
+            status.live_records,
+            status.shards,
+            status.late,
+            status.duplicates
+        );
+    }
+    if json {
+        let summary = PreferenceSummary::from_report(
+            label.to_string(),
+            &report,
+            &autosens_core::report::default_grid(),
+        );
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "slice: {} — {} actions, span {:.0}..{:.0} ms, reference {reference_ms} ms\n",
+            label,
+            report.n_actions,
+            report.preference.span_ms().0,
+            report.preference.span_ms().1
+        );
+        let rows: Vec<Vec<String>> = autosens_core::report::default_grid()
+            .iter()
+            .filter_map(|&l| {
+                report
+                    .preference
+                    .at(l)
+                    .map(|v| vec![format!("{l:.0}"), f3(v)])
+            })
+            .collect();
+        println!(
+            "{}",
+            text_table(&["latency (ms)", "normalized preference"], &rows)
+        );
+    }
+    Ok(())
 }
 
 fn read_log(path: &str, format: Format) -> Result<TelemetryLog, String> {

@@ -9,6 +9,8 @@
 //! autosens alpha --in logs.csv [--action SelectMail] [--class Business]
 //! autosens audit --in logs.csv [--format csv|jsonl] [--json]
 //! autosens inject --in logs.csv --plan plan.json --out corrupted.csv
+//! autosens watch --in logs.csv [--every-events 5000] [--every-ms 2000]
+//!                [--until-eof] [--checkpoint ck.json] [--resume] [--json]
 //! ```
 //!
 //! `analyze` prints the normalized latency preference curve for the
@@ -17,7 +19,10 @@
 //! time-based activity factors per day period; `audit` grades the data
 //! quality of a log (loss, duplication, ordering, heaping, metadata
 //! nulls); `inject` applies a seeded [`autosens_faults::FaultPlan`] to a
-//! log, producing a reproducibly corrupted copy for robustness testing.
+//! log, producing a reproducibly corrupted copy for robustness testing;
+//! `watch` tails a growing log through the streaming engine
+//! ([`autosens_stream`]) and re-emits the curve as new telemetry arrives,
+//! with `--checkpoint`/`--resume` surviving process restarts.
 
 use std::process::ExitCode;
 

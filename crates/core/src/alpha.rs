@@ -287,6 +287,90 @@ pub fn alpha_vs_reference_weighted(
     (per_bin, mean)
 }
 
+/// The per-group action partition behind α estimation: one biased (count)
+/// histogram and one action counter per time group.
+///
+/// [`estimate_alpha`] builds this with a chunked map-reduce over the log;
+/// an incremental caller (the streaming engine) maintains the same partials
+/// per shard and merges them instead. Histogram counts are unit-weight
+/// additions, so partial merges are exact in any order and the merged
+/// partition is bit-identical to a batch rescan of the same records.
+#[derive(Debug, Clone)]
+pub struct GroupPartition {
+    /// Per-group biased histograms, indexed by group id.
+    pub biased: Vec<Histogram>,
+    /// Per-group action counts (the α_T slot counts), indexed by group id.
+    pub n_actions: Vec<u64>,
+}
+
+impl GroupPartition {
+    /// An all-empty partition for a grouping and binner.
+    pub fn empty(binner: &Binner, grouping: Grouping) -> GroupPartition {
+        let n = grouping.n_groups();
+        GroupPartition {
+            biased: (0..n).map(|_| Histogram::new(binner.clone())).collect(),
+            n_actions: vec![0u64; n],
+        }
+    }
+
+    /// Fold one record into the partition (the incremental counterpart of
+    /// the batch map-reduce's per-chunk loop).
+    pub fn record(&mut self, grouping: Grouping, r: &ActionRecord) {
+        let weekend = r.time.is_weekend_local(r.tz_offset_ms);
+        let g = grouping.group_of(r.hour_slot().0, weekend);
+        self.biased[g].record(r.latency_ms);
+        self.n_actions[g] += 1;
+    }
+
+    /// Fold another partition of the same shape into this one.
+    pub fn merge(&mut self, other: &GroupPartition) -> Result<(), AutoSensError> {
+        if other.biased.len() != self.biased.len() {
+            return Err(AutoSensError::Internal(format!(
+                "cannot merge group partitions of {} and {} groups",
+                self.biased.len(),
+                other.biased.len()
+            )));
+        }
+        for (a, b) in self.biased.iter_mut().zip(&other.biased) {
+            a.merge(b).map_err(AutoSensError::from)?;
+        }
+        for (a, b) in self.n_actions.iter_mut().zip(&other.n_actions) {
+            *a += b;
+        }
+        Ok(())
+    }
+}
+
+/// Partition a log's actions by time group as a chunked map-reduce (each
+/// chunk builds its own per-group histograms and counters, merged in chunk
+/// order). This is the batch producer of [`GroupPartition`].
+pub fn partition_by_group(
+    log: &TelemetryLog,
+    binner: &Binner,
+    grouping: Grouping,
+    threads: usize,
+) -> Result<(GroupPartition, ExecReport), AutoSensError> {
+    let records = log.records();
+    let (partial, report) = autosens_exec::map_reduce(
+        "alpha_partition",
+        records.len(),
+        autosens_exec::chunk_size_for(records.len()),
+        threads,
+        |_, range| {
+            let mut part = GroupPartition::empty(binner, grouping);
+            for r in &records[range] {
+                part.record(grouping, r);
+            }
+            (part.biased, part.n_actions)
+        },
+    )?;
+    let (biased, n_actions) = partial.unwrap_or_else(|| {
+        let empty = GroupPartition::empty(binner, grouping);
+        (empty.biased, empty.n_actions)
+    });
+    Ok((GroupPartition { biased, n_actions }, report))
+}
+
 /// Estimate α over a log.
 ///
 /// The log must be sorted and non-empty. `n_days` bounds the day windows
@@ -299,38 +383,63 @@ pub fn estimate_alpha<R: Rng>(
     cfg: &AutoSensConfig,
     rng: &mut R,
 ) -> Result<AlphaEstimate, AutoSensError> {
+    estimate_alpha_with_partition(log, binner, grouping, cfg, rng, None)
+}
+
+/// [`estimate_alpha`] with an optional precomputed [`GroupPartition`].
+///
+/// When `partition` is `Some`, the per-group rescan of the log is skipped
+/// and the supplied partials are used directly — this is how the streaming
+/// engine turns its incrementally maintained shard state into an α
+/// estimate without re-walking history. The partition must cover exactly
+/// the records of `log` under the same `binner` and `grouping`; the RNG-
+/// bearing stages (group-conditional unbiased draws) always run over the
+/// full log, so the caller's RNG consumption is identical either way.
+pub fn estimate_alpha_with_partition<R: Rng>(
+    log: &TelemetryLog,
+    binner: &Binner,
+    grouping: Grouping,
+    cfg: &AutoSensConfig,
+    rng: &mut R,
+    partition: Option<GroupPartition>,
+) -> Result<AlphaEstimate, AutoSensError> {
     if log.is_empty() {
         return Err(AutoSensError::EmptySlice("alpha estimation".into()));
     }
     let n_groups = grouping.n_groups();
     let mut exec_reports: Vec<ExecReport> = Vec::new();
 
-    // Partition counts by group (records' own local hour and day kind) as
-    // a chunked map-reduce: each chunk builds its own per-group histograms
-    // and counters, merged in chunk order.
-    let records = log.records();
-    let (partial, partition_report) = autosens_exec::map_reduce(
-        "alpha_partition",
-        records.len(),
-        autosens_exec::chunk_size_for(records.len()),
-        cfg.threads,
-        |_, range| {
-            let mut biased: Vec<Histogram> = (0..n_groups)
-                .map(|_| Histogram::new(binner.clone()))
-                .collect();
-            let mut n_actions = vec![0u64; n_groups];
-            for r in &records[range] {
-                let weekend = r.time.is_weekend_local(r.tz_offset_ms);
-                let g = grouping.group_of(r.hour_slot().0, weekend);
-                biased[g].record(r.latency_ms);
-                n_actions[g] += 1;
+    // Partition counts by group (records' own local hour and day kind),
+    // either precomputed by an incremental caller or rebuilt here as a
+    // chunked map-reduce.
+    let (biased, n_actions) = match partition {
+        Some(part) => {
+            if part.biased.len() != n_groups || part.n_actions.len() != n_groups {
+                return Err(AutoSensError::Internal(format!(
+                    "group partition has {} groups, grouping expects {n_groups}",
+                    part.biased.len()
+                )));
             }
-            (biased, n_actions)
-        },
-    )?;
-    exec_reports.push(partition_report);
-    // Invariant: the is_empty() guard above means at least one chunk ran.
-    let (biased, n_actions) = partial.expect("non-empty log partitions");
+            if part.biased.iter().any(|h| h.binner() != binner) {
+                return Err(AutoSensError::Internal(
+                    "group partition binner does not match the analysis binner".into(),
+                ));
+            }
+            let partitioned: u64 = part.n_actions.iter().sum();
+            if partitioned != log.len() as u64 {
+                return Err(AutoSensError::Internal(format!(
+                    "group partition covers {partitioned} actions, log has {}",
+                    log.len()
+                )));
+            }
+            (part.biased, part.n_actions)
+        }
+        None => {
+            let (part, report) = partition_by_group(log, binner, grouping, cfg.threads)?;
+            exec_reports.push(report);
+            (part.biased, part.n_actions)
+        }
+    };
 
     // Group-conditional unbiased histograms: draws restricted to each
     // group's hour windows across every day the log spans. Draws are

@@ -70,7 +70,8 @@ pub mod preference;
 pub mod report;
 pub mod unbiased;
 
+pub use alpha::{partition_by_group, GroupPartition, Grouping};
 pub use config::AutoSensConfig;
 pub use error::AutoSensError;
-pub use pipeline::AutoSens;
+pub use pipeline::{AutoSens, Prepared};
 pub use preference::NormalizedPreference;

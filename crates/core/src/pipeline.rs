@@ -13,7 +13,9 @@ use autosens_telemetry::record::{ActionType, UserClass};
 use autosens_telemetry::time::{DayPeriod, Month};
 use autosens_telemetry::users::{latency_quartiles, LatencyQuartiles};
 
-use crate::alpha::{estimate_alpha, AlphaEstimate, Grouping};
+use crate::alpha::{
+    estimate_alpha, estimate_alpha_with_partition, AlphaEstimate, GroupPartition, Grouping,
+};
 use crate::biased::biased_histogram;
 use crate::config::AutoSensConfig;
 use crate::error::AutoSensError;
@@ -54,6 +56,33 @@ impl std::fmt::Display for Degradation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "[{}] {}", self.stage, self.detail)
     }
+}
+
+/// A sanitized log ready for the post-sanitize pipeline stages, produced by
+/// a caller that has already done the filter / sort / dedup work itself.
+///
+/// The batch path ([`AutoSens::analyze_slice`]) sanitizes internally; an
+/// incremental caller (the streaming engine) maintains sanitized state
+/// continuously and enters the pipeline here via
+/// [`AutoSens::analyze_prepared`]. For the resulting report to be
+/// bit-identical to the batch path, `log` must equal what batch sanitize
+/// would produce for the same input: filtered to the slice's successes,
+/// stably sorted by time, exact duplicates removed keep-first.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// The sanitized (sorted, deduplicated) log of successful actions.
+    pub log: TelemetryLog,
+    /// Degradations observed while preparing (out-of-order arrival,
+    /// duplicates removed, …), in the order batch sanitize would report
+    /// them: re-sort first, then duplicate removal.
+    pub degradations: Vec<Degradation>,
+    /// Records that entered sanitize after filtering (pre-dedup count).
+    pub records_in: usize,
+    /// Records dropped by deduplication.
+    pub records_dropped: usize,
+    /// Optional precomputed per-group partition matching `log` exactly; when
+    /// present the α stage skips its rescan of the log.
+    pub partition: Option<GroupPartition>,
 }
 
 /// A completed analysis of one slice.
@@ -145,10 +174,11 @@ impl AutoSens {
         log: &TelemetryLog,
         slice: &Slice,
     ) -> Result<AnalysisReport, AutoSensError> {
-        let binner = self.config.binner()?;
+        // Validate the configuration before doing any work.
+        self.config.binner()?;
         let mut degradations = Vec::new();
         let mut timings: Vec<StageTiming> = Vec::new();
-        let mut root = self.recorder.root("analyze");
+        let root = self.recorder.root("analyze");
 
         // Sanitize: real telemetry arrives out of order (shard merges, clock
         // skew) and duplicated (re-delivered upload batches). Repair what is
@@ -181,6 +211,66 @@ impl AutoSens {
             stage: "sanitize".into(),
             wall_ms: span.finish(),
         });
+        self.finish_analysis(sub, degradations, records_in, removed, None, root, timings)
+    }
+
+    /// Run the post-sanitize pipeline stages over an externally prepared
+    /// log (see [`Prepared`]).
+    ///
+    /// This is the entry point for incremental callers: the streaming
+    /// engine merges its shard state into a `Prepared` and obtains an
+    /// [`AnalysisReport`] bit-identical to what [`AutoSens::analyze`]
+    /// would produce over the same records — every RNG-bearing stage runs
+    /// from the same `StdRng::seed_from_u64(config.seed)` over the same
+    /// sanitized record sequence. The run still traces one span per
+    /// documented stage (the `"sanitize"` span carries the caller's
+    /// counts; its wall time reflects only bookkeeping).
+    pub fn analyze_prepared(&self, prepared: Prepared) -> Result<AnalysisReport, AutoSensError> {
+        let Prepared {
+            log,
+            degradations,
+            records_in,
+            records_dropped,
+            partition,
+        } = prepared;
+        log.require_sorted()?;
+        let root = self.recorder.root("analyze");
+        let mut timings: Vec<StageTiming> = Vec::new();
+        let mut span = root.child("sanitize");
+        span.field("records_in", records_in);
+        span.field("records_dropped", records_dropped);
+        timings.push(StageTiming {
+            stage: "sanitize".into(),
+            wall_ms: span.finish(),
+        });
+        self.finish_analysis(
+            log,
+            degradations,
+            records_in,
+            records_dropped,
+            partition,
+            root,
+            timings,
+        )
+    }
+
+    /// Everything downstream of sanitize: grouping, α estimation, the
+    /// biased/unbiased PDFs, smoothing and normalization, metrics, and
+    /// report assembly. Shared verbatim by the batch and prepared entry
+    /// points — this is what makes streaming snapshots bit-identical to
+    /// batch analyses.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_analysis(
+        &self,
+        sub: TelemetryLog,
+        mut degradations: Vec<Degradation>,
+        records_in: usize,
+        removed: usize,
+        partition: Option<GroupPartition>,
+        mut root: Span,
+        mut timings: Vec<StageTiming>,
+    ) -> Result<AnalysisReport, AutoSensError> {
+        let binner = self.config.binner()?;
         if sub.is_empty() {
             return Err(AutoSensError::EmptySlice(
                 "slice selected no successful actions".into(),
@@ -196,7 +286,14 @@ impl AutoSens {
         let (biased, unbiased, alpha) = if self.config.alpha_correction {
             let mut span = root.child("alpha");
             span.field("groups", grouping.n_groups());
-            let est = estimate_alpha(&sub, &binner, grouping, &self.config, &mut rng)?;
+            let est = estimate_alpha_with_partition(
+                &sub,
+                &binner,
+                grouping,
+                &self.config,
+                &mut rng,
+                partition,
+            )?;
             for r in &est.exec_reports {
                 self.record_exec(&span, r);
             }

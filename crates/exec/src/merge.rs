@@ -48,6 +48,16 @@ impl<T: Mergeable> Mergeable for Vec<T> {
     }
 }
 
+/// Fixed-size arrays of partials (e.g. one counter per hour slot) merge
+/// element-wise; the shape is enforced by the type.
+impl<T: Mergeable, const N: usize> Mergeable for [T; N] {
+    fn merge(&mut self, other: Self) {
+        for (a, b) in self.iter_mut().zip(other) {
+            a.merge(b);
+        }
+    }
+}
+
 impl<A: Mergeable, B: Mergeable> Mergeable for (A, B) {
     fn merge(&mut self, other: Self) {
         self.0.merge(other.0);
@@ -89,6 +99,13 @@ mod tests {
     fn vector_length_mismatch_panics() {
         let mut a = vec![1u64];
         a.merge(vec![1, 2]);
+    }
+
+    #[test]
+    fn arrays_merge_elementwise() {
+        let mut a = [1u64, 2, 3];
+        a.merge([10, 20, 30]);
+        assert_eq!(a, [11, 22, 33]);
     }
 
     #[test]

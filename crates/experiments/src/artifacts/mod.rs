@@ -13,6 +13,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod profile;
 pub mod robustness;
+pub mod streaming;
 pub mod sweep;
 pub mod table1;
 
@@ -113,6 +114,7 @@ pub fn by_id(data: &Dataset, id: &str) -> Option<Artifact> {
         "sweep" => Some(sweep::generate_sweep()),
         "abandonment-ext" => Some(abandonment_ext::generate_abandonment()),
         "robustness" => Some(robustness::generate_robustness()),
+        "streaming" => Some(streaming::generate_streaming()),
         // Profiles the *loaded* dataset, so `--bench` profiles smoke scale.
         "profile" => Some(profile::generate(data)),
         _ => None,

@@ -1,5 +1,7 @@
 //! Deterministic fault injection over [`autosens_telemetry::TelemetryLog`].
 
 pub mod plan;
+pub mod stream;
 
 pub use plan::{FaultOp, FaultPlan};
+pub use stream::FaultStream;

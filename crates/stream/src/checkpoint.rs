@@ -1,0 +1,116 @@
+//! Durable engine state: serialize shard records + intake counters to
+//! disk, resume a stream mid-flight.
+//!
+//! The shard **records** are the state of record; every derived partial
+//! aggregate (group histograms, α_T counts, hour counters) is rebuilt on
+//! restore, so a checkpoint can never carry partials that disagree with
+//! the records they summarize. The analysis [`Slice`](autosens_telemetry::query::Slice)
+//! is deliberately not serialized — callers re-derive it from their own
+//! configuration and pass it to [`StreamEngine::restore`](crate::StreamEngine::restore).
+//! `source_offset` carries the tailed file's byte position so a resumed
+//! `watch` continues reading exactly where the checkpoint was cut.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use autosens_telemetry::record::ActionRecord;
+
+use crate::engine::StreamConfig;
+use crate::error::StreamError;
+
+/// Bump when the on-disk layout changes incompatibly.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// One shard's durable state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardCheckpoint {
+    /// The shard's time bucket (`time_ms.div_euclid(shard_ms)`).
+    pub bucket: i64,
+    /// The shard's records, time-sorted and arrival-stable.
+    pub records: Vec<ActionRecord>,
+}
+
+/// The full durable state of a [`StreamEngine`](crate::StreamEngine).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Layout version; restore rejects mismatches.
+    pub version: u32,
+    /// The streaming + analysis configuration the state was built under.
+    pub config: StreamConfig,
+    /// Event-time frontier at checkpoint time.
+    pub max_event_time_ms: Option<i64>,
+    /// Last raw arrival timestamp (for the out-of-order detector).
+    pub last_arrival_ms: Option<i64>,
+    /// Whether any record arrived out of time order so far.
+    pub saw_out_of_order: bool,
+    /// Records offered (pre-filter).
+    pub events: u64,
+    /// Records excluded by the slice filter.
+    pub filtered: u64,
+    /// Records dropped past the watermark.
+    pub late: u64,
+    /// Exact duplicates dropped at insert.
+    pub duplicates: u64,
+    /// Records dropped with evicted shards.
+    pub evicted: u64,
+    /// Post-filter intake (admitted + duplicates) — batch `records_in`.
+    pub records_in: u64,
+    /// Byte offset into the tailed source file (0 when not tailing).
+    pub source_offset: u64,
+    /// Live shards in bucket order.
+    pub shards: Vec<ShardCheckpoint>,
+}
+
+impl Checkpoint {
+    /// Structural validation independent of the record contents (record
+    /// membership and sortedness are re-checked during restore).
+    pub fn validate(&self) -> Result<(), StreamError> {
+        if self.version != CHECKPOINT_VERSION {
+            return Err(StreamError::Corrupt(format!(
+                "checkpoint version {} is not the supported version {CHECKPOINT_VERSION}",
+                self.version
+            )));
+        }
+        for w in self.shards.windows(2) {
+            if w[1].bucket <= w[0].bucket {
+                return Err(StreamError::Corrupt(format!(
+                    "shard buckets are not strictly increasing ({} then {})",
+                    w[0].bucket, w[1].bucket
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> Result<String, StreamError> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| StreamError::Corrupt(format!("checkpoint serialization failed: {e}")))
+    }
+
+    /// Parse a checkpoint from JSON and validate its structure.
+    pub fn from_json(json: &str) -> Result<Checkpoint, StreamError> {
+        let ck: Checkpoint = serde_json::from_str(json)
+            .map_err(|e| StreamError::Corrupt(format!("checkpoint parse failed: {e}")))?;
+        ck.validate()?;
+        Ok(ck)
+    }
+
+    /// Write the checkpoint atomically-ish: to a `.tmp` sibling first,
+    /// then rename over the target, so a crash mid-write never leaves a
+    /// truncated checkpoint under the real name.
+    pub fn save(&self, path: &Path) -> Result<(), StreamError> {
+        let json = self.to_json()?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and validate a checkpoint file.
+    pub fn load(path: &Path) -> Result<Checkpoint, StreamError> {
+        let json = std::fs::read_to_string(path)?;
+        Checkpoint::from_json(&json)
+    }
+}

@@ -1,0 +1,477 @@
+//! The streaming analysis engine: out-of-order-tolerant intake over
+//! time-bucketed shards, with batch-bit-identical snapshots.
+//!
+//! ## Equivalence with the batch pipeline
+//!
+//! Batch `AutoSens::analyze` sanitizes (filter → stable sort → exact
+//! dedup) and then runs every downstream stage as a pure function of the
+//! sanitized record sequence and the configuration, seeding one
+//! `StdRng::seed_from_u64(config.seed)` after sanitize. The engine
+//! reconstructs that exact sanitized sequence continuously:
+//!
+//! * the slice filter (plus the paper's successes-only restriction) is
+//!   applied per record at ingest;
+//! * each admitted record is placed in its time bucket at the upper bound
+//!   of its equal-timestamp run — arrival order among ties, i.e. the
+//!   stable-sort order of the arrival sequence;
+//! * exact duplicates (which necessarily share a timestamp, hence a
+//!   bucket) are counted and dropped at insert, keeping the first arrival
+//!   exactly as batch dedup keeps the first post-sort occurrence.
+//!
+//! [`StreamEngine::snapshot`] concatenates shards in bucket order (already
+//! globally sorted — no re-sort), merges the per-shard
+//! [`GroupPartition`](autosens_core::GroupPartition) partials, and enters
+//! the shared pipeline via `AutoSens::analyze_prepared`, so after draining
+//! a finite log the report is **bit-identical** to batch `analyze` on the
+//! same log — including degradation bookkeeping and `autosens_core_*`
+//! metrics.
+//!
+//! ## What is incremental and what is not
+//!
+//! The per-group biased histograms and α_T slot counts are maintained
+//! incrementally and merged in O(shards · groups · bins). The RNG-bearing
+//! stages — the group-conditional unbiased draws and the smoothing fit —
+//! are recomputed per snapshot over the merged window: their draw count
+//! and window layout depend on the window's global start/end, so caching
+//! them per shard would change the random sequence and break bit
+//! equality. Records themselves are kept (they are the checkpoint's
+//! durable state and the unbiased estimator's input); prefix sums over
+//! shard lengths size the merged buffer exactly.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use autosens_core::pipeline::{AnalysisReport, Degradation, Prepared};
+use autosens_core::{AutoSens, AutoSensConfig, AutoSensError, GroupPartition, Grouping};
+use autosens_obs::Recorder;
+use autosens_stats::binning::Binner;
+use autosens_telemetry::log::TelemetryLog;
+use autosens_telemetry::query::Slice;
+use autosens_telemetry::record::ActionRecord;
+
+use crate::error::StreamError;
+use crate::shard::Shard;
+
+/// Streaming layer configuration on top of the analysis configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// The analysis configuration snapshots run under (also defines the
+    /// histogram binner and confounder grouping).
+    pub analysis: AutoSensConfig,
+    /// Event-time width of one shard, ms. Equal timestamps always share a
+    /// shard; smaller shards bound the insert shift of late arrivals.
+    pub shard_ms: i64,
+    /// How far behind the event-time frontier (max event time seen) a
+    /// record may arrive and still be admitted. Older records are
+    /// counted-and-dropped, never silently lost.
+    pub allowed_lateness_ms: i64,
+    /// Optional sliding-window retention: shards entirely older than
+    /// `frontier - retain_ms` are evicted (with their records counted).
+    /// `None` keeps everything — required for batch equivalence over a
+    /// full log.
+    pub retain_ms: Option<i64>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            analysis: AutoSensConfig::default(),
+            shard_ms: 3_600_000,
+            allowed_lateness_ms: 3_600_000,
+            retain_ms: None,
+        }
+    }
+}
+
+impl StreamConfig {
+    fn validate(&self) -> Result<(), StreamError> {
+        if self.shard_ms <= 0 {
+            return Err(StreamError::Corrupt(format!(
+                "shard_ms must be > 0, got {}",
+                self.shard_ms
+            )));
+        }
+        if self.allowed_lateness_ms < 0 {
+            return Err(StreamError::Corrupt(format!(
+                "allowed_lateness_ms must be >= 0, got {}",
+                self.allowed_lateness_ms
+            )));
+        }
+        if let Some(retain) = self.retain_ms {
+            if retain <= 0 {
+                return Err(StreamError::Corrupt(format!(
+                    "retain_ms must be > 0 when set, got {retain}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What happened to one record offered to [`StreamEngine::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ingest {
+    /// Admitted into a shard.
+    Admitted,
+    /// Excluded by the slice filter (or a non-success outcome).
+    Filtered,
+    /// Arrived past the low-watermark; counted and dropped.
+    Late,
+    /// Exact duplicate of an already-admitted record; counted and dropped.
+    Duplicate,
+}
+
+/// A point-in-time summary of the engine's intake counters and store shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamStatus {
+    /// Records offered to the engine (before filtering).
+    pub events: u64,
+    /// Records excluded by the slice filter.
+    pub filtered: u64,
+    /// Records dropped past the watermark.
+    pub late: u64,
+    /// Exact duplicates dropped at insert.
+    pub duplicates: u64,
+    /// Records dropped with evicted shards (sliding window only).
+    pub evicted: u64,
+    /// Records currently held across live shards.
+    pub live_records: u64,
+    /// Live shard count.
+    pub shards: usize,
+    /// Actions per local hour slot across live shards.
+    pub hour_counts: [u64; 24],
+    /// The event-time frontier (max event time admitted), if any.
+    pub max_event_time_ms: Option<i64>,
+    /// The current low-watermark (`frontier - allowed_lateness_ms`).
+    pub watermark_ms: Option<i64>,
+}
+
+/// The streaming ingestion + incremental analysis engine. See the module
+/// docs for the equivalence argument.
+#[derive(Debug)]
+pub struct StreamEngine {
+    engine: AutoSens,
+    config: StreamConfig,
+    slice: Slice,
+    filter: Slice,
+    binner: Binner,
+    grouping: Grouping,
+    shards: BTreeMap<i64, Shard>,
+    max_event_time: Option<i64>,
+    last_arrival: Option<i64>,
+    saw_out_of_order: bool,
+    events: u64,
+    filtered: u64,
+    late: u64,
+    duplicates: u64,
+    evicted: u64,
+    records_in: u64,
+}
+
+impl StreamEngine {
+    /// Create an engine analyzing `slice` (successes only, as batch does)
+    /// under `config`, recording spans and metrics into `recorder`.
+    pub fn with_recorder(
+        config: StreamConfig,
+        slice: Slice,
+        recorder: Recorder,
+    ) -> Result<StreamEngine, StreamError> {
+        config.validate()?;
+        let binner = config.analysis.binner()?;
+        let grouping = if config.analysis.weekday_weekend_slots {
+            Grouping::HourSlotsByDayKind
+        } else {
+            Grouping::HourSlots
+        };
+        let filter = slice.clone().successes();
+        Ok(StreamEngine {
+            engine: AutoSens::with_recorder(config.analysis.clone(), recorder),
+            config,
+            slice,
+            filter,
+            binner,
+            grouping,
+            shards: BTreeMap::new(),
+            max_event_time: None,
+            last_arrival: None,
+            saw_out_of_order: false,
+            events: 0,
+            filtered: 0,
+            late: 0,
+            duplicates: 0,
+            evicted: 0,
+            records_in: 0,
+        })
+    }
+
+    /// [`StreamEngine::with_recorder`] with a disabled recorder.
+    pub fn new(config: StreamConfig, slice: Slice) -> Result<StreamEngine, StreamError> {
+        StreamEngine::with_recorder(config, slice, Recorder::disabled())
+    }
+
+    /// The streaming configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// The analysis recorder (its metrics registry carries the
+    /// `autosens_stream_*` and `autosens_core_*` counters).
+    pub fn recorder(&self) -> &Recorder {
+        self.engine.recorder()
+    }
+
+    /// Offer one arriving record. Returns what happened to it; the
+    /// outcome is always counted in the `autosens_stream_*` metrics, so
+    /// degraded intake is visible, never silent.
+    pub fn push(&mut self, r: ActionRecord) -> Ingest {
+        let metrics = self.engine.recorder().metrics();
+        self.events += 1;
+        metrics.counter("autosens_stream_events_total").inc();
+
+        // Arrival-order bookkeeping mirrors batch sanitize's is_sorted
+        // check on the raw input sequence (before any filtering).
+        if let Some(prev) = self.last_arrival {
+            if r.time.millis() < prev {
+                self.saw_out_of_order = true;
+            }
+        }
+        self.last_arrival = Some(r.time.millis());
+
+        if !self.filter.matches(&r) {
+            self.filtered += 1;
+            metrics
+                .counter("autosens_stream_filtered_events_total")
+                .inc();
+            return Ingest::Filtered;
+        }
+
+        let t = r.time.millis();
+        if let Some(frontier) = self.max_event_time {
+            let watermark = frontier - self.config.allowed_lateness_ms;
+            if t < watermark {
+                self.late += 1;
+                metrics.counter("autosens_stream_late_events_total").inc();
+                return Ingest::Late;
+            }
+            metrics
+                .gauge("autosens_stream_watermark_lag_ms")
+                .set((frontier - t).max(0) as f64);
+        } else {
+            metrics.gauge("autosens_stream_watermark_lag_ms").set(0.0);
+        }
+        self.max_event_time = Some(self.max_event_time.unwrap_or(t).max(t));
+
+        let bucket = t.div_euclid(self.config.shard_ms);
+        let shard = self
+            .shards
+            .entry(bucket)
+            .or_insert_with(|| Shard::new(&self.binner, self.grouping));
+        if !shard.insert(r, self.grouping) {
+            self.duplicates += 1;
+            self.records_in += 1;
+            metrics
+                .counter("autosens_stream_duplicate_events_total")
+                .inc();
+            return Ingest::Duplicate;
+        }
+        self.records_in += 1;
+
+        if let Some(retain) = self.config.retain_ms {
+            self.evict_older_than(self.max_event_time.unwrap_or(t) - retain);
+        }
+        Ingest::Admitted
+    }
+
+    /// Evict shards whose bucket ends at or before `cutoff_ms`.
+    fn evict_older_than(&mut self, cutoff_ms: i64) {
+        let metrics = self.engine.recorder().metrics();
+        // BTreeMap iterates in bucket order; stop at the first live shard.
+        while let Some((&bucket, shard)) = self.shards.iter().next() {
+            let bucket_end = (bucket + 1) * self.config.shard_ms;
+            if bucket_end > cutoff_ms {
+                break;
+            }
+            let dropped = shard.records.len() as u64;
+            self.evicted += dropped;
+            metrics
+                .counter("autosens_stream_evicted_records_total")
+                .add(dropped);
+            self.shards.remove(&bucket);
+        }
+    }
+
+    /// The current intake counters and store shape.
+    pub fn status(&self) -> StreamStatus {
+        let mut hour_counts = [0u64; 24];
+        let mut live_records = 0u64;
+        for shard in self.shards.values() {
+            shard.merge_hours_into(&mut hour_counts);
+            live_records += shard.records.len() as u64;
+        }
+        StreamStatus {
+            events: self.events,
+            filtered: self.filtered,
+            late: self.late,
+            duplicates: self.duplicates,
+            evicted: self.evicted,
+            live_records,
+            shards: self.shards.len(),
+            hour_counts,
+            max_event_time_ms: self.max_event_time,
+            watermark_ms: self
+                .max_event_time
+                .map(|t| t - self.config.allowed_lateness_ms),
+        }
+    }
+
+    /// Analyze the live window by merging shard partials into the shared
+    /// post-sanitize pipeline. After draining a finite log (no lateness
+    /// drops, no eviction), the result is bit-identical to batch
+    /// `AutoSens::analyze` over the same log.
+    pub fn snapshot(&self) -> Result<AnalysisReport, AutoSensError> {
+        let recorder = self.engine.recorder();
+        let mut span = recorder.root("stream_flush");
+        span.field("events", self.events);
+        span.field("shards", self.shards.len());
+
+        // Prefix sums over shard lengths size the merged buffer exactly;
+        // shards concatenate in bucket order into an already-sorted log.
+        let total: usize = self.shards.values().map(|s| s.records.len()).sum();
+        span.field("records", total);
+        let mut records: Vec<ActionRecord> = Vec::with_capacity(total);
+        let mut partition = GroupPartition::empty(&self.binner, self.grouping);
+        for shard in self.shards.values() {
+            records.extend_from_slice(&shard.records);
+            partition.merge(&shard.partition)?;
+        }
+        let log = TelemetryLog::from_trusted_records(records);
+
+        // Degradations in the order batch sanitize reports them, plus the
+        // streaming-only lateness drop (absent in the equivalence regime).
+        let mut degradations = Vec::new();
+        if self.saw_out_of_order {
+            degradations.push(Degradation {
+                stage: "sanitize".into(),
+                detail: "records arrived out of time order; re-sorted".into(),
+            });
+        }
+        if self.duplicates > 0 {
+            let removed = self.duplicates;
+            degradations.push(Degradation {
+                stage: "sanitize".into(),
+                detail: format!("removed {removed} exact duplicate records"),
+            });
+        }
+        if self.late > 0 {
+            degradations.push(Degradation {
+                stage: "stream".into(),
+                detail: format!(
+                    "{} events arrived past the {} ms watermark and were dropped",
+                    self.late, self.config.allowed_lateness_ms
+                ),
+            });
+        }
+        if self.evicted > 0 {
+            degradations.push(Degradation {
+                stage: "stream".into(),
+                detail: format!(
+                    "{} records evicted by the sliding window; the curve covers the live window only",
+                    self.evicted
+                ),
+            });
+        }
+
+        recorder
+            .metrics()
+            .counter("autosens_stream_flushes_total")
+            .inc();
+        span.finish();
+
+        self.engine.analyze_prepared(Prepared {
+            log,
+            degradations,
+            records_in: self.records_in as usize,
+            records_dropped: self.duplicates as usize,
+            partition: Some(partition),
+        })
+    }
+
+    /// Serialize the engine's durable state. The shard records are the
+    /// state of record; partial aggregates are rebuilt on restore.
+    /// `source_offset` is the tailed file's checkpointed byte offset
+    /// (pass 0 when not tailing a file).
+    pub fn checkpoint(&self, source_offset: u64) -> crate::checkpoint::Checkpoint {
+        crate::checkpoint::Checkpoint {
+            version: crate::checkpoint::CHECKPOINT_VERSION,
+            config: self.config.clone(),
+            max_event_time_ms: self.max_event_time,
+            last_arrival_ms: self.last_arrival,
+            saw_out_of_order: self.saw_out_of_order,
+            events: self.events,
+            filtered: self.filtered,
+            late: self.late,
+            duplicates: self.duplicates,
+            evicted: self.evicted,
+            records_in: self.records_in,
+            source_offset,
+            shards: self
+                .shards
+                .iter()
+                .map(|(&bucket, shard)| crate::checkpoint::ShardCheckpoint {
+                    bucket,
+                    records: shard.records.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild an engine from a checkpoint, resuming mid-flight. The
+    /// slice is not serialized (it can hold arbitrary user sets); the
+    /// caller re-supplies the slice it checkpointed under.
+    pub fn restore(
+        checkpoint: crate::checkpoint::Checkpoint,
+        slice: Slice,
+        recorder: Recorder,
+    ) -> Result<StreamEngine, StreamError> {
+        checkpoint.validate()?;
+        let mut engine = StreamEngine::with_recorder(checkpoint.config, slice, recorder)?;
+        for sc in checkpoint.shards {
+            for w in sc.records.windows(2) {
+                if w[1].time < w[0].time {
+                    return Err(StreamError::Corrupt(format!(
+                        "shard {} records are not time-sorted",
+                        sc.bucket
+                    )));
+                }
+            }
+            for r in &sc.records {
+                let bucket = r.time.millis().div_euclid(engine.config.shard_ms);
+                if bucket != sc.bucket {
+                    return Err(StreamError::Corrupt(format!(
+                        "record at {} ms does not belong to shard {}",
+                        r.time.millis(),
+                        sc.bucket
+                    )));
+                }
+            }
+            let shard = Shard::rebuild(sc.records, &engine.binner, engine.grouping);
+            engine.shards.insert(sc.bucket, shard);
+        }
+        engine.max_event_time = checkpoint.max_event_time_ms;
+        engine.last_arrival = checkpoint.last_arrival_ms;
+        engine.saw_out_of_order = checkpoint.saw_out_of_order;
+        engine.events = checkpoint.events;
+        engine.filtered = checkpoint.filtered;
+        engine.late = checkpoint.late;
+        engine.duplicates = checkpoint.duplicates;
+        engine.evicted = checkpoint.evicted;
+        engine.records_in = checkpoint.records_in;
+        Ok(engine)
+    }
+
+    /// The slice this engine was created with (handy for labels).
+    pub fn slice(&self) -> &Slice {
+        &self.slice
+    }
+}

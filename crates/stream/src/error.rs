@@ -1,0 +1,49 @@
+//! Error type for the streaming subsystem.
+
+use autosens_core::AutoSensError;
+use autosens_telemetry::TelemetryError;
+
+/// Anything the streaming engine can fail with.
+#[derive(Debug)]
+pub enum StreamError {
+    /// A snapshot's analysis stage failed.
+    Analysis(AutoSensError),
+    /// A record or log operation failed.
+    Telemetry(TelemetryError),
+    /// Checkpoint file I/O failed.
+    Io(std::io::Error),
+    /// A checkpoint failed validation (wrong version, records outside
+    /// their shard, unsorted shard, …).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Analysis(e) => write!(f, "analysis failed: {e}"),
+            StreamError::Telemetry(e) => write!(f, "telemetry error: {e}"),
+            StreamError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            StreamError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<AutoSensError> for StreamError {
+    fn from(e: AutoSensError) -> Self {
+        StreamError::Analysis(e)
+    }
+}
+
+impl From<TelemetryError> for StreamError {
+    fn from(e: TelemetryError) -> Self {
+        StreamError::Telemetry(e)
+    }
+}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}

@@ -1,0 +1,376 @@
+//! Streaming telemetry ingestion with incremental preference-curve
+//! maintenance.
+//!
+//! The batch pipeline in `autosens-core` answers "what is the latency
+//! preference of this log?"; this crate answers the same question for a
+//! log that is still growing. It has four pieces:
+//!
+//! * [`Ingestor`] — a bounded intake queue with explicit backpressure
+//!   ([`OverflowPolicy::Block`]) or shed-and-count overflow
+//!   ([`OverflowPolicy::Shed`]), plus an optional
+//!   [`FaultStream`](autosens_faults::FaultStream) hook so corruption is
+//!   injected at the ingest boundary rather than inside the engine.
+//! * [`StreamEngine`] — a time-sharded sliding-window store tolerating
+//!   out-of-order arrival up to a configurable lateness budget
+//!   (low-watermark semantics: older arrivals are counted-and-dropped,
+//!   never silently lost). Each shard keeps incremental partial
+//!   aggregates, so [`StreamEngine::snapshot`] merges partials and enters
+//!   the shared pipeline post-sanitize instead of re-running the batch
+//!   pipeline from scratch.
+//! * [`Checkpoint`] — serialize the engine's durable state to disk and
+//!   resume a stream mid-flight, including the tailed file's byte offset.
+//! * Observability — `autosens_stream_*` counters (events, late,
+//!   duplicates, filtered, shed, evicted, flushes), queue-depth and
+//!   watermark-lag gauges, and a `stream_flush` span per snapshot.
+//!
+//! The load-bearing property, enforced by tests here and by the CI
+//! equivalence gate: **after draining a finite log, a snapshot is
+//! bit-identical to batch `AutoSens::analyze` over the same log** —
+//! curves, α estimates, degradation bookkeeping, and `autosens_core_*`
+//! metrics all match. See the [`engine`] module docs for why.
+
+pub mod checkpoint;
+pub mod engine;
+pub mod error;
+pub mod ingest;
+mod shard;
+
+pub use checkpoint::{Checkpoint, ShardCheckpoint, CHECKPOINT_VERSION};
+pub use engine::{Ingest, StreamConfig, StreamEngine, StreamStatus};
+pub use error::StreamError;
+pub use ingest::{DrainSummary, Ingestor, Offer, OverflowPolicy};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosens_core::pipeline::AnalysisReport;
+    use autosens_core::{AutoSens, AutoSensConfig};
+    use autosens_faults::{FaultOp, FaultPlan, FaultStream};
+    use autosens_obs::Recorder;
+    use autosens_sim::{self, Scenario, SimConfig};
+    use autosens_telemetry::log::TelemetryLog;
+    use autosens_telemetry::query::Slice;
+    use autosens_telemetry::record::ActionRecord;
+
+    fn smoke_log() -> TelemetryLog {
+        let cfg = SimConfig::scenario(Scenario::Smoke);
+        autosens_sim::generate(&cfg).expect("smoke generation").0
+    }
+
+    fn stream_config() -> StreamConfig {
+        StreamConfig {
+            analysis: AutoSensConfig::default(),
+            shard_ms: 6 * 3_600_000,
+            allowed_lateness_ms: 3_600_000,
+            retain_ms: None,
+        }
+    }
+
+    /// Bit-level report equality: curve samples, histograms, α groups,
+    /// degradations, and counts all identical.
+    fn assert_reports_identical(stream: &AnalysisReport, batch: &AnalysisReport) {
+        assert_eq!(stream.n_actions, batch.n_actions);
+        assert_eq!(stream.degradations, batch.degradations);
+        let sb: Vec<u64> = stream.biased.counts().iter().map(|c| c.to_bits()).collect();
+        let bb: Vec<u64> = batch.biased.counts().iter().map(|c| c.to_bits()).collect();
+        assert_eq!(sb, bb, "biased histograms diverged");
+        let su: Vec<u64> = stream
+            .unbiased
+            .counts()
+            .iter()
+            .map(|c| c.to_bits())
+            .collect();
+        let bu: Vec<u64> = batch
+            .unbiased
+            .counts()
+            .iter()
+            .map(|c| c.to_bits())
+            .collect();
+        assert_eq!(su, bu, "unbiased histograms diverged");
+        let ss: Vec<(u64, u64)> = stream
+            .preference
+            .series()
+            .iter()
+            .map(|(x, y)| (x.to_bits(), y.to_bits()))
+            .collect();
+        let bs: Vec<(u64, u64)> = batch
+            .preference
+            .series()
+            .iter()
+            .map(|(x, y)| (x.to_bits(), y.to_bits()))
+            .collect();
+        assert_eq!(ss, bs, "preference curves diverged");
+        match (&stream.alpha, &batch.alpha) {
+            (Some(sa), Some(ba)) => {
+                assert_eq!(sa.grouping, ba.grouping);
+                assert_eq!(sa.primary_reference, ba.primary_reference);
+                assert_eq!(sa.references, ba.references);
+                assert_eq!(sa.groups.len(), ba.groups.len());
+                for (sg, bg) in sa.groups.iter().zip(&ba.groups) {
+                    assert_eq!(sg.n_actions, bg.n_actions);
+                    assert_eq!(
+                        sg.alpha.map(f64::to_bits),
+                        bg.alpha.map(f64::to_bits),
+                        "per-group α diverged"
+                    );
+                }
+            }
+            (None, None) => {}
+            _ => panic!("alpha presence diverged between stream and batch"),
+        }
+    }
+
+    #[test]
+    fn drained_snapshot_is_bit_identical_to_batch_analyze() {
+        let log = smoke_log();
+        let batch = AutoSens::new(AutoSensConfig::default())
+            .analyze(&log)
+            .expect("batch analyze");
+
+        let mut engine = StreamEngine::new(stream_config(), Slice::all()).expect("engine");
+        for r in log.iter() {
+            engine.push(*r);
+        }
+        let snap = engine.snapshot().expect("snapshot");
+        assert_reports_identical(&snap, &batch);
+
+        let status = engine.status();
+        assert_eq!(status.events, log.len() as u64);
+        assert_eq!(status.late, 0);
+        assert_eq!(status.duplicates, 0);
+    }
+
+    #[test]
+    fn reorder_within_lateness_budget_preserves_bit_equality() {
+        let log = smoke_log();
+        // Inject timestamp jitter at the ingest boundary, bounded by half
+        // the lateness budget so nothing lands past the watermark; the
+        // stream sees the corrupted records in their original arrival
+        // order, batch sees the same corrupted log.
+        let plan = FaultPlan {
+            seed: 0x0DD5,
+            ops: vec![FaultOp::Reorder {
+                rate: 0.2,
+                max_shift_ms: 30 * 60_000,
+            }],
+        };
+        let corrupted = plan.apply(&log).expect("fault injection");
+        let batch = AutoSens::new(AutoSensConfig::default())
+            .analyze(&corrupted)
+            .expect("batch analyze");
+
+        let mut engine = StreamEngine::new(stream_config(), Slice::all()).expect("engine");
+        for r in corrupted.iter() {
+            assert_ne!(engine.push(*r), Ingest::Late, "jitter exceeded lateness");
+        }
+        let snap = engine.snapshot().expect("snapshot");
+        assert_reports_identical(&snap, &batch);
+        // Both paths observed and repaired the same disorder.
+        assert!(snap
+            .degradations
+            .iter()
+            .any(|d| d.detail.contains("out of time order")));
+    }
+
+    #[test]
+    fn duplicates_dedup_identically_to_batch_sanitize() {
+        let log = smoke_log();
+        let plan = FaultPlan {
+            seed: 0xD0B,
+            ops: vec![FaultOp::Duplicate { rate: 0.1 }],
+        };
+        let corrupted = plan.apply(&log).expect("fault injection");
+        let batch = AutoSens::new(AutoSensConfig::default())
+            .analyze(&corrupted)
+            .expect("batch analyze");
+
+        let recorder = Recorder::new();
+        let mut engine =
+            StreamEngine::with_recorder(stream_config(), Slice::all(), recorder.clone())
+                .expect("engine");
+        let mut dups = 0u64;
+        for r in corrupted.iter() {
+            if engine.push(*r) == Ingest::Duplicate {
+                dups += 1;
+            }
+        }
+        assert!(dups > 0, "the duplicate fault produced no duplicates");
+        let snap = engine.snapshot().expect("snapshot");
+        assert_reports_identical(&snap, &batch);
+        assert!(snap
+            .degradations
+            .iter()
+            .any(|d| d.detail.contains("exact duplicate")));
+        assert_eq!(
+            recorder
+                .metrics()
+                .snapshot()
+                .counter("autosens_stream_duplicate_events_total"),
+            Some(dups)
+        );
+    }
+
+    #[test]
+    fn late_arrivals_are_counted_and_dropped() {
+        let log = smoke_log();
+        let mut cfg = stream_config();
+        cfg.allowed_lateness_ms = 60_000;
+        let recorder = Recorder::new();
+        let mut engine =
+            StreamEngine::with_recorder(cfg, Slice::all(), recorder.clone()).expect("engine");
+        for r in log.iter() {
+            engine.push(*r);
+        }
+        // Replay the very first record: it is now far behind the frontier.
+        let first = *log.iter().next().expect("non-empty log");
+        assert_eq!(engine.push(first), Ingest::Late);
+        assert_eq!(engine.status().late, 1);
+        assert_eq!(
+            recorder
+                .metrics()
+                .snapshot()
+                .counter("autosens_stream_late_events_total"),
+            Some(1)
+        );
+        let snap = engine.snapshot().expect("snapshot");
+        assert!(snap
+            .degradations
+            .iter()
+            .any(|d| d.stage == "stream" && d.detail.contains("watermark")));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_resumes_bit_identically() {
+        let log = smoke_log();
+        let records: Vec<ActionRecord> = log.iter().copied().collect();
+        let half = records.len() / 2;
+
+        let mut original = StreamEngine::new(stream_config(), Slice::all()).expect("engine");
+        for r in &records[..half] {
+            original.push(*r);
+        }
+        let json = original.checkpoint(42).to_json().expect("serialize");
+        let ck = Checkpoint::from_json(&json).expect("parse");
+        assert_eq!(ck.source_offset, 42);
+        let mut restored =
+            StreamEngine::restore(ck, Slice::all(), Recorder::disabled()).expect("restore");
+
+        for r in &records[half..] {
+            original.push(*r);
+            restored.push(*r);
+        }
+        let a = original.snapshot().expect("original snapshot");
+        let b = restored.snapshot().expect("restored snapshot");
+        assert_reports_identical(&a, &b);
+        assert_eq!(original.status(), restored.status());
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_rejected() {
+        let engine = StreamEngine::new(stream_config(), Slice::all()).expect("engine");
+        let mut ck = engine.checkpoint(0);
+        ck.version = 99;
+        assert!(matches!(ck.validate(), Err(StreamError::Corrupt(_))));
+
+        // A record filed under the wrong bucket must not restore.
+        let log = smoke_log();
+        let mut engine = StreamEngine::new(stream_config(), Slice::all()).expect("engine");
+        for r in log.iter().take(100) {
+            engine.push(*r);
+        }
+        let mut ck = engine.checkpoint(0);
+        assert!(!ck.shards.is_empty());
+        ck.shards[0].bucket += 1_000_000;
+        let err = StreamEngine::restore(ck, Slice::all(), Recorder::disabled());
+        assert!(matches!(err, Err(StreamError::Corrupt(_))));
+    }
+
+    #[test]
+    fn sliding_window_evicts_and_reports_partial_coverage() {
+        let log = smoke_log();
+        let mut cfg = stream_config();
+        cfg.retain_ms = Some(3 * 24 * 3_600_000); // keep ~3 of 14 days
+        let mut engine = StreamEngine::new(cfg, Slice::all()).expect("engine");
+        for r in log.iter() {
+            engine.push(*r);
+        }
+        let status = engine.status();
+        assert!(status.evicted > 0, "nothing was evicted");
+        assert!(status.live_records < log.len() as u64);
+        let snap = engine.snapshot().expect("snapshot");
+        assert!(snap
+            .degradations
+            .iter()
+            .any(|d| d.stage == "stream" && d.detail.contains("evicted")));
+        assert!(snap.n_actions + status.evicted >= status.live_records);
+    }
+
+    #[test]
+    fn ingestor_sheds_over_capacity_and_counts_it() {
+        let recorder = Recorder::new();
+        let ingestor = Ingestor::new(4, OverflowPolicy::Shed, recorder.clone());
+        let log = smoke_log();
+        let records: Vec<ActionRecord> = log.iter().copied().take(10).collect();
+        let mut shed = 0;
+        for r in &records {
+            if ingestor.offer(*r) == Offer::Shed {
+                shed += 1;
+            }
+        }
+        assert_eq!(ingestor.queue_depth(), 4);
+        assert_eq!(shed, 6);
+        assert_eq!(ingestor.shed(), 6);
+        let snap = recorder.metrics().snapshot();
+        assert_eq!(snap.counter("autosens_stream_shed_events_total"), Some(6));
+        assert_eq!(snap.gauge("autosens_stream_queue_depth"), Some(4.0));
+
+        let mut engine = StreamEngine::new(stream_config(), Slice::all()).expect("engine");
+        let summary = ingestor.drain_into(&mut engine).expect("drain");
+        assert_eq!(summary.pushed, 4);
+        assert_eq!(ingestor.queue_depth(), 0);
+        assert_eq!(
+            recorder
+                .metrics()
+                .snapshot()
+                .gauge("autosens_stream_queue_depth"),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn ingestor_blocks_with_backpressure() {
+        let ingestor = Ingestor::new(2, OverflowPolicy::Block, Recorder::disabled());
+        let log = smoke_log();
+        let mut it = log.iter().copied();
+        assert_eq!(ingestor.offer(it.next().unwrap()), Offer::Accepted);
+        assert_eq!(ingestor.offer(it.next().unwrap()), Offer::Accepted);
+        assert_eq!(ingestor.offer(it.next().unwrap()), Offer::Full);
+        assert_eq!(ingestor.queue_depth(), 2, "a Full offer must not enqueue");
+        assert_eq!(ingestor.shed(), 0);
+    }
+
+    #[test]
+    fn fault_stream_at_the_ingest_boundary_matches_batch_injection() {
+        // Records offered through an Ingestor wearing a FaultStream come
+        // out byte-identical to FaultPlan::apply over the same records.
+        let log = smoke_log();
+        let plan = FaultPlan {
+            seed: 0x57AE,
+            ops: vec![
+                FaultOp::DropUniform { rate: 0.1 },
+                FaultOp::Duplicate { rate: 0.1 },
+            ],
+        };
+        let expected = plan.apply(&log).expect("batch injection");
+
+        let ingestor = Ingestor::new(usize::MAX >> 1, OverflowPolicy::Shed, Recorder::disabled());
+        ingestor.set_faults(Some(FaultStream::new(&plan).expect("fault stream")));
+        for r in log.iter() {
+            ingestor.offer(*r);
+        }
+        let mut engine = StreamEngine::new(stream_config(), Slice::all()).expect("engine");
+        let summary = ingestor.drain_into(&mut engine).expect("drain");
+        assert_eq!(summary.pushed, expected.len());
+        assert_eq!(engine.status().events, expected.len() as u64);
+    }
+}

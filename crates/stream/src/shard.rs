@@ -1,0 +1,157 @@
+//! Time-bucketed shards with incremental per-shard analysis state.
+//!
+//! Every shard covers one `[bucket * shard_ms, (bucket + 1) * shard_ms)`
+//! interval of event time and holds its records **sorted by time, stable
+//! in arrival order among equal timestamps** — exactly the order batch
+//! sanitize's stable sort produces. Because exact duplicates share a
+//! timestamp, and equal timestamps never span a bucket boundary, keeping
+//! duplicates out at insert time is equivalent to batch
+//! `dedup_exact` / `dedup_exact_par` over the drained log.
+//!
+//! Alongside the records each shard maintains incremental partial
+//! aggregates — the per-group biased histograms and α_T action counts of
+//! [`GroupPartition`], plus per-local-hour counters — so a snapshot merges
+//! shard partials instead of rescanning history. Histogram counts are
+//! unit-weight (integer-valued) additions, so shard-merge order cannot
+//! perturb the result: the merged partition is bit-identical to a batch
+//! rescan.
+
+use autosens_core::{GroupPartition, Grouping};
+use autosens_exec::Mergeable;
+use autosens_stats::binning::Binner;
+use autosens_telemetry::record::ActionRecord;
+
+/// Field-for-field identity at the bit level — the same key batch
+/// [`TelemetryLog::dedup_exact`](autosens_telemetry::TelemetryLog::dedup_exact)
+/// uses (latency compared as bits), so streaming dedup keeps exactly the
+/// records batch dedup would keep.
+pub(crate) fn same_record_exact(a: &ActionRecord, b: &ActionRecord) -> bool {
+    a.time == b.time
+        && a.action == b.action
+        && a.latency_ms.to_bits() == b.latency_ms.to_bits()
+        && a.user == b.user
+        && a.class == b.class
+        && a.tz_offset_ms == b.tz_offset_ms
+        && a.outcome == b.outcome
+}
+
+/// One time bucket's records and partial aggregates.
+#[derive(Debug, Clone)]
+pub(crate) struct Shard {
+    /// Records sorted by time, arrival-stable among equal timestamps.
+    pub records: Vec<ActionRecord>,
+    /// Incremental α partition: per-group biased histograms + α_T counts.
+    pub partition: GroupPartition,
+    /// Actions per local hour slot (merged across shards via the
+    /// fixed-size-array [`Mergeable`] impl).
+    pub hour_counts: [u64; 24],
+}
+
+impl Shard {
+    pub fn new(binner: &Binner, grouping: Grouping) -> Shard {
+        Shard {
+            records: Vec::new(),
+            partition: GroupPartition::empty(binner, grouping),
+            hour_counts: [0u64; 24],
+        }
+    }
+
+    /// Insert a record at the upper bound of its equal-timestamp run
+    /// (preserving arrival order among ties, like a stable sort of the
+    /// arrival sequence), unless an exact duplicate already sits in that
+    /// run. Returns `false` for the dropped duplicate.
+    pub fn insert(&mut self, r: ActionRecord, grouping: Grouping) -> bool {
+        let idx = self.records.partition_point(|x| x.time <= r.time);
+        let mut j = idx;
+        while j > 0 && self.records[j - 1].time == r.time {
+            if same_record_exact(&self.records[j - 1], &r) {
+                return false;
+            }
+            j -= 1;
+        }
+        self.records.insert(idx, r);
+        self.partition.record(grouping, &r);
+        self.hour_counts[r.hour_slot().0 as usize % 24] += 1;
+        true
+    }
+
+    /// Rebuild a shard's partial aggregates from checkpointed records
+    /// (the records are the durable state; the partials are derived).
+    pub fn rebuild(records: Vec<ActionRecord>, binner: &Binner, grouping: Grouping) -> Shard {
+        let mut shard = Shard::new(binner, grouping);
+        for r in &records {
+            shard.partition.record(grouping, r);
+            shard.hour_counts[r.hour_slot().0 as usize % 24] += 1;
+        }
+        shard.records = records;
+        shard
+    }
+
+    /// Fold this shard's hour counters into an accumulator.
+    pub fn merge_hours_into(&self, acc: &mut [u64; 24]) {
+        acc.merge(self.hour_counts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosens_telemetry::record::{ActionType, Outcome, UserClass, UserId};
+    use autosens_telemetry::time::SimTime;
+
+    fn rec(t: i64, latency: f64, user: u64) -> ActionRecord {
+        ActionRecord {
+            time: SimTime(t),
+            action: ActionType::SelectMail,
+            latency_ms: latency,
+            user: UserId(user),
+            class: UserClass::Business,
+            tz_offset_ms: 0,
+            outcome: Outcome::Success,
+        }
+    }
+
+    fn binner() -> Binner {
+        autosens_core::AutoSensConfig::default().binner().unwrap()
+    }
+
+    #[test]
+    fn inserts_sort_by_time_and_keep_arrival_order_on_ties() {
+        let mut shard = Shard::new(&binner(), Grouping::HourSlots);
+        assert!(shard.insert(rec(2000, 10.0, 1), Grouping::HourSlots));
+        assert!(shard.insert(rec(1000, 20.0, 2), Grouping::HourSlots));
+        assert!(shard.insert(rec(2000, 30.0, 3), Grouping::HourSlots));
+        assert!(shard.insert(rec(2000, 40.0, 4), Grouping::HourSlots));
+        let users: Vec<u64> = shard.records.iter().map(|r| r.user.0).collect();
+        // Time order first; the three t=2000 arrivals keep arrival order.
+        assert_eq!(users, vec![2, 1, 3, 4]);
+    }
+
+    #[test]
+    fn exact_duplicates_are_rejected_keep_first() {
+        let mut shard = Shard::new(&binner(), Grouping::HourSlots);
+        let r = rec(1000, 10.0, 1);
+        assert!(shard.insert(r, Grouping::HourSlots));
+        assert!(!shard.insert(r, Grouping::HourSlots));
+        // Same time, different latency: not a duplicate.
+        assert!(shard.insert(rec(1000, 11.0, 1), Grouping::HourSlots));
+        assert_eq!(shard.records.len(), 2);
+        assert_eq!(shard.hour_counts.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn rebuild_matches_incremental_state() {
+        let grouping = Grouping::HourSlotsByDayKind;
+        let mut shard = Shard::new(&binner(), grouping);
+        for i in 0..50 {
+            shard.insert(rec(i * 60_000, 50.0 + i as f64, i as u64 % 5), grouping);
+        }
+        let rebuilt = Shard::rebuild(shard.records.clone(), &binner(), grouping);
+        assert_eq!(rebuilt.records, shard.records);
+        assert_eq!(rebuilt.hour_counts, shard.hour_counts);
+        assert_eq!(rebuilt.partition.n_actions, shard.partition.n_actions);
+        for (a, b) in rebuilt.partition.biased.iter().zip(&shard.partition.biased) {
+            assert_eq!(a.counts(), b.counts());
+        }
+    }
+}

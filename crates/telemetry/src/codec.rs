@@ -347,6 +347,158 @@ fn read_jsonl_inner<R: Read>(
     Ok((log, errors))
 }
 
+/// Format read by a [`TailReader`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailFormat {
+    /// The [`CSV_HEADER`]-prefixed CSV written by [`write_csv`].
+    Csv,
+    /// JSON Lines as written by [`write_jsonl`].
+    Jsonl,
+}
+
+/// An append-aware reader that tails a growing telemetry file.
+///
+/// Each [`TailReader::poll`] reads everything appended since the previous
+/// poll and parses only **complete** lines — a partially written trailing
+/// line is left in the file (the byte offset stops at the last newline)
+/// and picked up whole on a later poll, so a writer mid-`write` never
+/// produces a spurious parse error. The reader holds no file handle
+/// between polls and keeps only a byte offset, which [`TailReader::offset`]
+/// exposes for checkpointing; [`TailReader::resume`] reconstructs the
+/// reader at that offset after a restart.
+///
+/// Records are returned in file (arrival) order, unsorted — a streaming
+/// consumer does its own time ordering. Malformed rows are collected as
+/// capped [`LenientErrors`] rather than aborting the tail; I/O failures
+/// and file truncation are hard errors.
+#[derive(Debug)]
+pub struct TailReader {
+    path: std::path::PathBuf,
+    format: TailFormat,
+    offset: u64,
+    /// Lines fully consumed so far (header included), for error numbering.
+    /// Counts restart at 0 on [`TailReader::resume`] — offsets, not line
+    /// numbers, are the durable coordinate.
+    lines_seen: usize,
+}
+
+impl TailReader {
+    /// Tail a file from its beginning (the CSV header, if any, is consumed
+    /// and validated by the first poll that sees a complete first line).
+    pub fn new(path: impl Into<std::path::PathBuf>, format: TailFormat) -> TailReader {
+        TailReader {
+            path: path.into(),
+            format,
+            offset: 0,
+            lines_seen: 0,
+        }
+    }
+
+    /// Resume tailing at a checkpointed byte offset (an offset previously
+    /// returned by [`TailReader::offset`], which always falls on a line
+    /// boundary).
+    pub fn resume(
+        path: impl Into<std::path::PathBuf>,
+        format: TailFormat,
+        offset: u64,
+    ) -> TailReader {
+        TailReader {
+            path: path.into(),
+            format,
+            offset,
+            lines_seen: 0,
+        }
+    }
+
+    /// The byte offset of the first unconsumed byte — always a line
+    /// boundary, safe to persist in a checkpoint.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Read and parse every complete line appended since the last poll.
+    /// Returns an empty batch (not an error) when nothing new is ready.
+    pub fn poll(&mut self) -> Result<(Vec<ActionRecord>, LenientErrors), TelemetryError> {
+        use std::io::Seek;
+        let mut errors = LenientErrors::with_cap(DEFAULT_LENIENT_ERROR_CAP);
+        let mut file = std::fs::File::open(&self.path)?;
+        let len = file.metadata()?.len();
+        if len < self.offset {
+            return Err(TelemetryError::Malformed {
+                line: self.lines_seen,
+                reason: format!(
+                    "tailed file shrank to {len} bytes below checkpoint offset {} — \
+                     truncated or replaced mid-stream",
+                    self.offset
+                ),
+            });
+        }
+        if len == self.offset {
+            return Ok((Vec::new(), errors));
+        }
+        file.seek(std::io::SeekFrom::Start(self.offset))?;
+        let mut buf = Vec::with_capacity((len - self.offset) as usize);
+        file.take(len - self.offset).read_to_end(&mut buf)?;
+        // Consume up to the last newline only; a trailing partial line
+        // stays in the file for the next poll.
+        let Some(last_nl) = buf.iter().rposition(|&b| b == b'\n') else {
+            return Ok((Vec::new(), errors));
+        };
+        let text =
+            std::str::from_utf8(&buf[..=last_nl]).map_err(|e| TelemetryError::Malformed {
+                line: self.lines_seen + 1,
+                reason: format!("tailed bytes are not UTF-8: {e}"),
+            })?;
+
+        let mut records = Vec::new();
+        for line in text.lines() {
+            let at_header = self.offset == 0 && self.lines_seen == 0;
+            self.lines_seen += 1;
+            let lineno = self.lines_seen;
+            if at_header && self.format == TailFormat::Csv {
+                if line.trim() != CSV_HEADER {
+                    return Err(TelemetryError::Malformed {
+                        line: 1,
+                        reason: format!("unexpected header: {line:?} (expected {CSV_HEADER:?})"),
+                    });
+                }
+                continue;
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parsed = match self.format {
+                TailFormat::Csv => parse_csv_row(line, lineno),
+                TailFormat::Jsonl => serde_json::from_str::<ActionRecord>(line).map_err(|e| {
+                    TelemetryError::Malformed {
+                        line: lineno,
+                        reason: e.to_string(),
+                    }
+                }),
+            }
+            .and_then(|r| {
+                r.validate().map_err(|e| TelemetryError::Malformed {
+                    line: lineno,
+                    reason: e.to_string(),
+                })?;
+                Ok(r)
+            });
+            match parsed {
+                Ok(r) => records.push(r),
+                Err(e) => errors.record(e),
+            }
+        }
+        self.offset += (last_nl + 1) as u64;
+
+        let metrics = autosens_obs::MetricsRegistry::global();
+        metrics.counter("autosens_telemetry_tail_polls_total").inc();
+        metrics
+            .counter("autosens_telemetry_records_read_total")
+            .add(records.len() as u64);
+        Ok((records, errors))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -585,6 +737,94 @@ mod tests {
             .collect();
         let want: Vec<usize> = corrupted.iter().map(|i| i + 1).collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tail_reader_follows_appends_and_defers_partial_lines() {
+        use std::io::Write as _;
+        let dir = std::env::temp_dir().join(format!("autosens-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tail_appends.csv");
+        let mut file = std::fs::File::create(&path).unwrap();
+        let mut tail = TailReader::new(&path, TailFormat::Csv);
+
+        // Nothing yet — empty file, then a partial header.
+        assert!(tail.poll().unwrap().0.is_empty());
+        write!(file, "time_ms,action").unwrap();
+        file.flush().unwrap();
+        assert!(tail.poll().unwrap().0.is_empty());
+        assert_eq!(tail.offset(), 0);
+
+        // Complete the header and one row, plus the start of a second row.
+        writeln!(file, ",latency_ms,user,class,tz_offset_ms,outcome").unwrap();
+        writeln!(file, "1000,Search,150.5,42,Consumer,-18000000,Success").unwrap();
+        write!(file, "2000,Search").unwrap();
+        file.flush().unwrap();
+        let (batch, errors) = tail.poll().unwrap();
+        assert!(errors.is_empty());
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].time.millis(), 1000);
+
+        // Finish the second row; only the delta is read.
+        writeln!(file, ",300.0,42,Consumer,-18000000,Success").unwrap();
+        file.flush().unwrap();
+        let (batch, _) = tail.poll().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].time.millis(), 2000);
+
+        // Resume from the checkpointed offset sees only newer appends.
+        let offset = tail.offset();
+        writeln!(file, "3000,Search,90.0,7,Business,0,Success").unwrap();
+        file.flush().unwrap();
+        let mut resumed = TailReader::resume(&path, TailFormat::Csv, offset);
+        let (batch, _) = resumed.poll().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].time.millis(), 3000);
+        assert!(resumed.poll().unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn tail_reader_collects_bad_rows_and_rejects_truncation() {
+        use std::io::Write as _;
+        let dir = std::env::temp_dir().join(format!("autosens-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tail_errors.csv");
+        let mut file = std::fs::File::create(&path).unwrap();
+        writeln!(file, "{CSV_HEADER}").unwrap();
+        writeln!(file, "not a row").unwrap();
+        writeln!(file, "1000,Search,150.5,42,Consumer,-18000000,Success").unwrap();
+        file.flush().unwrap();
+        let mut tail = TailReader::new(&path, TailFormat::Csv);
+        let (batch, errors) = tail.poll().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(errors.total(), 1);
+        assert!(matches!(
+            errors.errors()[0],
+            TelemetryError::Malformed { line: 2, .. }
+        ));
+        // A bad header is fatal, not lenient.
+        let bad = dir.join("tail_bad_header.csv");
+        std::fs::write(&bad, "wrong,header\n").unwrap();
+        assert!(TailReader::new(&bad, TailFormat::Csv).poll().is_err());
+        // Truncation below the checkpoint is a hard error.
+        std::fs::write(&path, "").unwrap();
+        assert!(tail.poll().is_err());
+    }
+
+    #[test]
+    fn tail_reader_reads_jsonl_without_a_header() {
+        use std::io::Write as _;
+        let dir = std::env::temp_dir().join(format!("autosens-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tail.jsonl");
+        let log = sample_log();
+        let mut buf = Vec::new();
+        write_jsonl(&log, &mut buf).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+        let mut tail = TailReader::new(&path, TailFormat::Jsonl);
+        let (batch, errors) = tail.poll().unwrap();
+        assert!(errors.is_empty());
+        assert_eq!(batch, log.records());
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod record;
 pub mod time;
 pub mod users;
 
+pub use codec::{TailFormat, TailReader};
 pub use error::TelemetryError;
 pub use log::TelemetryLog;
 pub use record::{ActionRecord, ActionType, Outcome, UserClass, UserId};

@@ -349,7 +349,8 @@ impl TelemetryLog {
             && a.outcome == b.outcome
     }
 
-    fn require_sorted(&self) -> Result<(), TelemetryError> {
+    /// Error with the first violating index unless the log is sorted.
+    pub fn require_sorted(&self) -> Result<(), TelemetryError> {
         if !self.sorted {
             // Find the first violation for a useful message.
             let index = self

@@ -23,6 +23,8 @@ use std::collections::{HashMap, HashSet};
 use serde::{Deserialize, Serialize};
 
 use crate::log::TelemetryLog;
+use crate::query::Slice;
+use crate::record::ActionRecord;
 use crate::time::{MS_PER_DAY, MS_PER_HOUR};
 
 /// Graded severity of a quality metric.
@@ -146,17 +148,29 @@ const HEAPING_GRAINS: [f64; 4] = [10.0, 25.0, 50.0, 100.0];
 /// Audit a log and grade each quality metric. Never mutates or fails: an
 /// empty log yields an all-zero, all-`Ok` report.
 pub fn audit(log: &TelemetryLog) -> QualityReport {
+    audit_slice(log, &Slice::all())
+}
+
+/// Audit the records of a log matching a [`Slice`], without materializing
+/// the sub-log: every pass walks [`Slice::iter`] in storage order, so
+/// slicing an audit costs no full-log copy. `audit_slice(log,
+/// &Slice::all())` is exactly [`audit`].
+pub fn audit_slice(log: &TelemetryLog, slice: &Slice) -> QualityReport {
     let mut span = autosens_obs::Recorder::global().root("quality.audit");
-    let n = log.len() as u64;
-    span.field("records", n);
     autosens_obs::MetricsRegistry::global()
         .counter("autosens_telemetry_quality_audits_total")
         .inc();
 
-    // Duplicates: exact repeats of a full record key seen earlier.
+    // Duplicates: exact repeats of a full record key seen earlier. This
+    // pass also counts the slice and the ordering violations (backward
+    // steps between adjacent matching records in storage order).
     let mut seen: HashSet<(i64, &str, u64, u64, &str, i64, &str)> = HashSet::new();
     let mut duplicates = 0u64;
-    for r in log.iter() {
+    let mut n = 0u64;
+    let mut monotonicity_violations = 0u64;
+    let mut prev_time: Option<i64> = None;
+    for r in slice.iter(log) {
+        n += 1;
         let key = (
             r.time.millis(),
             r.action.name(),
@@ -169,21 +183,21 @@ pub fn audit(log: &TelemetryLog) -> QualityReport {
         if !seen.insert(key) {
             duplicates += 1;
         }
+        if let Some(prev) = prev_time {
+            if r.time.millis() < prev {
+                monotonicity_violations += 1;
+            }
+        }
+        prev_time = Some(r.time.millis());
     }
-
-    // Ordering: backward steps between adjacent records in storage order.
-    let monotonicity_violations = log
-        .records()
-        .windows(2)
-        .filter(|w| w[1].time < w[0].time)
-        .count() as u64;
+    span.field("records", n);
     let pairs = n.saturating_sub(1).max(1);
 
     // Heaping: share of latencies landing exactly on each candidate grain.
     let (heaping_score, heaping_grain_ms) = HEAPING_GRAINS
         .iter()
         .map(|&g| {
-            let hits = log.iter().filter(|r| r.latency_ms % g == 0.0).count();
+            let hits = slice.iter(log).filter(|r| r.latency_ms % g == 0.0).count();
             (hits as f64 / n.max(1) as f64, g)
         })
         .filter(|&(frac, _)| frac > 0.0)
@@ -192,14 +206,14 @@ pub fn audit(log: &TelemetryLog) -> QualityReport {
         .unwrap_or((0.0, None));
 
     // Metadata nulls: the sentinel an upstream stripper leaves behind.
-    let nulls = log
-        .iter()
+    let nulls = slice
+        .iter(log)
         .filter(|r| r.tz_offset_ms == 0 && r.class == crate::record::UserClass::Consumer)
         .count() as u64;
 
     QualityReport {
         n_records: n,
-        estimated_loss_rate: Metric::graded(estimate_loss(log), 0.05, 0.25),
+        estimated_loss_rate: Metric::graded(estimate_loss(slice.iter(log), n), 0.05, 0.25),
         duplicate_rate: Metric::graded(duplicates as f64 / n.max(1) as f64, 0.01, 0.10),
         monotonicity_violation_rate: Metric::graded(
             monotonicity_violations as f64 / pairs as f64,
@@ -213,26 +227,29 @@ pub fn audit(log: &TelemetryLog) -> QualityReport {
     }
 }
 
-/// Hourly-median-baseline loss estimate (see module docs for blind spots).
-fn estimate_loss(log: &TelemetryLog) -> f64 {
-    let (Some(start), Some(end)) = (log.start_time(), log.end_time()) else {
+/// Hourly-median-baseline loss estimate (see module docs for blind spots),
+/// over one pass of the (possibly filtered) records.
+fn estimate_loss<'a>(records: impl Iterator<Item = &'a ActionRecord>, n: u64) -> f64 {
+    // Count records per (day, hour-of-day) cell, in shared simulation time,
+    // tracking the span as we go.
+    let mut cell: HashMap<(i64, u8), u64> = HashMap::new();
+    let mut first_day = i64::MAX;
+    let mut last_day = i64::MIN;
+    for r in records {
+        let day = r.time.millis().div_euclid(MS_PER_DAY);
+        let hour = r.time.millis().div_euclid(MS_PER_HOUR).rem_euclid(24) as u8;
+        *cell.entry((day, hour)).or_insert(0) += 1;
+        first_day = first_day.min(day);
+        last_day = last_day.max(day);
+    }
+    if cell.is_empty() {
         return 0.0;
-    };
-    let first_day = start.millis().div_euclid(MS_PER_DAY);
-    let last_day = end.millis().div_euclid(MS_PER_DAY);
+    }
     let n_days = (last_day - first_day + 1) as usize;
     // Fewer than 3 days gives the median no anchor; report no loss rather
     // than a noise-driven estimate.
     if n_days < 3 {
         return 0.0;
-    }
-
-    // Count records per (day, hour-of-day) cell, in shared simulation time.
-    let mut cell: HashMap<(i64, u8), u64> = HashMap::new();
-    for r in log.iter() {
-        let day = r.time.millis().div_euclid(MS_PER_DAY);
-        let hour = r.time.millis().div_euclid(MS_PER_HOUR).rem_euclid(24) as u8;
-        *cell.entry((day, hour)).or_insert(0) += 1;
     }
 
     let mut expected = 0.0;
@@ -251,7 +268,7 @@ fn estimate_loss(log: &TelemetryLog) -> f64 {
     if expected <= 0.0 {
         return 0.0;
     }
-    (1.0 - log.len() as f64 / expected).max(0.0)
+    (1.0 - n as f64 / expected).max(0.0)
 }
 
 #[cfg(test)]
@@ -382,6 +399,16 @@ mod tests {
         let report = audit(&TelemetryLog::from_records(records).unwrap());
         assert!((report.metadata_null_rate.value - 0.9).abs() < 1e-9);
         assert_eq!(report.metadata_null_rate.severity, Severity::Warn);
+    }
+
+    #[test]
+    fn audit_slice_matches_audit_of_the_materialized_sublog() {
+        // The borrowed path must grade exactly like auditing the copy.
+        let log = steady_log();
+        let slice = Slice::all().class(UserClass::Business).successes();
+        assert_eq!(audit_slice(&log, &slice), audit(&slice.apply(&log)));
+        // And the match-everything slice is the plain audit.
+        assert_eq!(audit_slice(&log, &Slice::all()), audit(&log));
     }
 
     #[test]

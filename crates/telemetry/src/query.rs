@@ -129,10 +129,18 @@ impl Slice {
     /// Materialize the matching sub-log (order preserved, so a sorted input
     /// yields a sorted output).
     pub fn apply(&self, log: &TelemetryLog) -> TelemetryLog {
-        let records: Vec<ActionRecord> = log.iter().filter(|r| self.matches(r)).copied().collect();
+        let records: Vec<ActionRecord> = self.iter(log).copied().collect();
         // Filtering preserves order, and every record was already validated
         // on entry to the source log, so revalidation would be pure waste.
         TelemetryLog::from_trusted_records(records)
+    }
+
+    /// Borrowed view of the matching records, in log order, without
+    /// materializing a sub-log. Read-only consumers (quality audits,
+    /// single-pass statistics) should use this instead of [`Slice::apply`]
+    /// to keep a full-log copy off the hot path.
+    pub fn iter<'a>(&'a self, log: &'a TelemetryLog) -> impl Iterator<Item = &'a ActionRecord> {
+        log.iter().filter(|r| self.matches(r))
     }
 
     /// Chunked [`Slice::apply`]: filter the log as a data-parallel job and
@@ -335,6 +343,15 @@ mod tests {
             assert_eq!(par.records(), serial.records(), "threads={threads}");
             assert_eq!(report.n_items, log.len());
         }
+    }
+
+    #[test]
+    fn iter_matches_apply_without_copying() {
+        let log = sample_log();
+        let slice = Slice::all().action(ActionType::SelectMail).successes();
+        let borrowed: Vec<ActionRecord> = slice.iter(&log).copied().collect();
+        assert_eq!(borrowed, slice.apply(&log).records());
+        assert_eq!(Slice::all().iter(&log).count(), log.len());
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! Minimal gzip codec for test fixtures (no external dependencies).
+//!
+//! The golden telemetry fixture is checked in gzip'd to keep the repo
+//! small; the approved dependency set has no compression crate, so the
+//! test harness carries its own RFC 1951/1952 decoder: stored, fixed-
+//! Huffman, and dynamic-Huffman blocks, with CRC-32 and length verified
+//! against the gzip trailer. Decompression is bit-by-bit — plenty fast
+//! for a ~2 MB fixture, and simple enough to audit.
+//!
+//! `gzip_stored` is the matching writer used by fixture regeneration: it
+//! emits valid (uncompressed, stored-block) gzip that any tool can read;
+//! re-run `gzip -9 -n` on the result to shrink it before checking in.
+
+/// Inflate a gzip file (header + DEFLATE stream + CRC/length trailer).
+pub fn gunzip(data: &[u8]) -> Result<Vec<u8>, String> {
+    if data.len() < 18 {
+        return Err("gzip input shorter than the minimal header + trailer".into());
+    }
+    if data[0] != 0x1f || data[1] != 0x8b {
+        return Err("missing gzip magic bytes".into());
+    }
+    if data[2] != 8 {
+        return Err(format!("unsupported compression method {}", data[2]));
+    }
+    let flags = data[3];
+    let mut pos = 10usize;
+    if flags & 0x04 != 0 {
+        // FEXTRA: two-byte little-endian length, then the payload.
+        let xlen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2 + xlen;
+    }
+    for flag in [0x08u8, 0x10] {
+        // FNAME / FCOMMENT: zero-terminated strings.
+        if flags & flag != 0 {
+            while *data.get(pos).ok_or("truncated gzip header")? != 0 {
+                pos += 1;
+            }
+            pos += 1;
+        }
+    }
+    if flags & 0x02 != 0 {
+        pos += 2; // FHCRC
+    }
+    if pos + 8 > data.len() {
+        return Err("gzip payload truncated".into());
+    }
+    let deflate = &data[pos..data.len() - 8];
+    let out = inflate(deflate)?;
+    let trailer = &data[data.len() - 8..];
+    let want_crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let want_len = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]);
+    if out.len() as u32 != want_len {
+        return Err(format!(
+            "gzip length mismatch: inflated {} bytes, trailer says {want_len}",
+            out.len()
+        ));
+    }
+    let got_crc = crc32(&out);
+    if got_crc != want_crc {
+        return Err(format!(
+            "gzip CRC mismatch: computed {got_crc:#010x}, trailer says {want_crc:#010x}"
+        ));
+    }
+    Ok(out)
+}
+
+/// Wrap raw bytes in a valid gzip container using stored (uncompressed)
+/// DEFLATE blocks. Output is larger than the input by ~5 bytes per 64 KiB.
+pub fn gzip_stored(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 64);
+    // Header: magic, deflate, no flags, zero mtime, no extra flags, OS=255.
+    out.extend_from_slice(&[0x1f, 0x8b, 8, 0, 0, 0, 0, 0, 0, 255]);
+    let mut chunks = data.chunks(0xffff).peekable();
+    if data.is_empty() {
+        out.extend_from_slice(&[0x01, 0, 0, 0xff, 0xff]); // final empty stored block
+    }
+    while let Some(chunk) = chunks.next() {
+        let bfinal = if chunks.peek().is_none() { 1u8 } else { 0 };
+        out.push(bfinal); // btype=00 (stored), byte-aligned after 3 header bits
+        let len = chunk.len() as u16;
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(!len).to_le_bytes());
+        out.extend_from_slice(chunk);
+    }
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+/// IEEE CRC-32 (reflected, as gzip uses), bitwise — no table needed.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = (crc >> 1) ^ (0xEDB8_8320 & (!(crc & 1)).wrapping_add(1));
+        }
+    }
+    !crc
+}
+
+struct BitReader<'a> {
+    data: &'a [u8],
+    byte: usize,
+    bit: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> BitReader<'a> {
+        BitReader {
+            data,
+            byte: 0,
+            bit: 0,
+        }
+    }
+
+    fn take_bit(&mut self) -> Result<u32, String> {
+        let b = *self.data.get(self.byte).ok_or("deflate stream truncated")?;
+        let v = (b >> self.bit) as u32 & 1;
+        self.bit += 1;
+        if self.bit == 8 {
+            self.bit = 0;
+            self.byte += 1;
+        }
+        Ok(v)
+    }
+
+    fn take_bits(&mut self, n: u32) -> Result<u32, String> {
+        let mut v = 0u32;
+        for i in 0..n {
+            v |= self.take_bit()? << i;
+        }
+        Ok(v)
+    }
+
+    fn align_byte(&mut self) {
+        if self.bit != 0 {
+            self.bit = 0;
+            self.byte += 1;
+        }
+    }
+}
+
+/// A canonical Huffman decoder built from code lengths (RFC 1951 §3.2.2).
+struct Huffman {
+    /// Codes per bit length, 1-indexed.
+    counts: [u16; 16],
+    /// Symbols ordered by (length, symbol).
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    fn new(lengths: &[u8]) -> Result<Huffman, String> {
+        let mut counts = [0u16; 16];
+        for &l in lengths {
+            if l > 15 {
+                return Err(format!("huffman code length {l} out of range"));
+            }
+            counts[l as usize] += 1;
+        }
+        counts[0] = 0;
+        let mut offsets = [0u16; 16];
+        for l in 1..16 {
+            offsets[l] = offsets[l - 1] + counts[l - 1];
+        }
+        let mut symbols = vec![0u16; lengths.iter().filter(|&&l| l > 0).count()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                symbols[offsets[l as usize] as usize] = sym as u16;
+                offsets[l as usize] += 1;
+            }
+        }
+        Ok(Huffman { counts, symbols })
+    }
+
+    fn decode(&self, bits: &mut BitReader<'_>) -> Result<u16, String> {
+        let mut code = 0i32;
+        let mut first = 0i32;
+        let mut index = 0i32;
+        for len in 1..16 {
+            code |= bits.take_bit()? as i32;
+            let count = self.counts[len] as i32;
+            if code - first < count {
+                return Ok(self.symbols[(index + code - first) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err("invalid huffman code in deflate stream".into())
+    }
+}
+
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u32; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u32; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+
+/// Inflate a raw DEFLATE stream.
+fn inflate(data: &[u8]) -> Result<Vec<u8>, String> {
+    let mut bits = BitReader::new(data);
+    let mut out: Vec<u8> = Vec::new();
+    loop {
+        let bfinal = bits.take_bit()?;
+        let btype = bits.take_bits(2)?;
+        match btype {
+            0 => {
+                // Stored block: byte-aligned LEN/NLEN then raw bytes.
+                bits.align_byte();
+                let start = bits.byte;
+                if start + 4 > data.len() {
+                    return Err("stored block header truncated".into());
+                }
+                let len = u16::from_le_bytes([data[start], data[start + 1]]) as usize;
+                let nlen = u16::from_le_bytes([data[start + 2], data[start + 3]]);
+                if nlen != !(len as u16) {
+                    return Err("stored block LEN/NLEN mismatch".into());
+                }
+                let body = start + 4;
+                if body + len > data.len() {
+                    return Err("stored block body truncated".into());
+                }
+                out.extend_from_slice(&data[body..body + len]);
+                bits.byte = body + len;
+            }
+            1 => {
+                // Fixed Huffman tables (RFC 1951 §3.2.6).
+                let mut lit_lengths = [0u8; 288];
+                for (i, l) in lit_lengths.iter_mut().enumerate() {
+                    *l = match i {
+                        0..=143 => 8,
+                        144..=255 => 9,
+                        256..=279 => 7,
+                        _ => 8,
+                    };
+                }
+                let lit = Huffman::new(&lit_lengths)?;
+                let dist = Huffman::new(&[5u8; 30])?;
+                inflate_block(&mut bits, &lit, &dist, &mut out)?;
+            }
+            2 => {
+                // Dynamic Huffman tables (RFC 1951 §3.2.7).
+                let hlit = bits.take_bits(5)? as usize + 257;
+                let hdist = bits.take_bits(5)? as usize + 1;
+                let hclen = bits.take_bits(4)? as usize + 4;
+                const ORDER: [usize; 19] = [
+                    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+                ];
+                let mut cl_lengths = [0u8; 19];
+                for &idx in ORDER.iter().take(hclen) {
+                    cl_lengths[idx] = bits.take_bits(3)? as u8;
+                }
+                let cl = Huffman::new(&cl_lengths)?;
+                let mut lengths = vec![0u8; hlit + hdist];
+                let mut i = 0;
+                while i < lengths.len() {
+                    let sym = cl.decode(&mut bits)?;
+                    match sym {
+                        0..=15 => {
+                            lengths[i] = sym as u8;
+                            i += 1;
+                        }
+                        16 => {
+                            if i == 0 {
+                                return Err("repeat code with no previous length".into());
+                            }
+                            let prev = lengths[i - 1];
+                            let n = 3 + bits.take_bits(2)? as usize;
+                            for _ in 0..n {
+                                if i >= lengths.len() {
+                                    return Err("code-length repeat overflow".into());
+                                }
+                                lengths[i] = prev;
+                                i += 1;
+                            }
+                        }
+                        17 | 18 => {
+                            let n = if sym == 17 {
+                                3 + bits.take_bits(3)? as usize
+                            } else {
+                                11 + bits.take_bits(7)? as usize
+                            };
+                            if i + n > lengths.len() {
+                                return Err("code-length zero-run overflow".into());
+                            }
+                            i += n;
+                        }
+                        other => return Err(format!("invalid code-length symbol {other}")),
+                    }
+                }
+                let lit = Huffman::new(&lengths[..hlit])?;
+                let dist = Huffman::new(&lengths[hlit..])?;
+                inflate_block(&mut bits, &lit, &dist, &mut out)?;
+            }
+            other => return Err(format!("invalid deflate block type {other}")),
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+/// Decode one compressed block's literal/length + distance stream.
+fn inflate_block(
+    bits: &mut BitReader<'_>,
+    lit: &Huffman,
+    dist: &Huffman,
+    out: &mut Vec<u8>,
+) -> Result<(), String> {
+    loop {
+        let sym = lit.decode(bits)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = (sym - 257) as usize;
+                let len = LENGTH_BASE[idx] as usize + bits.take_bits(LENGTH_EXTRA[idx])? as usize;
+                let dsym = dist.decode(bits)? as usize;
+                if dsym >= 30 {
+                    return Err(format!("invalid distance symbol {dsym}"));
+                }
+                let distance =
+                    DIST_BASE[dsym] as usize + bits.take_bits(DIST_EXTRA[dsym])? as usize;
+                if distance > out.len() {
+                    return Err("back-reference before start of output".into());
+                }
+                // Byte-by-byte: references may overlap their own output.
+                let start = out.len() - distance;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+            other => return Err(format!("invalid literal/length symbol {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stored_roundtrip() {
+        for payload in [&b""[..], b"hello", &[0u8; 100_000]] {
+            let z = gzip_stored(payload);
+            assert_eq!(gunzip(&z).expect("roundtrip"), payload);
+        }
+    }
+
+    #[test]
+    fn corrupt_crc_is_rejected() {
+        let mut z = gzip_stored(b"telemetry");
+        let n = z.len();
+        z[n - 5] ^= 0xff; // flip a CRC byte
+        assert!(gunzip(&z).unwrap_err().contains("CRC"));
+    }
+}

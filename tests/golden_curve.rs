@@ -21,9 +21,20 @@ use autosens_telemetry::TelemetryLog;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-const LOG_PATH: &str = "tests/fixtures/golden_telemetry.csv";
+#[path = "common/gzip.rs"]
+mod gzip;
+
+const LOG_PATH: &str = "tests/fixtures/golden_telemetry.csv.gz";
 const CURVE_PATH: &str = "tests/fixtures/golden_curve.json";
 const MAX_ABS_DEVIATION: f64 = 1e-9;
+
+/// Read and inflate the gzip'd fixture log (checked in compressed to keep
+/// the repo small; see `tests/common/gzip.rs` for the decoder).
+fn read_fixture_log() -> TelemetryLog {
+    let compressed = std::fs::read(LOG_PATH).expect("fixture log exists (see module docs)");
+    let csv = gzip::gunzip(&compressed).expect("fixture log inflates");
+    codec::read_csv(std::io::BufReader::new(csv.as_slice())).expect("fixture log parses")
+}
 
 /// The fixture source: a deterministic pseudo-random fortnight of telemetry,
 /// small enough to check in, rich enough to exercise the full default
@@ -71,8 +82,7 @@ fn analyze(log: &TelemetryLog, threads: usize) -> Vec<(f64, f64)> {
 
 #[test]
 fn golden_curve_matches_fixture() {
-    let file = std::fs::File::open(LOG_PATH).expect("fixture log exists (see module docs)");
-    let log = codec::read_csv(std::io::BufReader::new(file)).expect("fixture log parses");
+    let log = read_fixture_log();
     let expected: Vec<(f64, f64)> =
         serde_json::from_str(&std::fs::read_to_string(CURVE_PATH).expect("fixture curve exists"))
             .expect("fixture curve parses");
@@ -104,8 +114,7 @@ fn fixture_log_matches_its_generator() {
     // The checked-in CSV must stay in sync with `build_fixture_log` — if
     // someone edits one without the other, point the finger here, not at
     // the curve comparison.
-    let file = std::fs::File::open(LOG_PATH).expect("fixture log exists");
-    let on_disk = codec::read_csv(std::io::BufReader::new(file)).expect("fixture log parses");
+    let on_disk = read_fixture_log();
     let built = build_fixture_log();
     assert_eq!(on_disk.len(), built.len(), "fixture record count changed");
 }
@@ -115,8 +124,12 @@ fn fixture_log_matches_its_generator() {
 fn regenerate_golden_fixture() {
     std::fs::create_dir_all("tests/fixtures").expect("create fixtures dir");
     let log = build_fixture_log();
-    let file = std::fs::File::create(LOG_PATH).expect("create fixture log");
-    codec::write_csv(&log, &mut std::io::BufWriter::new(file)).expect("write fixture log");
+    let mut csv = Vec::new();
+    codec::write_csv(&log, &mut csv).expect("write fixture log");
+    // Stored-block gzip keeps the harness dependency-free; run
+    // `gzip -9 -n` over the CSV afterwards to shrink the container before
+    // checking it in (any valid gzip stream passes the decoder).
+    std::fs::write(LOG_PATH, gzip::gzip_stored(&csv)).expect("write fixture log");
     let series = analyze(&log, 1);
     std::fs::write(
         CURVE_PATH,

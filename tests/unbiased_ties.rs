@@ -1,0 +1,126 @@
+//! Property test for the unbiased estimator's tie-breaking (§2.2).
+//!
+//! When several samples are exactly equidistant from a drawn instant, the
+//! paper's estimator picks among them uniformly at random. The sharpest
+//! probe: a log whose records all share one timestamp, so *every* draw is
+//! a full k-way tie. Each record's latency lands in its own histogram
+//! bin, so the per-bin counts expose the tie-break distribution directly
+//! — uniform within binomial noise, for every seed, through the serial
+//! and the chunked (data-parallel) estimator alike.
+
+use autosens_core::unbiased::{unbiased_histogram, unbiased_histogram_par};
+use autosens_stats::binning::{Binner, OutOfRange};
+use autosens_telemetry::record::{ActionRecord, ActionType, Outcome, UserClass, UserId};
+use autosens_telemetry::time::SimTime;
+use autosens_telemetry::TelemetryLog;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of exactly-tied records (one per bin).
+const K: usize = 6;
+
+/// Draws per estimation; every one is a K-way tie.
+const DRAWS: usize = 6_000;
+
+/// A log of K records sharing one timestamp, latencies in distinct bins.
+fn tied_log() -> (TelemetryLog, Binner) {
+    let records: Vec<ActionRecord> = (0..K)
+        .map(|i| ActionRecord {
+            time: SimTime(1_000_000),
+            action: ActionType::SelectMail,
+            latency_ms: 50.0 + 100.0 * i as f64,
+            user: UserId(i as u64),
+            class: UserClass::Business,
+            tz_offset_ms: 0,
+            outcome: Outcome::Success,
+        })
+        .collect();
+    let log = TelemetryLog::from_records(records).expect("tied records are valid");
+    let binner = Binner::new(0.0, 600.0, 100.0, OutOfRange::Clamp).expect("binner");
+    (log, binner)
+}
+
+/// Binomial uniformity check: every bin within `sigmas` standard
+/// deviations of the uniform expectation.
+fn assert_uniform(counts: &[f64], draws: usize, sigmas: f64, context: &str) {
+    assert_eq!(counts.len(), K, "{context}: unexpected bin count");
+    let total: f64 = counts.iter().sum();
+    assert_eq!(total as usize, draws, "{context}: draws went missing");
+    let p = 1.0 / K as f64;
+    let mean = draws as f64 * p;
+    let sigma = (draws as f64 * p * (1.0 - p)).sqrt();
+    for (i, &c) in counts.iter().enumerate() {
+        let dev = (c - mean).abs();
+        assert!(
+            dev <= sigmas * sigma,
+            "{context}: bin {i} count {c} deviates {dev:.1} from {mean:.1} \
+             (allowed {:.1} = {sigmas}σ)",
+            sigmas * sigma
+        );
+    }
+}
+
+proptest! {
+    // 32 seeds is plenty: each case already aggregates 6k tie-breaks, and
+    // the 5σ bound makes a false alarm astronomically unlikely while any
+    // systematic bias (first-of-run, index-ordered, modulo-skewed) fails
+    // immediately.
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn equidistant_ties_break_uniformly_serial(seed in any::<u64>()) {
+        let (log, binner) = tied_log();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = unbiased_histogram(&log, &binner, DRAWS, &mut rng).expect("estimate");
+        assert_uniform(h.counts(), DRAWS, 5.0, &format!("serial seed {seed:#x}"));
+    }
+
+    #[test]
+    fn equidistant_ties_break_uniformly_parallel(seed in any::<u64>()) {
+        let (log, binner) = tied_log();
+        for threads in [1usize, 4] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (h, _) = unbiased_histogram_par(&log, &binner, DRAWS, threads, &mut rng)
+                .expect("estimate");
+            assert_uniform(
+                h.counts(),
+                DRAWS,
+                5.0,
+                &format!("parallel threads {threads} seed {seed:#x}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn tie_breaking_is_deterministic_per_seed() {
+    // Uniform in distribution, but still reproducible: the same seed must
+    // give bit-identical counts run-to-run (and across thread counts for
+    // the chunked variant).
+    let (log, binner) = tied_log();
+    let runs: Vec<Vec<f64>> = (0..2)
+        .map(|_| {
+            let mut rng = StdRng::seed_from_u64(0x71E5);
+            unbiased_histogram(&log, &binner, DRAWS, &mut rng)
+                .expect("estimate")
+                .counts()
+                .to_vec()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+
+    let par: Vec<Vec<f64>> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            let mut rng = StdRng::seed_from_u64(0x71E5);
+            unbiased_histogram_par(&log, &binner, DRAWS, threads, &mut rng)
+                .expect("estimate")
+                .0
+                .counts()
+                .to_vec()
+        })
+        .collect();
+    assert_eq!(par[0], par[1]);
+    assert_eq!(par[1], par[2]);
+}
