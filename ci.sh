@@ -88,4 +88,21 @@ if ! diff -u "$SMOKE_DIR/core_batch.txt" "$SMOKE_DIR/core_stream.txt"; then
     exit 1
 fi
 
+echo "==> golden analyze gate (byte-identical --json on the pinned fixture)"
+# The columnar refactor (and anything after it) must be behavior-invariant:
+# `analyze --json` over the pinned golden telemetry must reproduce the
+# checked-in report byte for byte — curve bits, degradations, counts, all
+# of it. Regenerate the fixture ONLY for an intentional, reviewed behavior
+# change:
+#   gzip -dc tests/fixtures/golden_telemetry.csv.gz > /tmp/golden.csv
+#   ./target/release/autosens analyze --in /tmp/golden.csv --json --quiet \
+#       > tests/fixtures/golden_analyze.json
+gzip -dc tests/fixtures/golden_telemetry.csv.gz > "$SMOKE_DIR/golden.csv"
+./target/release/autosens analyze --in "$SMOKE_DIR/golden.csv" --json --quiet \
+    > "$SMOKE_DIR/golden_report.json"
+if ! diff -u tests/fixtures/golden_analyze.json "$SMOKE_DIR/golden_report.json"; then
+    echo "ci.sh: analyze --json diverged from tests/fixtures/golden_analyze.json" >&2
+    exit 1
+fi
+
 echo "==> ci.sh: all green"

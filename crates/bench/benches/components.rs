@@ -40,7 +40,7 @@ fn bench_histograms(c: &mut Criterion) {
     let mut group = c.benchmark_group("histogram");
     group.throughput(Throughput::Elements(data.log.len() as u64));
     group.bench_function("biased_fill", |b| {
-        b.iter(|| black_box(biased_histogram(&data.log, &binner).total()))
+        b.iter(|| black_box(biased_histogram(&data.log.view(), &binner).total()))
     });
     group.finish();
 }
@@ -73,7 +73,7 @@ fn bench_unbiased(c: &mut Criterion) {
     group.bench_function("draws_100k", |b| {
         let mut rng = StdRng::seed_from_u64(2);
         b.iter(|| {
-            let h = unbiased_histogram(&data.log, &binner, 100_000, &mut rng).expect("ok");
+            let h = unbiased_histogram(&data.log.view(), &binner, 100_000, &mut rng).expect("ok");
             black_box(h.total())
         })
     });
@@ -103,8 +103,14 @@ fn bench_alpha(c: &mut Criterion) {
     group.bench_function("estimate_hour_slots", |b| {
         let mut rng = StdRng::seed_from_u64(4);
         b.iter(|| {
-            let est = estimate_alpha(&data.log, &binner, Grouping::HourSlots, &cfg, &mut rng)
-                .expect("ok");
+            let est = estimate_alpha(
+                &data.log.view(),
+                &binner,
+                Grouping::HourSlots,
+                &cfg,
+                &mut rng,
+            )
+            .expect("ok");
             black_box(est.groups.len())
         })
     });

@@ -3,17 +3,103 @@
 //! Generates the paper-scale scenario (pass `--smoke` for a quick run),
 //! runs the full analysis (with a bootstrap confidence band) twice — once
 //! serially (`threads = 1`) and once on the chunked scheduler with the
-//! requested worker count (`--threads N`, default 4) — and writes
-//! `BENCH_pipeline.json`: total wall-clock for both runs, per-stage
-//! timings of the parallel run, and a records/second throughput figure.
-//! The checked-in copy at the repo root is the baseline future
-//! performance PRs diff against; regenerate with
+//! requested worker count (`--threads N`, default 4) — then times the
+//! faceted `full_report` sweep, and writes `BENCH_pipeline.json`: total
+//! wall-clock for both runs, per-stage timings of the parallel run, a
+//! records/second throughput figure, and (with the `alloc-stats` feature)
+//! the peak bytes held live during each timed section. The checked-in
+//! copy at the repo root is the baseline future performance PRs diff
+//! against; regenerate with
 //!
 //! ```text
-//! cargo run --release -p autosens-bench --bin bench_pipeline
+//! cargo run --release -p autosens-bench --features alloc-stats --bin bench_pipeline
 //! ```
+//!
+//! Pass `--before path.json` to embed a previous run (e.g. the
+//! pre-refactor numbers) under the `before` key for a self-contained
+//! before/after comparison.
 
 use std::time::Instant;
+
+/// Counting global allocator: tracks live bytes and the high-water mark so
+/// the baseline can report peak allocation per timed section. Bench-only —
+/// the feature is never enabled for the shipped library or CLI.
+#[cfg(feature = "alloc-stats")]
+mod alloc_stats {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    pub static CURRENT: AtomicUsize = AtomicUsize::new(0);
+    pub static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+    fn grow(bytes: usize) {
+        let live = CURRENT.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+
+    pub struct CountingAlloc;
+
+    // SAFETY: delegates every allocation to `System`; the atomics only
+    // observe sizes and never touch the pointers.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = unsafe { System.alloc(layout) };
+            if !p.is_null() {
+                grow(layout.size());
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) };
+            CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = unsafe { System.realloc(ptr, layout, new_size) };
+            if !p.is_null() {
+                CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+                grow(new_size);
+            }
+            p
+        }
+    }
+
+    /// Start a fresh high-water mark at the current live size.
+    pub fn reset_peak() {
+        PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Peak bytes live above the level at the last `reset_peak`, i.e. the
+    /// extra memory the measured section needed on top of its inputs.
+    pub fn peak_above_baseline(baseline: usize) -> u64 {
+        PEAK.load(Ordering::Relaxed).saturating_sub(baseline) as u64
+    }
+
+    pub fn live() -> usize {
+        CURRENT.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(feature = "alloc-stats")]
+#[global_allocator]
+static GLOBAL: alloc_stats::CountingAlloc = alloc_stats::CountingAlloc;
+
+/// Run `f`, returning its result plus the peak bytes allocated above the
+/// live level at entry (`None` without the `alloc-stats` feature).
+fn with_peak<T>(f: impl FnOnce() -> T) -> (T, Option<u64>) {
+    #[cfg(feature = "alloc-stats")]
+    {
+        let base = alloc_stats::live();
+        alloc_stats::reset_peak();
+        let out = f();
+        (out, Some(alloc_stats::peak_above_baseline(base)))
+    }
+    #[cfg(not(feature = "alloc-stats"))]
+    {
+        (f(), None)
+    }
+}
 
 use autosens_core::{AutoSens, AutoSensConfig};
 use autosens_experiments::dataset::Dataset;
@@ -40,11 +126,30 @@ struct PipelineBaseline {
     parallel_speedup: f64,
     records_per_sec: f64,
     ci_replicates: usize,
+    /// Wall-clock of the faceted `full_report` sweep at `threads = 1`.
+    full_report_serial_ms: f64,
+    /// Wall-clock of the faceted `full_report` sweep at the requested
+    /// worker count.
+    full_report_ms: f64,
+    /// Peak bytes allocated above entry level during the parallel analyze
+    /// run (`alloc-stats` feature only).
+    peak_alloc_analyze_bytes: Option<u64>,
+    /// Peak bytes allocated above entry level during the parallel
+    /// `full_report` sweep (`alloc-stats` feature only).
+    peak_alloc_full_report_bytes: Option<u64>,
     stages: Vec<StageTiming>,
+    /// A previous baseline embedded via `--before path.json`, so the
+    /// checked-in file carries its own before/after comparison.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    before: Option<serde_json::Value>,
 }
 
 /// Time one full analysis (with CI band) at the given worker count.
-fn timed_analysis(data: &Dataset, slice: &Slice, threads: usize) -> (f64, Vec<StageTiming>) {
+fn timed_analysis(
+    data: &Dataset,
+    slice: &Slice,
+    threads: usize,
+) -> (f64, Vec<StageTiming>, Option<u64>) {
     let recorder = Recorder::new();
     let config = AutoSensConfig {
         threads,
@@ -52,12 +157,30 @@ fn timed_analysis(data: &Dataset, slice: &Slice, threads: usize) -> (f64, Vec<St
     };
     let engine = AutoSens::with_recorder(config, recorder.clone());
     let t = Instant::now();
-    let (report, _ci) = engine
-        .analyze_slice_with_ci(&data.log, slice, CI_REPLICATES, 0.95)
-        .expect("bench-scale analysis succeeds");
+    let ((report, _ci), peak) = with_peak(|| {
+        engine
+            .analyze_slice_with_ci(&data.log, slice, CI_REPLICATES, 0.95)
+            .expect("bench-scale analysis succeeds")
+    });
     let wall_ms = t.elapsed().as_secs_f64() * 1000.0;
     eprintln!("{}", recorder.finish().render());
-    (wall_ms, report.stage_timings.unwrap_or_default())
+    (wall_ms, report.stage_timings.unwrap_or_default(), peak)
+}
+
+/// Time the faceted `full_report` sweep at the given worker count.
+fn timed_full_report(data: &Dataset, slice: &Slice, threads: usize) -> (f64, Option<u64>) {
+    let config = AutoSensConfig {
+        threads,
+        ..AutoSensConfig::default()
+    };
+    let engine = AutoSens::new(config);
+    let t = Instant::now();
+    let (_report, peak) = with_peak(|| {
+        engine
+            .full_report(&data.log, slice, "bench")
+            .expect("bench-scale full report succeeds")
+    });
+    (t.elapsed().as_secs_f64() * 1000.0, peak)
 }
 
 fn main() {
@@ -69,6 +192,14 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|s| s.parse::<usize>().expect("--threads takes an integer"))
         .unwrap_or(4);
+    let before = args
+        .iter()
+        .position(|a| a == "--before")
+        .and_then(|i| args.get(i + 1))
+        .map(|path| {
+            let text = std::fs::read_to_string(path).expect("--before file readable");
+            serde_json::from_str(&text).expect("--before file is JSON")
+        });
     let (scenario, name) = if smoke {
         (Scenario::Smoke, "smoke")
     } else {
@@ -84,8 +215,10 @@ fn main() {
         .class(UserClass::Business);
 
     // Serial reference first, then the scheduler run the baseline reports.
-    let (analyze_serial_ms, _) = timed_analysis(&data, &slice, 1);
-    let (analyze_ms, stages) = timed_analysis(&data, &slice, threads);
+    let (analyze_serial_ms, _, _) = timed_analysis(&data, &slice, 1);
+    let (analyze_ms, stages, peak_alloc_analyze_bytes) = timed_analysis(&data, &slice, threads);
+    let (full_report_serial_ms, _) = timed_full_report(&data, &slice, 1);
+    let (full_report_ms, peak_alloc_full_report_bytes) = timed_full_report(&data, &slice, threads);
 
     let baseline = PipelineBaseline {
         scenario: name.to_string(),
@@ -97,7 +230,12 @@ fn main() {
         parallel_speedup: analyze_serial_ms / analyze_ms,
         records_per_sec: data.log.len() as f64 / (analyze_ms / 1000.0),
         ci_replicates: CI_REPLICATES,
+        full_report_serial_ms,
+        full_report_ms,
+        peak_alloc_analyze_bytes,
+        peak_alloc_full_report_bytes,
         stages,
+        before,
     };
 
     let json = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
@@ -105,11 +243,16 @@ fn main() {
     std::fs::write(path, format!("{json}\n")).expect("write baseline");
     eprintln!(
         "wrote {path}: {} records analyzed in {:.1} ms at {} thread(s) \
-         ({:.1} ms serial, {:.0} records/s)",
+         ({:.1} ms serial, {:.0} records/s); full_report {:.1} ms \
+         ({:.1} ms serial), peak alloc analyze={:?} full_report={:?}",
         baseline.records,
         baseline.analyze_ms,
         baseline.threads,
         baseline.analyze_serial_ms,
-        baseline.records_per_sec
+        baseline.records_per_sec,
+        baseline.full_report_ms,
+        baseline.full_report_serial_ms,
+        baseline.peak_alloc_analyze_bytes,
+        baseline.peak_alloc_full_report_bytes
     );
 }

@@ -173,15 +173,16 @@ pub fn run(cmd: Command) -> Result<(), String> {
         Command::Diagnose { input, format } => {
             let log = read_log(&input, format)?;
             let mut rng = StdRng::seed_from_u64(0xD1A6);
-            let loc = locality_report(&log, &mut rng).map_err(|e| e.to_string())?;
-            let corr = density_latency_correlation(&log, 60_000).map_err(|e| e.to_string())?;
+            let loc = locality_report(&log.view(), &mut rng).map_err(|e| e.to_string())?;
+            let corr =
+                density_latency_correlation(&log.view(), 60_000).map_err(|e| e.to_string())?;
             println!("samples:               {}", loc.n_samples);
             println!("MSD/MAD actual:        {}", f3(loc.msd_mad_actual));
             println!("MSD/MAD shuffled:      {}", f3(loc.msd_mad_shuffled));
             println!("MSD/MAD sorted:        {:.5}", loc.msd_mad_sorted);
             println!("von Neumann ratio:     {}", f3(loc.von_neumann));
             println!("density/latency corr.: {}", f3(corr.correlation));
-            if let Ok(dec) = decorrelation_report(&log, 60_000, 24 * 60) {
+            if let Ok(dec) = decorrelation_report(&log.view(), 60_000, 24 * 60) {
                 match (dec.decorrelation_ms, dec.effective_excursions) {
                     (Some(ms), Some(ex)) => println!(
                         "latency decorrelation:  ~{} min (~{:.0} independent excursions in span)",

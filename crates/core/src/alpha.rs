@@ -24,7 +24,7 @@ use rand::Rng;
 use autosens_exec::ExecReport;
 use autosens_stats::binning::Binner;
 use autosens_stats::histogram::Histogram;
-use autosens_telemetry::log::TelemetryLog;
+use autosens_telemetry::log::LogView;
 use autosens_telemetry::record::ActionRecord;
 use autosens_telemetry::time::{DayPeriod, MS_PER_DAY, MS_PER_HOUR};
 
@@ -341,25 +341,25 @@ impl GroupPartition {
     }
 }
 
-/// Partition a log's actions by time group as a chunked map-reduce (each
+/// Partition a view's actions by time group as a chunked map-reduce (each
 /// chunk builds its own per-group histograms and counters, merged in chunk
-/// order). This is the batch producer of [`GroupPartition`].
+/// order). This is the batch producer of [`GroupPartition`]; rows are read
+/// straight off the view's columns, no records are copied.
 pub fn partition_by_group(
-    log: &TelemetryLog,
+    log: &LogView<'_>,
     binner: &Binner,
     grouping: Grouping,
     threads: usize,
 ) -> Result<(GroupPartition, ExecReport), AutoSensError> {
-    let records = log.records();
     let (partial, report) = autosens_exec::map_reduce(
         "alpha_partition",
-        records.len(),
-        autosens_exec::chunk_size_for(records.len()),
+        log.len(),
+        autosens_exec::chunk_size_for(log.len()),
         threads,
         |_, range| {
             let mut part = GroupPartition::empty(binner, grouping);
-            for r in &records[range] {
-                part.record(grouping, r);
+            for i in range {
+                part.record(grouping, &log.get(i));
             }
             (part.biased, part.n_actions)
         },
@@ -377,7 +377,7 @@ pub fn partition_by_group(
 /// used for the group-conditional unbiased draws; it is derived from the
 /// log's span.
 pub fn estimate_alpha<R: Rng>(
-    log: &TelemetryLog,
+    log: &LogView<'_>,
     binner: &Binner,
     grouping: Grouping,
     cfg: &AutoSensConfig,
@@ -396,7 +396,7 @@ pub fn estimate_alpha<R: Rng>(
 /// bearing stages (group-conditional unbiased draws) always run over the
 /// full log, so the caller's RNG consumption is identical either way.
 pub fn estimate_alpha_with_partition<R: Rng>(
-    log: &TelemetryLog,
+    log: &LogView<'_>,
     binner: &Binner,
     grouping: Grouping,
     cfg: &AutoSensConfig,
@@ -454,8 +454,8 @@ pub fn estimate_alpha_with_partition<R: Rng>(
     // pipeline should always feed in), the records' own offset is
     // authoritative; otherwise fall back to the configured offset.
     let tz = {
-        let first = log.records()[0].tz_offset_ms;
-        if log.iter().all(|r| r.tz_offset_ms == first) {
+        let first = log.tz_offset_at(0);
+        if (1..log.len()).all(|i| log.tz_offset_at(i) == first) {
             first
         } else {
             cfg.slot_tz_offset_ms

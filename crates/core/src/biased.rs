@@ -7,30 +7,31 @@
 
 use autosens_stats::binning::Binner;
 use autosens_stats::histogram::Histogram;
-use autosens_telemetry::log::TelemetryLog;
+use autosens_telemetry::log::LogView;
 
-/// Build the biased histogram of a (pre-sliced) log.
+/// Build the biased histogram of a (pre-sliced) view.
 ///
 /// Each successful action contributes weight 1 at its latency. Error
 /// outcomes must already have been filtered (the pipeline does this); this
-/// function histograms every record it is given.
-pub fn biased_histogram(log: &TelemetryLog, binner: &Binner) -> Histogram {
+/// function histograms every row it is given, straight off the latency
+/// column — no records are materialized.
+pub fn biased_histogram(view: &LogView<'_>, binner: &Binner) -> Histogram {
     let mut h = Histogram::new(binner.clone());
-    for r in log.iter() {
-        h.record(r.latency_ms);
+    for i in 0..view.len() {
+        h.record(view.latency_at(i));
     }
     h
 }
 
 /// Build a biased histogram with per-record weights, used by the
 /// α-normalization (each record's weight is `1/α` of its hour slot).
-pub fn weighted_biased_histogram<F>(log: &TelemetryLog, binner: &Binner, weight: F) -> Histogram
+pub fn weighted_biased_histogram<F>(view: &LogView<'_>, binner: &Binner, weight: F) -> Histogram
 where
     F: Fn(&autosens_telemetry::record::ActionRecord) -> f64,
 {
     let mut h = Histogram::new(binner.clone());
-    for r in log.iter() {
-        h.record_weighted(r.latency_ms, weight(r));
+    for r in view.iter() {
+        h.record_weighted(r.latency_ms, weight(&r));
     }
     h
 }
@@ -39,6 +40,7 @@ where
 mod tests {
     use super::*;
     use autosens_stats::binning::OutOfRange;
+    use autosens_telemetry::log::TelemetryLog;
     use autosens_telemetry::record::{ActionRecord, ActionType, Outcome, UserClass, UserId};
     use autosens_telemetry::time::SimTime;
 
@@ -62,7 +64,7 @@ mod tests {
     fn histograms_latencies() {
         let log =
             TelemetryLog::from_records(vec![rec(0, 105.0), rec(1, 108.0), rec(2, 455.0)]).unwrap();
-        let h = biased_histogram(&log, &binner());
+        let h = biased_histogram(&log.view(), &binner());
         assert_eq!(h.count(10), 2.0);
         assert_eq!(h.count(45), 1.0);
         assert_eq!(h.total(), 3.0);
@@ -71,7 +73,7 @@ mod tests {
     #[test]
     fn out_of_range_latencies_are_discarded_not_crashed() {
         let log = TelemetryLog::from_records(vec![rec(0, 5000.0), rec(1, 100.0)]).unwrap();
-        let h = biased_histogram(&log, &binner());
+        let h = biased_histogram(&log.view(), &binner());
         assert_eq!(h.total(), 1.0);
         assert_eq!(h.n_discarded(), 1);
     }
@@ -79,7 +81,7 @@ mod tests {
     #[test]
     fn weighted_histogram_applies_weights() {
         let log = TelemetryLog::from_records(vec![rec(0, 105.0), rec(1, 455.0)]).unwrap();
-        let h = weighted_biased_histogram(&log, &binner(), |r| {
+        let h = weighted_biased_histogram(&log.view(), &binner(), |r| {
             if r.latency_ms < 200.0 {
                 2.0
             } else {
@@ -93,7 +95,7 @@ mod tests {
 
     #[test]
     fn empty_log_gives_empty_histogram() {
-        let h = biased_histogram(&TelemetryLog::new(), &binner());
+        let h = biased_histogram(&TelemetryLog::new().view(), &binner());
         assert!(h.is_empty());
     }
 }

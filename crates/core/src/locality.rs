@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use autosens_stats::correlation::pearson;
 use autosens_stats::succdiff::{locality_ratios, von_neumann_ratio};
 use autosens_stats::timeseries::{aggregate_windows, density_vs_mean, WindowStat};
-use autosens_telemetry::log::TelemetryLog;
+use autosens_telemetry::log::LogView;
 
 use crate::error::AutoSensError;
 
@@ -43,9 +43,9 @@ impl LocalityReport {
     }
 }
 
-/// Compute the Figure 1 diagnostics over a (sorted) log's latency series.
+/// Compute the Figure 1 diagnostics over a (sorted) view's latency series.
 pub fn locality_report<R: Rng>(
-    log: &TelemetryLog,
+    log: &LogView<'_>,
     rng: &mut R,
 ) -> Result<LocalityReport, AutoSensError> {
     let series: Vec<f64> = log
@@ -84,7 +84,7 @@ pub struct DensityLatencyReport {
 /// Correlate per-window action density with per-window mean latency
 /// (1-minute windows in the paper).
 pub fn density_latency_correlation(
-    log: &TelemetryLog,
+    log: &LogView<'_>,
     window_ms: i64,
 ) -> Result<DensityLatencyReport, AutoSensError> {
     let series = log.latency_series().map_err(AutoSensError::from)?;
@@ -127,7 +127,7 @@ pub struct DecorrelationReport {
 /// the per-window mean-latency series (empty windows are bridged by the
 /// previous window's mean, keeping the series regular).
 pub fn decorrelation_report(
-    log: &TelemetryLog,
+    log: &LogView<'_>,
     window_ms: i64,
     max_lag: usize,
 ) -> Result<DecorrelationReport, AutoSensError> {
@@ -182,7 +182,7 @@ pub struct ActivityLatencyPoint {
 /// absolute values are commercially sensitive; here normalization just
 /// makes the two series comparable on one axis).
 pub fn activity_latency_series(
-    log: &TelemetryLog,
+    log: &LogView<'_>,
     from_ms: i64,
     to_ms: i64,
     window_ms: i64,
@@ -222,6 +222,7 @@ pub fn activity_latency_series(
 mod tests {
     use super::*;
     use autosens_sim::{generate, Scenario, SimConfig};
+    use autosens_telemetry::log::TelemetryLog;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -233,7 +234,7 @@ mod tests {
     fn simulated_log_shows_locality() {
         let log = smoke_log();
         let mut rng = StdRng::seed_from_u64(1);
-        let r = locality_report(&log, &mut rng).unwrap();
+        let r = locality_report(&log.view(), &mut rng).unwrap();
         assert!(r.has_locality(), "{r:?}");
         assert!(r.msd_mad_sorted < r.msd_mad_actual);
         assert!(r.msd_mad_actual < r.msd_mad_shuffled);
@@ -251,7 +252,7 @@ mod tests {
         let log = smoke_log();
         let day_slice = autosens_telemetry::query::Slice::all();
         let _ = day_slice;
-        let r = density_latency_correlation(&log, 60_000).unwrap();
+        let r = density_latency_correlation(&log.view(), 60_000).unwrap();
         // Pooled correlation may be either sign depending on the balance of
         // confounder vs preference; it must at least be a valid correlation.
         assert!(r.correlation.abs() <= 1.0);
@@ -263,16 +264,16 @@ mod tests {
     fn errors_on_tiny_logs() {
         let log = TelemetryLog::new();
         let mut rng = StdRng::seed_from_u64(2);
-        assert!(locality_report(&log, &mut rng).is_err());
-        assert!(density_latency_correlation(&log, 60_000).is_err());
-        assert!(activity_latency_series(&log, 0, 1000, 100).is_err());
-        assert!(decorrelation_report(&log, 60_000, 100).is_err());
+        assert!(locality_report(&log.view(), &mut rng).is_err());
+        assert!(density_latency_correlation(&log.view(), 60_000).is_err());
+        assert!(activity_latency_series(&log.view(), 0, 1000, 100).is_err());
+        assert!(decorrelation_report(&log.view(), 60_000, 100).is_err());
     }
 
     #[test]
     fn decorrelation_report_on_simulated_log() {
         let log = smoke_log();
-        let r = decorrelation_report(&log, 60_000, 24 * 60).unwrap();
+        let r = decorrelation_report(&log.view(), 60_000, 24 * 60).unwrap();
         // The congestion process has rho 0.985/min (half-life ~46 min);
         // the diurnal component lengthens apparent correlation, so expect
         // a decorrelation time between ~30 min and ~8 h.
@@ -287,7 +288,7 @@ mod tests {
     fn activity_latency_series_is_normalized() {
         let log = smoke_log();
         let two_days = 2 * 24 * 3_600_000i64;
-        let pts = activity_latency_series(&log, 0, two_days, 60_000).unwrap();
+        let pts = activity_latency_series(&log.view(), 0, two_days, 60_000).unwrap();
         assert!(pts.len() > 1000);
         let max_act = pts.iter().map(|p| p.activity).fold(0.0, f64::max);
         assert!((max_act - 1.0).abs() < 1e-12);

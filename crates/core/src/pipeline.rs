@@ -7,7 +7,7 @@ use rand::SeedableRng;
 use autosens_exec::ExecReport;
 use autosens_obs::{Recorder, Span, StageTiming};
 use autosens_stats::histogram::Histogram;
-use autosens_telemetry::log::TelemetryLog;
+use autosens_telemetry::log::{LogView, TelemetryLog};
 use autosens_telemetry::query::Slice;
 use autosens_telemetry::record::{ActionType, UserClass};
 use autosens_telemetry::time::{DayPeriod, Month};
@@ -191,14 +191,27 @@ impl AutoSens {
                 detail: "records arrived out of time order; re-sorted".into(),
             });
         }
-        let (mut sub, filter_report) = slice
+        let (selected, filter_report) = slice
             .clone()
             .successes()
-            .apply_par(log, self.config.threads)?;
+            .select_par(log, self.config.threads)?;
         self.record_exec(&span, &filter_report);
-        sub.ensure_sorted();
-        let records_in = sub.len();
-        let removed = sub.dedup_exact_par(self.config.threads);
+        let records_in = selected.len();
+        // A selection over a sorted log is already in time order, so the
+        // whole sanitize stage runs over the borrowed view without copying
+        // a single row. Degraded (out-of-order) input falls back to one
+        // materialized copy, exactly the old filter/sort/dedup sequence.
+        let owned;
+        let (sub, removed, copied) = if selected.is_sorted() {
+            let (clean, removed) = selected.dedup_exact_par(self.config.threads);
+            (clean, removed, 0)
+        } else {
+            let mut m = selected.materialize();
+            m.ensure_sorted();
+            let removed = m.dedup_exact_par(self.config.threads);
+            owned = m;
+            (owned.view(), removed, records_in)
+        };
         if removed > 0 {
             degradations.push(Degradation {
                 stage: "sanitize".into(),
@@ -211,7 +224,16 @@ impl AutoSens {
             stage: "sanitize".into(),
             wall_ms: span.finish(),
         });
-        self.finish_analysis(sub, degradations, records_in, removed, None, root, timings)
+        self.finish_analysis(
+            &sub,
+            degradations,
+            records_in,
+            removed,
+            copied,
+            None,
+            root,
+            timings,
+        )
     }
 
     /// Run the post-sanitize pipeline stages over an externally prepared
@@ -244,10 +266,11 @@ impl AutoSens {
             wall_ms: span.finish(),
         });
         self.finish_analysis(
-            log,
+            &log.view(),
             degradations,
             records_in,
             records_dropped,
+            0,
             partition,
             root,
             timings,
@@ -262,10 +285,11 @@ impl AutoSens {
     #[allow(clippy::too_many_arguments)]
     fn finish_analysis(
         &self,
-        sub: TelemetryLog,
+        sub: &LogView<'_>,
         mut degradations: Vec<Degradation>,
         records_in: usize,
         removed: usize,
+        copied: usize,
         partition: Option<GroupPartition>,
         mut root: Span,
         mut timings: Vec<StageTiming>,
@@ -287,7 +311,7 @@ impl AutoSens {
             let mut span = root.child("alpha");
             span.field("groups", grouping.n_groups());
             let est = estimate_alpha_with_partition(
-                &sub,
+                sub,
                 &binner,
                 grouping,
                 &self.config,
@@ -330,7 +354,7 @@ impl AutoSens {
             (b, u, Some(est))
         } else {
             let span = root.child("biased_pdf");
-            let b = biased_histogram(&sub, &binner);
+            let b = biased_histogram(sub, &binner);
             timings.push(StageTiming {
                 stage: "biased_pdf".into(),
                 wall_ms: span.finish(),
@@ -338,7 +362,7 @@ impl AutoSens {
             let mut span = root.child("unbiased_pdf");
             span.field("draws", self.config.unbiased_draws);
             let (u, draw_report) = unbiased_histogram_par(
-                &sub,
+                sub,
                 &binner,
                 self.config.unbiased_draws,
                 self.config.threads,
@@ -371,6 +395,15 @@ impl AutoSens {
         metrics
             .counter("autosens_core_degradations_total")
             .add(degradations.len() as u64);
+        // Zero-copy accounting: rows analyzed through borrowed views vs
+        // rows physically copied to repair degraded input. Both register
+        // (even at zero) so batch and streaming runs expose the same set.
+        metrics
+            .counter("autosens_core_view_rows_total")
+            .add(sub.len() as u64);
+        metrics
+            .counter("autosens_core_rows_copied_total")
+            .add(copied as u64);
         for d in &degradations {
             metrics
                 .counter(&format!("autosens_core_degradations_{}_total", d.stage))
@@ -428,7 +461,14 @@ impl AutoSens {
         base: &Slice,
         min_actions_per_user: usize,
     ) -> Result<(LatencyQuartiles, QuartileAnalyses), AutoSensError> {
-        let sub = base.clone().successes().apply(log);
+        let selected = base.clone().successes().select(log);
+        let owned;
+        let sub = if selected.is_sorted() {
+            selected
+        } else {
+            owned = selected.materialize();
+            owned.view()
+        };
         let quartiles = latency_quartiles(&sub, min_actions_per_user).ok_or_else(|| {
             AutoSensError::EmptySlice("too few eligible users for quartiles".into())
         })?;
@@ -515,8 +555,14 @@ impl AutoSens {
         let label = label.into();
         let analysis = self.analyze_slice(log, slice)?;
         let alpha_est = self.alpha_by_period(log, slice)?;
-        let mut sub = slice.clone().successes().apply(log);
-        sub.ensure_sorted();
+        let selected = slice.clone().successes().select(log);
+        let owned;
+        let sub = if selected.is_sorted() {
+            selected
+        } else {
+            owned = selected.materialize();
+            owned.view()
+        };
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xF0);
         let locality = crate::locality::locality_report(&sub, &mut rng)?;
         let density = crate::locality::density_latency_correlation(&sub, 60_000)?;
@@ -554,8 +600,14 @@ impl AutoSens {
         base: &Slice,
     ) -> Result<AlphaEstimate, AutoSensError> {
         let binner = self.config.binner()?;
-        let mut sub = base.clone().successes().apply(log);
-        sub.ensure_sorted();
+        let selected = base.clone().successes().select(log);
+        let owned;
+        let sub = if selected.is_sorted() {
+            selected
+        } else {
+            owned = selected.materialize();
+            owned.view()
+        };
         if sub.is_empty() {
             return Err(AutoSensError::EmptySlice("alpha_by_period".into()));
         }

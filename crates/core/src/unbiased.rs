@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 use autosens_exec::ExecReport;
 use autosens_stats::binning::Binner;
 use autosens_stats::histogram::Histogram;
-use autosens_telemetry::log::TelemetryLog;
+use autosens_telemetry::log::LogView;
 use autosens_telemetry::time::SimTime;
 
 use crate::error::AutoSensError;
@@ -25,7 +25,7 @@ use crate::error::AutoSensError;
 /// Draws `n_draws` uniformly random instants in `[start, end]` and
 /// histograms the latency of the nearest sample to each.
 pub fn unbiased_histogram<R: Rng>(
-    log: &TelemetryLog,
+    log: &LogView<'_>,
     binner: &Binner,
     n_draws: usize,
     rng: &mut R,
@@ -47,7 +47,7 @@ pub fn unbiased_histogram<R: Rng>(
 /// nearest observation to an instant inside a window may lie just outside
 /// it, which is exactly the paper's estimator behaviour.
 pub fn unbiased_histogram_in_windows<R: Rng>(
-    log: &TelemetryLog,
+    log: &LogView<'_>,
     binner: &Binner,
     windows: &[(i64, i64)],
     n_draws: usize,
@@ -92,7 +92,7 @@ pub fn unbiased_histogram_in_windows<R: Rng>(
         } else {
             rng.gen_range(lo..hi)
         };
-        h.record(log.records()[idx].latency_ms);
+        h.record(log.latency_at(idx));
     }
     Ok(h)
 }
@@ -100,7 +100,7 @@ pub fn unbiased_histogram_in_windows<R: Rng>(
 /// Chunked [`unbiased_histogram`]: the draws run as a data-parallel job.
 /// See [`unbiased_histogram_in_windows_par`] for the determinism contract.
 pub fn unbiased_histogram_par<R: Rng>(
-    log: &TelemetryLog,
+    log: &LogView<'_>,
     binner: &Binner,
     n_draws: usize,
     threads: usize,
@@ -123,7 +123,7 @@ pub fn unbiased_histogram_par<R: Rng>(
 /// the window prefix sums — cache-friendly where the serial variant's
 /// random-order lookups are not.
 pub fn unbiased_histogram_in_windows_par<R: Rng>(
-    log: &TelemetryLog,
+    log: &LogView<'_>,
     binner: &Binner,
     windows: &[(i64, i64)],
     n_draws: usize,
@@ -190,7 +190,7 @@ pub fn unbiased_histogram_in_windows_par<R: Rng>(
                 } else {
                     lo + (tie as usize) % (hi - lo)
                 };
-                h.record(log.records()[idx].latency_ms);
+                h.record(log.latency_at(idx));
             }
             Ok(h)
         },
@@ -206,6 +206,7 @@ pub fn unbiased_histogram_in_windows_par<R: Rng>(
 mod tests {
     use super::*;
     use autosens_stats::binning::OutOfRange;
+    use autosens_telemetry::log::TelemetryLog;
     use autosens_telemetry::record::{ActionRecord, ActionType, Outcome, UserClass, UserId};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -238,7 +239,7 @@ mod tests {
         records.push(rec(100_000, 500.0));
         let log = TelemetryLog::from_records(records).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let h = unbiased_histogram(&log, &binner(), 20_000, &mut rng).unwrap();
+        let h = unbiased_histogram(&log.view(), &binner(), 20_000, &mut rng).unwrap();
         let frac_fast = h.count(10) / h.total();
         let frac_slow = h.count(50) / h.total();
         assert!(
@@ -257,7 +258,7 @@ mod tests {
             .collect();
         let log = TelemetryLog::from_records(records).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let h = unbiased_histogram(&log, &binner(), 30_000, &mut rng).unwrap();
+        let h = unbiased_histogram(&log.view(), &binner(), 30_000, &mut rng).unwrap();
         let a = h.count(10) / h.total();
         let b = h.count(50) / h.total();
         assert!((a - 0.5).abs() < 0.02, "a = {a}");
@@ -272,7 +273,7 @@ mod tests {
             TelemetryLog::from_records(vec![rec(500, 105.0), rec(500, 405.0), rec(500, 705.0)])
                 .unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let h = unbiased_histogram(&log, &binner(), 9_000, &mut rng).unwrap();
+        let h = unbiased_histogram(&log.view(), &binner(), 9_000, &mut rng).unwrap();
         for bin in [10, 40, 70] {
             let frac = h.count(bin) / h.total();
             assert!((frac - 1.0 / 3.0).abs() < 0.03, "bin {bin}: {frac}");
@@ -287,13 +288,18 @@ mod tests {
         let log = TelemetryLog::from_records(records).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         // Draw only from the second window.
-        let h =
-            unbiased_histogram_in_windows(&log, &binner(), &[(10_000, 19_900)], 5_000, &mut rng)
-                .unwrap();
+        let h = unbiased_histogram_in_windows(
+            &log.view(),
+            &binner(),
+            &[(10_000, 19_900)],
+            5_000,
+            &mut rng,
+        )
+        .unwrap();
         assert!(h.count(50) / h.total() > 0.97);
         // Draw from both windows: roughly 50/50.
         let h = unbiased_histogram_in_windows(
-            &log,
+            &log.view(),
             &binner(),
             &[(0, 9_900), (10_000, 19_900)],
             20_000,
@@ -308,11 +314,14 @@ mod tests {
     fn error_cases() {
         let mut rng = StdRng::seed_from_u64(5);
         let empty = TelemetryLog::new();
-        assert!(unbiased_histogram(&empty, &binner(), 100, &mut rng).is_err());
+        assert!(unbiased_histogram(&empty.view(), &binner(), 100, &mut rng).is_err());
         let log = TelemetryLog::from_records(vec![rec(0, 100.0)]).unwrap();
-        assert!(unbiased_histogram(&log, &binner(), 0, &mut rng).is_err());
-        assert!(unbiased_histogram_in_windows(&log, &binner(), &[(10, 5)], 10, &mut rng).is_err());
-        assert!(unbiased_histogram_in_windows(&log, &binner(), &[], 10, &mut rng).is_err());
+        assert!(unbiased_histogram(&log.view(), &binner(), 0, &mut rng).is_err());
+        assert!(
+            unbiased_histogram_in_windows(&log.view(), &binner(), &[(10, 5)], 10, &mut rng)
+                .is_err()
+        );
+        assert!(unbiased_histogram_in_windows(&log.view(), &binner(), &[], 10, &mut rng).is_err());
     }
 
     #[test]
@@ -324,14 +333,14 @@ mod tests {
         let windows = [(0, 150_000), (200_000, 400_000)];
         let reference = {
             let mut rng = StdRng::seed_from_u64(7);
-            unbiased_histogram_in_windows_par(&log, &binner(), &windows, 30_000, 1, &mut rng)
+            unbiased_histogram_in_windows_par(&log.view(), &binner(), &windows, 30_000, 1, &mut rng)
                 .unwrap()
                 .0
         };
         for threads in [2, 4, 8] {
             let mut rng = StdRng::seed_from_u64(7);
             let (h, report) = unbiased_histogram_in_windows_par(
-                &log,
+                &log.view(),
                 &binner(),
                 &windows,
                 30_000,
@@ -350,7 +359,7 @@ mod tests {
         // The whole-span wrapper agrees with the serial estimator's
         // statistics (not bitwise — different RNG schedule — but close).
         let mut rng = StdRng::seed_from_u64(8);
-        let (h, _) = unbiased_histogram_par(&log, &binner(), 20_000, 2, &mut rng).unwrap();
+        let (h, _) = unbiased_histogram_par(&log.view(), &binner(), 20_000, 2, &mut rng).unwrap();
         assert_eq!(h.total(), 20_000.0);
     }
 
@@ -358,7 +367,7 @@ mod tests {
     fn single_record_log_is_degenerate_but_works() {
         let log = TelemetryLog::from_records(vec![rec(1000, 250.0)]).unwrap();
         let mut rng = StdRng::seed_from_u64(6);
-        let h = unbiased_histogram(&log, &binner(), 100, &mut rng).unwrap();
+        let h = unbiased_histogram(&log.view(), &binner(), 100, &mut rng).unwrap();
         assert_eq!(h.count(25), 100.0);
     }
 }

@@ -189,7 +189,7 @@ proptest! {
             .collect();
         let log = TelemetryLog::from_records(records).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
-        let h = unbiased_histogram(&log, &binner(), draws, &mut rng).unwrap();
+        let h = unbiased_histogram(&log.view(), &binner(), draws, &mut rng).unwrap();
         // Every draw resolves to exactly one in-range sample.
         prop_assert_eq!(h.n_recorded() as usize, draws);
         prop_assert!((h.total() - draws as f64).abs() < 1e-9);
@@ -277,7 +277,7 @@ proptest! {
             .collect();
         let log = TelemetryLog::from_records(records).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
-        let h = unbiased_histogram(&log, &binner(), 500, &mut rng).unwrap();
+        let h = unbiased_histogram(&log.view(), &binner(), 500, &mut rng).unwrap();
         let b = binner();
         // Bins with mass must contain at least one observed latency.
         for i in 0..b.n_bins() {

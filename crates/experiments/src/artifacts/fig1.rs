@@ -12,7 +12,7 @@ use crate::dataset::Dataset;
 /// Regenerate Figure 1.
 pub fn generate(data: &Dataset) -> Artifact {
     let mut rng = StdRng::seed_from_u64(0xF1);
-    let report = locality_report(&data.log, &mut rng).expect("non-trivial log");
+    let report = locality_report(&data.log.view(), &mut rng).expect("non-trivial log");
 
     let rows = vec![
         vec!["actual".into(), f3(report.msd_mad_actual)],

@@ -19,7 +19,7 @@ pub fn generate(data: &Dataset) -> Artifact {
         (0, span_end.clamp(MS_PER_DAY, 2 * MS_PER_DAY))
     };
     let points =
-        activity_latency_series(&data.log, from, to, 60_000).expect("log covers the window");
+        activity_latency_series(&data.log.view(), from, to, 60_000).expect("log covers the window");
 
     // Hour-level view for the text rendering (the CSV has the full minutes).
     let mut rows = Vec::new();
@@ -70,7 +70,7 @@ pub fn generate(data: &Dataset) -> Artifact {
     // is what carries the preference. Check both: (a) daytime vs night
     // contrast exists, (b) the within-band correlation (controlling the
     // clock by differencing against the hour-of-day means) is negative.
-    let corr = density_latency_correlation(&data.log, 60_000).expect("non-trivial log");
+    let corr = density_latency_correlation(&data.log.view(), 60_000).expect("non-trivial log");
 
     // Within-band: subtract hour-of-day means from both series.
     let mut by_hour: Vec<(f64, f64, u32)> = vec![(0.0, 0.0, 0); 24];

@@ -125,7 +125,7 @@ pub fn generate_streaming() -> Artifact {
             Err(e) => return fail(format!("engine construction failed: {e}")),
         };
         for r in corrupted.iter() {
-            engine.push(*r);
+            engine.push(r);
         }
         let status = engine.status();
         let (m, exact) = match engine.snapshot() {

@@ -337,7 +337,7 @@ impl FaultPlan {
     /// the log's semantic invariants.
     pub fn apply(&self, log: &TelemetryLog) -> Result<TelemetryLog, TelemetryError> {
         self.validate().map_err(TelemetryError::InvalidRecord)?;
-        let mut records: Vec<ActionRecord> = log.records().to_vec();
+        let mut records: Vec<ActionRecord> = log.to_records();
         for (i, op) in self.ops.iter().enumerate() {
             // One independent stream per operator position: editing op k
             // cannot perturb the randomness of ops != k.
@@ -423,11 +423,11 @@ mod tests {
         };
         let a = plan.apply(&log).unwrap();
         let b = plan.apply(&log).unwrap();
-        assert_eq!(a.records(), b.records());
+        assert_eq!(a.to_records(), b.to_records());
         // A different seed produces a different corruption.
         let plan2 = FaultPlan { seed: 43, ..plan };
         let c = plan2.apply(&log).unwrap();
-        assert_ne!(a.records(), c.records());
+        assert_ne!(a.to_records(), c.to_records());
     }
 
     #[test]
@@ -452,9 +452,8 @@ mod tests {
         };
         let a = with_noop_first.apply(&log).unwrap();
         let b = with_other_noop.apply(&log).unwrap();
-        let nulled = |l: &TelemetryLog| -> Vec<bool> {
-            l.records().iter().map(|r| r.tz_offset_ms == 0).collect()
-        };
+        let nulled =
+            |l: &TelemetryLog| -> Vec<bool> { l.iter().map(|r| r.tz_offset_ms == 0).collect() };
         assert_eq!(nulled(&a), nulled(&b));
     }
 
@@ -531,7 +530,7 @@ mod tests {
             "added {added}"
         );
         // Duplicates are adjacent and field-for-field identical.
-        let dups = out.records().windows(2).filter(|w| w[0] == w[1]).count();
+        let dups = out.to_records().windows(2).filter(|w| w[0] == w[1]).count();
         assert_eq!(dups, added);
     }
 
@@ -563,7 +562,7 @@ mod tests {
         let out = plan.apply(&log).unwrap();
         // With zero drift, every record of a user shifts by one constant.
         let mut shift_of_user: std::collections::HashMap<u64, i64> = Default::default();
-        for (orig, skewed) in log.records().iter().zip(out.records()) {
+        for (orig, skewed) in log.iter().zip(out.iter()) {
             let d = skewed.time.millis() - orig.time.millis();
             let prev = shift_of_user.entry(orig.user.0).or_insert(d);
             assert_eq!(*prev, d, "user {} shift changed", orig.user.0);
@@ -625,8 +624,8 @@ mod tests {
         // And the corruption it produces is identical.
         let log = sample_log();
         assert_eq!(
-            plan.apply(&log).unwrap().records(),
-            back.apply(&log).unwrap().records()
+            plan.apply(&log).unwrap().to_records(),
+            back.apply(&log).unwrap().to_records()
         );
     }
 
@@ -667,7 +666,7 @@ mod tests {
     fn identity_plan_is_identity() {
         let log = sample_log();
         let out = FaultPlan::identity(9).apply(&log).unwrap();
-        assert_eq!(out.records(), log.records());
+        assert_eq!(out.to_records(), log.to_records());
     }
 
     #[test]

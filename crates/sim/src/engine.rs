@@ -247,7 +247,7 @@ mod tests {
         let cfg = smoke();
         let (a, _) = generate(&cfg).unwrap();
         let (b, _) = generate(&cfg).unwrap();
-        assert_eq!(a.records(), b.records());
+        assert_eq!(a.to_records(), b.to_records());
     }
 
     #[test]
@@ -256,7 +256,11 @@ mod tests {
         let (reference, _) = generate_with_threads(&cfg, 1).unwrap();
         for threads in [2, 4, 8] {
             let (log, _) = generate_with_threads(&cfg, threads).unwrap();
-            assert_eq!(log.records(), reference.records(), "threads={threads}");
+            assert_eq!(
+                log.to_records(),
+                reference.to_records(),
+                "threads={threads}"
+            );
         }
     }
 
@@ -266,7 +270,7 @@ mod tests {
         let (a, _) = generate(&cfg).unwrap();
         cfg.seed += 1;
         let (b, _) = generate(&cfg).unwrap();
-        assert_ne!(a.records(), b.records());
+        assert_ne!(a.to_records(), b.to_records());
     }
 
     #[test]

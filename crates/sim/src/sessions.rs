@@ -218,7 +218,7 @@ mod tests {
         let scfg = SessionConfig::default();
         let (a, _) = generate_sessions(&small_cfg(), &scfg).unwrap();
         let (b, _) = generate_sessions(&small_cfg(), &scfg).unwrap();
-        assert_eq!(a.records(), b.records());
+        assert_eq!(a.to_records(), b.to_records());
     }
 
     #[test]

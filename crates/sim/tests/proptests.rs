@@ -51,7 +51,7 @@ proptest! {
     fn generation_is_deterministic_for_any_config(cfg in arb_config()) {
         let (a, _) = generate(&cfg).unwrap();
         let (b, _) = generate(&cfg).unwrap();
-        prop_assert_eq!(a.records(), b.records());
+        prop_assert_eq!(a.to_records(), b.to_records());
     }
 
     #[test]

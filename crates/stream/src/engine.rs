@@ -46,7 +46,7 @@ use autosens_core::pipeline::{AnalysisReport, Degradation, Prepared};
 use autosens_core::{AutoSens, AutoSensConfig, AutoSensError, GroupPartition, Grouping};
 use autosens_obs::Recorder;
 use autosens_stats::binning::Binner;
-use autosens_telemetry::log::TelemetryLog;
+use autosens_telemetry::log::{ColumnStore, TelemetryLog};
 use autosens_telemetry::query::Slice;
 use autosens_telemetry::record::ActionRecord;
 
@@ -292,7 +292,7 @@ impl StreamEngine {
             if bucket_end > cutoff_ms {
                 break;
             }
-            let dropped = shard.records.len() as u64;
+            let dropped = shard.len() as u64;
             self.evicted += dropped;
             metrics
                 .counter("autosens_stream_evicted_records_total")
@@ -307,7 +307,7 @@ impl StreamEngine {
         let mut live_records = 0u64;
         for shard in self.shards.values() {
             shard.merge_hours_into(&mut hour_counts);
-            live_records += shard.records.len() as u64;
+            live_records += shard.len() as u64;
         }
         StreamStatus {
             events: self.events,
@@ -335,17 +335,18 @@ impl StreamEngine {
         span.field("events", self.events);
         span.field("shards", self.shards.len());
 
-        // Prefix sums over shard lengths size the merged buffer exactly;
-        // shards concatenate in bucket order into an already-sorted log.
-        let total: usize = self.shards.values().map(|s| s.records.len()).sum();
+        // Prefix sums over shard lengths size the merged columns exactly;
+        // shards concatenate in bucket order into an already-sorted store,
+        // column by column — no per-record copies.
+        let total: usize = self.shards.values().map(|s| s.len()).sum();
         span.field("records", total);
-        let mut records: Vec<ActionRecord> = Vec::with_capacity(total);
+        let mut cols = ColumnStore::with_capacity(total);
         let mut partition = GroupPartition::empty(&self.binner, self.grouping);
         for shard in self.shards.values() {
-            records.extend_from_slice(&shard.records);
+            cols.extend_from(&shard.cols);
             partition.merge(&shard.partition)?;
         }
-        let log = TelemetryLog::from_trusted_records(records);
+        let log = TelemetryLog::from_columns(cols);
 
         // Degradations in the order batch sanitize reports them, plus the
         // streaming-only lateness drop (absent in the equivalence regime).
@@ -420,7 +421,7 @@ impl StreamEngine {
                 .iter()
                 .map(|(&bucket, shard)| crate::checkpoint::ShardCheckpoint {
                     bucket,
-                    records: shard.records.clone(),
+                    records: shard.cols.to_records(),
                 })
                 .collect(),
         }

@@ -129,7 +129,7 @@ mod tests {
 
         let mut engine = StreamEngine::new(stream_config(), Slice::all()).expect("engine");
         for r in log.iter() {
-            engine.push(*r);
+            engine.push(r);
         }
         let snap = engine.snapshot().expect("snapshot");
         assert_reports_identical(&snap, &batch);
@@ -161,7 +161,7 @@ mod tests {
 
         let mut engine = StreamEngine::new(stream_config(), Slice::all()).expect("engine");
         for r in corrupted.iter() {
-            assert_ne!(engine.push(*r), Ingest::Late, "jitter exceeded lateness");
+            assert_ne!(engine.push(r), Ingest::Late, "jitter exceeded lateness");
         }
         let snap = engine.snapshot().expect("snapshot");
         assert_reports_identical(&snap, &batch);
@@ -190,7 +190,7 @@ mod tests {
                 .expect("engine");
         let mut dups = 0u64;
         for r in corrupted.iter() {
-            if engine.push(*r) == Ingest::Duplicate {
+            if engine.push(r) == Ingest::Duplicate {
                 dups += 1;
             }
         }
@@ -219,10 +219,10 @@ mod tests {
         let mut engine =
             StreamEngine::with_recorder(cfg, Slice::all(), recorder.clone()).expect("engine");
         for r in log.iter() {
-            engine.push(*r);
+            engine.push(r);
         }
         // Replay the very first record: it is now far behind the frontier.
-        let first = *log.iter().next().expect("non-empty log");
+        let first = log.iter().next().expect("non-empty log");
         assert_eq!(engine.push(first), Ingest::Late);
         assert_eq!(engine.status().late, 1);
         assert_eq!(
@@ -242,12 +242,12 @@ mod tests {
     #[test]
     fn checkpoint_roundtrip_resumes_bit_identically() {
         let log = smoke_log();
-        let records: Vec<ActionRecord> = log.iter().copied().collect();
+        let records: Vec<ActionRecord> = log.iter().collect();
         let half = records.len() / 2;
 
         let mut original = StreamEngine::new(stream_config(), Slice::all()).expect("engine");
-        for r in &records[..half] {
-            original.push(*r);
+        for &r in &records[..half] {
+            original.push(r);
         }
         let json = original.checkpoint(42).to_json().expect("serialize");
         let ck = Checkpoint::from_json(&json).expect("parse");
@@ -255,9 +255,9 @@ mod tests {
         let mut restored =
             StreamEngine::restore(ck, Slice::all(), Recorder::disabled()).expect("restore");
 
-        for r in &records[half..] {
-            original.push(*r);
-            restored.push(*r);
+        for &r in &records[half..] {
+            original.push(r);
+            restored.push(r);
         }
         let a = original.snapshot().expect("original snapshot");
         let b = restored.snapshot().expect("restored snapshot");
@@ -276,7 +276,7 @@ mod tests {
         let log = smoke_log();
         let mut engine = StreamEngine::new(stream_config(), Slice::all()).expect("engine");
         for r in log.iter().take(100) {
-            engine.push(*r);
+            engine.push(r);
         }
         let mut ck = engine.checkpoint(0);
         assert!(!ck.shards.is_empty());
@@ -292,7 +292,7 @@ mod tests {
         cfg.retain_ms = Some(3 * 24 * 3_600_000); // keep ~3 of 14 days
         let mut engine = StreamEngine::new(cfg, Slice::all()).expect("engine");
         for r in log.iter() {
-            engine.push(*r);
+            engine.push(r);
         }
         let status = engine.status();
         assert!(status.evicted > 0, "nothing was evicted");
@@ -310,7 +310,7 @@ mod tests {
         let recorder = Recorder::new();
         let ingestor = Ingestor::new(4, OverflowPolicy::Shed, recorder.clone());
         let log = smoke_log();
-        let records: Vec<ActionRecord> = log.iter().copied().take(10).collect();
+        let records: Vec<ActionRecord> = log.iter().take(10).collect();
         let mut shed = 0;
         for r in &records {
             if ingestor.offer(*r) == Offer::Shed {
@@ -341,7 +341,7 @@ mod tests {
     fn ingestor_blocks_with_backpressure() {
         let ingestor = Ingestor::new(2, OverflowPolicy::Block, Recorder::disabled());
         let log = smoke_log();
-        let mut it = log.iter().copied();
+        let mut it = log.iter();
         assert_eq!(ingestor.offer(it.next().unwrap()), Offer::Accepted);
         assert_eq!(ingestor.offer(it.next().unwrap()), Offer::Accepted);
         assert_eq!(ingestor.offer(it.next().unwrap()), Offer::Full);
@@ -366,7 +366,7 @@ mod tests {
         let ingestor = Ingestor::new(usize::MAX >> 1, OverflowPolicy::Shed, Recorder::disabled());
         ingestor.set_faults(Some(FaultStream::new(&plan).expect("fault stream")));
         for r in log.iter() {
-            ingestor.offer(*r);
+            ingestor.offer(r);
         }
         let mut engine = StreamEngine::new(stream_config(), Slice::all()).expect("engine");
         let summary = ingestor.drain_into(&mut engine).expect("drain");

@@ -8,7 +8,11 @@
 //! duplicates out at insert time is equivalent to batch
 //! `dedup_exact` / `dedup_exact_par` over the drained log.
 //!
-//! Alongside the records each shard maintains incremental partial
+//! Shards store their rows columnar (a [`ColumnStore`]) so a snapshot
+//! concatenates seven column vectors instead of cloning records, and the
+//! merged log hands the analysis stack a zero-copy view.
+//!
+//! Alongside the rows each shard maintains incremental partial
 //! aggregates — the per-group biased histograms and α_T action counts of
 //! [`GroupPartition`], plus per-local-hour counters — so a snapshot merges
 //! shard partials instead of rescanning history. Histogram counts are
@@ -19,27 +23,14 @@
 use autosens_core::{GroupPartition, Grouping};
 use autosens_exec::Mergeable;
 use autosens_stats::binning::Binner;
+use autosens_telemetry::log::ColumnStore;
 use autosens_telemetry::record::ActionRecord;
 
-/// Field-for-field identity at the bit level — the same key batch
-/// [`TelemetryLog::dedup_exact`](autosens_telemetry::TelemetryLog::dedup_exact)
-/// uses (latency compared as bits), so streaming dedup keeps exactly the
-/// records batch dedup would keep.
-pub(crate) fn same_record_exact(a: &ActionRecord, b: &ActionRecord) -> bool {
-    a.time == b.time
-        && a.action == b.action
-        && a.latency_ms.to_bits() == b.latency_ms.to_bits()
-        && a.user == b.user
-        && a.class == b.class
-        && a.tz_offset_ms == b.tz_offset_ms
-        && a.outcome == b.outcome
-}
-
-/// One time bucket's records and partial aggregates.
+/// One time bucket's rows (columnar) and partial aggregates.
 #[derive(Debug, Clone)]
 pub(crate) struct Shard {
-    /// Records sorted by time, arrival-stable among equal timestamps.
-    pub records: Vec<ActionRecord>,
+    /// Rows sorted by time, arrival-stable among equal timestamps.
+    pub cols: ColumnStore,
     /// Incremental α partition: per-group biased histograms + α_T counts.
     pub partition: GroupPartition,
     /// Actions per local hour slot (merged across shards via the
@@ -50,10 +41,15 @@ pub(crate) struct Shard {
 impl Shard {
     pub fn new(binner: &Binner, grouping: Grouping) -> Shard {
         Shard {
-            records: Vec::new(),
+            cols: ColumnStore::new(),
             partition: GroupPartition::empty(binner, grouping),
             hour_counts: [0u64; 24],
         }
+    }
+
+    /// Number of rows held.
+    pub fn len(&self) -> usize {
+        self.cols.len()
     }
 
     /// Insert a record at the upper bound of its equal-timestamp run
@@ -61,15 +57,20 @@ impl Shard {
     /// arrival sequence), unless an exact duplicate already sits in that
     /// run. Returns `false` for the dropped duplicate.
     pub fn insert(&mut self, r: ActionRecord, grouping: Grouping) -> bool {
-        let idx = self.records.partition_point(|x| x.time <= r.time);
-        let mut j = idx;
-        while j > 0 && self.records[j - 1].time == r.time {
-            if same_record_exact(&self.records[j - 1], &r) {
-                return false;
+        let idx = {
+            let times = self.cols.times();
+            let t = r.time.millis();
+            let idx = times.partition_point(|&x| x <= t);
+            let mut j = idx;
+            while j > 0 && times[j - 1] == t {
+                if self.cols.row_equals_record(j - 1, &r) {
+                    return false;
+                }
+                j -= 1;
             }
-            j -= 1;
-        }
-        self.records.insert(idx, r);
+            idx
+        };
+        self.cols.insert(idx, &r);
         self.partition.record(grouping, &r);
         self.hour_counts[r.hour_slot().0 as usize % 24] += 1;
         true
@@ -80,10 +81,10 @@ impl Shard {
     pub fn rebuild(records: Vec<ActionRecord>, binner: &Binner, grouping: Grouping) -> Shard {
         let mut shard = Shard::new(binner, grouping);
         for r in &records {
+            shard.cols.push(r);
             shard.partition.record(grouping, r);
             shard.hour_counts[r.hour_slot().0 as usize % 24] += 1;
         }
-        shard.records = records;
         shard
     }
 
@@ -122,7 +123,7 @@ mod tests {
         assert!(shard.insert(rec(1000, 20.0, 2), Grouping::HourSlots));
         assert!(shard.insert(rec(2000, 30.0, 3), Grouping::HourSlots));
         assert!(shard.insert(rec(2000, 40.0, 4), Grouping::HourSlots));
-        let users: Vec<u64> = shard.records.iter().map(|r| r.user.0).collect();
+        let users: Vec<u64> = shard.cols.users().to_vec();
         // Time order first; the three t=2000 arrivals keep arrival order.
         assert_eq!(users, vec![2, 1, 3, 4]);
     }
@@ -135,7 +136,7 @@ mod tests {
         assert!(!shard.insert(r, Grouping::HourSlots));
         // Same time, different latency: not a duplicate.
         assert!(shard.insert(rec(1000, 11.0, 1), Grouping::HourSlots));
-        assert_eq!(shard.records.len(), 2);
+        assert_eq!(shard.len(), 2);
         assert_eq!(shard.hour_counts.iter().sum::<u64>(), 2);
     }
 
@@ -146,8 +147,8 @@ mod tests {
         for i in 0..50 {
             shard.insert(rec(i * 60_000, 50.0 + i as f64, i as u64 % 5), grouping);
         }
-        let rebuilt = Shard::rebuild(shard.records.clone(), &binner(), grouping);
-        assert_eq!(rebuilt.records, shard.records);
+        let rebuilt = Shard::rebuild(shard.cols.to_records(), &binner(), grouping);
+        assert_eq!(rebuilt.cols.to_records(), shard.cols.to_records());
         assert_eq!(rebuilt.hour_counts, shard.hour_counts);
         assert_eq!(rebuilt.partition.n_actions, shard.partition.n_actions);
         for (a, b) in rebuilt.partition.biased.iter().zip(&shard.partition.biased) {

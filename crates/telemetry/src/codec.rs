@@ -268,7 +268,7 @@ fn parse_csv_row(line: &str, lineno: usize) -> Result<ActionRecord, TelemetryErr
 /// Write a log as JSON Lines (one serde-serialized record per line).
 pub fn write_jsonl<W: Write>(log: &TelemetryLog, out: &mut W) -> Result<(), TelemetryError> {
     for r in log.iter() {
-        let line = serde_json::to_string(r)
+        let line = serde_json::to_string(&r)
             .map_err(|e| TelemetryError::InvalidRecord(format!("serialization failed: {e}")))?;
         writeln!(out, "{line}")?;
     }
@@ -526,7 +526,7 @@ mod tests {
         write_csv(&log, &mut buf).unwrap();
         let back = read_csv(buf.as_slice()).unwrap();
         assert_eq!(back.len(), 2);
-        assert_eq!(back.records(), log.records());
+        assert_eq!(back.to_records(), log.to_records());
     }
 
     #[test]
@@ -610,7 +610,7 @@ mod tests {
         );
         let log = read_csv(data.as_bytes()).unwrap();
         assert!(log.is_sorted());
-        assert_eq!(log.records()[0].time.millis(), 1000);
+        assert_eq!(log.get(0).time.millis(), 1000);
     }
 
     #[test]
@@ -619,7 +619,7 @@ mod tests {
         let mut buf = Vec::new();
         write_jsonl(&log, &mut buf).unwrap();
         let back = read_jsonl(buf.as_slice()).unwrap();
-        assert_eq!(back.records(), log.records());
+        assert_eq!(back.to_records(), log.to_records());
     }
 
     #[test]
@@ -656,7 +656,7 @@ mod tests {
         let mut text = String::from_utf8(buf).unwrap();
         text.push_str("garbage line\n");
         let (back, errors) = read_jsonl_lenient(text.as_bytes()).unwrap();
-        assert_eq!(back.records(), log.records());
+        assert_eq!(back.to_records(), log.to_records());
         assert_eq!(errors.len(), 1);
         assert_eq!(errors.overflow(), 0);
         assert!(matches!(
@@ -741,7 +741,6 @@ mod tests {
 
     #[test]
     fn tail_reader_follows_appends_and_defers_partial_lines() {
-        use std::io::Write as _;
         let dir = std::env::temp_dir().join(format!("autosens-tail-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("tail_appends.csv");
@@ -785,7 +784,6 @@ mod tests {
 
     #[test]
     fn tail_reader_collects_bad_rows_and_rejects_truncation() {
-        use std::io::Write as _;
         let dir = std::env::temp_dir().join(format!("autosens-tail-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("tail_errors.csv");
@@ -813,7 +811,6 @@ mod tests {
 
     #[test]
     fn tail_reader_reads_jsonl_without_a_header() {
-        use std::io::Write as _;
         let dir = std::env::temp_dir().join(format!("autosens-tail-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("tail.jsonl");
@@ -824,7 +821,7 @@ mod tests {
         let mut tail = TailReader::new(&path, TailFormat::Jsonl);
         let (batch, errors) = tail.poll().unwrap();
         assert!(errors.is_empty());
-        assert_eq!(batch, log.records());
+        assert_eq!(batch, log.to_records());
     }
 
     #[test]

@@ -9,8 +9,9 @@
 //! * [`time`] — millisecond timestamps, hour slots, the paper's four 6-hour
 //!   day periods, and months, including per-user local-time handling.
 //! * [`record`] — [`record::ActionRecord`] and its enums.
-//! * [`log`] — [`log::TelemetryLog`], a time-sorted store with binary search
-//!   and slicing.
+//! * [`log`] — [`log::TelemetryLog`], a time-sorted columnar store with
+//!   binary search, plus [`log::LogView`], the zero-copy selection the
+//!   analysis stack computes over.
 //! * [`query`] — composable record filters for the paper's analysis slices.
 //! * [`users`] — per-user aggregates and the §3.4 median-latency quartiles.
 //! * [`codec`] — CSV and JSONL import/export with strict validation.
@@ -27,6 +28,6 @@ pub mod users;
 
 pub use codec::{TailFormat, TailReader};
 pub use error::TelemetryError;
-pub use log::TelemetryLog;
+pub use log::{ColumnStore, LogView, TelemetryLog};
 pub use record::{ActionRecord, ActionType, Outcome, UserClass, UserId};
 pub use time::SimTime;

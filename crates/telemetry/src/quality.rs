@@ -24,7 +24,6 @@ use serde::{Deserialize, Serialize};
 
 use crate::log::TelemetryLog;
 use crate::query::Slice;
-use crate::record::ActionRecord;
 use crate::time::{MS_PER_DAY, MS_PER_HOUR};
 
 /// Graded severity of a quality metric.
@@ -161,34 +160,33 @@ pub fn audit_slice(log: &TelemetryLog, slice: &Slice) -> QualityReport {
         .counter("autosens_telemetry_quality_audits_total")
         .inc();
 
+    // Build the selection once — every pass below walks the view's
+    // columns directly; no sub-log is materialized and no row is copied.
+    let view = slice.select(log);
+    let n = view.len() as u64;
+
     // Duplicates: exact repeats of a full record key seen earlier. This
-    // pass also counts the slice and the ordering violations (backward
-    // steps between adjacent matching records in storage order).
-    let mut seen: HashSet<(i64, &str, u64, u64, &str, i64, &str)> = HashSet::new();
+    // pass also counts the ordering violations (backward steps between
+    // adjacent matching rows in storage order).
+    let mut seen: HashSet<(i64, u8, u64, u64, u8, i64, u8)> = HashSet::new();
     let mut duplicates = 0u64;
-    let mut n = 0u64;
     let mut monotonicity_violations = 0u64;
-    let mut prev_time: Option<i64> = None;
-    for r in slice.iter(log) {
-        n += 1;
+    for i in 0..view.len() {
         let key = (
-            r.time.millis(),
-            r.action.name(),
-            r.latency_ms.to_bits(),
-            r.user.0,
-            r.class.name(),
-            r.tz_offset_ms,
-            r.outcome.name(),
+            view.time_at(i),
+            view.action_at(i),
+            view.latency_at(i).to_bits(),
+            view.user_at(i),
+            view.class_at(i),
+            view.tz_offset_at(i),
+            view.outcome_at(i),
         );
         if !seen.insert(key) {
             duplicates += 1;
         }
-        if let Some(prev) = prev_time {
-            if r.time.millis() < prev {
-                monotonicity_violations += 1;
-            }
+        if i > 0 && view.time_at(i) < view.time_at(i - 1) {
+            monotonicity_violations += 1;
         }
-        prev_time = Some(r.time.millis());
     }
     span.field("records", n);
     let pairs = n.saturating_sub(1).max(1);
@@ -197,7 +195,9 @@ pub fn audit_slice(log: &TelemetryLog, slice: &Slice) -> QualityReport {
     let (heaping_score, heaping_grain_ms) = HEAPING_GRAINS
         .iter()
         .map(|&g| {
-            let hits = slice.iter(log).filter(|r| r.latency_ms % g == 0.0).count();
+            let hits = (0..view.len())
+                .filter(|&i| view.latency_at(i) % g == 0.0)
+                .count();
             (hits as f64 / n.max(1) as f64, g)
         })
         .filter(|&(frac, _)| frac > 0.0)
@@ -206,14 +206,16 @@ pub fn audit_slice(log: &TelemetryLog, slice: &Slice) -> QualityReport {
         .unwrap_or((0.0, None));
 
     // Metadata nulls: the sentinel an upstream stripper leaves behind.
-    let nulls = slice
-        .iter(log)
-        .filter(|r| r.tz_offset_ms == 0 && r.class == crate::record::UserClass::Consumer)
+    let nulls = (0..view.len())
+        .filter(|&i| {
+            view.tz_offset_at(i) == 0
+                && view.class_at(i) == crate::record::UserClass::Consumer.code()
+        })
         .count() as u64;
 
     QualityReport {
         n_records: n,
-        estimated_loss_rate: Metric::graded(estimate_loss(slice.iter(log), n), 0.05, 0.25),
+        estimated_loss_rate: Metric::graded(estimate_loss(&view), 0.05, 0.25),
         duplicate_rate: Metric::graded(duplicates as f64 / n.max(1) as f64, 0.01, 0.10),
         monotonicity_violation_rate: Metric::graded(
             monotonicity_violations as f64 / pairs as f64,
@@ -228,16 +230,18 @@ pub fn audit_slice(log: &TelemetryLog, slice: &Slice) -> QualityReport {
 }
 
 /// Hourly-median-baseline loss estimate (see module docs for blind spots),
-/// over one pass of the (possibly filtered) records.
-fn estimate_loss<'a>(records: impl Iterator<Item = &'a ActionRecord>, n: u64) -> f64 {
+/// over one pass of the viewed rows' timestamp column.
+fn estimate_loss(view: &crate::log::LogView<'_>) -> f64 {
+    let n = view.len() as u64;
     // Count records per (day, hour-of-day) cell, in shared simulation time,
     // tracking the span as we go.
     let mut cell: HashMap<(i64, u8), u64> = HashMap::new();
     let mut first_day = i64::MAX;
     let mut last_day = i64::MIN;
-    for r in records {
-        let day = r.time.millis().div_euclid(MS_PER_DAY);
-        let hour = r.time.millis().div_euclid(MS_PER_HOUR).rem_euclid(24) as u8;
+    for i in 0..view.len() {
+        let t = view.time_at(i);
+        let day = t.div_euclid(MS_PER_DAY);
+        let hour = t.div_euclid(MS_PER_HOUR).rem_euclid(24) as u8;
         *cell.entry((day, hour)).or_insert(0) += 1;
         first_day = first_day.min(day);
         last_day = last_day.max(day);
@@ -333,7 +337,6 @@ mod tests {
                 let hour = r.time.millis().div_euclid(MS_PER_HOUR).rem_euclid(24);
                 !((2..=3).contains(&day) && (8..20).contains(&hour))
             })
-            .copied()
             .collect();
         let true_loss = 1.0 - kept.len() as f64 / log.len() as f64;
         let damaged = TelemetryLog::from_records(kept).unwrap();
@@ -350,7 +353,7 @@ mod tests {
     #[test]
     fn duplicates_are_counted() {
         let log = steady_log();
-        let mut records: Vec<ActionRecord> = log.records().to_vec();
+        let mut records: Vec<ActionRecord> = log.to_records();
         let n = records.len();
         // Duplicate every 20th record.
         for i in (0..n).step_by(20) {

@@ -7,9 +7,9 @@
 
 use std::collections::HashSet;
 
-use crate::log::TelemetryLog;
+use crate::log::{ColumnStore, LogView, TelemetryLog};
 use crate::record::{ActionRecord, ActionType, Outcome, UserClass, UserId};
-use crate::time::{DayPeriod, Month};
+use crate::time::{DayPeriod, Month, SimTime};
 
 /// A conjunction of record predicates. Unset fields match everything.
 ///
@@ -126,51 +126,127 @@ impl Slice {
         true
     }
 
-    /// Materialize the matching sub-log (order preserved, so a sorted input
-    /// yields a sorted output).
-    pub fn apply(&self, log: &TelemetryLog) -> TelemetryLog {
-        let records: Vec<ActionRecord> = self.iter(log).copied().collect();
-        // Filtering preserves order, and every record was already validated
-        // on entry to the source log, so revalidation would be pure waste.
-        TelemetryLog::from_trusted_records(records)
+    /// Column-wise [`Slice::matches`] against storage row `i` — the hot
+    /// form: no record is materialized, and each unset predicate touches
+    /// zero columns.
+    pub fn matches_row(&self, cols: &ColumnStore, i: usize) -> bool {
+        if let Some(a) = self.action {
+            if cols.actions()[i] != a.code() {
+                return false;
+            }
+        }
+        if let Some(c) = self.class {
+            if cols.classes()[i] != c.code() {
+                return false;
+            }
+        }
+        if let Some(p) = self.period {
+            if SimTime(cols.times()[i]).day_period_local(cols.tz_offsets()[i]) != p {
+                return false;
+            }
+        }
+        if let Some(m) = self.month {
+            if SimTime(cols.times()[i]).month_local(cols.tz_offsets()[i]) != m {
+                return false;
+            }
+        }
+        if let Some(users) = &self.users {
+            if !users.contains(&UserId(cols.users()[i])) {
+                return false;
+            }
+        }
+        if let Some(tz) = self.tz_offset_ms {
+            if cols.tz_offsets()[i] != tz {
+                return false;
+            }
+        }
+        if self.successes_only && cols.outcomes()[i] != Outcome::Success.code() {
+            return false;
+        }
+        true
     }
 
-    /// Borrowed view of the matching records, in log order, without
-    /// materializing a sub-log. Read-only consumers (quality audits,
-    /// single-pass statistics) should use this instead of [`Slice::apply`]
-    /// to keep a full-log copy off the hot path.
-    pub fn iter<'a>(&'a self, log: &'a TelemetryLog) -> impl Iterator<Item = &'a ActionRecord> {
-        log.iter().filter(|r| self.matches(r))
+    /// Whether every predicate is unset (the slice matches all records).
+    fn is_unrestricted(&self) -> bool {
+        self.action.is_none()
+            && self.class.is_none()
+            && self.period.is_none()
+            && self.month.is_none()
+            && self.users.is_none()
+            && self.tz_offset_ms.is_none()
+            && !self.successes_only
     }
 
-    /// Chunked [`Slice::apply`]: filter the log as a data-parallel job and
-    /// concatenate the per-chunk survivors in chunk order.
-    ///
-    /// The result is identical to `apply` for every thread count (chunk
-    /// boundaries depend only on the record count). Returns the filtered
-    /// log plus the scheduler's [`autosens_exec::ExecReport`] so callers
+    /// The zero-copy view of the matching rows, in log order: builds a
+    /// selection vector of row indices (or no vector at all for the
+    /// match-everything slice) and copies no rows. This is the currency
+    /// the analysis pipeline computes over; [`Slice::apply`] is the
+    /// materializing escape hatch.
+    pub fn select<'a>(&self, log: &'a TelemetryLog) -> LogView<'a> {
+        let view = log.view();
+        if self.is_unrestricted() {
+            return view;
+        }
+        let cols = log.columns();
+        let sel: Vec<u32> = (0..cols.len() as u32)
+            .filter(|&i| self.matches_row(cols, i as usize))
+            .collect();
+        view.with_selection(sel)
+    }
+
+    /// Chunked [`Slice::select`]: build the selection vector as a
+    /// data-parallel job and concatenate the per-chunk indices in chunk
+    /// order (chunk boundaries depend only on the record count, so the
+    /// view is identical to `select` for every thread count). Returns the
+    /// view plus the scheduler's [`autosens_exec::ExecReport`] so callers
     /// can record per-worker spans.
-    pub fn apply_par(
+    pub fn select_par<'a>(
         &self,
-        log: &TelemetryLog,
+        log: &'a TelemetryLog,
         threads: usize,
-    ) -> Result<(TelemetryLog, autosens_exec::ExecReport), autosens_exec::ExecError> {
-        let records = log.records();
-        let n = records.len();
+    ) -> Result<(LogView<'a>, autosens_exec::ExecReport), autosens_exec::ExecError> {
+        let cols = log.columns();
+        let n = cols.len();
         let (parts, report) = autosens_exec::run_chunks(
             "slice_filter",
             n,
             autosens_exec::chunk_size_for(n),
             threads,
-            |_, range| -> Vec<ActionRecord> {
-                records[range]
-                    .iter()
-                    .filter(|r| self.matches(r))
-                    .copied()
+            |_, range| -> Vec<u32> {
+                range
+                    .filter(|&i| self.matches_row(cols, i))
+                    .map(|i| i as u32)
                     .collect()
             },
         )?;
-        Ok((TelemetryLog::from_trusted_records(parts.concat()), report))
+        Ok((log.view().with_selection(parts.concat()), report))
+    }
+
+    /// Materialize the matching sub-log (order preserved, so a sorted input
+    /// yields a sorted output). Copies every matching row — analyses should
+    /// prefer [`Slice::select`].
+    pub fn apply(&self, log: &TelemetryLog) -> TelemetryLog {
+        self.select(log).materialize()
+    }
+
+    /// Iterate the matching records (materialized per row), in log order,
+    /// without building a sub-log. Read-only consumers (quality audits,
+    /// single-pass statistics) use this; index-aware consumers should use
+    /// [`Slice::select`].
+    pub fn iter<'a>(&'a self, log: &'a TelemetryLog) -> impl Iterator<Item = ActionRecord> + 'a {
+        log.iter().filter(|r| self.matches(r))
+    }
+
+    /// Chunked [`Slice::apply`]: [`Slice::select_par`] followed by one
+    /// materialize. The result is identical to `apply` for every thread
+    /// count.
+    pub fn apply_par(
+        &self,
+        log: &TelemetryLog,
+        threads: usize,
+    ) -> Result<(TelemetryLog, autosens_exec::ExecReport), autosens_exec::ExecError> {
+        let (view, report) = self.select_par(log, threads)?;
+        Ok((view.materialize(), report))
     }
 }
 
@@ -268,7 +344,7 @@ mod tests {
         let log = sample_log();
         let s = Slice::all().period(DayPeriod::Night2to8).apply(&log);
         assert_eq!(s.len(), 1);
-        assert_eq!(s.records()[0].action, ActionType::Search);
+        assert_eq!(s.get(0).action, ActionType::Search);
         let s = Slice::all().month(Month::Feb).apply(&log);
         assert_eq!(s.len(), 2);
         let s = Slice::all()
@@ -302,7 +378,7 @@ mod tests {
             .successes()
             .apply(&log);
         assert_eq!(s.len(), 1);
-        assert_eq!(s.records()[0].time.millis(), 10 * crate::time::MS_PER_HOUR);
+        assert_eq!(s.get(0).time.millis(), 10 * crate::time::MS_PER_HOUR);
     }
 
     #[test]
@@ -326,10 +402,10 @@ mod tests {
         let log = TelemetryLog::from_records(vec![east, west]).unwrap();
         let s = Slice::all().tz_offset_hours(-5).apply(&log);
         assert_eq!(s.len(), 1);
-        assert_eq!(s.records()[0].user.0, 1);
+        assert_eq!(s.get(0).user.0, 1);
         let s = Slice::all().tz_offset_hours(0).apply(&log);
         assert_eq!(s.len(), 1);
-        assert_eq!(s.records()[0].user.0, 2);
+        assert_eq!(s.get(0).user.0, 2);
         assert!(Slice::all().tz_offset_hours(3).apply(&log).is_empty());
     }
 
@@ -340,7 +416,7 @@ mod tests {
         let serial = slice.apply(&log);
         for threads in [1, 2, 4, 8] {
             let (par, report) = slice.apply_par(&log, threads).unwrap();
-            assert_eq!(par.records(), serial.records(), "threads={threads}");
+            assert_eq!(par.to_records(), serial.to_records(), "threads={threads}");
             assert_eq!(report.n_items, log.len());
         }
     }
@@ -349,9 +425,38 @@ mod tests {
     fn iter_matches_apply_without_copying() {
         let log = sample_log();
         let slice = Slice::all().action(ActionType::SelectMail).successes();
-        let borrowed: Vec<ActionRecord> = slice.iter(&log).copied().collect();
-        assert_eq!(borrowed, slice.apply(&log).records());
+        let borrowed: Vec<ActionRecord> = slice.iter(&log).collect();
+        assert_eq!(borrowed, slice.apply(&log).to_records());
         assert_eq!(Slice::all().iter(&log).count(), log.len());
+    }
+
+    #[test]
+    fn select_view_matches_apply_and_iter() {
+        let log = sample_log();
+        let slices = [
+            Slice::all(),
+            Slice::all().action(ActionType::SelectMail).successes(),
+            Slice::all().class(UserClass::Consumer),
+            Slice::all()
+                .month(Month::Feb)
+                .period(DayPeriod::Evening20to2),
+        ];
+        for slice in &slices {
+            let view = slice.select(&log);
+            let via_iter: Vec<ActionRecord> = slice.iter(&log).collect();
+            let via_view: Vec<ActionRecord> = view.iter().collect();
+            assert_eq!(via_view, via_iter);
+            assert_eq!(
+                view.materialize().to_records(),
+                slice.apply(&log).to_records()
+            );
+            for threads in [1, 2, 4, 8] {
+                let (par, report) = slice.select_par(&log, threads).unwrap();
+                let via_par: Vec<ActionRecord> = par.iter().collect();
+                assert_eq!(via_par, via_iter, "threads={threads}");
+                assert_eq!(report.n_items, log.len());
+            }
+        }
     }
 
     #[test]

@@ -62,6 +62,30 @@ impl ActionType {
             _ => None,
         }
     }
+
+    /// Dense code for the columnar store's `action` column.
+    pub fn code(self) -> u8 {
+        match self {
+            ActionType::SelectMail => 0,
+            ActionType::SwitchFolder => 1,
+            ActionType::Search => 2,
+            ActionType::ComposeSend => 3,
+            ActionType::Other => 4,
+        }
+    }
+
+    /// Inverse of [`ActionType::code`]. Column bytes only ever come from
+    /// `code`, so an out-of-range byte is a store-corruption bug.
+    pub fn from_code(code: u8) -> ActionType {
+        match code {
+            0 => ActionType::SelectMail,
+            1 => ActionType::SwitchFolder,
+            2 => ActionType::Search,
+            3 => ActionType::ComposeSend,
+            4 => ActionType::Other,
+            _ => unreachable!("invalid ActionType code {code}"),
+        }
+    }
 }
 
 /// User subscription class (§3.3): paying business users vs. free consumers.
@@ -95,6 +119,23 @@ impl UserClass {
             _ => None,
         }
     }
+
+    /// Dense code for the columnar store's `class` column.
+    pub fn code(self) -> u8 {
+        match self {
+            UserClass::Business => 0,
+            UserClass::Consumer => 1,
+        }
+    }
+
+    /// Inverse of [`UserClass::code`].
+    pub fn from_code(code: u8) -> UserClass {
+        match code {
+            0 => UserClass::Business,
+            1 => UserClass::Consumer,
+            _ => unreachable!("invalid UserClass code {code}"),
+        }
+    }
 }
 
 /// Whether the action completed successfully. The paper's analysis uses only
@@ -122,6 +163,23 @@ impl Outcome {
             "Success" => Some(Outcome::Success),
             "Error" => Some(Outcome::Error),
             _ => None,
+        }
+    }
+
+    /// Dense code for the columnar store's `outcome` column.
+    pub fn code(self) -> u8 {
+        match self {
+            Outcome::Success => 0,
+            Outcome::Error => 1,
+        }
+    }
+
+    /// Inverse of [`Outcome::code`].
+    pub fn from_code(code: u8) -> Outcome {
+        match code {
+            0 => Outcome::Success,
+            1 => Outcome::Error,
+            _ => unreachable!("invalid Outcome code {code}"),
         }
     }
 }

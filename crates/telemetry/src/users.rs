@@ -9,7 +9,7 @@ use std::collections::{HashMap, HashSet};
 
 use autosens_stats::descriptive;
 
-use crate::log::TelemetryLog;
+use crate::log::LogView;
 use crate::record::UserId;
 
 /// Aggregate statistics for one user.
@@ -25,13 +25,16 @@ pub struct UserStats {
     pub mean_latency_ms: f64,
 }
 
-/// Compute per-user statistics over a log (or any pre-sliced sub-log).
+/// Compute per-user statistics over a view (or any pre-sliced selection).
 /// Users with fewer than `min_actions` records are excluded — medians of a
 /// handful of samples are too noisy to condition on.
-pub fn per_user_stats(log: &TelemetryLog, min_actions: usize) -> Vec<UserStats> {
+pub fn per_user_stats(log: &LogView<'_>, min_actions: usize) -> Vec<UserStats> {
     let mut latencies: HashMap<UserId, Vec<f64>> = HashMap::new();
-    for r in log.iter() {
-        latencies.entry(r.user).or_default().push(r.latency_ms);
+    for i in 0..log.len() {
+        latencies
+            .entry(UserId(log.user_at(i)))
+            .or_default()
+            .push(log.latency_at(i));
     }
     let mut out: Vec<UserStats> = latencies
         .into_iter()
@@ -57,7 +60,7 @@ pub fn per_user_stats(log: &TelemetryLog, min_actions: usize) -> Vec<UserStats> 
 /// for logs too large to buffer per-user samples (the paper's dataset had
 /// billions of actions); estimates are within a few percent of exact for
 /// realistic latency distributions.
-pub fn per_user_stats_streaming(log: &TelemetryLog, min_actions: usize) -> Vec<UserStats> {
+pub fn per_user_stats_streaming(log: &LogView<'_>, min_actions: usize) -> Vec<UserStats> {
     use autosens_stats::quantile_stream::P2Quantile;
     struct Acc {
         median: P2Quantile,
@@ -65,16 +68,17 @@ pub fn per_user_stats_streaming(log: &TelemetryLog, min_actions: usize) -> Vec<U
         n: usize,
     }
     let mut accs: HashMap<UserId, Acc> = HashMap::new();
-    for r in log.iter() {
-        let acc = accs.entry(r.user).or_insert_with(|| Acc {
+    for i in 0..log.len() {
+        let latency = log.latency_at(i);
+        let acc = accs.entry(UserId(log.user_at(i))).or_insert_with(|| Acc {
             median: P2Quantile::median(),
             sum: 0.0,
             n: 0,
         });
         acc.median
-            .observe(r.latency_ms)
+            .observe(latency)
             .expect("latencies validated finite on log entry");
-        acc.sum += r.latency_ms;
+        acc.sum += latency;
         acc.n += 1;
     }
     let mut out: Vec<UserStats> = accs
@@ -118,7 +122,7 @@ impl LatencyQuartiles {
 /// Users are sorted by median latency and cut into four equal-count groups
 /// (the last group absorbs the remainder). Returns `None` when fewer than 4
 /// eligible users exist.
-pub fn latency_quartiles(log: &TelemetryLog, min_actions: usize) -> Option<LatencyQuartiles> {
+pub fn latency_quartiles(log: &LogView<'_>, min_actions: usize) -> Option<LatencyQuartiles> {
     let mut stats = per_user_stats(log, min_actions);
     if stats.len() < 4 {
         return None;
@@ -146,6 +150,7 @@ pub fn latency_quartiles(log: &TelemetryLog, min_actions: usize) -> Option<Laten
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::log::TelemetryLog;
     use crate::record::{ActionRecord, ActionType, Outcome, UserClass};
     use crate::time::SimTime;
 
@@ -183,7 +188,7 @@ mod tests {
             rec(3, 2, 50.0),
         ])
         .unwrap();
-        let stats = per_user_stats(&log, 1);
+        let stats = per_user_stats(&log.view(), 1);
         assert_eq!(stats.len(), 2);
         assert_eq!(stats[0].user, UserId(1));
         assert_eq!(stats[0].n_actions, 3);
@@ -197,17 +202,17 @@ mod tests {
         let log =
             TelemetryLog::from_records(vec![rec(0, 1, 100.0), rec(1, 1, 100.0), rec(2, 2, 50.0)])
                 .unwrap();
-        let stats = per_user_stats(&log, 2);
+        let stats = per_user_stats(&log.view(), 2);
         assert_eq!(stats.len(), 1);
         assert_eq!(stats[0].user, UserId(1));
         // min_actions = 0 is treated as 1.
-        assert_eq!(per_user_stats(&log, 0).len(), 2);
+        assert_eq!(per_user_stats(&log.view(), 0).len(), 2);
     }
 
     #[test]
     fn quartiles_split_evenly() {
         let log = log_with_users(8, 3);
-        let q = latency_quartiles(&log, 1).unwrap();
+        let q = latency_quartiles(&log.view(), 1).unwrap();
         for g in &q.groups {
             assert_eq!(g.len(), 2);
         }
@@ -224,7 +229,7 @@ mod tests {
     #[test]
     fn quartiles_handle_remainders() {
         let log = log_with_users(10, 1);
-        let q = latency_quartiles(&log, 1).unwrap();
+        let q = latency_quartiles(&log.view(), 1).unwrap();
         let sizes: Vec<usize> = q.groups.iter().map(|g| g.len()).collect();
         assert_eq!(sizes.iter().sum::<usize>(), 10);
         // floor(4i/10) splits as 3/2/3/2.
@@ -234,10 +239,10 @@ mod tests {
     #[test]
     fn quartiles_need_at_least_four_users() {
         let log = log_with_users(3, 5);
-        assert!(latency_quartiles(&log, 1).is_none());
+        assert!(latency_quartiles(&log.view(), 1).is_none());
         // Enough users, but the min-actions filter removes them.
         let log = log_with_users(8, 1);
-        assert!(latency_quartiles(&log, 2).is_none());
+        assert!(latency_quartiles(&log.view(), 2).is_none());
     }
 
     #[test]
@@ -261,8 +266,8 @@ mod tests {
             }
         }
         let log = TelemetryLog::from_records(records).unwrap();
-        let exact = per_user_stats(&log, 1);
-        let streaming = per_user_stats_streaming(&log, 1);
+        let exact = per_user_stats(&log.view(), 1);
+        let streaming = per_user_stats_streaming(&log.view(), 1);
         assert_eq!(exact.len(), streaming.len());
         for (e, s) in exact.iter().zip(&streaming) {
             assert_eq!(e.user, s.user);
@@ -279,8 +284,8 @@ mod tests {
         }
         // min_actions filter behaves identically.
         assert_eq!(
-            per_user_stats_streaming(&log, 401).len(),
-            per_user_stats(&log, 401).len()
+            per_user_stats_streaming(&log.view(), 401).len(),
+            per_user_stats(&log.view(), 401).len()
         );
     }
 
@@ -293,8 +298,8 @@ mod tests {
             records.push(rec(u as i64, u, 100.0));
         }
         let log = TelemetryLog::from_records(records).unwrap();
-        let q1 = latency_quartiles(&log, 1).unwrap();
-        let q2 = latency_quartiles(&log, 1).unwrap();
+        let q1 = latency_quartiles(&log.view(), 1).unwrap();
+        let q2 = latency_quartiles(&log.view(), 1).unwrap();
         for (a, b) in q1.groups.iter().zip(q2.groups.iter()) {
             assert_eq!(a, b);
         }

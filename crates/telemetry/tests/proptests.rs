@@ -64,18 +64,17 @@ proptest! {
         let log = TelemetryLog::from_records(records).unwrap();
         let (lo, hi) = log.nearest_in_time(SimTime(query)).unwrap();
         prop_assert!(lo < hi);
-        let best = (log.records()[lo].time.millis() - query).abs();
+        let best = (log.get(lo).time.millis() - query).abs();
         // Every record in [lo, hi) is at the same (minimal) distance...
-        for r in &log.records()[lo..hi] {
-            prop_assert_eq!((r.time.millis() - query).abs(), best);
+        for i in lo..hi {
+            prop_assert_eq!((log.get(i).time.millis() - query).abs(), best);
         }
         // ...and no record anywhere is closer.
-        for r in log.records() {
+        for r in log.iter() {
             prop_assert!((r.time.millis() - query).abs() >= best);
         }
         // And the range covers ALL records at the minimal distance.
         let count_at_best = log
-            .records()
             .iter()
             .filter(|r| (r.time.millis() - query).abs() == best)
             .count();
@@ -122,7 +121,7 @@ proptest! {
         let mut buf = Vec::new();
         codec::write_jsonl(&log, &mut buf).unwrap();
         let back = codec::read_jsonl(buf.as_slice()).unwrap();
-        prop_assert_eq!(back.records(), log.records());
+        prop_assert_eq!(back.to_records(), log.to_records());
     }
 
     #[test]
@@ -138,9 +137,9 @@ proptest! {
         records in prop::collection::vec(arb_record(), 20..200),
     ) {
         let log = TelemetryLog::from_records(records).unwrap();
-        if let Some(q) = users::latency_quartiles(&log, 1) {
+        if let Some(q) = users::latency_quartiles(&log.view(), 1) {
             // Groups are disjoint and cover all eligible users.
-            let stats = users::per_user_stats(&log, 1);
+            let stats = users::per_user_stats(&log.view(), 1);
             let total: usize = q.groups.iter().map(|g| g.len()).sum();
             prop_assert_eq!(total, stats.len());
             for (i, g1) in q.groups.iter().enumerate() {

@@ -35,7 +35,7 @@ fn main() {
     // temporally local (predictable), otherwise users cannot act on a
     // preference and the method measures nothing.
     let mut rng = StdRng::seed_from_u64(1);
-    let loc = locality_report(&log, &mut rng).expect("non-trivial log");
+    let loc = locality_report(&log.view(), &mut rng).expect("non-trivial log");
     println!(
         "locality check (Figure 1): MSD/MAD actual {:.3}, shuffled {:.3}, sorted {:.4}",
         loc.msd_mad_actual, loc.msd_mad_shuffled, loc.msd_mad_sorted
@@ -43,7 +43,7 @@ fn main() {
     if !loc.has_locality() {
         eprintln!("warning: little temporal locality; preference estimates may be weak");
     }
-    let corr = density_latency_correlation(&log, 60_000).expect("non-trivial log");
+    let corr = density_latency_correlation(&log.view(), 60_000).expect("non-trivial log");
     println!(
         "per-minute action density vs mean latency: r = {:.3} over {} windows\n",
         corr.correlation, corr.n_windows

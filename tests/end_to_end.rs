@@ -66,14 +66,14 @@ fn preference_is_stable_across_months() {
 fn locality_preconditions_hold_on_simulated_telemetry() {
     let (log, _) = common::data();
     let mut rng = StdRng::seed_from_u64(42);
-    let loc = locality_report(log, &mut rng).expect("fits");
+    let loc = locality_report(&log.view(), &mut rng).expect("fits");
     assert!(loc.has_locality(), "{loc:?}");
     assert!(loc.msd_mad_actual < 0.6, "actual = {}", loc.msd_mad_actual);
     assert!((loc.msd_mad_shuffled - 1.0).abs() < 0.05);
     assert!(loc.msd_mad_sorted < 0.01);
     assert!(loc.von_neumann < 1.5, "von Neumann = {}", loc.von_neumann);
 
-    let corr = density_latency_correlation(log, 60_000).expect("fits");
+    let corr = density_latency_correlation(&log.view(), 60_000).expect("fits");
     assert!(corr.n_windows > 10_000);
     assert!(corr.correlation.abs() <= 1.0);
 }

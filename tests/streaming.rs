@@ -96,7 +96,7 @@ fn streamed_snapshot_equals_batch_on_clean_input() {
     )
     .expect("engine");
     for r in log.iter() {
-        engine.push(*r);
+        engine.push(r);
     }
     let snap = engine.snapshot().expect("snapshot");
     assert_bit_identical(&snap, &batch);
@@ -137,7 +137,7 @@ fn reorder_and_duplicate_injection_preserve_equivalence() {
     let mut late = 0u64;
     let mut dups = 0u64;
     for r in corrupted.iter() {
-        match engine.push(*r) {
+        match engine.push(r) {
             Ingest::Late => late += 1,
             Ingest::Duplicate => dups += 1,
             _ => {}
@@ -184,13 +184,13 @@ fn late_arrival_past_watermark_is_counted_and_dropped() {
     )
     .expect("engine");
     for r in log.iter() {
-        engine.push(*r);
+        engine.push(r);
     }
     let frontier = engine.status().max_event_time_ms.expect("frontier");
 
     // One success record exactly at the watermark is still admitted
     // (low-watermark is inclusive) ...
-    let mut boundary = *log.iter().next().unwrap();
+    let mut boundary = log.iter().next().unwrap();
     boundary.time = SimTime(frontier - 30_000);
     boundary.outcome = Outcome::Success;
     boundary.latency_ms = 123.0;
@@ -226,7 +226,7 @@ fn duplicate_event_ids_dedup_identically_to_batch_sanitize() {
     // near-duplicates (same time, different latency): streaming must keep
     // exactly what batch sanitize keeps.
     let base = small_log(0xD0D0);
-    let mut records: Vec<ActionRecord> = base.iter().copied().collect();
+    let mut records: Vec<ActionRecord> = base.iter().collect();
     let mut rng = StdRng::seed_from_u64(0xEC0);
     let mut with_dups = Vec::with_capacity(records.len() + 600);
     for r in records.drain(..) {
@@ -253,7 +253,7 @@ fn duplicate_event_ids_dedup_identically_to_batch_sanitize() {
     .expect("engine");
     let mut dups = 0u64;
     for r in corrupted.iter() {
-        if engine.push(*r) == Ingest::Duplicate {
+        if engine.push(r) == Ingest::Duplicate {
             dups += 1;
         }
     }
@@ -275,7 +275,7 @@ fn duplicate_event_ids_dedup_identically_to_batch_sanitize() {
 #[test]
 fn checkpoint_restore_then_drain_matches_uninterrupted_run() {
     let log = small_log(0xC4EC);
-    let records: Vec<ActionRecord> = log.iter().copied().collect();
+    let records: Vec<ActionRecord> = log.iter().collect();
     let cut = 2 * records.len() / 3;
 
     let mut uninterrupted = StreamEngine::new(
@@ -288,9 +288,9 @@ fn checkpoint_restore_then_drain_matches_uninterrupted_run() {
         autosens_telemetry::query::Slice::all(),
     )
     .expect("engine");
-    for r in &records[..cut] {
-        uninterrupted.push(*r);
-        interrupted.push(*r);
+    for &r in &records[..cut] {
+        uninterrupted.push(r);
+        interrupted.push(r);
     }
     // Serialize through JSON (the on-disk format), then resume.
     let json = interrupted.checkpoint(7).to_json().expect("serialize");
@@ -303,9 +303,9 @@ fn checkpoint_restore_then_drain_matches_uninterrupted_run() {
     )
     .expect("restore");
 
-    for r in &records[cut..] {
-        uninterrupted.push(*r);
-        resumed.push(*r);
+    for &r in &records[cut..] {
+        uninterrupted.push(r);
+        resumed.push(r);
     }
     let a = uninterrupted.snapshot().expect("snapshot");
     let b = resumed.snapshot().expect("snapshot");

@@ -72,7 +72,7 @@ proptest! {
     fn equidistant_ties_break_uniformly_serial(seed in any::<u64>()) {
         let (log, binner) = tied_log();
         let mut rng = StdRng::seed_from_u64(seed);
-        let h = unbiased_histogram(&log, &binner, DRAWS, &mut rng).expect("estimate");
+        let h = unbiased_histogram(&log.view(), &binner, DRAWS, &mut rng).expect("estimate");
         assert_uniform(h.counts(), DRAWS, 5.0, &format!("serial seed {seed:#x}"));
     }
 
@@ -81,7 +81,7 @@ proptest! {
         let (log, binner) = tied_log();
         for threads in [1usize, 4] {
             let mut rng = StdRng::seed_from_u64(seed);
-            let (h, _) = unbiased_histogram_par(&log, &binner, DRAWS, threads, &mut rng)
+            let (h, _) = unbiased_histogram_par(&log.view(), &binner, DRAWS, threads, &mut rng)
                 .expect("estimate");
             assert_uniform(
                 h.counts(),
@@ -102,7 +102,7 @@ fn tie_breaking_is_deterministic_per_seed() {
     let runs: Vec<Vec<f64>> = (0..2)
         .map(|_| {
             let mut rng = StdRng::seed_from_u64(0x71E5);
-            unbiased_histogram(&log, &binner, DRAWS, &mut rng)
+            unbiased_histogram(&log.view(), &binner, DRAWS, &mut rng)
                 .expect("estimate")
                 .counts()
                 .to_vec()
@@ -114,7 +114,7 @@ fn tie_breaking_is_deterministic_per_seed() {
         .iter()
         .map(|&threads| {
             let mut rng = StdRng::seed_from_u64(0x71E5);
-            unbiased_histogram_par(&log, &binner, DRAWS, threads, &mut rng)
+            unbiased_histogram_par(&log.view(), &binner, DRAWS, threads, &mut rng)
                 .expect("estimate")
                 .0
                 .counts()

@@ -240,9 +240,37 @@ pub mod bool {
     }
 }
 
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// `prop::option::of(strategy)` — `None` half the time, `Some` of the
+    /// inner strategy otherwise.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 pub mod collection {
     use super::{Strategy, TestRng};
+    use std::collections::HashSet;
     use std::fmt::Debug;
+    use std::hash::Hash;
     use std::ops::{Range, RangeInclusive};
 
     /// Length bounds for `vec` (inclusive on both ends).
@@ -297,6 +325,37 @@ pub mod collection {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::hash_set(element, len)`. Like real proptest, the
+    /// requested size bounds the number of *draws*, so collisions can
+    /// yield a smaller set.
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Debug + Clone + Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
             let span = (self.size.hi - self.size.lo) as u64 + 1;
             let len = self.size.lo + rng.below(span) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
