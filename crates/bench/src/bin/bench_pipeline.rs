@@ -120,8 +120,13 @@ struct PipelineBaseline {
     generate_ms: f64,
     /// Wall-clock of the full analysis at `threads = 1`.
     analyze_serial_ms: f64,
-    /// Wall-clock of the full analysis at the requested worker count.
+    /// Wall-clock of the full analysis at the requested worker count
+    /// (loss correction on, the default).
     analyze_ms: f64,
+    /// Same run with loss correction disabled (`loss_correct: false`) —
+    /// the difference is the cost of the lossmodel stage plus, on lossy
+    /// input, the second α solve.
+    analyze_loss_off_ms: f64,
     /// `analyze_serial_ms / analyze_ms`.
     parallel_speedup: f64,
     records_per_sec: f64,
@@ -149,10 +154,12 @@ fn timed_analysis(
     data: &Dataset,
     slice: &Slice,
     threads: usize,
+    loss_correct: bool,
 ) -> (f64, Vec<StageTiming>, Option<u64>) {
     let recorder = Recorder::new();
     let config = AutoSensConfig {
         threads,
+        loss_correct,
         ..AutoSensConfig::default()
     };
     let engine = AutoSens::with_recorder(config, recorder.clone());
@@ -215,8 +222,10 @@ fn main() {
         .class(UserClass::Business);
 
     // Serial reference first, then the scheduler run the baseline reports.
-    let (analyze_serial_ms, _, _) = timed_analysis(&data, &slice, 1);
-    let (analyze_ms, stages, peak_alloc_analyze_bytes) = timed_analysis(&data, &slice, threads);
+    let (analyze_serial_ms, _, _) = timed_analysis(&data, &slice, 1, true);
+    let (analyze_ms, stages, peak_alloc_analyze_bytes) =
+        timed_analysis(&data, &slice, threads, true);
+    let (analyze_loss_off_ms, _, _) = timed_analysis(&data, &slice, threads, false);
     let (full_report_serial_ms, _) = timed_full_report(&data, &slice, 1);
     let (full_report_ms, peak_alloc_full_report_bytes) = timed_full_report(&data, &slice, threads);
 
@@ -227,6 +236,7 @@ fn main() {
         generate_ms,
         analyze_serial_ms,
         analyze_ms,
+        analyze_loss_off_ms,
         parallel_speedup: analyze_serial_ms / analyze_ms,
         records_per_sec: data.log.len() as f64 / (analyze_ms / 1000.0),
         ci_replicates: CI_REPLICATES,
@@ -243,12 +253,14 @@ fn main() {
     std::fs::write(path, format!("{json}\n")).expect("write baseline");
     eprintln!(
         "wrote {path}: {} records analyzed in {:.1} ms at {} thread(s) \
-         ({:.1} ms serial, {:.0} records/s); full_report {:.1} ms \
+         ({:.1} ms serial, {:.1} ms loss-correction off, {:.0} records/s); \
+         full_report {:.1} ms \
          ({:.1} ms serial), peak alloc analyze={:?} full_report={:?}",
         baseline.records,
         baseline.analyze_ms,
         baseline.threads,
         baseline.analyze_serial_ms,
+        baseline.analyze_loss_off_ms,
         baseline.records_per_sec,
         baseline.full_report_ms,
         baseline.full_report_serial_ms,

@@ -12,17 +12,18 @@ usage:
                     [--threads N]
   autosens analyze  --in <path> [--format csv|jsonl] [--action A] [--class C]
                     [--period P] [--month M] [--tz HOURS] [--no-alpha]
-                    [--reference MS] [--ci REPLICATES] [--json] [--threads N]
+                    [--loss-correct[=on|off]] [--reference MS]
+                    [--ci REPLICATES] [--json] [--threads N]
                     [--profile] [--trace-out PATH] [--metrics-out PATH]
   autosens diagnose --in <path> [--format csv|jsonl]
   autosens alpha    --in <path> [--format csv|jsonl] [--action A] [--class C]
   autosens abandonment --in <path> [--format csv|jsonl] [--class C] [--gap MS]
   autosens report   --in <path> [--format csv|jsonl] [--action A] [--class C]
-  autosens audit    --in <path> [--format csv|jsonl] [--json]
+  autosens audit    --in <path> [--format csv|jsonl] [--json] [--metrics-out PATH]
   autosens inject   --in <path> --plan <plan.json> --out <path> [--format csv|jsonl]
   autosens watch    --in <path> [--format csv|jsonl] [--action A] [--class C]
                     [--period P] [--month M] [--tz HOURS] [--no-alpha]
-                    [--reference MS] [--json] [--threads N]
+                    [--loss-correct[=on|off]] [--reference MS] [--json] [--threads N]
                     [--every-events N] [--every-ms MS] [--until-eof]
                     [--shard-ms MS] [--lateness-ms MS]
                     [--checkpoint PATH] [--resume]
@@ -85,6 +86,10 @@ pub enum Command {
         slice: SliceArgs,
         /// Disable the time-confounder correction.
         no_alpha: bool,
+        /// Estimate telemetry loss and reweight the curve (`--loss-correct`,
+        /// default on; `--loss-correct=off` preserves the uncorrected
+        /// output byte for byte).
+        loss_correct: bool,
         /// Reference latency in ms.
         reference_ms: f64,
         /// Bootstrap replicates for a 95% confidence band (None = no band).
@@ -133,6 +138,9 @@ pub enum Command {
         format: Format,
         /// Emit the quality report as JSON instead of text.
         json: bool,
+        /// Write the audit's metrics snapshot (including the per-cell
+        /// `autosens_quality_*` loss evidence) as JSON to this path.
+        metrics_out: Option<String>,
     },
     /// Apply a fault-injection plan to a log and write the corrupted copy.
     Inject {
@@ -155,6 +163,8 @@ pub enum Command {
         slice: SliceArgs,
         /// Disable the time-confounder correction.
         no_alpha: bool,
+        /// Estimate telemetry loss and reweight the curve (default on).
+        loss_correct: bool,
         /// Reference latency in ms.
         reference_ms: f64,
         /// Emit JSON instead of a text table.
@@ -261,6 +271,17 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             // Short verbosity aliases, valid anywhere.
             continue;
         }
+        if a.starts_with("--loss-correct") {
+            // Boolean flag with an optional inline value.
+            match a.as_str() {
+                "--loss-correct" | "--loss-correct=on" | "--loss-correct=off" => continue,
+                other => {
+                    return Err(format!(
+                        "bad value for --loss-correct: {other:?} (use --loss-correct[=on|off])"
+                    ))
+                }
+            }
+        }
         if a.starts_with("--") {
             if !known_flags.contains(&a.as_str()) {
                 return Err(format!("unknown flag {a}"));
@@ -304,6 +325,13 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         .transpose()?
         .unwrap_or(0);
 
+    // Loss correction defaults on; the last occurrence wins.
+    let loss_correct = rest.iter().fold(true, |v, a| match a.as_str() {
+        "--loss-correct" | "--loss-correct=on" => true,
+        "--loss-correct=off" => false,
+        _ => v,
+    });
+
     match sub.as_str() {
         "generate" => {
             let scenario = match flag("--scenario").unwrap_or("default") {
@@ -329,6 +357,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             format,
             slice: slice()?,
             no_alpha: has("--no-alpha"),
+            loss_correct,
             reference_ms: flag("--reference")
                 .map(|s| s.parse::<f64>().map_err(|_| format!("bad reference {s:?}")))
                 .transpose()?
@@ -363,6 +392,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             input: flag("--in").ok_or("audit requires --in")?.to_string(),
             format,
             json: has("--json"),
+            metrics_out: flag("--metrics-out").map(str::to_string),
         }),
         "inject" => Ok(Command::Inject {
             input: flag("--in").ok_or("inject requires --in")?.to_string(),
@@ -402,6 +432,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 format,
                 slice: slice()?,
                 no_alpha: has("--no-alpha"),
+                loss_correct,
                 reference_ms: flag("--reference")
                     .map(|s| s.parse::<f64>().map_err(|_| format!("bad reference {s:?}")))
                     .transpose()?
@@ -582,8 +613,15 @@ mod tests {
                 input: "x.csv".into(),
                 format: Format::Csv,
                 json: true,
+                metrics_out: None,
             }
         );
+        match parse(&sv(&["audit", "--in", "x.csv", "--metrics-out", "m.json"])).unwrap() {
+            Command::Audit { metrics_out, .. } => {
+                assert_eq!(metrics_out.as_deref(), Some("m.json"));
+            }
+            other => panic!("{other:?}"),
+        }
         let cmd = parse(&sv(&[
             "inject", "--in", "x.jsonl", "--plan", "p.json", "--out", "y.jsonl", "--format",
             "jsonl",
@@ -712,6 +750,50 @@ mod tests {
             Command::Generate { threads, .. } => assert_eq!(threads, 2),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_loss_correct() {
+        // Default on.
+        match parse(&sv(&["analyze", "--in", "x.csv"])).unwrap() {
+            Command::Analyze { loss_correct, .. } => assert!(loss_correct),
+            other => panic!("{other:?}"),
+        }
+        // Bare flag and =on are explicit on.
+        match parse(&sv(&["analyze", "--in", "x.csv", "--loss-correct"])).unwrap() {
+            Command::Analyze { loss_correct, .. } => assert!(loss_correct),
+            other => panic!("{other:?}"),
+        }
+        match parse(&sv(&["analyze", "--in", "x.csv", "--loss-correct=on"])).unwrap() {
+            Command::Analyze { loss_correct, .. } => assert!(loss_correct),
+            other => panic!("{other:?}"),
+        }
+        // =off disables the correction.
+        match parse(&sv(&["analyze", "--in", "x.csv", "--loss-correct=off"])).unwrap() {
+            Command::Analyze { loss_correct, .. } => assert!(!loss_correct),
+            other => panic!("{other:?}"),
+        }
+        // Watch takes the same flag; last occurrence wins.
+        match parse(&sv(&[
+            "watch",
+            "--in",
+            "x.csv",
+            "--loss-correct=off",
+            "--loss-correct=on",
+        ]))
+        .unwrap()
+        {
+            Command::Watch { loss_correct, .. } => assert!(loss_correct),
+            other => panic!("{other:?}"),
+        }
+        // The flag is boolean: it must not swallow the next token.
+        match parse(&sv(&["analyze", "--loss-correct", "--in", "x.csv"])).unwrap() {
+            Command::Analyze { input, .. } => assert_eq!(input, "x.csv"),
+            other => panic!("{other:?}"),
+        }
+        // Any other inline value is rejected.
+        assert!(parse(&sv(&["analyze", "--in", "x", "--loss-correct=maybe"])).is_err());
+        assert!(parse(&sv(&["analyze", "--in", "x", "--loss-correction"])).is_err());
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             format,
             slice,
             no_alpha,
+            loss_correct,
             reference_ms,
             ci_replicates,
             json,
@@ -73,6 +74,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             let log = read_log(&input, format)?;
             let config = AutoSensConfig {
                 alpha_correction: !no_alpha,
+                loss_correct,
                 reference_latency_ms: reference_ms,
                 threads,
                 ..AutoSensConfig::default()
@@ -264,6 +266,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             input,
             format,
             json,
+            metrics_out,
         } => {
             // Lenient read: an audit must survive the very corruption it is
             // meant to measure. Malformed rows are counted, not fatal.
@@ -290,6 +293,16 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 );
             } else {
                 print!("{}", report.render());
+            }
+            // The audit records its per-cell loss evidence (and every other
+            // quality counter) in the global registry; export it on request.
+            if let Some(path) = &metrics_out {
+                let snapshot = autosens_obs::MetricsRegistry::global().snapshot();
+                snapshot
+                    .validate_finite()
+                    .map_err(|e| format!("non-finite metric: {e}"))?;
+                std::fs::write(path, snapshot.to_json())
+                    .map_err(|e| format!("write {path}: {e}"))?;
             }
             Ok(())
         }
@@ -328,6 +341,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             format,
             slice,
             no_alpha,
+            loss_correct,
             reference_ms,
             json,
             every_events,
@@ -345,6 +359,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             format,
             slice,
             no_alpha,
+            loss_correct,
             reference_ms,
             json,
             every_events,
@@ -392,6 +407,7 @@ struct WatchArgs {
     format: Format,
     slice: SliceArgs,
     no_alpha: bool,
+    loss_correct: bool,
     reference_ms: f64,
     json: bool,
     every_events: Option<u64>,
@@ -430,6 +446,10 @@ fn run_watch(args: WatchArgs) -> Result<(), String> {
         (Some(path), true) => {
             let ck = Checkpoint::load(std::path::Path::new(path))
                 .map_err(|e| format!("resume from {path}: {e}"))?;
+            // Refuse to seek past the end of a truncated/replaced source:
+            // the checkpointed offset would land on unrelated bytes.
+            ck.check_source_file(std::path::Path::new(&args.input))
+                .map_err(|e| format!("resume from {path}: {e}"))?;
             let offset = ck.source_offset;
             autosens_obs::info!(
                 "resuming from {path}: {} live records, offset {offset}",
@@ -444,6 +464,7 @@ fn run_watch(args: WatchArgs) -> Result<(), String> {
             let config = StreamConfig {
                 analysis: AutoSensConfig {
                     alpha_correction: !args.no_alpha,
+                    loss_correct: args.loss_correct,
                     reference_latency_ms: args.reference_ms,
                     threads: args.threads,
                     ..AutoSensConfig::default()

@@ -25,11 +25,13 @@ use autosens_exec::ExecReport;
 use autosens_stats::binning::Binner;
 use autosens_stats::histogram::Histogram;
 use autosens_telemetry::log::LogView;
+use autosens_telemetry::loss::{loss_cell_index, N_LOSS_CELLS, N_LOSS_CLASSES};
 use autosens_telemetry::record::ActionRecord;
 use autosens_telemetry::time::{DayPeriod, MS_PER_DAY, MS_PER_HOUR};
 
 use crate::config::AutoSensConfig;
 use crate::error::AutoSensError;
+use crate::lossmodel::LossModel;
 use crate::unbiased::unbiased_histogram_in_windows_par;
 
 /// How records are grouped in time for the confounder correction.
@@ -287,8 +289,20 @@ pub fn alpha_vs_reference_weighted(
     (per_bin, mean)
 }
 
-/// The per-group action partition behind α estimation: one biased (count)
-/// histogram and one action counter per time group.
+/// The per-cell action partition behind α estimation: one biased (count)
+/// histogram and one action counter per **loss cell** (local hour ×
+/// day kind × user class — [`autosens_telemetry::loss::N_LOSS_CELLS`]
+/// cells).
+///
+/// Cells are strictly finer than every [`Grouping`] (each group is a union
+/// of cells), so one partition serves all groupings *and* the loss-aware
+/// correction, which reweights per cell before regrouping. Group
+/// histograms come out of [`GroupPartition::group_biased`]: an ordered sum
+/// over the group's cells. With unit weights every bin count is a sum of
+/// integer-valued `f64`s (exact in any order below 2^53), so the regrouped
+/// histograms are bit-identical to accumulating per group directly; with
+/// correction weights the fixed cell order makes the weighted sum
+/// deterministic for every thread count.
 ///
 /// [`estimate_alpha`] builds this with a chunked map-reduce over the log;
 /// an incremental caller (the streaming engine) maintains the same partials
@@ -297,58 +311,167 @@ pub fn alpha_vs_reference_weighted(
 /// partition is bit-identical to a batch rescan of the same records.
 #[derive(Debug, Clone)]
 pub struct GroupPartition {
-    /// Per-group biased histograms, indexed by group id.
-    pub biased: Vec<Histogram>,
-    /// Per-group action counts (the α_T slot counts), indexed by group id.
-    pub n_actions: Vec<u64>,
+    /// Per-cell biased histograms, indexed by loss-cell id.
+    pub cells: Vec<Histogram>,
+    /// Per-cell action counts, indexed by loss-cell id.
+    pub cell_actions: Vec<u64>,
 }
 
 impl GroupPartition {
-    /// An all-empty partition for a grouping and binner.
-    pub fn empty(binner: &Binner, grouping: Grouping) -> GroupPartition {
-        let n = grouping.n_groups();
+    /// An all-empty partition for a binner.
+    pub fn empty(binner: &Binner) -> GroupPartition {
         GroupPartition {
-            biased: (0..n).map(|_| Histogram::new(binner.clone())).collect(),
-            n_actions: vec![0u64; n],
+            cells: (0..N_LOSS_CELLS)
+                .map(|_| Histogram::new(binner.clone()))
+                .collect(),
+            cell_actions: vec![0u64; N_LOSS_CELLS],
         }
+    }
+
+    /// Loss-cell index of a record.
+    pub fn cell_of(r: &ActionRecord) -> usize {
+        let weekend = r.time.is_weekend_local(r.tz_offset_ms);
+        loss_cell_index(r.hour_slot().0, weekend, r.class.code())
     }
 
     /// Fold one record into the partition (the incremental counterpart of
     /// the batch map-reduce's per-chunk loop).
-    pub fn record(&mut self, grouping: Grouping, r: &ActionRecord) {
-        let weekend = r.time.is_weekend_local(r.tz_offset_ms);
-        let g = grouping.group_of(r.hour_slot().0, weekend);
-        self.biased[g].record(r.latency_ms);
-        self.n_actions[g] += 1;
+    pub fn record(&mut self, r: &ActionRecord) {
+        let c = GroupPartition::cell_of(r);
+        self.cells[c].record(r.latency_ms);
+        self.cell_actions[c] += 1;
+    }
+
+    /// Fold one record in with a loss-correction weight on its histogram
+    /// contribution (the action counter stays a raw unit count).
+    pub fn record_weighted(&mut self, r: &ActionRecord, weight: f64) {
+        let c = GroupPartition::cell_of(r);
+        self.cells[c].record_weighted(r.latency_ms, weight);
+        self.cell_actions[c] += 1;
     }
 
     /// Fold another partition of the same shape into this one.
     pub fn merge(&mut self, other: &GroupPartition) -> Result<(), AutoSensError> {
-        if other.biased.len() != self.biased.len() {
+        if other.cells.len() != self.cells.len() {
             return Err(AutoSensError::Internal(format!(
-                "cannot merge group partitions of {} and {} groups",
-                self.biased.len(),
-                other.biased.len()
+                "cannot merge group partitions of {} and {} cells",
+                self.cells.len(),
+                other.cells.len()
             )));
         }
-        for (a, b) in self.biased.iter_mut().zip(&other.biased) {
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
             a.merge(b).map_err(AutoSensError::from)?;
         }
-        for (a, b) in self.n_actions.iter_mut().zip(&other.n_actions) {
+        for (a, b) in self.cell_actions.iter_mut().zip(&other.cell_actions) {
             *a += b;
         }
         Ok(())
     }
+
+    /// Total records partitioned.
+    pub fn n_records(&self) -> u64 {
+        self.cell_actions.iter().sum()
+    }
+
+    /// Whether cell `cell` belongs to group `group` under `grouping`.
+    fn cell_in_group(grouping: Grouping, cell: usize, group: usize) -> bool {
+        let slot = cell / N_LOSS_CLASSES;
+        let hour = (slot / 2) as u8;
+        let weekend = slot % 2 == 1;
+        grouping.group_of(hour, weekend) == group
+    }
+
+    /// Per-group biased histograms under a grouping: each group is the sum
+    /// of its cells, in cell order. `weights` (one per cell, finite and
+    /// ≥ 1) applies the loss correction; `None` is the exact unit-weight
+    /// path (bit-identical to direct per-group accumulation — see the type
+    /// docs).
+    pub fn group_biased(
+        &self,
+        grouping: Grouping,
+        weights: Option<&[f64]>,
+    ) -> Result<Vec<Histogram>, AutoSensError> {
+        if let Some(w) = weights {
+            if w.len() != self.cells.len() {
+                return Err(AutoSensError::Internal(format!(
+                    "{} cell weights for {} cells",
+                    w.len(),
+                    self.cells.len()
+                )));
+            }
+        }
+        let binner = self.cells[0].binner();
+        let mut out = Vec::with_capacity(grouping.n_groups());
+        for g in 0..grouping.n_groups() {
+            let mut h = Histogram::new(binner.clone());
+            for (cell, ch) in self.cells.iter().enumerate() {
+                if !GroupPartition::cell_in_group(grouping, cell, g) {
+                    continue;
+                }
+                match weights.map(|w| w[cell]) {
+                    Some(w) if w != 1.0 => {
+                        let mut scaled = ch.clone();
+                        scaled.scale(w).map_err(AutoSensError::from)?;
+                        h.merge(&scaled).map_err(AutoSensError::from)?;
+                    }
+                    _ => h.merge(ch).map_err(AutoSensError::from)?,
+                }
+            }
+            out.push(h);
+        }
+        Ok(out)
+    }
+
+    /// The pooled biased histogram over *all* cells, in cell order
+    /// (optionally loss-weighted). This is the no-α-correction counterpart
+    /// of [`GroupPartition::group_biased`]; with unit weights it is
+    /// bit-identical to recording every row directly.
+    pub fn pooled_biased(&self, weights: Option<&[f64]>) -> Result<Histogram, AutoSensError> {
+        if let Some(w) = weights {
+            if w.len() != self.cells.len() {
+                return Err(AutoSensError::Internal(format!(
+                    "{} cell weights for {} cells",
+                    w.len(),
+                    self.cells.len()
+                )));
+            }
+        }
+        let mut h = Histogram::new(self.cells[0].binner().clone());
+        for (cell, ch) in self.cells.iter().enumerate() {
+            match weights.map(|w| w[cell]) {
+                Some(w) if w != 1.0 => {
+                    let mut scaled = ch.clone();
+                    scaled.scale(w).map_err(AutoSensError::from)?;
+                    h.merge(&scaled).map_err(AutoSensError::from)?;
+                }
+                _ => h.merge(ch).map_err(AutoSensError::from)?,
+            }
+        }
+        Ok(h)
+    }
+
+    /// Per-group action counts under a grouping (always the raw, unweighted
+    /// counts — reference selection and draw skipping key off these).
+    pub fn group_actions(&self, grouping: Grouping) -> Vec<u64> {
+        let mut out = vec![0u64; grouping.n_groups()];
+        for (g, total) in out.iter_mut().enumerate() {
+            for (cell, &n) in self.cell_actions.iter().enumerate() {
+                if GroupPartition::cell_in_group(grouping, cell, g) {
+                    *total += n;
+                }
+            }
+        }
+        out
+    }
 }
 
-/// Partition a view's actions by time group as a chunked map-reduce (each
-/// chunk builds its own per-group histograms and counters, merged in chunk
+/// Partition a view's actions by loss cell as a chunked map-reduce (each
+/// chunk builds its own per-cell histograms and counters, merged in chunk
 /// order). This is the batch producer of [`GroupPartition`]; rows are read
 /// straight off the view's columns, no records are copied.
 pub fn partition_by_group(
     log: &LogView<'_>,
     binner: &Binner,
-    grouping: Grouping,
     threads: usize,
 ) -> Result<(GroupPartition, ExecReport), AutoSensError> {
     let (partial, report) = autosens_exec::map_reduce(
@@ -357,18 +480,65 @@ pub fn partition_by_group(
         autosens_exec::chunk_size_for(log.len()),
         threads,
         |_, range| {
-            let mut part = GroupPartition::empty(binner, grouping);
+            let mut part = GroupPartition::empty(binner);
             for i in range {
-                part.record(grouping, &log.get(i));
+                part.record(&log.get(i));
             }
-            (part.biased, part.n_actions)
+            (part.cells, part.cell_actions)
         },
     )?;
-    let (biased, n_actions) = partial.unwrap_or_else(|| {
-        let empty = GroupPartition::empty(binner, grouping);
-        (empty.biased, empty.n_actions)
+    let (cells, cell_actions) = partial.unwrap_or_else(|| {
+        let empty = GroupPartition::empty(binner);
+        (empty.cells, empty.cell_actions)
     });
-    Ok((GroupPartition { biased, n_actions }, report))
+    Ok((
+        GroupPartition {
+            cells,
+            cell_actions,
+        },
+        report,
+    ))
+}
+
+/// [`partition_by_group`] with per-record loss-correction weights: each
+/// record's histogram contribution is scaled by [`LossModel::weight_for`]
+/// on its (local day, hour, day kind, class). Chunk boundaries and the
+/// chunk-order merge are identical to the unit-weight build, so the
+/// weighted partition is bit-identical for every thread count.
+pub fn partition_by_group_weighted(
+    log: &LogView<'_>,
+    binner: &Binner,
+    model: &LossModel,
+    threads: usize,
+) -> Result<(GroupPartition, ExecReport), AutoSensError> {
+    let (partial, report) = autosens_exec::map_reduce(
+        "alpha_partition_weighted",
+        log.len(),
+        autosens_exec::chunk_size_for(log.len()),
+        threads,
+        |_, range| {
+            let mut part = GroupPartition::empty(binner);
+            for i in range {
+                let r = log.get(i);
+                let day = r.time.day_local(r.tz_offset_ms);
+                let weekend = r.time.is_weekend_local(r.tz_offset_ms);
+                let w = model.weight_for(day, r.hour_slot().0, weekend, r.class.code());
+                part.record_weighted(&r, w);
+            }
+            (part.cells, part.cell_actions)
+        },
+    )?;
+    let (cells, cell_actions) = partial.unwrap_or_else(|| {
+        let empty = GroupPartition::empty(binner);
+        (empty.cells, empty.cell_actions)
+    });
+    Ok((
+        GroupPartition {
+            cells,
+            cell_actions,
+        },
+        report,
+    ))
 }
 
 /// Estimate α over a log.
@@ -403,43 +573,112 @@ pub fn estimate_alpha_with_partition<R: Rng>(
     rng: &mut R,
     partition: Option<GroupPartition>,
 ) -> Result<AlphaEstimate, AutoSensError> {
+    let (part, mut inputs) = build_alpha_inputs(log, binner, grouping, cfg, rng, partition)?;
+    let biased = part.group_biased(grouping, None)?;
+    let exec_reports = std::mem::take(&mut inputs.exec_reports);
+    Ok(solve_alpha(
+        grouping,
+        &inputs,
+        binner,
+        cfg,
+        biased,
+        exec_reports,
+    ))
+}
+
+/// [`estimate_alpha`] solved twice from one set of inputs: once with the
+/// raw per-group counts (the naive estimate — bit-identical to
+/// [`estimate_alpha_with_partition`] on the same log and RNG state) and
+/// once with the loss `model`'s per-record weights (cell × day factor,
+/// [`LossModel::weight_for`]) baked into the biased histograms of *both*
+/// the group and the reference via a weighted rescan of the log
+/// ([`partition_by_group_weighted`]). The RNG-bearing stage
+/// (group-conditional unbiased draws) runs exactly once, so the caller's
+/// RNG consumption matches the plain estimator's.
+///
+/// Reference selection, draw skipping, and the reported `n_actions` use
+/// the raw counts in both solves; only the biased masses differ.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_alpha_corrected<R: Rng>(
+    log: &LogView<'_>,
+    binner: &Binner,
+    grouping: Grouping,
+    cfg: &AutoSensConfig,
+    rng: &mut R,
+    partition: Option<GroupPartition>,
+    model: &LossModel,
+) -> Result<(AlphaEstimate, AlphaEstimate), AutoSensError> {
+    let (part, mut inputs) = build_alpha_inputs(log, binner, grouping, cfg, rng, partition)?;
+    let naive_biased = part.group_biased(grouping, None)?;
+    let (weighted, weighted_report) = partition_by_group_weighted(log, binner, model, cfg.threads)?;
+    inputs.exec_reports.push(weighted_report);
+    let corrected_biased = weighted.group_biased(grouping, None)?;
+    let exec_reports = std::mem::take(&mut inputs.exec_reports);
+    let naive = solve_alpha(grouping, &inputs, binner, cfg, naive_biased, exec_reports);
+    let corrected = solve_alpha(grouping, &inputs, binner, cfg, corrected_biased, Vec::new());
+    Ok((naive, corrected))
+}
+
+/// Everything α estimation derives from the log besides the per-group
+/// biased histograms: raw group counts, group-conditional unbiased
+/// histograms (the only RNG consumer), time-share target masses, and the
+/// reference choice. Built once, then solved against one or more biased
+/// regroupings.
+struct AlphaInputs {
+    n_actions: Vec<u64>,
+    unbiased: Vec<Histogram>,
+    target_mass: Vec<f64>,
+    references: Vec<usize>,
+    primary: usize,
+    exec_reports: Vec<ExecReport>,
+}
+
+fn build_alpha_inputs<R: Rng>(
+    log: &LogView<'_>,
+    binner: &Binner,
+    grouping: Grouping,
+    cfg: &AutoSensConfig,
+    rng: &mut R,
+    partition: Option<GroupPartition>,
+) -> Result<(GroupPartition, AlphaInputs), AutoSensError> {
     if log.is_empty() {
         return Err(AutoSensError::EmptySlice("alpha estimation".into()));
     }
     let n_groups = grouping.n_groups();
     let mut exec_reports: Vec<ExecReport> = Vec::new();
 
-    // Partition counts by group (records' own local hour and day kind),
-    // either precomputed by an incremental caller or rebuilt here as a
-    // chunked map-reduce.
-    let (biased, n_actions) = match partition {
+    // Partition counts by loss cell (records' own local hour, day kind and
+    // class), either precomputed by an incremental caller or rebuilt here
+    // as a chunked map-reduce.
+    let part = match partition {
         Some(part) => {
-            if part.biased.len() != n_groups || part.n_actions.len() != n_groups {
+            if part.cells.len() != N_LOSS_CELLS || part.cell_actions.len() != N_LOSS_CELLS {
                 return Err(AutoSensError::Internal(format!(
-                    "group partition has {} groups, grouping expects {n_groups}",
-                    part.biased.len()
+                    "group partition has {} cells, expected {N_LOSS_CELLS}",
+                    part.cells.len()
                 )));
             }
-            if part.biased.iter().any(|h| h.binner() != binner) {
+            if part.cells.iter().any(|h| h.binner() != binner) {
                 return Err(AutoSensError::Internal(
                     "group partition binner does not match the analysis binner".into(),
                 ));
             }
-            let partitioned: u64 = part.n_actions.iter().sum();
+            let partitioned = part.n_records();
             if partitioned != log.len() as u64 {
                 return Err(AutoSensError::Internal(format!(
                     "group partition covers {partitioned} actions, log has {}",
                     log.len()
                 )));
             }
-            (part.biased, part.n_actions)
+            part
         }
         None => {
-            let (part, report) = partition_by_group(log, binner, grouping, cfg.threads)?;
+            let (part, report) = partition_by_group(log, binner, cfg.threads)?;
             exec_reports.push(report);
-            (part.biased, part.n_actions)
+            part
         }
     };
+    let n_actions = part.group_actions(grouping);
 
     // Group-conditional unbiased histograms: draws restricted to each
     // group's hour windows across every day the log spans. Draws are
@@ -531,6 +770,39 @@ pub fn estimate_alpha_with_partition<R: Rng>(
     }
     let primary = references[0];
 
+    Ok((
+        part,
+        AlphaInputs {
+            n_actions,
+            unbiased,
+            target_mass,
+            references,
+            primary,
+            exec_reports,
+        },
+    ))
+}
+
+/// Solve the α system for one set of per-group biased histograms.
+fn solve_alpha(
+    grouping: Grouping,
+    inputs: &AlphaInputs,
+    binner: &Binner,
+    cfg: &AutoSensConfig,
+    biased: Vec<Histogram>,
+    exec_reports: Vec<ExecReport>,
+) -> AlphaEstimate {
+    let n_groups = grouping.n_groups();
+    let AlphaInputs {
+        n_actions,
+        unbiased,
+        target_mass,
+        references,
+        primary,
+        ..
+    } = inputs;
+    let primary = *primary;
+
     // α of every group against every reference, rescaled so the primary
     // group is 1 under each reference, then averaged across references.
     let mut alpha_sum = vec![0.0f64; n_groups];
@@ -554,7 +826,7 @@ pub fn estimate_alpha_with_partition<R: Rng>(
             cfg.min_unbiased_count,
         )
     };
-    for &r in &references {
+    for &r in references {
         // α of the primary group under this reference (for rescaling).
         let (_, primary_alpha) = estimate(primary, r);
         let Some(primary_alpha) = primary_alpha else {
@@ -602,13 +874,13 @@ pub fn estimate_alpha_with_partition<R: Rng>(
         })
         .collect();
 
-    Ok(AlphaEstimate {
+    AlphaEstimate {
         grouping,
         groups,
         primary_reference: primary,
-        references,
+        references: references.clone(),
         exec_reports,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -65,6 +65,17 @@ pub struct AutoSensConfig {
     /// order.
     #[serde(default)]
     pub threads: usize,
+    /// Estimate per-slot/per-class telemetry loss from in-band evidence
+    /// and reweight the preference estimate by inverse observation
+    /// probability. On by default; when the estimated loss is zero the
+    /// correction is a provable no-op and the report is bit-identical to
+    /// running with this off.
+    #[serde(default = "default_loss_correct")]
+    pub loss_correct: bool,
+}
+
+fn default_loss_correct() -> bool {
+    true
 }
 
 impl Default for AutoSensConfig {
@@ -86,6 +97,7 @@ impl Default for AutoSensConfig {
             weekday_weekend_slots: false,
             alpha_precision_weighting: false,
             threads: 0,
+            loss_correct: true,
         }
     }
 }

@@ -52,6 +52,7 @@
 //! * [`alpha`] — time-confounder activity factors (§2.4.1, Table 1, Fig 8).
 //! * [`preference`] — ratio, smoothing, normalization (§2.3).
 //! * [`pipeline`] — the [`AutoSens`] façade and per-slice analyses.
+//! * [`lossmodel`] — loss-aware inverse-observation-probability weights.
 //! * [`locality`] — the §2.1 diagnostics (Figures 1 and 2).
 //! * [`bottleneck`] — the §3.5 preference-vs-bottleneck analysis.
 //! * [`report`] — serializable reports and text rendering.
@@ -65,6 +66,7 @@ pub mod compare;
 pub mod config;
 pub mod error;
 pub mod locality;
+pub mod lossmodel;
 pub mod pipeline;
 pub mod preference;
 pub mod report;
@@ -73,5 +75,6 @@ pub mod unbiased;
 pub use alpha::{partition_by_group, GroupPartition, Grouping};
 pub use config::AutoSensConfig;
 pub use error::AutoSensError;
-pub use pipeline::{AutoSens, Prepared};
+pub use lossmodel::LossModel;
+pub use pipeline::{AutoSens, LossReport, Prepared};
 pub use preference::NormalizedPreference;

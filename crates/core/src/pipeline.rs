@@ -8,17 +8,20 @@ use autosens_exec::ExecReport;
 use autosens_obs::{Recorder, Span, StageTiming};
 use autosens_stats::histogram::Histogram;
 use autosens_telemetry::log::{LogView, TelemetryLog};
+use autosens_telemetry::loss::{estimate_cell_loss, LossCounts};
 use autosens_telemetry::query::Slice;
 use autosens_telemetry::record::{ActionType, UserClass};
 use autosens_telemetry::time::{DayPeriod, Month};
 use autosens_telemetry::users::{latency_quartiles, LatencyQuartiles};
 
 use crate::alpha::{
-    estimate_alpha, estimate_alpha_with_partition, AlphaEstimate, GroupPartition, Grouping,
+    estimate_alpha, estimate_alpha_corrected, estimate_alpha_with_partition,
+    partition_by_group_weighted, AlphaEstimate, GroupPartition, Grouping,
 };
 use crate::biased::biased_histogram;
 use crate::config::AutoSensConfig;
 use crate::error::AutoSensError;
+use crate::lossmodel::{CellCorrection, LossModel};
 use crate::preference::NormalizedPreference;
 use crate::unbiased::unbiased_histogram_par;
 
@@ -31,6 +34,7 @@ pub type QuartileAnalyses = Vec<(usize, Result<AnalysisReport, AutoSensError>)>;
 /// produces exactly one span per stage under its `"analyze"` root.
 pub const STAGES: &[&str] = &[
     "sanitize",
+    "lossmodel",
     "alpha",
     "biased_pdf",
     "unbiased_pdf",
@@ -83,6 +87,28 @@ pub struct Prepared {
     /// Optional precomputed per-group partition matching `log` exactly; when
     /// present the α stage skips its rescan of the log.
     pub partition: Option<GroupPartition>,
+    /// Optional precomputed per-day loss-cell observation counts matching
+    /// `log` exactly; when present the lossmodel stage skips its rescan.
+    pub loss_counts: Option<LossCounts>,
+}
+
+/// What the lossmodel stage estimated and what the uncorrected analysis
+/// would have said, carried alongside a corrected [`AnalysisReport`] so
+/// corrected and naive curves can be compared side by side.
+#[derive(Debug, Clone)]
+pub struct LossReport {
+    /// Volume-weighted overall estimated telemetry-loss rate.
+    pub overall_rate: f64,
+    /// The per-cell corrections applied (inverse-observation-probability
+    /// weights).
+    pub cells: Vec<CellCorrection>,
+    /// The naive preference curve (same config, unit weights); `None` when
+    /// the uncorrected histograms no longer support a fit.
+    pub naive_preference: Option<NormalizedPreference>,
+    /// The naive pooled biased histogram.
+    pub naive_biased: Histogram,
+    /// The naive pooled unbiased histogram.
+    pub naive_unbiased: Histogram,
 }
 
 /// A completed analysis of one slice.
@@ -99,6 +125,12 @@ pub struct AnalysisReport {
     pub biased: Histogram,
     /// The pooled unbiased histogram.
     pub unbiased: Histogram,
+    /// When the loss-aware correction actually changed the estimate
+    /// (`loss_correct` on and at least one cell flagged): the applied
+    /// corrections plus the naive curves for comparison. `None` when the
+    /// correction is off or was a no-op — in which case the report is
+    /// bit-identical to a `loss_correct: false` run.
+    pub loss: Option<LossReport>,
     /// Data-quality problems survived along the way (empty on clean input).
     pub degradations: Vec<Degradation>,
     /// Wall-clock time per pipeline stage (see [`STAGES`]), in execution
@@ -231,6 +263,7 @@ impl AutoSens {
             removed,
             copied,
             None,
+            None,
             root,
             timings,
         )
@@ -254,6 +287,7 @@ impl AutoSens {
             records_in,
             records_dropped,
             partition,
+            loss_counts,
         } = prepared;
         log.require_sorted()?;
         let root = self.recorder.root("analyze");
@@ -272,6 +306,7 @@ impl AutoSens {
             records_dropped,
             0,
             partition,
+            loss_counts,
             root,
             timings,
         )
@@ -291,6 +326,7 @@ impl AutoSens {
         removed: usize,
         copied: usize,
         partition: Option<GroupPartition>,
+        loss_counts: Option<LossCounts>,
         mut root: Span,
         mut timings: Vec<StageTiming>,
     ) -> Result<AnalysisReport, AutoSensError> {
@@ -302,23 +338,67 @@ impl AutoSens {
         }
         let mut rng = StdRng::seed_from_u64(self.config.seed);
 
+        // Loss model: estimate per-cell telemetry loss from in-band
+        // evidence (duplicate/sequence-gap + volume-shortfall signals on
+        // the sanitized view). The stage always runs — the loss-rate
+        // gauges report even when the correction is disabled — but it
+        // consumes no randomness, so an inactive correction leaves every
+        // downstream bit unchanged.
+        let mut span = root.child("lossmodel");
+        let counts = loss_counts.unwrap_or_else(|| LossCounts::from_view(sub));
+        let evidence = estimate_cell_loss(sub, &counts);
+        let model = LossModel::from_evidence(&evidence);
+        let correct = self.config.loss_correct && !model.is_noop();
+        span.field("cells_flagged", model.cells.len());
+        span.field("active", usize::from(correct));
+        {
+            let metrics = self.recorder.metrics();
+            metrics.gauge("autosens_loss_rate").set(model.overall_rate);
+            for c in &model.cells {
+                metrics
+                    .gauge(&format!("autosens_loss_rate_{}", c.label))
+                    .set(c.rate);
+            }
+        }
+        timings.push(StageTiming {
+            stage: "lossmodel".into(),
+            wall_ms: span.finish(),
+        });
+
         let grouping = if self.config.weekday_weekend_slots {
             Grouping::HourSlotsByDayKind
         } else {
             Grouping::HourSlots
         };
-        let (biased, unbiased, alpha) = if self.config.alpha_correction {
+        let (biased, unbiased, alpha, naive) = if self.config.alpha_correction {
             let mut span = root.child("alpha");
             span.field("groups", grouping.n_groups());
-            let est = estimate_alpha_with_partition(
-                sub,
-                &binner,
-                grouping,
-                &self.config,
-                &mut rng,
-                partition,
-            )?;
-            for r in &est.exec_reports {
+            // With an active correction the α system is solved twice from
+            // one set of inputs (one RNG-bearing draw stage): once naive,
+            // once with the loss weights applied to the biased masses.
+            let (est, naive_est) = if correct {
+                let (naive_est, est) = estimate_alpha_corrected(
+                    sub,
+                    &binner,
+                    grouping,
+                    &self.config,
+                    &mut rng,
+                    partition,
+                    &model,
+                )?;
+                (est, Some(naive_est))
+            } else {
+                let est = estimate_alpha_with_partition(
+                    sub,
+                    &binner,
+                    grouping,
+                    &self.config,
+                    &mut rng,
+                    partition,
+                )?;
+                (est, None)
+            };
+            for r in &naive_est.as_ref().unwrap_or(&est).exec_reports {
                 self.record_exec(&span, r);
             }
             // Groups with data but no usable α are dropped from the pooled
@@ -341,20 +421,49 @@ impl AutoSens {
             });
             let span = root.child("biased_pdf");
             let b = est.normalized_biased(&binner)?;
+            let naive_b = naive_est
+                .as_ref()
+                .map(|n| n.normalized_biased(&binner))
+                .transpose()?;
             timings.push(StageTiming {
                 stage: "biased_pdf".into(),
                 wall_ms: span.finish(),
             });
             let span = root.child("unbiased_pdf");
             let u = est.pooled_unbiased(&binner)?;
+            let naive_u = naive_est
+                .as_ref()
+                .map(|n| n.pooled_unbiased(&binner))
+                .transpose()?;
             timings.push(StageTiming {
                 stage: "unbiased_pdf".into(),
                 wall_ms: span.finish(),
             });
-            (b, u, Some(est))
+            (b, u, Some(est), naive_b.zip(naive_u))
         } else {
             let span = root.child("biased_pdf");
-            let b = biased_histogram(sub, &binner);
+            let naive_b = biased_histogram(sub, &binner);
+            let b = if correct {
+                // Reweight without α: the pooled biased histogram is the
+                // per-record weighted sum (cell × day factor). The weights
+                // depend on each record's calendar day, so a precomputed
+                // unit-weight partition cannot be reused here — the
+                // weighted rescan is the only loss-correct path over the
+                // view.
+                let (wpart, report) =
+                    partition_by_group_weighted(sub, &binner, &model, self.config.threads)?;
+                self.record_exec(&span, &report);
+                if wpart.n_records() != sub.len() as u64 {
+                    return Err(AutoSensError::Internal(format!(
+                        "group partition covers {} actions, log has {}",
+                        wpart.n_records(),
+                        sub.len()
+                    )));
+                }
+                wpart.pooled_biased(None)?
+            } else {
+                naive_b.clone()
+            };
             timings.push(StageTiming {
                 stage: "biased_pdf".into(),
                 wall_ms: span.finish(),
@@ -373,7 +482,8 @@ impl AutoSens {
                 stage: "unbiased_pdf".into(),
                 wall_ms: span.finish(),
             });
-            (b, u, None)
+            let naive = correct.then(|| (naive_b, u.clone()));
+            (b, u, None, naive)
         };
 
         let preference = NormalizedPreference::fit_traced(
@@ -383,6 +493,22 @@ impl AutoSens {
             &root,
             &mut timings,
         )?;
+
+        // The naive side-channel curve re-fits with the same config but no
+        // tracing (the smoothing/normalization stage spans describe the
+        // corrected curve, which is the report's primary output).
+        let loss = naive.map(|(naive_biased, naive_unbiased)| LossReport {
+            overall_rate: model.overall_rate,
+            cells: model.cells.clone(),
+            naive_preference: NormalizedPreference::fit(
+                &naive_biased,
+                &naive_unbiased,
+                &self.config,
+            )
+            .ok(),
+            naive_biased,
+            naive_unbiased,
+        });
 
         let metrics = self.recorder.metrics();
         metrics.counter("autosens_core_analyses_total").inc();
@@ -418,6 +544,7 @@ impl AutoSens {
             n_actions: sub.len() as u64,
             biased,
             unbiased,
+            loss,
             degradations,
             stage_timings: Some(timings),
         })
@@ -952,6 +1079,108 @@ mod tests {
                 .iter()
                 .any(|d| d.detail.contains("duplicate"))
         );
+    }
+
+    #[test]
+    fn loss_correction_is_a_noop_on_clean_input() {
+        let log = smoke_log();
+        let on = AutoSens::new(fast_config()).analyze(&log).unwrap();
+        assert!(
+            on.loss.is_none(),
+            "clean input flagged cells: {:?}",
+            on.loss.map(|l| l.cells)
+        );
+        let mut cfg = fast_config();
+        cfg.loss_correct = false;
+        let off = AutoSens::new(cfg).analyze(&log).unwrap();
+        // Bit-identical curves and histograms: the inactive correction
+        // changes nothing downstream.
+        assert_eq!(on.preference.series(), off.preference.series());
+        assert_eq!(on.biased.counts(), off.biased.counts());
+        assert_eq!(on.unbiased.counts(), off.unbiased.counts());
+    }
+
+    #[test]
+    fn loss_correction_carries_naive_curves_on_lossy_input() {
+        use autosens_faults::{FaultOp, FaultPlan};
+        let log = smoke_log();
+        let plan = FaultPlan {
+            seed: 0x10_55,
+            ops: vec![FaultOp::DropBursty {
+                rate: 0.3,
+                mean_burst: 40,
+            }],
+        };
+        let corrupted = plan.apply(&log).unwrap();
+        let report = AutoSens::new(fast_config()).analyze(&corrupted).unwrap();
+        let loss = report.loss.as_ref().expect("bursty loss goes undetected");
+        assert!(loss.overall_rate > 0.0);
+        assert!(!loss.cells.is_empty());
+        assert!(loss.cells.iter().all(|c| c.weight > 1.0));
+        // The naive side channel differs from the corrected primary.
+        assert_ne!(report.biased.counts(), loss.naive_biased.counts());
+        let naive = loss.naive_preference.as_ref().unwrap();
+        assert!((naive.at(300.0).unwrap() - 1.0).abs() < 1e-9);
+
+        // An explicit off-run reproduces the naive curve bit for bit.
+        let mut cfg = fast_config();
+        cfg.loss_correct = false;
+        let off = AutoSens::new(cfg).analyze(&corrupted).unwrap();
+        assert!(off.loss.is_none());
+        assert_eq!(off.biased.counts(), loss.naive_biased.counts());
+        assert_eq!(
+            off.preference.series(),
+            loss.naive_preference.as_ref().unwrap().series()
+        );
+    }
+
+    #[test]
+    fn loss_correction_is_thread_invariant() {
+        use autosens_faults::{FaultOp, FaultPlan};
+        let log = smoke_log();
+        let plan = FaultPlan {
+            seed: 0x10_55,
+            ops: vec![FaultOp::DropBursty {
+                rate: 0.3,
+                mean_burst: 40,
+            }],
+        };
+        let corrupted = plan.apply(&log).unwrap();
+        let baseline = AutoSens::new(AutoSensConfig {
+            threads: 1,
+            ..fast_config()
+        })
+        .analyze(&corrupted)
+        .unwrap();
+        assert!(baseline.loss.is_some());
+        for threads in [2, 4, 8] {
+            let report = AutoSens::new(AutoSensConfig {
+                threads,
+                ..fast_config()
+            })
+            .analyze(&corrupted)
+            .unwrap();
+            assert_eq!(
+                baseline.preference.series(),
+                report.preference.series(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                baseline.biased.counts(),
+                report.biased.counts(),
+                "threads={threads}"
+            );
+            let (a, b) = (
+                baseline.loss.as_ref().unwrap(),
+                report.loss.as_ref().unwrap(),
+            );
+            assert_eq!(a.naive_biased.counts(), b.naive_biased.counts());
+            assert_eq!(
+                a.naive_preference.as_ref().unwrap().series(),
+                b.naive_preference.as_ref().unwrap().series(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

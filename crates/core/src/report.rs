@@ -4,7 +4,7 @@
 //! and figures report; this module holds the shared formatting helpers and
 //! the serde-friendly summary types the CLI emits as JSON.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::bottleneck::BottleneckReport;
 use crate::locality::{DecorrelationReport, DensityLatencyReport, LocalityReport};
@@ -12,7 +12,13 @@ use crate::pipeline::AnalysisReport;
 use crate::preference::NormalizedPreference;
 
 /// A compact, serializable summary of one preference analysis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written instead of derived so the
+/// `loss` field is **omitted** (not emitted as `null`) when absent: a run
+/// with `loss_correct` off — or with no estimated loss — serializes byte
+/// for byte like a summary that predates loss correction, which the golden
+/// fixture gate depends on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PreferenceSummary {
     /// Label of the slice ("SelectMail / Business / Feb", ...).
     pub label: String,
@@ -23,7 +29,24 @@ pub struct PreferenceSummary {
     /// Fitted span (ms).
     pub span_ms: (f64, f64),
     /// Preference sampled on a fixed latency grid: `(latency, value)`.
+    /// When `loss` is present this is the **corrected** curve.
     pub points: Vec<(f64, f64)>,
+    /// Loss-correction sidecar: present only when the lossmodel stage
+    /// estimated nonzero loss and reweighted the curve.
+    pub loss: Option<LossSummary>,
+}
+
+/// The loss-correction side of a [`PreferenceSummary`]: what the model
+/// estimated, and what the curve would have been without the correction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LossSummary {
+    /// Volume-weighted overall estimated telemetry-loss rate.
+    pub estimated_loss_rate: f64,
+    /// Corrected cells: `(label, estimated rate, applied weight)`.
+    pub cells: Vec<(String, f64, f64)>,
+    /// The naive (uncorrected) curve on the same grid as `points`; empty
+    /// when the uncorrected histograms could not support a fit.
+    pub naive_points: Vec<(f64, f64)>,
 }
 
 impl PreferenceSummary {
@@ -36,7 +59,59 @@ impl PreferenceSummary {
             reference_ms: report.preference.reference_ms(),
             span_ms: report.preference.span_ms(),
             points: sample_curve(&report.preference, grid),
+            loss: report.loss.as_ref().map(|l| LossSummary {
+                estimated_loss_rate: l.overall_rate,
+                cells: l
+                    .cells
+                    .iter()
+                    .map(|c| (c.label.clone(), c.rate, c.weight))
+                    .collect(),
+                naive_points: l
+                    .naive_preference
+                    .as_ref()
+                    .map(|p| sample_curve(p, grid))
+                    .unwrap_or_default(),
+            }),
         }
+    }
+}
+
+impl Serialize for PreferenceSummary {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("label".to_string(), self.label.to_value()),
+            ("n_actions".to_string(), self.n_actions.to_value()),
+            ("reference_ms".to_string(), self.reference_ms.to_value()),
+            ("span_ms".to_string(), self.span_ms.to_value()),
+            ("points".to_string(), self.points.to_value()),
+        ];
+        if let Some(loss) = &self.loss {
+            fields.push(("loss".to_string(), loss.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for PreferenceSummary {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = match v {
+            Value::Object(entries) => entries,
+            other => return Err(DeError::type_mismatch("PreferenceSummary (object)", other)),
+        };
+        fn get<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
+            match serde::__field(obj, name) {
+                Some(v) => T::from_value(v),
+                None => T::from_missing(name),
+            }
+        }
+        Ok(PreferenceSummary {
+            label: get(obj, "label")?,
+            n_actions: get(obj, "n_actions")?,
+            reference_ms: get(obj, "reference_ms")?,
+            span_ms: get(obj, "span_ms")?,
+            points: get(obj, "points")?,
+            loss: get(obj, "loss")?,
+        })
     }
 }
 
@@ -188,6 +263,54 @@ mod tests {
     }
 
     #[test]
+    fn preference_summary_omits_absent_loss() {
+        let summary = PreferenceSummary {
+            label: "all".into(),
+            n_actions: 10,
+            reference_ms: 300.0,
+            span_ms: (55.0, 1995.0),
+            points: vec![(500.0, 0.9)],
+            loss: None,
+        };
+        let json = serde_json::to_string(&summary).unwrap();
+        // No `loss` key at all — not even `"loss": null` — so uncorrected
+        // output is byte-identical to summaries from before loss correction.
+        assert!(!json.contains("loss"));
+        let back: PreferenceSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(summary, back);
+        // A summary missing the field parses (golden fixtures predate it).
+        let legacy: PreferenceSummary = serde_json::from_str(
+            r#"{"label":"all","n_actions":10,"reference_ms":300.0,
+                "span_ms":[55.0,1995.0],"points":[[500.0,0.9]]}"#,
+        )
+        .unwrap();
+        assert_eq!(legacy, summary);
+    }
+
+    #[test]
+    fn preference_summary_roundtrips_loss() {
+        let summary = PreferenceSummary {
+            label: "all".into(),
+            n_actions: 10,
+            reference_ms: 300.0,
+            span_ms: (55.0, 1995.0),
+            points: vec![(500.0, 0.9)],
+            loss: Some(LossSummary {
+                estimated_loss_rate: 0.21,
+                cells: vec![("h09_wd_business".into(), 0.2, 1.25)],
+                naive_points: vec![(500.0, 0.95)],
+            }),
+        };
+        let json = serde_json::to_string_pretty(&summary).unwrap();
+        let back: PreferenceSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(summary, back);
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["loss"]["estimated_loss_rate"], 0.21);
+        assert_eq!(value["loss"]["cells"][0][0], "h09_wd_business");
+        assert_eq!(value["loss"]["naive_points"][0][1], 0.95);
+    }
+
+    #[test]
     fn full_report_serde_roundtrip() {
         use crate::bottleneck::BottleneckReport;
         use crate::locality::{DensityLatencyReport, LocalityReport};
@@ -200,6 +323,7 @@ mod tests {
                 reference_ms: 300.0,
                 span_ms: (55.0, 1995.0),
                 points: vec![(500.0, 0.9), (1000.0, 0.68)],
+                loss: None,
             },
             alpha_by_period: vec![AlphaRow {
                 label: "8am-2pm".into(),

@@ -1,12 +1,25 @@
-//! Beyond the paper: curve error under injected telemetry loss.
+//! Beyond the paper: the bias-vs-loss-rate frontier.
 //!
 //! The paper's pipeline sees production telemetry, which is lossy in a
 //! latency-correlated way (slow responses are the ones whose beacons get
-//! dropped). This artifact measures how the recovered preference curve
-//! degrades as bursty, latency-correlated record loss is injected at
-//! rates from 0 to 50%: the analysis is run on a clean simulated log,
-//! then re-run on seeded `FaultPlan`-corrupted copies, and the mean
-//! absolute deviation from the clean curve is reported per loss rate.
+//! dropped). This artifact measures how far the recovered preference
+//! curve drifts from the clean-log truth as record loss is injected at
+//! rates from 0 to 50% — and how much of that drift the loss-aware
+//! correction removes. Two seeded drop mechanisms are swept:
+//!
+//! * **uniform** ([`FaultOp::DropUniform`]) — each record dropped
+//!   independently (MCAR). This does not bias the biased/unbiased ratio,
+//!   so the naive curve should already be close and the correction must
+//!   do no harm.
+//! * **bursty** ([`FaultOp::DropBursty`]) — whole runs of consecutive
+//!   records dropped, onset latency-correlated (MNAR). This thins slow
+//!   periods preferentially and biases the naive curve; the corrected
+//!   curve must land strictly closer to the clean curve at heavy
+//!   (≥ 20%) loss — the CI frontier gate.
+//!
+//! Each corrupted log is analyzed once with loss correction on; the
+//! report carries the corrected curve and the naive (uncorrected) curve
+//! side by side, so both errors come from the same run.
 
 use autosens_core::report::text_table;
 use autosens_core::{AutoSens, AutoSensConfig};
@@ -15,18 +28,22 @@ use autosens_sim::config::{Scenario, SimConfig};
 use autosens_sim::generate;
 use autosens_telemetry::log::TelemetryLog;
 use autosens_telemetry::query::Slice;
-use autosens_telemetry::record::{ActionType, UserClass};
 
 use super::{Artifact, ShapeCheck};
 
-/// Deterministic seed for the injection plans (one stream per rate).
+/// Deterministic seed for the injection plans (one stream per point).
 const PLAN_SEED: u64 = 0xFA017;
 
 /// Loss rates swept, as fractions of records targeted for dropping.
 const LOSS_RATES: [f64; 6] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
 
 /// Mean burst length (records) for the bursty MNAR drop model.
-const MEAN_BURST: u32 = 25;
+const MEAN_BURST: u32 = 40;
+
+/// Probe grid for curve comparison (ms).
+const PROBE_LO: i64 = 400;
+const PROBE_HI: i64 = 1200;
+const PROBE_STEP: usize = 100;
 
 fn analysis_config() -> AutoSensConfig {
     AutoSensConfig {
@@ -36,34 +53,71 @@ fn analysis_config() -> AutoSensConfig {
     }
 }
 
-fn curve(log: &TelemetryLog) -> Option<(Vec<(f64, f64)>, usize)> {
-    let slice = Slice::all()
-        .action(ActionType::SelectMail)
-        .class(UserClass::Business);
-    let report = AutoSens::new(analysis_config())
-        .analyze_slice(log, &slice)
-        .ok()?;
-    let pts: Vec<(f64, f64)> = (400..=1200)
-        .step_by(100)
-        .filter_map(|l| report.preference.at(l as f64).map(|v| (l as f64, v)))
-        .collect();
-    Some((pts, report.degradations.len()))
+/// One analysis: corrected curve, naive curve, and the model's overall
+/// loss estimate (0 when the correction was a no-op, in which case the
+/// two curves are the same curve).
+struct Curves {
+    corrected: Vec<(f64, f64)>,
+    naive: Vec<(f64, f64)>,
+    estimated: f64,
 }
 
-fn mae(clean: &[(f64, f64)], corrupted: &[(f64, f64)]) -> Option<f64> {
-    let mut err = 0.0;
+fn curves(log: &TelemetryLog) -> Option<Curves> {
+    let report = AutoSens::new(analysis_config())
+        .analyze_slice(log, &Slice::all())
+        .ok()?;
+    let sample = |pref: &autosens_core::NormalizedPreference| -> Vec<(f64, f64)> {
+        (PROBE_LO..=PROBE_HI)
+            .step_by(PROBE_STEP)
+            .filter_map(|l| pref.at(l as f64).map(|v| (l as f64, v)))
+            .collect()
+    };
+    let corrected = sample(&report.preference);
+    let (naive, estimated) = match &report.loss {
+        Some(loss) => (
+            loss.naive_preference.as_ref().map(sample)?,
+            loss.overall_rate,
+        ),
+        None => (corrected.clone(), 0.0),
+    };
+    Some(Curves {
+        corrected,
+        naive,
+        estimated,
+    })
+}
+
+/// Mean and max absolute deviation from the clean curve over the probes
+/// both curves support. Requires most probes to survive, else the
+/// comparison is meaningless.
+fn deviation(clean: &[(f64, f64)], other: &[(f64, f64)]) -> Option<(f64, f64)> {
+    let mut sum = 0.0;
+    let mut max = 0.0f64;
     let mut n = 0;
     for (x, v) in clean {
-        if let Some((_, w)) = corrupted.iter().find(|(cx, _)| cx == x) {
-            err += (v - w).abs();
+        if let Some((_, w)) = other.iter().find(|(cx, _)| cx == x) {
+            let d = (v - w).abs();
+            sum += d;
+            max = max.max(d);
             n += 1;
         }
     }
-    // Require most probes to survive, else the comparison is meaningless.
-    (n >= 6).then(|| err / n as f64)
+    (n >= 6).then(|| (sum / n as f64, max))
 }
 
-/// Run the robustness sweep (regenerates a smoke-scale dataset).
+/// One swept point of the frontier.
+struct Point {
+    mechanism: &'static str,
+    rate: f64,
+    n_records: usize,
+    estimated: f64,
+    /// `(mae, max deviation)` of the naive curve vs clean.
+    naive: Option<(f64, f64)>,
+    /// `(mae, max deviation)` of the corrected curve vs clean.
+    corrected: Option<(f64, f64)>,
+}
+
+/// Run the frontier sweep (regenerates a smoke-scale dataset).
 pub fn generate_robustness() -> Artifact {
     let cfg = SimConfig::scenario(Scenario::Smoke);
     let log = match generate(&cfg) {
@@ -71,7 +125,7 @@ pub fn generate_robustness() -> Artifact {
         Err(e) => {
             return Artifact {
                 id: "robustness",
-                title: "Curve error vs injected loss (beyond the paper)",
+                title: "Bias-vs-loss-rate frontier: corrected vs naive (beyond the paper)",
                 rendered: format!("dataset generation failed: {e}\n"),
                 csv: vec![],
                 checks: vec![ShapeCheck::new("dataset generated", false, e)],
@@ -79,102 +133,213 @@ pub fn generate_robustness() -> Artifact {
         }
     };
 
-    let clean = curve(&log);
-    let mut rows = Vec::new();
-    let mut points: Vec<(f64, usize, Option<f64>, usize)> = Vec::new();
-    for (i, &rate) in LOSS_RATES.iter().enumerate() {
-        let corrupted = if rate == 0.0 {
-            log.clone()
-        } else {
-            let plan = FaultPlan {
-                // One independent stream per rate so each point stands on
-                // its own rather than sharing a drop pattern.
-                seed: PLAN_SEED.wrapping_add(i as u64),
-                ops: vec![FaultOp::DropBursty {
-                    rate,
-                    mean_burst: MEAN_BURST,
-                }],
+    let clean = curves(&log);
+    let clean_truth: Option<&Vec<(f64, f64)>> = clean.as_ref().map(|c| &c.corrected);
+    let clean_noop = clean.as_ref().map(|c| c.estimated == 0.0).unwrap_or(false);
+
+    let mut points: Vec<Point> = Vec::new();
+    for (m, mechanism) in ["uniform", "bursty"].iter().enumerate() {
+        for (i, &rate) in LOSS_RATES.iter().enumerate() {
+            let corrupted = if rate == 0.0 {
+                log.clone()
+            } else {
+                let op = if *mechanism == "uniform" {
+                    FaultOp::DropUniform { rate }
+                } else {
+                    FaultOp::DropBursty {
+                        rate,
+                        mean_burst: MEAN_BURST,
+                    }
+                };
+                let plan = FaultPlan {
+                    // One independent stream per point so each stands on
+                    // its own rather than sharing a drop pattern.
+                    seed: PLAN_SEED.wrapping_add((m * LOSS_RATES.len() + i) as u64),
+                    ops: vec![op],
+                };
+                match plan.apply(&log) {
+                    Ok(l) => l,
+                    Err(_) => log.clone(),
+                }
             };
-            match plan.apply(&log) {
-                Ok(l) => l,
-                Err(_) => log.clone(),
-            }
-        };
-        let result = curve(&corrupted);
-        let m = match (&clean, &result) {
-            (Some((c, _)), Some((r, _))) => mae(c, r),
-            _ => None,
-        };
-        let degr = result.as_ref().map(|(_, d)| *d).unwrap_or(0);
-        points.push((rate, corrupted.len(), m, degr));
-        rows.push(vec![
-            format!("{:.0}%", rate * 100.0),
-            corrupted.len().to_string(),
-            m.map(|m| format!("{m:.4}")).unwrap_or_else(|| "-".into()),
-            degr.to_string(),
-        ]);
+            let result = curves(&corrupted);
+            let (naive, corrected, estimated) = match (&clean_truth, &result) {
+                (Some(truth), Some(c)) => (
+                    deviation(truth, &c.naive),
+                    deviation(truth, &c.corrected),
+                    c.estimated,
+                ),
+                _ => (None, None, 0.0),
+            };
+            points.push(Point {
+                mechanism,
+                rate,
+                n_records: corrupted.len(),
+                estimated,
+                naive,
+                corrected,
+            });
+        }
     }
 
+    let fmt_dev = |d: Option<(f64, f64)>| -> (String, String) {
+        match d {
+            Some((mae, max)) => (format!("{mae:.4}"), format!("{max:.4}")),
+            None => ("-".into(), "-".into()),
+        }
+    };
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let (nm, nx) = fmt_dev(p.naive);
+            let (cm, cx) = fmt_dev(p.corrected);
+            vec![
+                p.mechanism.to_string(),
+                format!("{:.0}%", p.rate * 100.0),
+                p.n_records.to_string(),
+                format!("{:.3}", p.estimated),
+                nm,
+                cm,
+                nx,
+                cx,
+            ]
+        })
+        .collect();
+
     let mut rendered = String::from(
-        "Robustness — preference-curve error vs injected bursty loss\n\
-         (business SelectMail, corrupted vs clean curve, probes 400-1200 ms)\n\n",
+        "Robustness frontier — curve error vs injected loss, naive and corrected\n\
+         (all records, deviation vs clean-log curve, probes 400-1200 ms)\n\n",
     );
     rendered.push_str(&text_table(
         &[
-            "injected loss",
+            "mechanism",
+            "injected",
             "records",
-            "curve MAE vs clean",
-            "degradations",
+            "est. loss",
+            "naive MAE",
+            "corr. MAE",
+            "naive max",
+            "corr. max",
         ],
         &rows,
     ));
 
-    let csv = vec![("robustness_loss".to_string(), {
-        let mut s = String::from("loss_rate,n_records,curve_mae,degradations\n");
-        for (rate, n, m, d) in &points {
+    let csv = vec![("robustness_frontier".to_string(), {
+        let mut s = String::from(
+            "mechanism,loss_rate,n_records,estimated_loss,\
+             naive_mae,corrected_mae,naive_maxdev,corrected_maxdev\n",
+        );
+        for p in &points {
+            let cell = |d: Option<(f64, f64)>, pick_max: bool| {
+                d.map(|(mae, max)| if pick_max { max } else { mae }.to_string())
+                    .unwrap_or_default()
+            };
             s.push_str(&format!(
-                "{rate},{n},{},{d}\n",
-                m.map(|m| m.to_string()).unwrap_or_default()
+                "{},{},{},{},{},{},{},{}\n",
+                p.mechanism,
+                p.rate,
+                p.n_records,
+                p.estimated,
+                cell(p.naive, false),
+                cell(p.corrected, false),
+                cell(p.naive, true),
+                cell(p.corrected, true),
             ));
         }
         s
     })];
 
-    let all_completed = points.iter().all(|(_, _, m, _)| m.is_some());
-    let zero_is_zero = points
-        .first()
-        .and_then(|(_, _, m, _)| *m)
-        .map(|m| m == 0.0)
-        .unwrap_or(false);
-    let bounded_at_half = points
-        .last()
-        .and_then(|(_, _, m, _)| *m)
-        .map(|m| m < 0.5)
-        .unwrap_or(false);
+    let all_completed = points
+        .iter()
+        .all(|p| p.naive.is_some() && p.corrected.is_some());
+    let zero_is_noop = clean_noop
+        && points
+            .iter()
+            .filter(|p| p.rate == 0.0)
+            .all(|p| p.naive == Some((0.0, 0.0)) && p.corrected == Some((0.0, 0.0)));
+    let heavy_bursty: Vec<&Point> = points
+        .iter()
+        .filter(|p| p.mechanism == "bursty" && p.rate >= 0.2)
+        .collect();
+    let bursty_corrected_wins = !heavy_bursty.is_empty()
+        && heavy_bursty.iter().all(|p| match (p.corrected, p.naive) {
+            (Some((_, cx)), Some((_, nx))) => cx < nx,
+            _ => false,
+        });
+    let bursty_estimator_engages = heavy_bursty.iter().all(|p| p.estimated > 0.05);
+    let uniform_no_harm =
+        points
+            .iter()
+            .filter(|p| p.mechanism == "uniform")
+            .all(|p| match (p.corrected, p.naive) {
+                (Some((_, cx)), Some((_, nx))) => cx <= nx + 0.02,
+                _ => false,
+            });
+    let detail_maxdev = |ps: &[&Point]| -> String {
+        ps.iter()
+            .map(|p| {
+                format!(
+                    "{:.0}%: naive {:?} corr {:?}",
+                    p.rate * 100.0,
+                    p.naive.map(|d| (d.1 * 1e4).round() / 1e4),
+                    p.corrected.map(|d| (d.1 * 1e4).round() / 1e4),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("; ")
+    };
     let checks = vec![
         ShapeCheck::new(
-            "analysis completes at every loss rate",
+            "analysis completes at every mechanism and loss rate",
             all_completed,
             format!(
-                "maes: {:?}",
-                points.iter().map(|(_, _, m, _)| *m).collect::<Vec<_>>()
+                "incomplete: {:?}",
+                points
+                    .iter()
+                    .filter(|p| p.naive.is_none() || p.corrected.is_none())
+                    .map(|p| (p.mechanism, p.rate))
+                    .collect::<Vec<_>>()
             ),
         ),
         ShapeCheck::new(
-            "zero injected loss reproduces the clean curve exactly",
-            zero_is_zero,
-            format!("mae(0%) = {:?}", points.first().and_then(|(_, _, m, _)| *m)),
+            "zero injected loss is a correction no-op (both curves match clean exactly)",
+            zero_is_noop,
+            format!(
+                "clean estimated loss {:?}",
+                clean.as_ref().map(|c| c.estimated)
+            ),
         ),
         ShapeCheck::new(
-            "curve error stays bounded (< 0.5) at 50% loss",
-            bounded_at_half,
-            format!("mae(50%) = {:?}", points.last().and_then(|(_, _, m, _)| *m)),
+            "bursty (MNAR) >= 20%: corrected curve strictly closer than naive",
+            bursty_corrected_wins,
+            detail_maxdev(&heavy_bursty),
+        ),
+        ShapeCheck::new(
+            "bursty (MNAR) >= 20%: loss estimator engages (> 5% estimated)",
+            bursty_estimator_engages,
+            format!(
+                "estimated: {:?}",
+                heavy_bursty
+                    .iter()
+                    .map(|p| (p.rate, (p.estimated * 1e3).round() / 1e3))
+                    .collect::<Vec<_>>()
+            ),
+        ),
+        ShapeCheck::new(
+            "uniform (MCAR): correction does no harm (corr. max <= naive max + 0.02)",
+            uniform_no_harm,
+            detail_maxdev(
+                &points
+                    .iter()
+                    .filter(|p| p.mechanism == "uniform")
+                    .collect::<Vec<_>>(),
+            ),
         ),
     ];
 
     Artifact {
         id: "robustness",
-        title: "Curve error vs injected loss (beyond the paper)",
+        title: "Bias-vs-loss-rate frontier: corrected vs naive (beyond the paper)",
         rendered,
         csv,
         checks,

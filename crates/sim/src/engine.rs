@@ -67,7 +67,7 @@ fn draw_action<R: Rng>(rng: &mut R) -> ActionType {
 /// assert_eq!(truth.population().len(), 40);
 /// // Same config, same telemetry — byte for byte.
 /// let (again, _) = generate(&cfg).unwrap();
-/// assert_eq!(log.records(), again.records());
+/// assert_eq!(log.to_records(), again.to_records());
 /// ```
 pub fn generate(cfg: &SimConfig) -> Result<(TelemetryLog, GroundTruth), String> {
     generate_with_threads(cfg, 0)

@@ -83,6 +83,26 @@ impl Checkpoint {
         Ok(())
     }
 
+    /// Guard for resuming a tailed file: the checkpointed byte offset
+    /// must not exceed the file's current length. A shorter file means
+    /// the source was truncated or replaced since the checkpoint was cut,
+    /// so seeking to `source_offset` would read from the middle of
+    /// unrelated bytes (or past EOF) and silently corrupt the stream.
+    pub fn check_source_length(&self, len: u64) -> Result<(), StreamError> {
+        if self.source_offset > len {
+            return Err(StreamError::TruncatedSource {
+                offset: self.source_offset,
+                len,
+            });
+        }
+        Ok(())
+    }
+
+    /// [`Checkpoint::check_source_length`] against a file on disk.
+    pub fn check_source_file(&self, path: &Path) -> Result<(), StreamError> {
+        self.check_source_length(std::fs::metadata(path)?.len())
+    }
+
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> Result<String, StreamError> {
         serde_json::to_string_pretty(self)

@@ -20,7 +20,8 @@
 //!
 //! [`StreamEngine::snapshot`] concatenates shards in bucket order (already
 //! globally sorted — no re-sort), merges the per-shard
-//! [`GroupPartition`](autosens_core::GroupPartition) partials, and enters
+//! [`GroupPartition`](autosens_core::GroupPartition) and
+//! [`LossCounts`](autosens_telemetry::loss::LossCounts) partials, and enters
 //! the shared pipeline via `AutoSens::analyze_prepared`, so after draining
 //! a finite log the report is **bit-identical** to batch `analyze` on the
 //! same log — including degradation bookkeeping and `autosens_core_*`
@@ -28,8 +29,9 @@
 //!
 //! ## What is incremental and what is not
 //!
-//! The per-group biased histograms and α_T slot counts are maintained
-//! incrementally and merged in O(shards · groups · bins). The RNG-bearing
+//! The per-cell biased histograms, action counts, and per-day loss-cell
+//! observation counts are maintained incrementally and merged in
+//! O(shards · cells · bins). The RNG-bearing
 //! stages — the group-conditional unbiased draws and the smoothing fit —
 //! are recomputed per snapshot over the merged window: their draw count
 //! and window layout depend on the window's global start/end, so caching
@@ -43,10 +45,11 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use autosens_core::pipeline::{AnalysisReport, Degradation, Prepared};
-use autosens_core::{AutoSens, AutoSensConfig, AutoSensError, GroupPartition, Grouping};
+use autosens_core::{AutoSens, AutoSensConfig, AutoSensError, GroupPartition};
 use autosens_obs::Recorder;
 use autosens_stats::binning::Binner;
 use autosens_telemetry::log::{ColumnStore, TelemetryLog};
+use autosens_telemetry::loss::LossCounts;
 use autosens_telemetry::query::Slice;
 use autosens_telemetry::record::ActionRecord;
 
@@ -156,7 +159,6 @@ pub struct StreamEngine {
     slice: Slice,
     filter: Slice,
     binner: Binner,
-    grouping: Grouping,
     shards: BTreeMap<i64, Shard>,
     max_event_time: Option<i64>,
     last_arrival: Option<i64>,
@@ -179,11 +181,6 @@ impl StreamEngine {
     ) -> Result<StreamEngine, StreamError> {
         config.validate()?;
         let binner = config.analysis.binner()?;
-        let grouping = if config.analysis.weekday_weekend_slots {
-            Grouping::HourSlotsByDayKind
-        } else {
-            Grouping::HourSlots
-        };
         let filter = slice.clone().successes();
         Ok(StreamEngine {
             engine: AutoSens::with_recorder(config.analysis.clone(), recorder),
@@ -191,7 +188,6 @@ impl StreamEngine {
             slice,
             filter,
             binner,
-            grouping,
             shards: BTreeMap::new(),
             max_event_time: None,
             last_arrival: None,
@@ -266,8 +262,8 @@ impl StreamEngine {
         let shard = self
             .shards
             .entry(bucket)
-            .or_insert_with(|| Shard::new(&self.binner, self.grouping));
-        if !shard.insert(r, self.grouping) {
+            .or_insert_with(|| Shard::new(&self.binner));
+        if !shard.insert(r) {
             self.duplicates += 1;
             self.records_in += 1;
             metrics
@@ -341,10 +337,12 @@ impl StreamEngine {
         let total: usize = self.shards.values().map(|s| s.len()).sum();
         span.field("records", total);
         let mut cols = ColumnStore::with_capacity(total);
-        let mut partition = GroupPartition::empty(&self.binner, self.grouping);
+        let mut partition = GroupPartition::empty(&self.binner);
+        let mut loss_counts = LossCounts::new();
         for shard in self.shards.values() {
             cols.extend_from(&shard.cols);
             partition.merge(&shard.partition)?;
+            loss_counts.merge(&shard.loss);
         }
         let log = TelemetryLog::from_columns(cols);
 
@@ -395,6 +393,7 @@ impl StreamEngine {
             records_in: self.records_in as usize,
             records_dropped: self.duplicates as usize,
             partition: Some(partition),
+            loss_counts: Some(loss_counts),
         })
     }
 
@@ -456,7 +455,7 @@ impl StreamEngine {
                     )));
                 }
             }
-            let shard = Shard::rebuild(sc.records, &engine.binner, engine.grouping);
+            let shard = Shard::rebuild(sc.records, &engine.binner);
             engine.shards.insert(sc.bucket, shard);
         }
         engine.max_event_time = checkpoint.max_event_time_ms;

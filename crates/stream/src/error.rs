@@ -15,6 +15,15 @@ pub enum StreamError {
     /// A checkpoint failed validation (wrong version, records outside
     /// their shard, unsorted shard, …).
     Corrupt(String),
+    /// A resume found the tailed source file shorter than the
+    /// checkpoint's byte offset — the file was truncated or replaced, so
+    /// the checkpointed state no longer describes it.
+    TruncatedSource {
+        /// The checkpoint's source byte offset.
+        offset: u64,
+        /// The current length of the source file.
+        len: u64,
+    },
 }
 
 impl std::fmt::Display for StreamError {
@@ -24,6 +33,11 @@ impl std::fmt::Display for StreamError {
             StreamError::Telemetry(e) => write!(f, "telemetry error: {e}"),
             StreamError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
             StreamError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            StreamError::TruncatedSource { offset, len } => write!(
+                f,
+                "source file truncated: checkpoint offset {offset} exceeds file length {len}; \
+                 delete the checkpoint to restart from the file's beginning"
+            ),
         }
     }
 }

@@ -13,17 +13,19 @@
 //! merged log hands the analysis stack a zero-copy view.
 //!
 //! Alongside the rows each shard maintains incremental partial
-//! aggregates — the per-group biased histograms and α_T action counts of
-//! [`GroupPartition`], plus per-local-hour counters — so a snapshot merges
+//! aggregates — the per-cell biased histograms and action counts of
+//! [`GroupPartition`], the per-day loss-cell observation counts of
+//! [`LossCounts`], plus per-local-hour counters — so a snapshot merges
 //! shard partials instead of rescanning history. Histogram counts are
-//! unit-weight (integer-valued) additions, so shard-merge order cannot
-//! perturb the result: the merged partition is bit-identical to a batch
-//! rescan.
+//! unit-weight (integer-valued) additions and loss counts are `u64`s, so
+//! shard-merge order cannot perturb the result: the merged partials are
+//! bit-identical to a batch rescan.
 
-use autosens_core::{GroupPartition, Grouping};
+use autosens_core::GroupPartition;
 use autosens_exec::Mergeable;
 use autosens_stats::binning::Binner;
 use autosens_telemetry::log::ColumnStore;
+use autosens_telemetry::loss::LossCounts;
 use autosens_telemetry::record::ActionRecord;
 
 /// One time bucket's rows (columnar) and partial aggregates.
@@ -31,18 +33,22 @@ use autosens_telemetry::record::ActionRecord;
 pub(crate) struct Shard {
     /// Rows sorted by time, arrival-stable among equal timestamps.
     pub cols: ColumnStore,
-    /// Incremental α partition: per-group biased histograms + α_T counts.
+    /// Incremental α partition: per-cell biased histograms + action counts.
     pub partition: GroupPartition,
+    /// Incremental per-day loss-cell observation counts (the lossmodel
+    /// stage's input, maintained without rescanning).
+    pub loss: LossCounts,
     /// Actions per local hour slot (merged across shards via the
     /// fixed-size-array [`Mergeable`] impl).
     pub hour_counts: [u64; 24],
 }
 
 impl Shard {
-    pub fn new(binner: &Binner, grouping: Grouping) -> Shard {
+    pub fn new(binner: &Binner) -> Shard {
         Shard {
             cols: ColumnStore::new(),
-            partition: GroupPartition::empty(binner, grouping),
+            partition: GroupPartition::empty(binner),
+            loss: LossCounts::new(),
             hour_counts: [0u64; 24],
         }
     }
@@ -52,11 +58,19 @@ impl Shard {
         self.cols.len()
     }
 
+    /// Fold one record into the derived aggregates (partition, loss
+    /// counts, hour counters) — shared by insert and rebuild.
+    fn aggregate(&mut self, r: &ActionRecord) {
+        self.partition.record(r);
+        self.loss.record(r.time, r.tz_offset_ms, r.class.code());
+        self.hour_counts[r.hour_slot().0 as usize % 24] += 1;
+    }
+
     /// Insert a record at the upper bound of its equal-timestamp run
     /// (preserving arrival order among ties, like a stable sort of the
     /// arrival sequence), unless an exact duplicate already sits in that
     /// run. Returns `false` for the dropped duplicate.
-    pub fn insert(&mut self, r: ActionRecord, grouping: Grouping) -> bool {
+    pub fn insert(&mut self, r: ActionRecord) -> bool {
         let idx = {
             let times = self.cols.times();
             let t = r.time.millis();
@@ -71,19 +85,17 @@ impl Shard {
             idx
         };
         self.cols.insert(idx, &r);
-        self.partition.record(grouping, &r);
-        self.hour_counts[r.hour_slot().0 as usize % 24] += 1;
+        self.aggregate(&r);
         true
     }
 
     /// Rebuild a shard's partial aggregates from checkpointed records
     /// (the records are the durable state; the partials are derived).
-    pub fn rebuild(records: Vec<ActionRecord>, binner: &Binner, grouping: Grouping) -> Shard {
-        let mut shard = Shard::new(binner, grouping);
+    pub fn rebuild(records: Vec<ActionRecord>, binner: &Binner) -> Shard {
+        let mut shard = Shard::new(binner);
         for r in &records {
             shard.cols.push(r);
-            shard.partition.record(grouping, r);
-            shard.hour_counts[r.hour_slot().0 as usize % 24] += 1;
+            shard.aggregate(r);
         }
         shard
     }
@@ -118,11 +130,11 @@ mod tests {
 
     #[test]
     fn inserts_sort_by_time_and_keep_arrival_order_on_ties() {
-        let mut shard = Shard::new(&binner(), Grouping::HourSlots);
-        assert!(shard.insert(rec(2000, 10.0, 1), Grouping::HourSlots));
-        assert!(shard.insert(rec(1000, 20.0, 2), Grouping::HourSlots));
-        assert!(shard.insert(rec(2000, 30.0, 3), Grouping::HourSlots));
-        assert!(shard.insert(rec(2000, 40.0, 4), Grouping::HourSlots));
+        let mut shard = Shard::new(&binner());
+        assert!(shard.insert(rec(2000, 10.0, 1)));
+        assert!(shard.insert(rec(1000, 20.0, 2)));
+        assert!(shard.insert(rec(2000, 30.0, 3)));
+        assert!(shard.insert(rec(2000, 40.0, 4)));
         let users: Vec<u64> = shard.cols.users().to_vec();
         // Time order first; the three t=2000 arrivals keep arrival order.
         assert_eq!(users, vec![2, 1, 3, 4]);
@@ -130,29 +142,31 @@ mod tests {
 
     #[test]
     fn exact_duplicates_are_rejected_keep_first() {
-        let mut shard = Shard::new(&binner(), Grouping::HourSlots);
+        let mut shard = Shard::new(&binner());
         let r = rec(1000, 10.0, 1);
-        assert!(shard.insert(r, Grouping::HourSlots));
-        assert!(!shard.insert(r, Grouping::HourSlots));
+        assert!(shard.insert(r));
+        assert!(!shard.insert(r));
         // Same time, different latency: not a duplicate.
-        assert!(shard.insert(rec(1000, 11.0, 1), Grouping::HourSlots));
+        assert!(shard.insert(rec(1000, 11.0, 1)));
         assert_eq!(shard.len(), 2);
         assert_eq!(shard.hour_counts.iter().sum::<u64>(), 2);
+        // Duplicates are not double-counted as loss-cell observations.
+        assert_eq!(shard.loss.total(), 2);
     }
 
     #[test]
     fn rebuild_matches_incremental_state() {
-        let grouping = Grouping::HourSlotsByDayKind;
-        let mut shard = Shard::new(&binner(), grouping);
+        let mut shard = Shard::new(&binner());
         for i in 0..50 {
-            shard.insert(rec(i * 60_000, 50.0 + i as f64, i as u64 % 5), grouping);
+            shard.insert(rec(i * 60_000, 50.0 + i as f64, i as u64 % 5));
         }
-        let rebuilt = Shard::rebuild(shard.cols.to_records(), &binner(), grouping);
+        let rebuilt = Shard::rebuild(shard.cols.to_records(), &binner());
         assert_eq!(rebuilt.cols.to_records(), shard.cols.to_records());
         assert_eq!(rebuilt.hour_counts, shard.hour_counts);
-        assert_eq!(rebuilt.partition.n_actions, shard.partition.n_actions);
-        for (a, b) in rebuilt.partition.biased.iter().zip(&shard.partition.biased) {
+        assert_eq!(rebuilt.partition.cell_actions, shard.partition.cell_actions);
+        for (a, b) in rebuilt.partition.cells.iter().zip(&shard.partition.cells) {
             assert_eq!(a.counts(), b.counts());
         }
+        assert_eq!(rebuilt.loss, shard.loss);
     }
 }

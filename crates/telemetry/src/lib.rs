@@ -16,10 +16,13 @@
 //! * [`users`] — per-user aggregates and the §3.4 median-latency quartiles.
 //! * [`codec`] — CSV and JSONL import/export with strict validation.
 //! * [`quality`] — data-quality auditing (loss, duplicates, heaping, nulls).
+//! * [`loss`] — per-slot/per-class loss evidence (volume + sequence gaps),
+//!   the substrate of loss-aware correction in the analysis pipeline.
 
 pub mod codec;
 pub mod error;
 pub mod log;
+pub mod loss;
 pub mod quality;
 pub mod query;
 pub mod record;

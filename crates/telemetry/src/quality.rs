@@ -23,8 +23,9 @@ use std::collections::{HashMap, HashSet};
 use serde::{Deserialize, Serialize};
 
 use crate::log::TelemetryLog;
+use crate::loss::{estimate_cell_loss, CellLossEvidence, LossCounts};
 use crate::query::Slice;
-use crate::time::{MS_PER_DAY, MS_PER_HOUR};
+use crate::time::{SimTime, MS_PER_DAY, MS_PER_HOUR};
 
 /// Graded severity of a quality metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -101,6 +102,13 @@ pub struct QualityReport {
     /// (consumer class with a zero timezone offset) — anomalously high
     /// values indicate metadata stripping upstream.
     pub metadata_null_rate: Metric,
+    /// Per-cell (local hour × day kind × user class) loss evidence from
+    /// the [`crate::loss`] estimator — only cells with a nonzero estimated
+    /// rate appear, so clean telemetry reports an empty list. Unlike the
+    /// global `estimated_loss_rate`, these localize *where* records went
+    /// missing, and they feed the pipeline's loss-aware correction.
+    #[serde(default)]
+    pub loss_cells: Vec<CellLossEvidence>,
 }
 
 impl QualityReport {
@@ -133,6 +141,18 @@ impl QualityReport {
             out.push_str(&format!("heaping grain      {g:>8.1} ms\n"));
         }
         out.push_str(&line("metadata nulls", &self.metadata_null_rate));
+        out.push_str(&format!(
+            "loss cells flagged {:>8}\n",
+            self.loss_cells.len()
+        ));
+        for c in &self.loss_cells {
+            out.push_str(&format!(
+                "  {:<17}{:>8.4}  (observed {})\n",
+                c.label(),
+                c.rate,
+                c.observed
+            ));
+        }
         out.push_str(&format!(
             "overall            {:>8}\n",
             self.overall().name()
@@ -167,10 +187,13 @@ pub fn audit_slice(log: &TelemetryLog, slice: &Slice) -> QualityReport {
 
     // Duplicates: exact repeats of a full record key seen earlier. This
     // pass also counts the ordering violations (backward steps between
-    // adjacent matching rows in storage order).
+    // adjacent matching rows in storage order) and tallies the per-cell
+    // loss counts over first occurrences only — a re-delivered record is
+    // not evidence of presence twice.
     let mut seen: HashSet<(i64, u8, u64, u64, u8, i64, u8)> = HashSet::new();
     let mut duplicates = 0u64;
     let mut monotonicity_violations = 0u64;
+    let mut loss_counts = LossCounts::new();
     for i in 0..view.len() {
         let key = (
             view.time_at(i),
@@ -183,6 +206,12 @@ pub fn audit_slice(log: &TelemetryLog, slice: &Slice) -> QualityReport {
         );
         if !seen.insert(key) {
             duplicates += 1;
+        } else {
+            loss_counts.record(
+                SimTime(view.time_at(i)),
+                view.tz_offset_at(i),
+                view.class_at(i),
+            );
         }
         if i > 0 && view.time_at(i) < view.time_at(i - 1) {
             monotonicity_violations += 1;
@@ -213,6 +242,28 @@ pub fn audit_slice(log: &TelemetryLog, slice: &Slice) -> QualityReport {
         })
         .count() as u64;
 
+    // Per-cell loss evidence: localized rates the global estimator (below)
+    // cannot provide. Duplicate timestamps contribute zero-length gaps,
+    // which the gap estimator skips, so the raw view is safe to scan.
+    let loss_cells: Vec<CellLossEvidence> = estimate_cell_loss(&view, &loss_counts)
+        .cells
+        .into_iter()
+        .filter(|c| c.rate > 0.0)
+        .collect();
+    let metrics = autosens_obs::MetricsRegistry::global();
+    metrics
+        .gauge("autosens_quality_loss_cells_flagged")
+        .set(loss_cells.len() as f64);
+    for c in &loss_cells {
+        let label = c.label();
+        metrics
+            .counter(&format!("autosens_quality_cell_observed_{label}"))
+            .add(c.observed);
+        metrics
+            .gauge(&format!("autosens_quality_cell_loss_rate_{label}"))
+            .set(c.rate);
+    }
+
     QualityReport {
         n_records: n,
         estimated_loss_rate: Metric::graded(estimate_loss(&view), 0.05, 0.25),
@@ -226,6 +277,7 @@ pub fn audit_slice(log: &TelemetryLog, slice: &Slice) -> QualityReport {
         heaping_score: Metric::graded(heaping_score, 0.5, 0.9),
         heaping_grain_ms,
         metadata_null_rate: Metric::graded(nulls as f64 / n.max(1) as f64, 0.5, 0.9),
+        loss_cells,
     }
 }
 
@@ -348,6 +400,46 @@ mod tests {
             true_loss
         );
         assert_eq!(report.estimated_loss_rate.severity, Severity::Warn);
+    }
+
+    #[test]
+    fn loss_cells_localize_a_sustained_outage() {
+        // A two-weekday outage between 08:00 and 20:00 (server time; +1h
+        // local) is strong enough for the per-cell volume estimator. The
+        // clean log must flag nothing.
+        let mut records = Vec::new();
+        for day in 0..14i64 {
+            for hour in 0..24i64 {
+                for k in 0..40i64 {
+                    let t = day * MS_PER_DAY + hour * MS_PER_HOUR + k * 90_000;
+                    records.push(rec(t, 101.3 + k as f64 * 0.7, (k + hour * 40) as u64));
+                }
+            }
+        }
+        let clean = TelemetryLog::from_records(records.clone()).unwrap();
+        assert!(audit(&clean).loss_cells.is_empty());
+
+        let kept: Vec<ActionRecord> = records
+            .into_iter()
+            .filter(|r| {
+                let day = r.time.millis().div_euclid(MS_PER_DAY);
+                let hour = r.time.millis().div_euclid(MS_PER_HOUR).rem_euclid(24);
+                !((3..=4).contains(&day) && (8..20).contains(&hour))
+            })
+            .collect();
+        let report = audit(&TelemetryLog::from_records(kept).unwrap());
+        assert!(!report.loss_cells.is_empty(), "outage cells not flagged");
+        // All flagged cells are weekday local hours 9..21 (+1h tz).
+        for c in &report.loss_cells {
+            assert!(!c.weekend, "weekend cell flagged: {}", c.label());
+            assert!(
+                (9..21).contains(&c.hour),
+                "cell outside outage: {}",
+                c.label()
+            );
+            assert!(c.rate > 0.05 && c.rate < 0.4, "rate {}", c.rate);
+        }
+        assert!(report.render().contains("loss cells flagged"));
     }
 
     #[test]

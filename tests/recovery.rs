@@ -5,9 +5,13 @@
 
 mod common;
 
+use autosens_faults::{FaultOp, FaultPlan};
+use autosens_telemetry::loss::{estimate_cell_loss, LossCounts, LossEvidence};
 use autosens_telemetry::query::Slice;
-use autosens_telemetry::record::{ActionType, UserClass};
-use autosens_telemetry::time::DayPeriod;
+use autosens_telemetry::record::{ActionRecord, ActionType, Outcome, UserClass, UserId};
+use autosens_telemetry::time::{DayPeriod, SimTime, MS_PER_DAY, MS_PER_HOUR};
+use autosens_telemetry::TelemetryLog;
+use proptest::prelude::*;
 
 #[test]
 fn selectmail_business_tracks_planted_truth() {
@@ -163,6 +167,125 @@ fn daytime_is_more_sensitive_than_nighttime() {
         assert!(
             morning < nv,
             "@{probe:.0}ms: morning {morning:.3} should be steeper than night {nv:.3}"
+        );
+    }
+}
+
+/// 14 days of heartbeat-regular telemetry, `per_hour` records per hour,
+/// both classes interleaved — dense enough that injected drops leave
+/// volume and sequence-gap evidence the loss estimator can read.
+fn steady_log(per_hour: i64) -> TelemetryLog {
+    let step = MS_PER_HOUR / per_hour;
+    let mut records = Vec::new();
+    for day in 0..14i64 {
+        for hour in 0..24i64 {
+            for k in 0..per_hour {
+                records.push(ActionRecord {
+                    time: SimTime(day * MS_PER_DAY + hour * MS_PER_HOUR + k * step),
+                    action: ActionType::SelectMail,
+                    latency_ms: 101.5,
+                    user: UserId((k + hour) as u64),
+                    class: if k % 2 == 0 {
+                        UserClass::Business
+                    } else {
+                        UserClass::Consumer
+                    },
+                    tz_offset_ms: 0,
+                    outcome: Outcome::Success,
+                });
+            }
+        }
+    }
+    TelemetryLog::from_records(records).expect("valid records")
+}
+
+/// Loss evidence of a log, with the serial/parallel equivalence asserted
+/// on the way: the batch `LossCounts` scan must equal chunked partials
+/// merged out of order, bit for bit (the counts are unit `u64` additions,
+/// which is what lets stream shards maintain them independently).
+fn evidence_with_merge_check(log: &TelemetryLog) -> LossEvidence {
+    let view = Slice::all().select(log);
+    let serial = LossCounts::from_view(&view);
+    let n = view.len();
+    let bounds = [0, n / 4, n / 2, 3 * n / 4, n];
+    let mut chunks: Vec<LossCounts> = bounds
+        .windows(2)
+        .map(|w| {
+            let mut part = LossCounts::new();
+            for i in w[0]..w[1] {
+                part.record(
+                    SimTime(view.time_at(i)),
+                    view.tz_offset_at(i),
+                    view.class_at(i),
+                );
+            }
+            part
+        })
+        .collect();
+    let mut merged = LossCounts::new();
+    for i in [2usize, 0, 3, 1] {
+        merged.merge(&std::mem::take(&mut chunks[i]));
+    }
+    assert_eq!(merged, serial, "chunk-merged counts diverged from batch");
+    let ev = estimate_cell_loss(&view, &serial);
+    assert_eq!(
+        ev,
+        estimate_cell_loss(&view, &merged),
+        "evidence diverged between serial and merged counts"
+    );
+    ev
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Uniform (MCAR) thinning of heartbeat-regular telemetry: the
+    /// sequence-gap estimator counts the missing beats, so the overall
+    /// estimated rate recovers the planted drop probability.
+    #[test]
+    fn loss_estimator_recovers_uniform_drop_rate(
+        seed in 0u64..1u64 << 48,
+        rate in 0.10f64..0.35,
+    ) {
+        let log = steady_log(30);
+        let plan = FaultPlan {
+            seed,
+            ops: vec![FaultOp::DropUniform { rate }],
+        };
+        let dropped = plan.apply(&log).expect("inject");
+        let est = evidence_with_merge_check(&dropped).overall_rate;
+        prop_assert!(
+            (est - rate).abs() < 0.05,
+            "planted {rate:.3}, estimated {est:.3}"
+        );
+    }
+
+    /// Bursty (MNAR) run-dropping: gap and volume shortfalls against the
+    /// median day recover most of the loss that actually lands (the
+    /// injector's realized fraction saturates below the nominal rate, so
+    /// the reference is measured, not nominal). The log is dense enough
+    /// that a mean burst (40 records = 10 min) is interior to an hour —
+    /// bursts that straddle a slot boundary hide their truncated edges
+    /// from the gap estimator, and the volume baselines are themselves
+    /// thinned when many days are hit, so the estimator is structurally
+    /// conservative. The bound is one-sided-tight: never an
+    /// overestimate, never less than half the truth.
+    #[test]
+    fn loss_estimator_recovers_bursty_drop_rate(
+        seed in 0u64..1u64 << 48,
+        rate in 0.15f64..0.45,
+    ) {
+        let log = steady_log(240);
+        let plan = FaultPlan {
+            seed,
+            ops: vec![FaultOp::DropBursty { rate, mean_burst: 40 }],
+        };
+        let dropped = plan.apply(&log).expect("inject");
+        let actual = 1.0 - dropped.len() as f64 / log.len() as f64;
+        let est = evidence_with_merge_check(&dropped).overall_rate;
+        prop_assert!(
+            est >= 0.5 * actual && est <= actual + 0.02,
+            "realized {actual:.3}, estimated {est:.3}"
         );
     }
 }

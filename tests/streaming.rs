@@ -273,6 +273,50 @@ fn duplicate_event_ids_dedup_identically_to_batch_sanitize() {
 }
 
 #[test]
+fn resume_rejects_checkpoint_past_source_end() {
+    // A checkpoint whose recorded source byte offset exceeds the current
+    // file length means the source was truncated or replaced since the
+    // checkpoint was written; seeking there would resume on unrelated
+    // bytes. Resume must refuse with the typed error instead.
+    let log = small_log(0x7A11);
+    let mut engine = StreamEngine::new(
+        stream_config(3_600_000),
+        autosens_telemetry::query::Slice::all(),
+    )
+    .expect("engine");
+    for r in log.iter() {
+        engine.push(r);
+    }
+    let ck = engine.checkpoint(1_000_000);
+
+    // In-memory guard: shorter source fails typed, exact length passes.
+    match ck.check_source_length(999) {
+        Err(autosens_stream::StreamError::TruncatedSource { offset, len }) => {
+            assert_eq!(offset, 1_000_000);
+            assert_eq!(len, 999);
+        }
+        other => panic!("expected TruncatedSource, got {other:?}"),
+    }
+    ck.check_source_length(1_000_000)
+        .expect("offset == length is a fully-consumed source, not truncation");
+
+    // Filesystem guard, as `watch --resume` uses it: a real file too
+    // short to contain the offset. The message must tell the operator
+    // what happened and how to recover.
+    let dir = std::env::temp_dir().join(format!("autosens_trunc_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let src = dir.join("source.csv");
+    std::fs::write(&src, b"time,action\n").expect("write");
+    let err = ck
+        .check_source_file(&src)
+        .expect_err("a 12-byte file cannot contain offset 1,000,000");
+    let msg = err.to_string();
+    assert!(msg.contains("truncated"), "{msg}");
+    assert!(msg.contains("delete the checkpoint"), "{msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn checkpoint_restore_then_drain_matches_uninterrupted_run() {
     let log = small_log(0xC4EC);
     let records: Vec<ActionRecord> = log.iter().collect();
