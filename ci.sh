@@ -62,14 +62,24 @@ echo "==> streaming-batch equivalence gate (analyze vs watch --until-eof)"
 # degradation bookkeeping, record accounting — fails the build. Stream-side
 # metrics (autosens_stream_*, exec chunk counts) legitimately differ, so the
 # metrics diff is restricted to the core counters, timings excluded.
+# The watch side runs with the observability plane fully on (--detect,
+# --status-out): regime detection and the status export must not perturb
+# the analysis by a single bit.
 ./target/release/autosens analyze --in "$SMOKE_DIR/smoke.csv" --json \
     --metrics-out "$SMOKE_DIR/metrics_batch.json" --quiet > "$SMOKE_DIR/report_batch.json"
 ./target/release/autosens watch --in "$SMOKE_DIR/smoke.csv" --until-eof --json \
+    --detect --status-out "$SMOKE_DIR/status.json" \
     --metrics-out "$SMOKE_DIR/metrics_stream.json" --quiet > "$SMOKE_DIR/report_stream.json"
 if ! diff -u "$SMOKE_DIR/report_batch.json" "$SMOKE_DIR/report_stream.json"; then
     echo "ci.sh: streamed report diverged from batch analyze" >&2
     exit 1
 fi
+for key in '"status"' '"queue_depth"' '"curve"' '"shard_lags"' '"recent_events"'; do
+    grep -q "$key" "$SMOKE_DIR/status.json" || {
+        echo "ci.sh: key $key missing from watch --status-out document" >&2
+        exit 1
+    }
+done
 # The export is pretty-printed (name and value on separate lines), so join
 # first, then pick out name/value pairs for core counters, timings excluded.
 core_counters() {
@@ -116,5 +126,15 @@ echo "==> robustness frontier gate (corrected beats naive under planted loss)"
 # (MCAR) thinning. The runner exits nonzero if any check fails.
 cargo build --release -q -p autosens-experiments
 ./target/release/autosens-experiments robustness --bench > /dev/null
+
+echo "==> regime detection gate (planted boundaries caught, clean run silent)"
+# Ground-truth scoring of the online regime-shift detector: the artifact
+# plants two congestion regimes with known boundaries, and its shape
+# checks assert every boundary is reported by the pooled level detector,
+# in the right direction, within 8 detector buckets (2 h of event time at
+# the default 15-minute bucket), with ZERO alarms on an identically
+# seeded clean twin. See DESIGN.md §6g for the detector math and the
+# provenance of the bound. The runner exits nonzero if any check fails.
+./target/release/autosens-experiments regime --bench > /dev/null
 
 echo "==> ci.sh: all green"

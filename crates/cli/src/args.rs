@@ -27,7 +27,8 @@ usage:
                     [--every-events N] [--every-ms MS] [--until-eof]
                     [--shard-ms MS] [--lateness-ms MS]
                     [--checkpoint PATH] [--resume]
-                    [--trace-out PATH] [--metrics-out PATH]
+                    [--detect] [--half-life MS] [--status-out PATH]
+                    [--profile] [--trace-out PATH] [--metrics-out PATH]
 
   global:  [--quiet|-q] [--verbose|-v]
 
@@ -183,6 +184,15 @@ pub enum Command {
         checkpoint: Option<String>,
         /// Resume from the --checkpoint file instead of starting fresh.
         resume: bool,
+        /// Run online regime-shift detection at each flush.
+        detect: bool,
+        /// Maintain a windowed decayed curve with this half-life (event-time
+        /// ms) alongside the lifetime curve.
+        half_life_ms: Option<i64>,
+        /// Rewrite a JSON health document at this path on every flush.
+        status_out: Option<String>,
+        /// Print the per-stage wall-clock profile to stderr after the run.
+        profile: bool,
         /// Write the span trace as JSONL to this path.
         trace_out: Option<String>,
         /// Write the metrics snapshot as JSON to this path.
@@ -244,6 +254,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "--lateness-ms",
         "--checkpoint",
         "--resume",
+        "--detect",
+        "--half-life",
+        "--status-out",
         "--quiet",
         "--verbose",
     ];
@@ -256,6 +269,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 | "--profile"
                 | "--until-eof"
                 | "--resume"
+                | "--detect"
                 | "--quiet"
                 | "--verbose"
         )
@@ -445,6 +459,16 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 lateness_ms: parse_ms("--lateness-ms", 3_600_000)?,
                 checkpoint,
                 resume,
+                detect: has("--detect"),
+                half_life_ms: flag("--half-life")
+                    .map(|s| {
+                        s.parse::<i64>().ok().filter(|v| *v > 0).ok_or(format!(
+                            "--half-life must be a positive ms count, got {s:?}"
+                        ))
+                    })
+                    .transpose()?,
+                status_out: flag("--status-out").map(str::to_string),
+                profile: has("--profile"),
                 trace_out: flag("--trace-out").map(str::to_string),
                 metrics_out: flag("--metrics-out").map(str::to_string),
                 threads,
@@ -713,6 +737,67 @@ mod tests {
         assert!(parse(&sv(&["watch", "--in", "x", "--resume"])).is_err()); // no --checkpoint
         assert!(parse(&sv(&["watch", "--in", "x", "--shard-ms", "0"])).is_err());
         assert!(parse(&sv(&["watch", "--in", "x", "--every-events", "soon"])).is_err());
+    }
+
+    #[test]
+    fn parses_watch_observability_flags() {
+        // Defaults: detection off, no windowed curve, no status document.
+        match parse(&sv(&["watch", "--in", "x.csv", "--until-eof"])).unwrap() {
+            Command::Watch {
+                detect,
+                half_life_ms,
+                status_out,
+                profile,
+                ..
+            } => {
+                assert!(!detect);
+                assert_eq!(half_life_ms, None);
+                assert_eq!(status_out, None);
+                assert!(!profile);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse(&sv(&[
+            "watch",
+            "--in",
+            "x.csv",
+            "--detect",
+            "--half-life",
+            "172800000",
+            "--status-out",
+            "status.json",
+            "--profile",
+            "--trace-out",
+            "trace.jsonl",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Watch {
+                detect,
+                half_life_ms,
+                status_out,
+                profile,
+                trace_out,
+                ..
+            } => {
+                assert!(detect);
+                assert_eq!(half_life_ms, Some(172_800_000));
+                assert_eq!(status_out.as_deref(), Some("status.json"));
+                assert!(profile);
+                assert_eq!(trace_out.as_deref(), Some("trace.jsonl"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // --detect is boolean: it must not swallow the next token.
+        match parse(&sv(&["watch", "--detect", "--in", "x.csv"])).unwrap() {
+            Command::Watch { input, detect, .. } => {
+                assert_eq!(input, "x.csv");
+                assert!(detect);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&sv(&["watch", "--in", "x", "--half-life", "0"])).is_err());
+        assert!(parse(&sv(&["watch", "--in", "x", "--half-life", "2d"])).is_err());
     }
 
     #[test]

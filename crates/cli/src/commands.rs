@@ -8,7 +8,10 @@ use autosens_core::report::{f3, text_table, PreferenceSummary};
 use autosens_core::{AutoSens, AutoSensConfig};
 use autosens_faults::FaultPlan;
 use autosens_sim::{generate_with_threads, SimConfig};
-use autosens_stream::{Checkpoint, Ingestor, Offer, OverflowPolicy, StreamConfig, StreamEngine};
+use autosens_stream::{
+    Checkpoint, DetectorConfig, Ingestor, Offer, OverflowPolicy, StatusDocument, StreamConfig,
+    StreamEngine,
+};
 use autosens_telemetry::codec;
 use autosens_telemetry::quality;
 use autosens_telemetry::query::Slice;
@@ -351,6 +354,10 @@ pub fn run(cmd: Command) -> Result<(), String> {
             lateness_ms,
             checkpoint,
             resume,
+            detect,
+            half_life_ms,
+            status_out,
+            profile,
             trace_out,
             metrics_out,
             threads,
@@ -369,6 +376,10 @@ pub fn run(cmd: Command) -> Result<(), String> {
             lateness_ms,
             checkpoint,
             resume,
+            detect,
+            half_life_ms,
+            status_out,
+            profile,
             trace_out,
             metrics_out,
             threads,
@@ -417,6 +428,10 @@ struct WatchArgs {
     lateness_ms: i64,
     checkpoint: Option<String>,
     resume: bool,
+    detect: bool,
+    half_life_ms: Option<i64>,
+    status_out: Option<String>,
+    profile: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
     threads: usize,
@@ -427,7 +442,7 @@ struct WatchArgs {
 /// single final snapshot is byte-identical to batch `analyze` over the
 /// same file (the CI equivalence gate depends on this).
 fn run_watch(args: WatchArgs) -> Result<(), String> {
-    let profiling = args.trace_out.is_some() || args.metrics_out.is_some();
+    let profiling = args.profile || args.trace_out.is_some() || args.metrics_out.is_some();
     let recorder = autosens_obs::Recorder::global().clone();
     if profiling {
         recorder.set_collecting(true);
@@ -472,6 +487,8 @@ fn run_watch(args: WatchArgs) -> Result<(), String> {
                 shard_ms: args.shard_ms,
                 allowed_lateness_ms: args.lateness_ms,
                 retain_ms: None,
+                detector: args.detect.then(DetectorConfig::default),
+                decay_half_life_ms: args.half_life_ms,
             };
             let engine = StreamEngine::with_recorder(config, filter, recorder.clone())
                 .map_err(|e| e.to_string())?;
@@ -525,7 +542,25 @@ fn run_watch(args: WatchArgs) -> Result<(), String> {
             .is_some_and(|ms| last_emit.elapsed().as_millis() as u64 >= ms)
             && admitted_since_emit > 0;
         if due_events || due_time {
-            emit_snapshot(&engine, &label, args.json, args.reference_ms, false)?;
+            if args.detect {
+                for s in engine.run_detection().map_err(|e| e.to_string())? {
+                    autosens_obs::warn!(
+                        "regime shift: {} {} {} at {} (z = {:.1}{})",
+                        s.stream,
+                        s.signal,
+                        s.direction,
+                        s.bucket_start_ms,
+                        s.magnitude_z,
+                        if s.shared { ", shared" } else { "" }
+                    );
+                }
+            }
+            let report = emit_snapshot(&engine, &label, args.json, args.reference_ms, false)?;
+            if let (Some(path), Some(report)) = (&args.status_out, report.as_ref()) {
+                StatusDocument::collect(&engine, report, ingestor.queue_depth() as u64)
+                    .save(std::path::Path::new(path))
+                    .map_err(|e| format!("status {path}: {e}"))?;
+            }
             emitted_any = true;
             admitted_since_emit = 0;
             last_emit = std::time::Instant::now();
@@ -543,12 +578,23 @@ fn run_watch(args: WatchArgs) -> Result<(), String> {
     // Final snapshot: always emitted at EOF unless a cadence snapshot
     // already covered the complete stream.
     if admitted_since_emit > 0 || !emitted_any {
-        emit_snapshot(&engine, &label, args.json, args.reference_ms, true)?;
+        if args.detect {
+            engine.run_detection().map_err(|e| e.to_string())?;
+        }
+        let report = emit_snapshot(&engine, &label, args.json, args.reference_ms, true)?;
+        if let (Some(path), Some(report)) = (&args.status_out, report.as_ref()) {
+            StatusDocument::collect(&engine, report, ingestor.queue_depth() as u64)
+                .save(std::path::Path::new(path))
+                .map_err(|e| format!("status {path}: {e}"))?;
+        }
     }
     save_checkpoint(&engine, &reader)?;
 
     if profiling {
         let tree = recorder.finish();
+        if args.profile {
+            eprint!("{}", tree.render());
+        }
         if let Some(path) = &args.trace_out {
             std::fs::write(path, tree.to_jsonl()).map_err(|e| format!("write {path}: {e}"))?;
         }
@@ -565,20 +611,22 @@ fn run_watch(args: WatchArgs) -> Result<(), String> {
 
 /// Print one streaming snapshot in the same shape `analyze` uses, so the
 /// final `--until-eof` emission diffs clean against the batch output.
+/// Returns the report so the caller can derive the status document from
+/// the same snapshot instead of recomputing it.
 fn emit_snapshot(
     engine: &StreamEngine,
     label: &str,
     json: bool,
     reference_ms: f64,
     final_emit: bool,
-) -> Result<(), String> {
+) -> Result<Option<autosens_core::pipeline::AnalysisReport>, String> {
     let report = match engine.snapshot() {
         Ok(report) => report,
         // An empty window is not fatal mid-stream (records may simply not
         // have arrived yet); only the final snapshot insists on data.
         Err(e) if !final_emit => {
             autosens_obs::debug!("skipping snapshot: {e}");
-            return Ok(());
+            return Ok(None);
         }
         Err(e) => return Err(e.to_string()),
     };
@@ -628,7 +676,7 @@ fn emit_snapshot(
             text_table(&["latency (ms)", "normalized preference"], &rows)
         );
     }
-    Ok(())
+    Ok(Some(report))
 }
 
 fn read_log(path: &str, format: Format) -> Result<TelemetryLog, String> {

@@ -76,5 +76,5 @@ pub use alpha::{partition_by_group, GroupPartition, Grouping};
 pub use config::AutoSensConfig;
 pub use error::AutoSensError;
 pub use lossmodel::LossModel;
-pub use pipeline::{AutoSens, LossReport, Prepared};
+pub use pipeline::{AutoSens, DecaySpec, LossReport, Prepared, WindowedCurve};
 pub use preference::NormalizedPreference;

@@ -23,7 +23,7 @@ use crate::config::AutoSensConfig;
 use crate::error::AutoSensError;
 use crate::lossmodel::{CellCorrection, LossModel};
 use crate::preference::NormalizedPreference;
-use crate::unbiased::unbiased_histogram_par;
+use crate::unbiased::{decay_weight, unbiased_histogram_decayed_par, unbiased_histogram_par};
 
 /// The per-quartile analyses of [`AutoSens::by_latency_quartile`]:
 /// quartile index (0 = Q1, fastest users) paired with that slice's result.
@@ -90,6 +90,49 @@ pub struct Prepared {
     /// Optional precomputed per-day loss-cell observation counts matching
     /// `log` exactly; when present the lossmodel stage skips its rescan.
     pub loss_counts: Option<LossCounts>,
+    /// Optional windowed-decay request: when present, the report also
+    /// carries an exponentially-decayed windowed preference curve (see
+    /// [`WindowedCurve`]). The lifetime curve is unaffected either way —
+    /// the windowed stage runs on its own RNG stream after every lifetime
+    /// stage has consumed exactly what it always consumed.
+    pub decay: Option<DecaySpec>,
+}
+
+/// How to decay the windowed preference curve: each record (and each
+/// unbiased draw instant) `t` is weighted `0.5^((frontier_ms - t) /
+/// half_life_ms)`, so mass one half-life older than the frontier counts
+/// half as much and old regimes fade geometrically instead of being
+/// averaged in forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecaySpec {
+    /// Decay half-life, in event-time milliseconds (> 0).
+    pub half_life_ms: i64,
+    /// The freshest instant of the window (normally the stream watermark
+    /// or the end of the log); weights are 1 at the frontier and clamp to
+    /// 1 beyond it.
+    pub frontier_ms: i64,
+}
+
+/// The exponentially-decayed windowed preference curve, computed alongside
+/// the lifetime curve when the caller supplies a [`DecaySpec`]. Where the
+/// lifetime curve averages every regime the log ever saw, the windowed
+/// curve tracks the *current* one: an incident that shifts latency shows up
+/// here within a couple of half-lives and fades out as fast once it clears.
+#[derive(Debug, Clone)]
+pub struct WindowedCurve {
+    /// The decay spec that produced this curve.
+    pub spec: DecaySpec,
+    /// The decayed-weight biased histogram `B_w`.
+    pub biased: Histogram,
+    /// The decayed-weight unbiased histogram `U_w`.
+    pub unbiased: Histogram,
+    /// Total decayed mass in `B_w` — an effective-sample-size proxy; a
+    /// stream idle for many half-lives decays toward zero mass.
+    pub effective_mass: f64,
+    /// The fitted windowed preference. `None` when the decayed mass no
+    /// longer supports a fit (too few supported bins) — the lifetime curve
+    /// remains the authoritative answer in that case.
+    pub preference: Option<NormalizedPreference>,
 }
 
 /// What the lossmodel stage estimated and what the uncorrected analysis
@@ -131,6 +174,9 @@ pub struct AnalysisReport {
     /// correction is off or was a no-op — in which case the report is
     /// bit-identical to a `loss_correct: false` run.
     pub loss: Option<LossReport>,
+    /// The windowed decayed curve (present only when the caller asked for
+    /// one via [`Prepared::decay`]; never part of the batch output).
+    pub windowed: Option<WindowedCurve>,
     /// Data-quality problems survived along the way (empty on clean input).
     pub degradations: Vec<Degradation>,
     /// Wall-clock time per pipeline stage (see [`STAGES`]), in execution
@@ -264,6 +310,7 @@ impl AutoSens {
             copied,
             None,
             None,
+            None,
             root,
             timings,
         )
@@ -288,6 +335,7 @@ impl AutoSens {
             records_dropped,
             partition,
             loss_counts,
+            decay,
         } = prepared;
         log.require_sorted()?;
         let root = self.recorder.root("analyze");
@@ -307,6 +355,7 @@ impl AutoSens {
             0,
             partition,
             loss_counts,
+            decay,
             root,
             timings,
         )
@@ -327,6 +376,7 @@ impl AutoSens {
         copied: usize,
         partition: Option<GroupPartition>,
         loss_counts: Option<LossCounts>,
+        decay: Option<DecaySpec>,
         mut root: Span,
         mut timings: Vec<StageTiming>,
     ) -> Result<AnalysisReport, AutoSensError> {
@@ -510,6 +560,13 @@ impl AutoSens {
             naive_unbiased,
         });
 
+        // Windowed decayed curve: an incident-tracking view of the same
+        // records, computed last on its own RNG stream so that — present or
+        // absent — every lifetime stage above keeps its exact byte output.
+        let windowed = decay
+            .map(|spec| self.windowed_curve(sub, spec, &root, &mut timings))
+            .transpose()?;
+
         let metrics = self.recorder.metrics();
         metrics.counter("autosens_core_analyses_total").inc();
         metrics
@@ -545,8 +602,65 @@ impl AutoSens {
             biased,
             unbiased,
             loss,
+            windowed,
             degradations,
             stage_timings: Some(timings),
+        })
+    }
+
+    /// Compute the exponentially-decayed windowed curve (see
+    /// [`WindowedCurve`]): a decayed-weight sweep for `B_w`, the decayed
+    /// draw estimator for `U_w`, and a fit with the same smoothing /
+    /// normalization config as the lifetime curve but no α correction —
+    /// the decayed horizon covers too few occurrences of each hour slot
+    /// for stable per-slot activity factors.
+    fn windowed_curve(
+        &self,
+        sub: &LogView<'_>,
+        spec: DecaySpec,
+        root: &Span,
+        timings: &mut Vec<StageTiming>,
+    ) -> Result<WindowedCurve, AutoSensError> {
+        if spec.half_life_ms <= 0 {
+            return Err(AutoSensError::BadConfig(
+                "decay half-life must be > 0 ms".into(),
+            ));
+        }
+        let binner = self.config.binner()?;
+        let mut span = root.child("windowed_curve");
+        span.field("half_life_ms", spec.half_life_ms as u64);
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xDECA);
+        let mut biased = Histogram::new(binner.clone());
+        for i in 0..sub.len() {
+            biased.record_weighted(
+                sub.latency_at(i),
+                decay_weight(sub.time_at(i), spec.frontier_ms, spec.half_life_ms),
+            );
+        }
+        let (unbiased, draw_report) = unbiased_histogram_decayed_par(
+            sub,
+            &binner,
+            spec.half_life_ms,
+            spec.frontier_ms,
+            self.config.unbiased_draws,
+            self.config.threads,
+            &mut rng,
+        )?;
+        self.record_exec(&span, &draw_report);
+        let effective_mass = biased.total();
+        let preference = NormalizedPreference::fit(&biased, &unbiased, &self.config).ok();
+        span.field("effective_mass", effective_mass);
+        span.field("fit", u64::from(preference.is_some()));
+        timings.push(StageTiming {
+            stage: "windowed_curve".into(),
+            wall_ms: span.finish(),
+        });
+        Ok(WindowedCurve {
+            spec,
+            biased,
+            unbiased,
+            effective_mass,
+            preference,
         })
     }
 
@@ -1181,6 +1295,111 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    /// A `Prepared` equivalent to what batch sanitize would produce for
+    /// the whole log, optionally requesting the windowed decayed curve.
+    fn prepared_from(log: &TelemetryLog, decay: Option<DecaySpec>) -> Prepared {
+        let (selected, _) = Slice::all().successes().select_par(log, 1).unwrap();
+        let records_in = selected.len();
+        let (clean, removed) = selected.dedup_exact_par(1);
+        Prepared {
+            log: clean.materialize(),
+            degradations: Vec::new(),
+            records_in,
+            records_dropped: removed,
+            partition: None,
+            loss_counts: None,
+            decay,
+        }
+    }
+
+    #[test]
+    fn prepared_decay_adds_windowed_curve_and_leaves_lifetime_untouched() {
+        let log = smoke_log();
+        let engine = AutoSens::new(fast_config());
+        let base = engine.analyze_prepared(prepared_from(&log, None)).unwrap();
+        assert!(base.windowed.is_none());
+
+        let p = prepared_from(&log, None);
+        let frontier = p.log.view().time_at(p.log.view().len() - 1);
+        let spec = DecaySpec {
+            half_life_ms: 2 * 86_400_000,
+            frontier_ms: frontier,
+        };
+        let with = engine
+            .analyze_prepared(prepared_from(&log, Some(spec)))
+            .unwrap();
+        let w = with.windowed.as_ref().expect("windowed curve requested");
+        assert_eq!(w.spec, spec);
+        assert!(w.effective_mass > 0.0);
+        assert!(w.preference.is_some(), "decayed mass should support a fit");
+
+        // The lifetime output is bit-identical whether or not the windowed
+        // stage ran: it consumes its own RNG stream after every lifetime
+        // stage finished.
+        assert_eq!(base.preference.series(), with.preference.series());
+        assert_eq!(base.biased.counts(), with.biased.counts());
+        assert_eq!(base.unbiased.counts(), with.unbiased.counts());
+        assert_eq!(base.n_actions, with.n_actions);
+
+        // The extra stage shows up in the timings only when requested, so
+        // batch runs keep exactly the documented stage list.
+        let stages = |r: &AnalysisReport| -> Vec<String> {
+            r.stage_timings
+                .as_ref()
+                .unwrap()
+                .iter()
+                .map(|t| t.stage.clone())
+                .collect()
+        };
+        assert!(!stages(&base).contains(&"windowed_curve".to_string()));
+        assert!(stages(&with).contains(&"windowed_curve".to_string()));
+    }
+
+    #[test]
+    fn windowed_mass_shrinks_with_shorter_half_life() {
+        let log = smoke_log();
+        let engine = AutoSens::new(fast_config());
+        let p = prepared_from(&log, None);
+        let frontier = p.log.view().time_at(p.log.view().len() - 1);
+        let mass = |hl: i64| {
+            engine
+                .analyze_prepared(prepared_from(
+                    &log,
+                    Some(DecaySpec {
+                        half_life_ms: hl,
+                        frontier_ms: frontier,
+                    }),
+                ))
+                .unwrap()
+                .windowed
+                .unwrap()
+                .effective_mass
+        };
+        let short = mass(6 * 3_600_000);
+        let long = mass(4 * 86_400_000);
+        assert!(
+            short < long,
+            "6h mass {short} should be below 4d mass {long}"
+        );
+    }
+
+    #[test]
+    fn nonpositive_half_life_is_rejected() {
+        let log = smoke_log();
+        let engine = AutoSens::new(fast_config());
+        let bad = prepared_from(
+            &log,
+            Some(DecaySpec {
+                half_life_ms: 0,
+                frontier_ms: 1,
+            }),
+        );
+        assert!(matches!(
+            engine.analyze_prepared(bad),
+            Err(AutoSensError::BadConfig(_))
+        ));
     }
 
     #[test]

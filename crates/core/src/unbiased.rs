@@ -202,6 +202,92 @@ pub fn unbiased_histogram_in_windows_par<R: Rng>(
     Ok((pooled, report))
 }
 
+/// The exponential-decay weight of an event-time instant `t_ms` relative to
+/// a frontier (the freshest instant in the window): `0.5^(age / half_life)`
+/// where `age = frontier_ms - t_ms`. Instants at the frontier weigh 1, one
+/// half-life back weigh 0.5, and instants past the frontier are clamped to
+/// weight 1 rather than amplified.
+pub fn decay_weight(t_ms: i64, frontier_ms: i64, half_life_ms: i64) -> f64 {
+    debug_assert!(half_life_ms > 0);
+    let age = (frontier_ms - t_ms).max(0) as f64;
+    0.5f64.powf(age / half_life_ms as f64)
+}
+
+/// Exponentially-decayed variant of [`unbiased_histogram_par`]: instants are
+/// drawn uniformly over the whole span exactly as in the undecayed
+/// estimator, but each draw deposits weight
+/// `0.5^((frontier_ms - t) / half_life_ms)` instead of 1 — so the windowed
+/// unbiased curve `U_w` tracks the *recent* latency environment while old
+/// regimes fade geometrically. Drawing uniformly and decaying the weight
+/// (rather than drawing from the decayed density) keeps the nearest-sample
+/// sweep and the chunk/seed schedule identical to the lifetime estimator,
+/// and the result bit-identical for every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn unbiased_histogram_decayed_par<R: Rng>(
+    log: &LogView<'_>,
+    binner: &Binner,
+    half_life_ms: i64,
+    frontier_ms: i64,
+    n_draws: usize,
+    threads: usize,
+    rng: &mut R,
+) -> Result<(Histogram, ExecReport), AutoSensError> {
+    if log.is_empty() {
+        return Err(AutoSensError::EmptySlice("unbiased estimation".into()));
+    }
+    if n_draws == 0 {
+        return Err(AutoSensError::BadConfig(
+            "unbiased draws must be > 0".into(),
+        ));
+    }
+    if half_life_ms <= 0 {
+        return Err(AutoSensError::BadConfig(
+            "decay half-life must be > 0 ms".into(),
+        ));
+    }
+    let (start, end) = match (log.start_time(), log.end_time()) {
+        (Some(s), Some(e)) => (s.millis(), e.millis()),
+        _ => return Err(AutoSensError::EmptySlice("unbiased estimation".into())),
+    };
+    let total_len = end - start + 1;
+    let base_seed = rng.gen::<u64>();
+    let (parts, report) = autosens_exec::run_chunks(
+        "unbiased_decayed_draws",
+        n_draws,
+        autosens_exec::chunk_size_for(n_draws),
+        threads,
+        |chunk, range| -> Result<Histogram, AutoSensError> {
+            let mut rng = StdRng::seed_from_u64(autosens_exec::chunk_seed(base_seed, chunk as u64));
+            let mut draws: Vec<(i64, u64)> = range
+                .map(|_| (rng.gen_range(0..total_len), rng.gen::<u64>()))
+                .collect();
+            draws.sort_unstable();
+            let mut h = Histogram::new(binner.clone());
+            for (pick, tie) in draws {
+                let t = start + pick;
+                let (lo, hi) = log
+                    .nearest_in_time(SimTime(t))
+                    .map_err(AutoSensError::from)?;
+                let idx = if hi - lo == 1 {
+                    lo
+                } else {
+                    lo + (tie as usize) % (hi - lo)
+                };
+                h.record_weighted(
+                    log.latency_at(idx),
+                    decay_weight(t, frontier_ms, half_life_ms),
+                );
+            }
+            Ok(h)
+        },
+    )?;
+    let mut pooled = Histogram::new(binner.clone());
+    for part in parts {
+        pooled.merge(&part?).map_err(AutoSensError::from)?;
+    }
+    Ok((pooled, report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +447,96 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let (h, _) = unbiased_histogram_par(&log.view(), &binner(), 20_000, 2, &mut rng).unwrap();
         assert_eq!(h.total(), 20_000.0);
+    }
+
+    #[test]
+    fn decay_weight_halves_per_half_life() {
+        assert_eq!(decay_weight(1_000, 1_000, 500), 1.0);
+        assert!((decay_weight(500, 1_000, 500) - 0.5).abs() < 1e-12);
+        assert!((decay_weight(0, 1_000, 500) - 0.25).abs() < 1e-12);
+        // Instants past the frontier clamp to 1, never amplify.
+        assert_eq!(decay_weight(2_000, 1_000, 500), 1.0);
+    }
+
+    #[test]
+    fn decayed_draws_weight_recent_regime_up() {
+        // First half of the span is slow (500 ms), second half fast
+        // (100 ms). Undecayed, the unbiased split is ~50/50; with a
+        // half-life of a tenth of the span, the fast (recent) regime must
+        // dominate the decayed mass.
+        let mut records: Vec<ActionRecord> = (0..500).map(|i| rec(i * 100, 500.0)).collect();
+        records.extend((0..500).map(|i| rec(50_000 + i * 100, 100.0)));
+        let log = TelemetryLog::from_records(records).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let (h, _) = unbiased_histogram_decayed_par(
+            &log.view(),
+            &binner(),
+            10_000,
+            99_900,
+            40_000,
+            2,
+            &mut rng,
+        )
+        .unwrap();
+        let frac_fast = h.count(10) / h.total();
+        assert!(frac_fast > 0.8, "fast share {frac_fast}");
+        // Old mass fades but never to exactly zero.
+        assert!(h.count(50) > 0.0);
+    }
+
+    #[test]
+    fn decayed_draws_are_bit_identical_across_thread_counts() {
+        let records: Vec<ActionRecord> = (0..500)
+            .map(|i| rec(i * 997, 50.0 + (i % 90) as f64 * 10.0))
+            .collect();
+        let log = TelemetryLog::from_records(records).unwrap();
+        let frontier = 499 * 997;
+        let reference = {
+            let mut rng = StdRng::seed_from_u64(9);
+            unbiased_histogram_decayed_par(
+                &log.view(),
+                &binner(),
+                60_000,
+                frontier,
+                30_000,
+                1,
+                &mut rng,
+            )
+            .unwrap()
+            .0
+        };
+        for threads in [2, 4, 8] {
+            let mut rng = StdRng::seed_from_u64(9);
+            let (h, report) = unbiased_histogram_decayed_par(
+                &log.view(),
+                &binner(),
+                60_000,
+                frontier,
+                30_000,
+                threads,
+                &mut rng,
+            )
+            .unwrap();
+            let same = h
+                .counts()
+                .iter()
+                .zip(reference.counts())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "threads={threads} diverged");
+            assert_eq!(report.n_items, 30_000);
+        }
+    }
+
+    #[test]
+    fn decayed_rejects_bad_half_life() {
+        let log = TelemetryLog::from_records(vec![rec(0, 100.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        assert!(
+            unbiased_histogram_decayed_par(&log.view(), &binner(), 0, 0, 10, 1, &mut rng).is_err()
+        );
+        assert!(
+            unbiased_histogram_decayed_par(&log.view(), &binner(), -5, 0, 10, 1, &mut rng).is_err()
+        );
     }
 
     #[test]

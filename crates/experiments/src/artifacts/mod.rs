@@ -12,6 +12,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod profile;
+pub mod regime;
 pub mod robustness;
 pub mod streaming;
 pub mod sweep;
@@ -115,6 +116,7 @@ pub fn by_id(data: &Dataset, id: &str) -> Option<Artifact> {
         "abandonment-ext" => Some(abandonment_ext::generate_abandonment()),
         "robustness" => Some(robustness::generate_robustness()),
         "streaming" => Some(streaming::generate_streaming()),
+        "regime" => Some(regime::generate_regime()),
         // Profiles the *loaded* dataset, so `--bench` profiles smoke scale.
         "profile" => Some(profile::generate(data)),
         _ => None,

@@ -98,9 +98,30 @@ mod tests {
         let (stem, body) = &art.csv[0];
         assert_eq!(stem, "stage_profile");
         assert!(body.starts_with("stage,calls,wall_ms,share\n"));
-        for stage in STAGES {
-            assert!(body.contains(stage), "{body}");
+        // Parse the stage column: every documented pipeline stage (and the
+        // CI stage) must appear as an exact row, each with a positive call
+        // count and a finite wall-clock time — substring matching would
+        // also accept a stage that only appears inside another's name.
+        let mut rows = std::collections::BTreeMap::new();
+        for line in body.lines().skip(1) {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), 4, "malformed profile row {line:?}");
+            let calls: u64 = fields[1].parse().expect("calls column");
+            let wall_ms: f64 = fields[2].parse().expect("wall_ms column");
+            assert!(wall_ms.is_finite() && wall_ms >= 0.0, "row {line:?}");
+            rows.insert(fields[0].to_string(), calls);
         }
-        assert!(body.contains(CI_STAGE), "{body}");
+        for stage in STAGES.iter().chain([&CI_STAGE]) {
+            let calls = rows.get(*stage);
+            assert!(
+                calls.is_some_and(|&c| c >= 1),
+                "stage {stage} missing from the CSV stage column: {body}"
+            );
+        }
+        // The batch profile must not grow streaming-only stages.
+        assert!(
+            !rows.contains_key("windowed_curve"),
+            "windowed_curve must not run in a batch profile: {body}"
+        );
     }
 }

@@ -119,6 +119,8 @@ pub fn generate_streaming() -> Artifact {
             shard_ms: 6 * 3_600_000,
             allowed_lateness_ms: minutes * 60_000,
             retain_ms: None,
+            detector: None,
+            decay_half_life_ms: None,
         };
         let mut engine = match StreamEngine::new(stream_cfg, Slice::all()) {
             Ok(e) => e,

@@ -1,0 +1,306 @@
+//! Flight recorder: a bounded ring buffer of structured runtime events.
+//!
+//! Long-running streaming processes need an answer to "what happened in the
+//! last hour?" that is cheaper than a full trace and richer than counters.
+//! The [`FlightRecorder`] keeps the most recent N structured events —
+//! regime shifts, shed/late-drop bursts, loss-rate gate trips, checkpoint
+//! operations — each stamped with a monotonic sequence number and the
+//! event-time instant it describes. When the ring is full the oldest event
+//! is dropped (and counted), so memory stays bounded no matter how long the
+//! process runs.
+//!
+//! Timestamps are *event time* (the stream's watermark/frontier), not wall
+//! clock: the recorder's contents are then a pure function of the data that
+//! flowed through the engine, which keeps tests deterministic and replays
+//! honest.
+//!
+//! The recorder is deliberately **not** carried through checkpoint/restore:
+//! a checkpoint captures the durable analytical state (records, offsets),
+//! while the flight recorder is operational memory of *this process*. A
+//! restored process starts with an empty ring — see DESIGN.md §6g.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// What kind of incident an event records.
+///
+/// Serde impls are hand-written: the vendored serde stub has no
+/// `rename_all`, and the health document wants snake_case tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// The changepoint detector confirmed a regime boundary.
+    RegimeShift,
+    /// The bounded ingest queue overflowed and shed events.
+    ShedBurst,
+    /// Arrivals fell behind the watermark and were counted-and-dropped.
+    LateDropBurst,
+    /// The telemetry loss estimator flagged a calendar day as lossy.
+    LossGateTrip,
+    /// A checkpoint was written.
+    CheckpointSaved,
+    /// State was restored from a checkpoint.
+    CheckpointRestored,
+}
+
+impl FlightKind {
+    /// The snake_case wire tag.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FlightKind::RegimeShift => "regime_shift",
+            FlightKind::ShedBurst => "shed_burst",
+            FlightKind::LateDropBurst => "late_drop_burst",
+            FlightKind::LossGateTrip => "loss_gate_trip",
+            FlightKind::CheckpointSaved => "checkpoint_saved",
+            FlightKind::CheckpointRestored => "checkpoint_restored",
+        }
+    }
+}
+
+impl Serialize for FlightKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for FlightKind {
+    fn from_value(v: &serde::Value) -> Result<FlightKind, serde::DeError> {
+        let tag = match v {
+            serde::Value::String(s) => s.as_str(),
+            other => return Err(serde::DeError::type_mismatch("string", other)),
+        };
+        match tag {
+            "regime_shift" => Ok(FlightKind::RegimeShift),
+            "shed_burst" => Ok(FlightKind::ShedBurst),
+            "late_drop_burst" => Ok(FlightKind::LateDropBurst),
+            "loss_gate_trip" => Ok(FlightKind::LossGateTrip),
+            "checkpoint_saved" => Ok(FlightKind::CheckpointSaved),
+            "checkpoint_restored" => Ok(FlightKind::CheckpointRestored),
+            other => Err(serde::DeError::custom(format!(
+                "unknown flight event kind {other:?}"
+            ))),
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightEvent {
+    /// Monotonic sequence number, assigned at record time. Strictly
+    /// increasing across the recorder's lifetime, including dropped events.
+    pub seq: u64,
+    /// Event-time instant the event describes (epoch ms).
+    pub at_ms: i64,
+    /// Event category.
+    pub kind: FlightKind,
+    /// Human-readable detail, e.g. `"stream=pooled bucket=412 dir=up"`.
+    pub detail: String,
+}
+
+#[derive(Debug)]
+struct Ring {
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    buf: VecDeque<FlightEvent>,
+}
+
+/// A bounded, thread-safe ring buffer of [`FlightEvent`]s.
+///
+/// Cloning is cheap (an `Arc` handle); all clones share one ring. Sequence
+/// numbers are assigned under the ring lock, so the order of `seq` values
+/// is the order events entered the ring even under concurrent recording.
+///
+/// ```
+/// use autosens_obs::{FlightKind, FlightRecorder};
+///
+/// let rec = FlightRecorder::new(2);
+/// rec.record(FlightKind::ShedBurst, 1_000, "queue full");
+/// rec.record(FlightKind::RegimeShift, 2_000, "stream=pooled dir=up");
+/// rec.record(FlightKind::CheckpointSaved, 3_000, "bucket=4");
+/// let events = rec.events();
+/// assert_eq!(events.len(), 2); // oldest dropped
+/// assert_eq!(events[0].seq, 1);
+/// assert_eq!(rec.dropped(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    inner: Arc<Mutex<Ring>>,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            inner: Arc::new(Mutex::new(Ring {
+                capacity,
+                next_seq: 0,
+                dropped: 0,
+                buf: VecDeque::with_capacity(capacity),
+            })),
+        }
+    }
+
+    /// Record one event, returning its sequence number. Drops (and counts)
+    /// the oldest event if the ring is full.
+    pub fn record(&self, kind: FlightKind, at_ms: i64, detail: impl Into<String>) -> u64 {
+        let mut ring = self.inner.lock();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.buf.len() == ring.capacity {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(FlightEvent {
+            seq,
+            at_ms,
+            kind,
+            detail: detail.into(),
+        });
+        seq
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Number of events currently in the ring.
+    pub fn len(&self) -> usize {
+        self.inner.lock().buf.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().buf.is_empty()
+    }
+
+    /// Total events ever recorded (including since-dropped ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().next_seq
+    }
+
+    /// Events evicted by wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// A copy of every retained event, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        self.inner.lock().buf.iter().cloned().collect()
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<FlightEvent> {
+        let ring = self.inner.lock();
+        let skip = ring.buf.len().saturating_sub(n);
+        ring.buf.iter().skip(skip).cloned().collect()
+    }
+
+    /// Empty the ring (sequence numbers keep counting from where they were).
+    pub fn clear(&self) {
+        self.inner.lock().buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_monotonic_seq() {
+        let rec = FlightRecorder::new(8);
+        for i in 0..5 {
+            let seq = rec.record(FlightKind::RegimeShift, i * 100, format!("e{i}"));
+            assert_eq!(seq, i as u64);
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 5);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(rec.dropped(), 0);
+        assert_eq!(rec.recorded(), 5);
+    }
+
+    #[test]
+    fn wraparound_drops_oldest_and_counts() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..10i64 {
+            rec.record(FlightKind::ShedBurst, i, i.to_string());
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
+        assert_eq!(rec.dropped(), 7);
+        assert_eq!(rec.recorded(), 10);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let rec = FlightRecorder::new(0);
+        assert_eq!(rec.capacity(), 1);
+        rec.record(FlightKind::LossGateTrip, 1, "a");
+        rec.record(FlightKind::LossGateTrip, 2, "b");
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.events()[0].detail, "b");
+    }
+
+    #[test]
+    fn recent_returns_tail_oldest_first() {
+        let rec = FlightRecorder::new(10);
+        for i in 0..6i64 {
+            rec.record(FlightKind::CheckpointSaved, i, i.to_string());
+        }
+        let tail = rec.recent(2);
+        assert_eq!(tail.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(rec.recent(100).len(), 6);
+    }
+
+    #[test]
+    fn clear_keeps_sequence_numbers_advancing() {
+        let rec = FlightRecorder::new(4);
+        rec.record(FlightKind::LateDropBurst, 1, "a");
+        rec.clear();
+        assert!(rec.is_empty());
+        let seq = rec.record(FlightKind::LateDropBurst, 2, "b");
+        assert_eq!(seq, 1);
+    }
+
+    #[test]
+    fn concurrent_records_get_distinct_ordered_seqs() {
+        let rec = FlightRecorder::new(1024);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for i in 0..64 {
+                        rec.record(FlightKind::RegimeShift, t * 1000 + i, "x");
+                    }
+                });
+            }
+        });
+        let events = rec.events();
+        assert_eq!(events.len(), 256);
+        // Ring order and sequence order agree even under contention.
+        assert!(events.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+    }
+
+    #[test]
+    fn events_serialize_round_trip() {
+        let e = FlightEvent {
+            seq: 7,
+            at_ms: 123,
+            kind: FlightKind::LossGateTrip,
+            detail: "day=3 rate=0.4".into(),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("loss_gate_trip"), "{json}");
+        let back: FlightEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

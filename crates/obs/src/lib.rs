@@ -14,6 +14,9 @@
 //! * [`warn`] — verbosity-gated stderr messages ([`warn!`], [`info!`],
 //!   [`debug!`]) that keep machine-readable stdout clean and count every
 //!   warning in the global registry.
+//! * [`flight`] — a bounded [`FlightRecorder`] ring buffer of structured
+//!   runtime events (regime shifts, shed bursts, checkpoint ops) for the
+//!   streaming health document.
 //!
 //! Naming convention for metrics: `autosens_<crate>_<name>`, lower snake
 //! case, `_total` suffix on counters.
@@ -38,10 +41,12 @@
 //! assert_eq!(recorder.metrics().snapshot().counter("autosens_demo_reads_total"), Some(42));
 //! ```
 
+pub mod flight;
 pub mod metrics;
 pub mod span;
 pub mod warn;
 
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use metrics::{Counter, Gauge, HistogramMetric, MetricsRegistry, MetricsSnapshot};
 pub use span::{FieldValue, Recorder, Span, SpanRecord, SpanTree, StageTiming};
 pub use warn::{set_verbosity, verbosity, Verbosity};

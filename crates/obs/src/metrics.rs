@@ -110,10 +110,19 @@ impl HistogramMetric {
     }
 }
 
+/// One time series: a metric name plus its key-sorted label pairs.
+/// Unlabeled metrics have an empty label list. Ordering is (name, labels),
+/// so every series of one family is adjacent in the registry's sorted maps.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct SeriesKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
 #[derive(Debug, Default)]
 struct RegistryInner {
-    counters: Mutex<BTreeMap<String, Counter>>,
-    gauges: Mutex<BTreeMap<String, Gauge>>,
+    counters: Mutex<BTreeMap<SeriesKey, Counter>>,
+    gauges: Mutex<BTreeMap<SeriesKey, Gauge>>,
     histograms: Mutex<BTreeMap<String, HistogramMetric>>,
 }
 
@@ -134,6 +143,124 @@ fn assert_metric_name(name: &str) {
     );
 }
 
+fn series_key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+    assert_metric_name(name);
+    let mut labels: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| {
+            assert_metric_name(k);
+            (k.to_string(), v.to_string())
+        })
+        .collect();
+    labels.sort();
+    labels.dedup_by(|a, b| a.0 == b.0);
+    SeriesKey {
+        name: name.to_string(),
+        labels,
+    }
+}
+
+/// Escape a label value for the Prometheus text exposition format:
+/// backslash, double-quote, and newline must be backslash-escaped inside
+/// the quoted value.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Invert [`escape_label_value`]. Errors on a dangling or unknown escape.
+pub fn unescape_label_value(value: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(c) => return Err(format!("unknown escape \\{c} in label value")),
+            None => return Err("dangling backslash in label value".to_string()),
+        }
+    }
+    Ok(out)
+}
+
+/// Render a label set as `{k="v",...}` with escaped values (empty string
+/// for an empty set).
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Parse the `k="v",...` body of a label set (no surrounding braces),
+/// honoring escaped quotes/backslashes/newlines inside values. Returns the
+/// pairs sorted by key (the canonical in-memory form).
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let (key, after_key) = rest
+            .split_once("=\"")
+            .ok_or_else(|| format!("malformed label in {body:?}"))?;
+        // Find the closing unescaped quote.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in after_key.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value in {body:?}"))?;
+        labels.push((key.to_string(), unescape_label_value(&after_key[..end])?));
+        rest = &after_key[end + 1..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+    labels.sort();
+    Ok(labels)
+}
+
+/// A generated one-line description for `# HELP`: the humanized metric
+/// name plus its kind. Deterministic, so exports are reproducible.
+fn help_text(name: &str, kind: &str) -> String {
+    format!("AutoSens {kind} `{}`.", name.replace('_', " "))
+}
+
+fn sorted_labels<'a>(labels: &[(&'a str, &'a str)]) -> Vec<(&'a str, &'a str)> {
+    let mut want = labels.to_vec();
+    want.sort();
+    want
+}
+
+fn labels_match(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
+    have.len() == want.len()
+        && have
+            .iter()
+            .zip(want)
+            .all(|((k, v), (wk, wv))| k == wk && v == wv)
+}
+
 impl MetricsRegistry {
     /// An empty registry.
     pub fn new() -> MetricsRegistry {
@@ -150,22 +277,32 @@ impl MetricsRegistry {
 
     /// Get or create a monotonic counter.
     pub fn counter(&self, name: &str) -> Counter {
-        assert_metric_name(name);
+        self.counter_labeled(name, &[])
+    }
+
+    /// Get or create a monotonic counter carrying a label set. Label keys
+    /// are snake case; label values are arbitrary strings (escaped on
+    /// Prometheus export).
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         self.inner
             .counters
             .lock()
-            .entry(name.to_string())
+            .entry(series_key(name, labels))
             .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
             .clone()
     }
 
     /// Get or create a gauge (initial value 0.0).
     pub fn gauge(&self, name: &str) -> Gauge {
-        assert_metric_name(name);
+        self.gauge_labeled(name, &[])
+    }
+
+    /// Get or create a gauge carrying a label set (initial value 0.0).
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         self.inner
             .gauges
             .lock()
-            .entry(name.to_string())
+            .entry(series_key(name, labels))
             .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
             .clone()
     }
@@ -198,9 +335,10 @@ impl MetricsRegistry {
             .counters
             .lock()
             .iter()
-            .map(|(name, c)| CounterSample {
-                name: name.clone(),
+            .map(|(key, c)| CounterSample {
+                name: key.name.clone(),
                 value: c.get(),
+                labels: key.labels.clone(),
             })
             .collect();
         let gauges = self
@@ -208,9 +346,10 @@ impl MetricsRegistry {
             .gauges
             .lock()
             .iter()
-            .map(|(name, g)| GaugeSample {
-                name: name.clone(),
+            .map(|(key, g)| GaugeSample {
+                name: key.name.clone(),
                 value: g.get(),
+                labels: key.labels.clone(),
             })
             .collect();
         let histograms = self
@@ -250,21 +389,122 @@ impl MetricsRegistry {
 }
 
 /// One counter in a snapshot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serde impls are hand-written so an empty label set is omitted from the
+/// JSON export entirely — unlabeled metrics keep their pre-label wire
+/// format (the vendored serde stub has no `skip_serializing_if`).
+#[derive(Debug, Clone, PartialEq)]
 pub struct CounterSample {
     /// Metric name.
     pub name: String,
     /// Counter value at snapshot time.
     pub value: u64,
+    /// Key-sorted label pairs (empty for unlabeled metrics).
+    pub labels: Vec<(String, String)>,
 }
 
-/// One gauge in a snapshot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// One gauge in a snapshot. See [`CounterSample`] for the serde contract.
+#[derive(Debug, Clone, PartialEq)]
 pub struct GaugeSample {
     /// Metric name.
     pub name: String,
     /// Gauge value at snapshot time.
     pub value: f64,
+    /// Key-sorted label pairs (empty for unlabeled metrics).
+    pub labels: Vec<(String, String)>,
+}
+
+fn labels_to_value(labels: &[(String, String)]) -> serde::Value {
+    serde::Value::Object(
+        labels
+            .iter()
+            .map(|(k, v)| (k.clone(), serde::Value::String(v.clone())))
+            .collect(),
+    )
+}
+
+fn labels_from_obj(
+    obj: &[(String, serde::Value)],
+) -> Result<Vec<(String, String)>, serde::DeError> {
+    let mut labels = match serde::__field(obj, "labels") {
+        Some(serde::Value::Object(entries)) => entries
+            .iter()
+            .map(|(k, v)| match v {
+                serde::Value::String(s) => Ok((k.clone(), s.clone())),
+                other => Err(serde::DeError::type_mismatch("string label value", other)),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(other) => return Err(serde::DeError::type_mismatch("label object", other)),
+        None => Vec::new(),
+    };
+    labels.sort();
+    Ok(labels)
+}
+
+impl Serialize for CounterSample {
+    fn to_value(&self) -> serde::Value {
+        let mut obj = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("value".to_string(), self.value.to_value()),
+        ];
+        if !self.labels.is_empty() {
+            obj.push(("labels".to_string(), labels_to_value(&self.labels)));
+        }
+        serde::Value::Object(obj)
+    }
+}
+
+impl Deserialize for CounterSample {
+    fn from_value(v: &serde::Value) -> Result<CounterSample, serde::DeError> {
+        let obj = match v {
+            serde::Value::Object(entries) => entries,
+            other => return Err(serde::DeError::type_mismatch("object", other)),
+        };
+        Ok(CounterSample {
+            name: match serde::__field(obj, "name") {
+                Some(fv) => String::from_value(fv)?,
+                None => return Err(serde::DeError::missing_field("name")),
+            },
+            value: match serde::__field(obj, "value") {
+                Some(fv) => u64::from_value(fv)?,
+                None => return Err(serde::DeError::missing_field("value")),
+            },
+            labels: labels_from_obj(obj)?,
+        })
+    }
+}
+
+impl Serialize for GaugeSample {
+    fn to_value(&self) -> serde::Value {
+        let mut obj = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("value".to_string(), self.value.to_value()),
+        ];
+        if !self.labels.is_empty() {
+            obj.push(("labels".to_string(), labels_to_value(&self.labels)));
+        }
+        serde::Value::Object(obj)
+    }
+}
+
+impl Deserialize for GaugeSample {
+    fn from_value(v: &serde::Value) -> Result<GaugeSample, serde::DeError> {
+        let obj = match v {
+            serde::Value::Object(entries) => entries,
+            other => return Err(serde::DeError::type_mismatch("object", other)),
+        };
+        Ok(GaugeSample {
+            name: match serde::__field(obj, "name") {
+                Some(fv) => String::from_value(fv)?,
+                None => return Err(serde::DeError::missing_field("name")),
+            },
+            value: match serde::__field(obj, "value") {
+                Some(fv) => f64::from_value(fv)?,
+                None => return Err(serde::DeError::missing_field("value")),
+            },
+            labels: labels_from_obj(obj)?,
+        })
+    }
 }
 
 /// One histogram bucket: cumulative count of observations `<= le`
@@ -304,17 +544,38 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Look up a counter value by name.
+    /// Look up an unlabeled counter value by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
             .iter()
-            .find(|c| c.name == name)
+            .find(|c| c.name == name && c.labels.is_empty())
             .map(|c| c.value)
     }
 
-    /// Look up a gauge value by name.
+    /// Look up a labeled counter value by name and exact label set.
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let want = sorted_labels(labels);
+        self.counters
+            .iter()
+            .find(|c| c.name == name && labels_match(&c.labels, &want))
+            .map(|c| c.value)
+    }
+
+    /// Look up an unlabeled gauge value by name.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && g.labels.is_empty())
+            .map(|g| g.value)
+    }
+
+    /// Look up a labeled gauge value by name and exact label set.
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let want = sorted_labels(labels);
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && labels_match(&g.labels, &want))
+            .map(|g| g.value)
     }
 
     /// Error when any exported value is non-finite (a NaN or ±∞ in a
@@ -351,23 +612,41 @@ impl MetricsSnapshot {
         serde_json::from_str(text).map_err(|e| e.to_string())
     }
 
-    /// Render as Prometheus text exposition format (version 0.0.4).
+    /// Render as Prometheus text exposition format (version 0.0.4):
+    /// `# HELP` + `# TYPE` once per metric family, then one sample line per
+    /// series, label values escaped per the format's rules.
     pub fn to_prometheus(&self) -> String {
+        fn header(out: &mut String, name: &str, kind: &str, described: &mut Option<String>) {
+            if described.as_deref() != Some(name) {
+                out.push_str(&format!(
+                    "# HELP {name} {}\n# TYPE {name} {kind}\n",
+                    help_text(name, kind)
+                ));
+                *described = Some(name.to_string());
+            }
+        }
         let mut out = String::new();
+        let mut described: Option<String> = None;
         for c in &self.counters {
+            header(&mut out, &c.name, "counter", &mut described);
             out.push_str(&format!(
-                "# TYPE {} counter\n{} {}\n",
-                c.name, c.name, c.value
+                "{}{} {}\n",
+                c.name,
+                render_labels(&c.labels),
+                c.value
             ));
         }
         for g in &self.gauges {
+            header(&mut out, &g.name, "gauge", &mut described);
             out.push_str(&format!(
-                "# TYPE {} gauge\n{} {}\n",
-                g.name, g.name, g.value
+                "{}{} {}\n",
+                g.name,
+                render_labels(&g.labels),
+                g.value
             ));
         }
         for h in &self.histograms {
-            out.push_str(&format!("# TYPE {} histogram\n", h.name));
+            header(&mut out, &h.name, "histogram", &mut described);
             for b in &h.buckets {
                 out.push_str(&format!(
                     "{}_bucket{{le=\"{}\"}} {}\n",
@@ -447,14 +726,25 @@ impl MetricsSnapshot {
                     continue;
                 }
             }
-            match kind_of.get(key).map(String::as_str) {
+            let (name, labels) = match key.split_once('{') {
+                Some((name, rest)) => {
+                    let body = rest
+                        .strip_suffix('}')
+                        .ok_or_else(|| at("malformed label set"))?;
+                    (name, parse_labels(body).map_err(|e| at(&e))?)
+                }
+                None => (key, Vec::new()),
+            };
+            match kind_of.get(name).map(String::as_str) {
                 Some("counter") => snap.counters.push(CounterSample {
-                    name: key.to_string(),
+                    name: name.to_string(),
                     value: value.parse().map_err(|_| at("bad counter value"))?,
+                    labels,
                 }),
                 Some("gauge") => snap.gauges.push(GaugeSample {
-                    name: key.to_string(),
+                    name: name.to_string(),
                     value: value.parse().map_err(|_| at("bad gauge value"))?,
+                    labels,
                 }),
                 _ => return Err(at(&format!("sample {key:?} before its TYPE"))),
             }
@@ -522,5 +812,110 @@ mod tests {
         reg.gauge("autosens_test_bad").set(f64::INFINITY);
         let err = reg.snapshot().validate_finite().unwrap_err();
         assert!(err.contains("autosens_test_bad"), "{err}");
+    }
+
+    #[test]
+    fn prometheus_emits_help_and_type_once_per_family() {
+        let reg = MetricsRegistry::new();
+        reg.counter_labeled("autosens_regime_shift_total", &[("stream", "pooled")])
+            .add(3);
+        reg.counter_labeled("autosens_regime_shift_total", &[("stream", "select_mail")])
+            .inc();
+        reg.gauge("autosens_stream_flight_dropped").set(2.0);
+        let text = reg.snapshot().to_prometheus();
+        assert_eq!(
+            text.matches("# HELP autosens_regime_shift_total").count(),
+            1,
+            "{text}"
+        );
+        assert_eq!(
+            text.matches("# TYPE autosens_regime_shift_total counter")
+                .count(),
+            1,
+            "{text}"
+        );
+        assert!(
+            text.contains("autosens_regime_shift_total{stream=\"pooled\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("autosens_regime_shift_total{stream=\"select_mail\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP autosens_stream_flight_dropped"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn labeled_regime_and_flight_metrics_round_trip_via_prometheus() {
+        let reg = MetricsRegistry::new();
+        reg.counter_labeled("autosens_regime_shift_total", &[("stream", "pooled")])
+            .add(5);
+        reg.counter_labeled(
+            "autosens_regime_shift_total",
+            &[("stream", "open_folder"), ("dir", "up")],
+        )
+        .add(2);
+        reg.counter("autosens_regime_shared_total").inc();
+        reg.gauge_labeled("autosens_regime_state", &[("stream", "pooled")])
+            .set(4.0);
+        reg.counter("autosens_stream_flight_events_total").add(9);
+        let binner = Binner::new(0.0, 20.0, 10.0, OutOfRange::Discard).unwrap();
+        reg.histogram("autosens_test_lat", &binner).observe(5.0);
+        let snap = reg.snapshot();
+        let parsed = MetricsSnapshot::from_prometheus(&snap.to_prometheus()).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(
+            parsed.counter_labeled("autosens_regime_shift_total", &[("stream", "pooled")]),
+            Some(5)
+        );
+        assert_eq!(
+            parsed.gauge_labeled("autosens_regime_state", &[("stream", "pooled")]),
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn hostile_label_values_escape_and_round_trip() {
+        let reg = MetricsRegistry::new();
+        let hostile = "a\"b\\c\nd,e} f{g";
+        reg.counter_labeled("autosens_test_edges_total", &[("site", hostile)])
+            .add(7);
+        let snap = reg.snapshot();
+        let text = snap.to_prometheus();
+        // The raw newline must not appear inside the sample line.
+        assert!(text.contains("\\n"), "{text}");
+        assert!(text.contains("\\\""), "{text}");
+        let parsed = MetricsSnapshot::from_prometheus(&text).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(
+            parsed.counter_labeled("autosens_test_edges_total", &[("site", hostile)]),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn escape_unescape_invert() {
+        for s in ["", "plain", "q\"q", "b\\b", "n\nn", "mix\\\"\n\\n"] {
+            assert_eq!(unescape_label_value(&escape_label_value(s)).unwrap(), s);
+        }
+        assert!(unescape_label_value("dangling\\").is_err());
+        assert!(unescape_label_value("bad\\q").is_err());
+    }
+
+    #[test]
+    fn labels_omitted_from_json_when_empty() {
+        let reg = MetricsRegistry::new();
+        reg.counter("autosens_test_plain_total").inc();
+        let json = reg.snapshot().to_json();
+        assert!(!json.contains("labels"), "{json}");
+        reg.counter_labeled("autosens_test_tagged_total", &[("k", "v")])
+            .inc();
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("labels"), "{json}");
+        assert_eq!(MetricsSnapshot::from_json(&json).unwrap(), snap);
     }
 }

@@ -97,6 +97,28 @@ pub struct CongestionConfig {
     /// weekday/weekend-aware alpha grouping.
     #[serde(default)]
     pub weekend_load_log: f64,
+    /// Planted regime windows with *known* boundaries, applied additively in
+    /// log space on top of the stochastic process — the labeled ground truth
+    /// the regime-shift detector is scored against. The schedule consumes
+    /// zero RNG draws, so an empty schedule is bit-identical to not having
+    /// the field at all and a planted run differs from its clean twin only
+    /// inside the windows.
+    #[serde(default)]
+    pub regimes: Vec<RegimeWindow>,
+}
+
+/// One planted congestion regime: between `start_ms` and `end_ms`
+/// (half-open, epoch milliseconds) the log-multiplier shifts by
+/// `log_multiplier`. Overlapping windows add.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegimeWindow {
+    /// Window start, epoch ms (inclusive).
+    pub start_ms: i64,
+    /// Window end, epoch ms (exclusive).
+    pub end_ms: i64,
+    /// Additive log-space shift while the window is active (e.g. `0.9`
+    /// multiplies latency by ~2.46×).
+    pub log_multiplier: f64,
 }
 
 impl Default for CongestionConfig {
@@ -117,6 +139,7 @@ impl Default for CongestionConfig {
             incident_mean_duration_min: 60.0,
             incident_median_multiplier: 2.2,
             weekend_load_log: 0.0,
+            regimes: Vec::new(),
         }
     }
 }
@@ -233,6 +256,17 @@ impl SimConfig {
         if !c.weekend_load_log.is_finite() {
             return Err("congestion.weekend_load_log must be finite".into());
         }
+        for w in &c.regimes {
+            if w.end_ms <= w.start_ms {
+                return Err(format!(
+                    "congestion.regimes window [{}, {}) is empty or inverted",
+                    w.start_ms, w.end_ms
+                ));
+            }
+            if !w.log_multiplier.is_finite() {
+                return Err("congestion.regimes log_multiplier must be finite".into());
+            }
+        }
         if !self.latency_hi_ms.is_finite() || self.latency_hi_ms <= 0.0 {
             return Err("latency_hi_ms must be > 0".into());
         }
@@ -320,6 +354,22 @@ mod tests {
 
         c = good.clone();
         c.congestion.incident_median_multiplier = -2.0;
+        assert!(c.validate().is_err());
+
+        c = good.clone();
+        c.congestion.regimes = vec![RegimeWindow {
+            start_ms: 100,
+            end_ms: 100,
+            log_multiplier: 0.5,
+        }];
+        assert!(c.validate().is_err());
+
+        c = good.clone();
+        c.congestion.regimes = vec![RegimeWindow {
+            start_ms: 0,
+            end_ms: 100,
+            log_multiplier: f64::INFINITY,
+        }];
         assert!(c.validate().is_err());
 
         c = good.clone();

@@ -71,7 +71,18 @@ impl CongestionSeries {
                 0.0
             };
 
-            multipliers.push((diurnal + x + inc).exp());
+            // Planted regime windows: a pure lookup against the schedule,
+            // consuming no RNG draws, so a scheduled run is bit-identical to
+            // its clean twin outside the windows.
+            let minute_ms = minute as i64 * 60_000;
+            let planted: f64 = cfg
+                .regimes
+                .iter()
+                .filter(|w| (w.start_ms..w.end_ms).contains(&minute_ms))
+                .map(|w| w.log_multiplier)
+                .sum();
+
+            multipliers.push((diurnal + x + inc + planted).exp());
         }
         CongestionSeries { multipliers }
     }
@@ -239,6 +250,44 @@ mod tests {
         c0.incident_rate_per_min = 0.0;
         let s0 = CongestionSeries::generate(&c0, 3 * 1440, 1);
         assert!((s0.at_minute(12 * 60) - s0.at_minute(1440 + 12 * 60)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planted_regimes_shift_exactly_inside_their_windows() {
+        use crate::config::RegimeWindow;
+        let clean = CongestionSeries::generate(&cfg(), 3 * 1440, 9);
+        let mut c = cfg();
+        c.regimes = vec![RegimeWindow {
+            start_ms: 1440 * 60_000,   // day 1
+            end_ms: 2 * 1440 * 60_000, // ..day 2
+            log_multiplier: 0.9,
+        }];
+        let planted = CongestionSeries::generate(&c, 3 * 1440, 9);
+        let factor = 0.9f64.exp();
+        for minute in 0..3 * 1440 {
+            let (a, b) = (clean.at_minute(minute), planted.at_minute(minute));
+            if (1440..2 * 1440).contains(&minute) {
+                assert!(
+                    ((b / a) - factor).abs() < 1e-12,
+                    "minute {minute}: ratio {}",
+                    b / a
+                );
+            } else {
+                // Zero RNG consumption: bit-identical outside the window.
+                assert_eq!(a.to_bits(), b.to_bits(), "minute {minute} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_regime_schedule_is_bit_identical() {
+        let a = CongestionSeries::generate(&cfg(), 1440, 4);
+        let mut c = cfg();
+        c.regimes = Vec::new();
+        let b = CongestionSeries::generate(&c, 1440, 4);
+        let ab: Vec<u64> = a.multipliers().iter().map(|m| m.to_bits()).collect();
+        let bb: Vec<u64> = b.multipliers().iter().map(|m| m.to_bits()).collect();
+        assert_eq!(ab, bb);
     }
 
     #[test]

@@ -40,6 +40,6 @@ pub mod preference;
 pub mod sessions;
 pub mod truth;
 
-pub use config::{Scenario, SimConfig};
+pub use config::{RegimeWindow, Scenario, SimConfig};
 pub use engine::{generate, generate_with_threads};
 pub use truth::GroundTruth;

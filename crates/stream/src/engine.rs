@@ -40,21 +40,25 @@
 //! durable state and the unbiased estimator's input); prefix sums over
 //! shard lengths size the merged buffer exactly.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
-use autosens_core::pipeline::{AnalysisReport, Degradation, Prepared};
+use autosens_core::pipeline::{AnalysisReport, DecaySpec, Degradation, Prepared};
 use autosens_core::{AutoSens, AutoSensConfig, AutoSensError, GroupPartition};
-use autosens_obs::Recorder;
+use autosens_obs::{FlightKind, FlightRecorder, Recorder};
 use autosens_stats::binning::Binner;
 use autosens_telemetry::log::{ColumnStore, TelemetryLog};
 use autosens_telemetry::loss::LossCounts;
 use autosens_telemetry::query::Slice;
 use autosens_telemetry::record::ActionRecord;
 
+use crate::detector::{detect_regimes, DetectorConfig, RegimeShift};
 use crate::error::StreamError;
 use crate::shard::Shard;
+
+/// Retained flight-recorder events (see [`FlightRecorder`]).
+const FLIGHT_CAPACITY: usize = 256;
 
 /// Streaming layer configuration on top of the analysis configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,6 +78,18 @@ pub struct StreamConfig {
     /// `None` keeps everything — required for batch equivalence over a
     /// full log.
     pub retain_ms: Option<i64>,
+    /// Optional online regime-shift detector (see
+    /// [`DetectorConfig`]); `None` disables detection. Detection never
+    /// perturbs the analysis — [`StreamEngine::run_detection`] is a
+    /// separate, side-effect-free-on-the-report pass.
+    #[serde(default)]
+    pub detector: Option<DetectorConfig>,
+    /// Optional half-life (event-time ms) for the exponentially-decayed
+    /// windowed preference curve computed alongside the lifetime curve at
+    /// every snapshot; `None` disables the windowed curve. Either way the
+    /// lifetime curve's bytes are untouched.
+    #[serde(default)]
+    pub decay_half_life_ms: Option<i64>,
 }
 
 impl Default for StreamConfig {
@@ -83,6 +99,8 @@ impl Default for StreamConfig {
             shard_ms: 3_600_000,
             allowed_lateness_ms: 3_600_000,
             retain_ms: None,
+            detector: None,
+            decay_half_life_ms: None,
         }
     }
 }
@@ -105,6 +123,16 @@ impl StreamConfig {
             if retain <= 0 {
                 return Err(StreamError::Corrupt(format!(
                     "retain_ms must be > 0 when set, got {retain}"
+                )));
+            }
+        }
+        if let Some(det) = &self.detector {
+            det.validate()?;
+        }
+        if let Some(hl) = self.decay_half_life_ms {
+            if hl <= 0 {
+                return Err(StreamError::Corrupt(format!(
+                    "decay_half_life_ms must be > 0 when set, got {hl}"
                 )));
             }
         }
@@ -169,6 +197,21 @@ pub struct StreamEngine {
     duplicates: u64,
     evicted: u64,
     records_in: u64,
+    flight: FlightRecorder,
+    /// Open run of consecutive late drops, folded into one
+    /// [`FlightKind::LateDropBurst`] event when the run ends.
+    open_late_burst: u64,
+    /// (stream, signal, bucket_start_ms) of shifts already emitted to
+    /// metrics / spans / the flight recorder — detection is a full
+    /// deterministic recompute, so this set keeps re-runs from
+    /// double-counting. Operational memory, not checkpointed (a restored
+    /// process re-emits, exactly like the flight recorder starts empty).
+    emitted_shifts: BTreeSet<(String, String, i64)>,
+    last_shifts: Vec<RegimeShift>,
+    /// Whether the latest snapshot had the loss-correction gate open
+    /// (interior mutability: snapshots take `&self`). Edge-triggers one
+    /// [`FlightKind::LossGateTrip`] event per open, not one per snapshot.
+    loss_gate_open: std::sync::atomic::AtomicBool,
 }
 
 impl StreamEngine {
@@ -198,6 +241,11 @@ impl StreamEngine {
             duplicates: 0,
             evicted: 0,
             records_in: 0,
+            flight: FlightRecorder::new(FLIGHT_CAPACITY),
+            open_late_burst: 0,
+            emitted_shifts: BTreeSet::new(),
+            last_shifts: Vec::new(),
+            loss_gate_open: std::sync::atomic::AtomicBool::new(false),
         })
     }
 
@@ -221,7 +269,8 @@ impl StreamEngine {
     /// outcome is always counted in the `autosens_stream_*` metrics, so
     /// degraded intake is visible, never silent.
     pub fn push(&mut self, r: ActionRecord) -> Ingest {
-        let metrics = self.engine.recorder().metrics();
+        let recorder = self.engine.recorder().clone();
+        let metrics = recorder.metrics();
         self.events += 1;
         metrics.counter("autosens_stream_events_total").inc();
 
@@ -247,9 +296,11 @@ impl StreamEngine {
             let watermark = frontier - self.config.allowed_lateness_ms;
             if t < watermark {
                 self.late += 1;
+                self.open_late_burst += 1;
                 metrics.counter("autosens_stream_late_events_total").inc();
                 return Ingest::Late;
             }
+            self.close_late_burst(frontier);
             metrics
                 .gauge("autosens_stream_watermark_lag_ms")
                 .set((frontier - t).max(0) as f64);
@@ -295,6 +346,129 @@ impl StreamEngine {
                 .add(dropped);
             self.shards.remove(&bucket);
         }
+    }
+
+    /// Close an open run of consecutive late drops into one flight event.
+    fn close_late_burst(&mut self, at_ms: i64) {
+        if self.open_late_burst > 0 {
+            self.flight.record(
+                FlightKind::LateDropBurst,
+                at_ms,
+                format!(
+                    "{} consecutive events past the watermark",
+                    self.open_late_burst
+                ),
+            );
+            self.open_late_burst = 0;
+        }
+    }
+
+    /// The engine's flight recorder: a bounded ring of structured runtime
+    /// events (regime shifts, late-drop bursts, checkpoint ops). Cloning
+    /// the handle is cheap; the ring is shared. Deliberately not carried
+    /// through checkpoint/restore — see [`FlightRecorder`]'s module docs.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// The shifts found by the most recent [`StreamEngine::run_detection`].
+    pub fn last_shifts(&self) -> &[RegimeShift] {
+        &self.last_shifts
+    }
+
+    /// Per-shard watermark lag: `(bucket_start_ms, records, lag_ms)` where
+    /// `lag_ms` is how far the shard's newest record trails the frontier.
+    pub fn shard_lags(&self) -> Vec<(i64, u64, i64)> {
+        let frontier = self.max_event_time.unwrap_or(0);
+        self.shards
+            .iter()
+            .map(|(&bucket, shard)| {
+                let newest = shard.cols.times().last().copied().unwrap_or(frontier);
+                (
+                    bucket * self.config.shard_ms,
+                    shard.len() as u64,
+                    (frontier - newest).max(0),
+                )
+            })
+            .collect()
+    }
+
+    /// Run the online regime-shift detector over the live window (a no-op
+    /// returning no shifts when [`StreamConfig::detector`] is `None`).
+    ///
+    /// Detection is a full deterministic recompute over the merged
+    /// time-sorted view — a pure function of the admitted records and the
+    /// detector config, so any thread count, restart, or replay produces
+    /// bit-identical shifts. Shifts not seen before are emitted once each:
+    /// an `autosens_regime_shift_total{stream=…}` counter increment, a
+    /// shared/local classification counter, a `regime_shift` span, and a
+    /// flight-recorder event; per-stream `autosens_regime_state` gauges
+    /// track each stream's running shift count.
+    pub fn run_detection(&mut self) -> Result<Vec<RegimeShift>, StreamError> {
+        let Some(det) = self.config.detector.clone() else {
+            self.last_shifts.clear();
+            return Ok(Vec::new());
+        };
+        // Merge the shard columns the detector needs (shards concatenate
+        // in bucket order into already time-sorted columns).
+        let total: usize = self.shards.values().map(|s| s.len()).sum();
+        let mut times = Vec::with_capacity(total);
+        let mut latencies = Vec::with_capacity(total);
+        let mut actions = Vec::with_capacity(total);
+        for shard in self.shards.values() {
+            times.extend_from_slice(shard.cols.times());
+            latencies.extend_from_slice(shard.cols.latencies());
+            actions.extend_from_slice(shard.cols.actions());
+        }
+        let shifts = detect_regimes(&times, &latencies, &actions, &det)?;
+
+        let recorder = self.engine.recorder();
+        let metrics = recorder.metrics();
+        let mut per_stream: BTreeMap<&str, u64> = BTreeMap::new();
+        for s in &shifts {
+            *per_stream.entry(s.stream.as_str()).or_default() += 1;
+            let key = (s.stream.clone(), s.signal.clone(), s.bucket_start_ms);
+            if !self.emitted_shifts.insert(key) {
+                continue;
+            }
+            metrics
+                .counter_labeled("autosens_regime_shift_total", &[("stream", &s.stream)])
+                .inc();
+            metrics
+                .counter(if s.shared {
+                    "autosens_regime_shared_total"
+                } else {
+                    "autosens_regime_local_total"
+                })
+                .inc();
+            let mut span = recorder.root("regime_shift");
+            span.field("stream", s.stream.clone());
+            span.field("signal", s.signal.clone());
+            span.field("direction", s.direction.clone());
+            span.field("bucket_start_ms", s.bucket_start_ms as u64);
+            span.field("magnitude_z", s.magnitude_z);
+            span.field("shared", u64::from(s.shared));
+            span.finish();
+            self.flight.record(
+                FlightKind::RegimeShift,
+                s.detected_at_ms,
+                format!(
+                    "stream={} signal={} dir={} z={:.1}{}",
+                    s.stream,
+                    s.signal,
+                    s.direction,
+                    s.magnitude_z,
+                    if s.shared { " shared" } else { "" }
+                ),
+            );
+        }
+        for (stream, count) in per_stream {
+            metrics
+                .gauge_labeled("autosens_regime_state", &[("stream", stream)])
+                .set(count as f64);
+        }
+        self.last_shifts = shifts.clone();
+        Ok(shifts)
     }
 
     /// The current intake counters and store shape.
@@ -387,14 +561,45 @@ impl StreamEngine {
             .inc();
         span.finish();
 
-        self.engine.analyze_prepared(Prepared {
+        // The windowed decayed curve anchors its frontier at the event-time
+        // frontier, so an idle stream's windowed mass keeps decaying between
+        // snapshots of the same data only if new (filtered) events advance
+        // the frontier — a pure function of the stream contents either way.
+        let decay = self
+            .config
+            .decay_half_life_ms
+            .map(|half_life_ms| DecaySpec {
+                half_life_ms,
+                frontier_ms: self.max_event_time.unwrap_or(0),
+            });
+
+        let report = self.engine.analyze_prepared(Prepared {
             log,
             degradations,
             records_in: self.records_in as usize,
             records_dropped: self.duplicates as usize,
             partition: Some(partition),
             loss_counts: Some(loss_counts),
-        })
+            decay,
+        })?;
+        use std::sync::atomic::Ordering;
+        match &report.loss {
+            Some(loss) => {
+                if !self.loss_gate_open.swap(true, Ordering::Relaxed) {
+                    self.flight.record(
+                        FlightKind::LossGateTrip,
+                        self.max_event_time.unwrap_or(0),
+                        format!(
+                            "overall rate {:.3}, {} cells flagged",
+                            loss.overall_rate,
+                            loss.cells.len()
+                        ),
+                    );
+                }
+            }
+            None => self.loss_gate_open.store(false, Ordering::Relaxed),
+        }
+        Ok(report)
     }
 
     /// Serialize the engine's durable state. The shard records are the
@@ -402,6 +607,11 @@ impl StreamEngine {
     /// `source_offset` is the tailed file's checkpointed byte offset
     /// (pass 0 when not tailing a file).
     pub fn checkpoint(&self, source_offset: u64) -> crate::checkpoint::Checkpoint {
+        self.flight.record(
+            FlightKind::CheckpointSaved,
+            self.max_event_time.unwrap_or(0),
+            format!("{} shards, offset {source_offset}", self.shards.len()),
+        );
         crate::checkpoint::Checkpoint {
             version: crate::checkpoint::CHECKPOINT_VERSION,
             config: self.config.clone(),
@@ -467,6 +677,13 @@ impl StreamEngine {
         engine.duplicates = checkpoint.duplicates;
         engine.evicted = checkpoint.evicted;
         engine.records_in = checkpoint.records_in;
+        // The flight recorder starts empty by design (operational memory of
+        // this process); the restore itself is its first entry.
+        engine.flight.record(
+            FlightKind::CheckpointRestored,
+            engine.max_event_time.unwrap_or(0),
+            format!("{} shards", engine.shards.len()),
+        );
         Ok(engine)
     }
 

@@ -30,15 +30,19 @@
 //! metrics all match. See the [`engine`] module docs for why.
 
 pub mod checkpoint;
+pub mod detector;
 pub mod engine;
 pub mod error;
 pub mod ingest;
 mod shard;
+pub mod status;
 
 pub use checkpoint::{Checkpoint, ShardCheckpoint, CHECKPOINT_VERSION};
+pub use detector::{DetectorConfig, RegimeShift};
 pub use engine::{Ingest, StreamConfig, StreamEngine, StreamStatus};
 pub use error::StreamError;
 pub use ingest::{DrainSummary, Ingestor, Offer, OverflowPolicy};
+pub use status::StatusDocument;
 
 #[cfg(test)]
 mod tests {
@@ -63,6 +67,8 @@ mod tests {
             shard_ms: 6 * 3_600_000,
             allowed_lateness_ms: 3_600_000,
             retain_ms: None,
+            detector: None,
+            decay_half_life_ms: None,
         }
     }
 
@@ -263,6 +269,90 @@ mod tests {
         let b = restored.snapshot().expect("restored snapshot");
         assert_reports_identical(&a, &b);
         assert_eq!(original.status(), restored.status());
+    }
+
+    #[test]
+    fn flight_recorder_is_not_checkpointed() {
+        use autosens_obs::FlightKind;
+        let log = smoke_log();
+        let mut original = StreamEngine::new(stream_config(), Slice::all()).expect("engine");
+        for r in log.iter() {
+            original.push(r);
+        }
+        let ck = original.checkpoint(7);
+        // Saving is itself a flight event on the live engine…
+        assert!(original
+            .flight()
+            .events()
+            .iter()
+            .any(|e| e.kind == FlightKind::CheckpointSaved));
+        // …but none of that operational history crosses the checkpoint:
+        // the restored process starts a fresh ring whose only event is the
+        // restore marker (DESIGN.md §6g).
+        let restored =
+            StreamEngine::restore(ck, Slice::all(), Recorder::disabled()).expect("restore");
+        let events = restored.flight().events();
+        assert_eq!(events.len(), 1, "fresh ring expected: {events:?}");
+        assert_eq!(events[0].kind, FlightKind::CheckpointRestored);
+        assert_eq!(restored.flight().recorded(), 1);
+    }
+
+    #[test]
+    fn detection_and_decay_do_not_perturb_the_batch_identical_snapshot() {
+        // The observability plane must observe, not interfere: with the
+        // detector and the windowed curve both enabled, the lifetime
+        // report stays bit-identical to batch analyze.
+        let log = smoke_log();
+        let batch = AutoSens::new(AutoSensConfig::default())
+            .analyze(&log)
+            .expect("batch analyze");
+        let cfg = StreamConfig {
+            detector: Some(DetectorConfig::default()),
+            decay_half_life_ms: Some(2 * 86_400_000),
+            ..stream_config()
+        };
+        let mut engine = StreamEngine::new(cfg, Slice::all()).expect("engine");
+        for r in log.iter() {
+            engine.push(r);
+        }
+        engine.run_detection().expect("detection");
+        let snap = engine.snapshot().expect("snapshot");
+        assert_reports_identical(&snap, &batch);
+        assert!(snap.windowed.is_some(), "windowed curve requested");
+    }
+
+    #[test]
+    fn detection_and_windowed_curve_are_thread_count_invariant() {
+        let log = smoke_log();
+        let mut reference: Option<(Vec<RegimeShift>, Vec<u64>, Vec<u64>)> = None;
+        for threads in [1usize, 4] {
+            let cfg = StreamConfig {
+                analysis: AutoSensConfig {
+                    threads,
+                    ..AutoSensConfig::default()
+                },
+                detector: Some(DetectorConfig::default()),
+                decay_half_life_ms: Some(2 * 86_400_000),
+                ..stream_config()
+            };
+            let mut engine = StreamEngine::new(cfg, Slice::all()).expect("engine");
+            for r in log.iter() {
+                engine.push(r);
+            }
+            let shifts = engine.run_detection().expect("detection");
+            let snap = engine.snapshot().expect("snapshot");
+            let w = snap.windowed.as_ref().expect("windowed curve");
+            let wb: Vec<u64> = w.biased.counts().iter().map(|c| c.to_bits()).collect();
+            let wu: Vec<u64> = w.unbiased.counts().iter().map(|c| c.to_bits()).collect();
+            match &reference {
+                None => reference = Some((shifts, wb, wu)),
+                Some((s0, b0, u0)) => {
+                    assert_eq!(&shifts, s0, "shifts diverged at threads={threads}");
+                    assert_eq!(&wb, b0, "windowed biased diverged at threads={threads}");
+                    assert_eq!(&wu, u0, "windowed unbiased diverged at threads={threads}");
+                }
+            }
+        }
     }
 
     #[test]

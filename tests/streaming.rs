@@ -57,6 +57,8 @@ fn stream_config(lateness_ms: i64) -> StreamConfig {
         shard_ms: 3_600_000,
         allowed_lateness_ms: lateness_ms,
         retain_ms: None,
+        detector: None,
+        decay_half_life_ms: None,
     }
 }
 
