@@ -9,8 +9,8 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+echo "==> cargo clippy -q --all-targets -- -D warnings"
+cargo clippy -q --all-targets -- -D warnings
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -115,6 +115,20 @@ gzip -dc tests/fixtures/golden_telemetry.csv.gz > "$SMOKE_DIR/golden.csv"
     --loss-correct=off > "$SMOKE_DIR/golden_report.json"
 if ! diff -u tests/fixtures/golden_analyze.json "$SMOKE_DIR/golden_report.json"; then
     echo "ci.sh: analyze --loss-correct=off diverged from tests/fixtures/golden_analyze.json" >&2
+    exit 1
+fi
+
+echo "==> container equivalence gate (convert + binary analyze vs text analyze)"
+# The `.asc` binary container is a pure transport: converting the golden
+# fixture and analyzing the container through the zero-parse mmap path must
+# reproduce the text path's JSON byte for byte (and therefore the pinned
+# golden report, transitively).
+./target/release/autosens convert --in "$SMOKE_DIR/golden.csv" \
+    --out "$SMOKE_DIR/golden.asc" --quiet
+./target/release/autosens analyze --in "$SMOKE_DIR/golden.asc" --json --quiet \
+    --loss-correct=off > "$SMOKE_DIR/golden_report_asc.json"
+if ! diff -u "$SMOKE_DIR/golden_report.json" "$SMOKE_DIR/golden_report_asc.json"; then
+    echo "ci.sh: analyze over the converted container diverged from the text path" >&2
     exit 1
 fi
 

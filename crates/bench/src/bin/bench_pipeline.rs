@@ -4,7 +4,8 @@
 //! runs the full analysis (with a bootstrap confidence band) twice — once
 //! serially (`threads = 1`) and once on the chunked scheduler with the
 //! requested worker count (`--threads N`, default 4) — then times the
-//! faceted `full_report` sweep, and writes `BENCH_pipeline.json`: total
+//! faceted `full_report` sweep and the two ingest paths (CSV parse vs
+//! `.asc` container open), and writes `BENCH_pipeline.json`: total
 //! wall-clock for both runs, per-stage timings of the parallel run, a
 //! records/second throughput figure, and (with the `alloc-stats` feature)
 //! the peak bytes held live during each timed section. The checked-in
@@ -118,6 +119,15 @@ struct PipelineBaseline {
     records: usize,
     threads: usize,
     generate_ms: f64,
+    /// Wall-clock to parse the scenario back from a CSV file on disk —
+    /// the text ingest path `analyze` pays on every run.
+    ingest_text_ms: f64,
+    /// Wall-clock to open and fully validate the same records as an
+    /// `.asc` binary container (mmap, zero-parse) — the ingest path a
+    /// `convert`ed input pays instead.
+    ingest_binary_ms: f64,
+    /// `ingest_text_ms / ingest_binary_ms`.
+    ingest_speedup: f64,
     /// Wall-clock of the full analysis at `threads = 1`.
     analyze_serial_ms: f64,
     /// Wall-clock of the full analysis at the requested worker count
@@ -174,6 +184,39 @@ fn timed_analysis(
     (wall_ms, report.stage_timings.unwrap_or_default(), peak)
 }
 
+/// Time the two ingest paths over the same records: CSV parse from disk
+/// versus container open (mmap + checksum validation, no parsing). Both
+/// runs are cold-process but warm-page-cache, so the comparison isolates
+/// decode cost rather than disk latency.
+fn timed_ingest(data: &Dataset) -> (f64, f64) {
+    use autosens_telemetry::codec;
+    use autosens_telemetry::container::{self, MappedLog};
+    let dir = std::env::temp_dir();
+    let csv = dir.join(format!("autosens-bench-{}.csv", std::process::id()));
+    let asc = dir.join(format!("autosens-bench-{}.asc", std::process::id()));
+    {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&csv).expect("create csv"));
+        codec::write_csv(&data.log, &mut w).expect("write csv");
+    }
+    container::write_container_file(&data.log, &asc, None).expect("write container");
+
+    let t = Instant::now();
+    let parsed = codec::read_csv(std::io::BufReader::new(
+        std::fs::File::open(&csv).expect("open csv"),
+    ))
+    .expect("read csv");
+    let text_ms = t.elapsed().as_secs_f64() * 1000.0;
+
+    let t = Instant::now();
+    let mapped = MappedLog::open(&asc).expect("open container");
+    let binary_ms = t.elapsed().as_secs_f64() * 1000.0;
+
+    assert_eq!(parsed.len(), mapped.len(), "ingest paths disagree on rows");
+    let _ = std::fs::remove_file(&csv);
+    let _ = std::fs::remove_file(&asc);
+    (text_ms, binary_ms)
+}
+
 /// Time the faceted `full_report` sweep at the given worker count.
 fn timed_full_report(data: &Dataset, slice: &Slice, threads: usize) -> (f64, Option<u64>) {
     let config = AutoSensConfig {
@@ -216,6 +259,7 @@ fn main() {
     let data = Dataset::from_config(&SimConfig::scenario(scenario), AutoSensConfig::default())
         .expect("preset scenarios are valid");
     let generate_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let (ingest_text_ms, ingest_binary_ms) = timed_ingest(&data);
 
     let slice = Slice::all()
         .action(ActionType::SelectMail)
@@ -234,6 +278,9 @@ fn main() {
         records: data.log.len(),
         threads,
         generate_ms,
+        ingest_text_ms,
+        ingest_binary_ms,
+        ingest_speedup: ingest_text_ms / ingest_binary_ms,
         analyze_serial_ms,
         analyze_ms,
         analyze_loss_off_ms,
@@ -254,6 +301,7 @@ fn main() {
     eprintln!(
         "wrote {path}: {} records analyzed in {:.1} ms at {} thread(s) \
          ({:.1} ms serial, {:.1} ms loss-correction off, {:.0} records/s); \
+         ingest text {:.1} ms vs binary {:.1} ms ({:.1}x); \
          full_report {:.1} ms \
          ({:.1} ms serial), peak alloc analyze={:?} full_report={:?}",
         baseline.records,
@@ -262,6 +310,9 @@ fn main() {
         baseline.analyze_serial_ms,
         baseline.analyze_loss_off_ms,
         baseline.records_per_sec,
+        baseline.ingest_text_ms,
+        baseline.ingest_binary_ms,
+        baseline.ingest_speedup,
         baseline.full_report_ms,
         baseline.full_report_serial_ms,
         baseline.peak_alloc_analyze_bytes,

@@ -8,8 +8,9 @@ use autosens_telemetry::time::{DayPeriod, Month};
 /// Usage text shown on parse errors.
 pub const USAGE: &str = "\
 usage:
-  autosens generate --scenario <smoke|default|paper-scale> --out <path> [--format csv|jsonl] [--seed N]
+  autosens generate --scenario <smoke|default|paper-scale> --out <path> [--format csv|jsonl|asc] [--seed N]
                     [--threads N]
+  autosens convert  --in <path> --out <path> [--format csv|jsonl] [--shard-ms MS]
   autosens analyze  --in <path> [--format csv|jsonl] [--action A] [--class C]
                     [--period P] [--month M] [--tz HOURS] [--no-alpha]
                     [--loss-correct[=on|off]] [--reference MS]
@@ -32,6 +33,10 @@ usage:
 
   global:  [--quiet|-q] [--verbose|-v]
 
+  Binary `.asc` container inputs are auto-detected by file magic on every
+  reading command; `--format` describes the *text* format and is ignored
+  for container inputs.
+
   actions: SelectMail | SwitchFolder | Search | ComposeSend | Other
   classes: Business | Consumer
   periods: 8am-2pm | 2pm-8pm | 8pm-2am | 2am-8am
@@ -44,6 +49,9 @@ pub enum Format {
     Csv,
     /// One serde-JSON record per line.
     Jsonl,
+    /// The `.asc` binary columnar container (write-side only; reads
+    /// auto-detect containers by magic regardless of this flag).
+    Asc,
 }
 
 /// Slice filters shared by `analyze` and `alpha`.
@@ -105,6 +113,17 @@ pub enum Command {
         metrics_out: Option<String>,
         /// Worker threads (0 = auto).
         threads: usize,
+    },
+    /// Convert a telemetry log to the `.asc` binary columnar container.
+    Convert {
+        /// Input path (CSV, JSONL, or an existing container).
+        input: String,
+        /// Output path for the container.
+        out: String,
+        /// Input format when the input is text.
+        format: Format,
+        /// Optional shard width for the embedded time-range index.
+        shard_ms: Option<i64>,
     },
     /// Run the locality diagnostics.
     Diagnose {
@@ -313,6 +332,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         None => Format::Csv,
         Some("csv") => Format::Csv,
         Some("jsonl") => Format::Jsonl,
+        Some("asc") => Format::Asc,
         Some(other) => return Err(format!("unknown format {other:?}")),
     };
     let slice = || -> Result<SliceArgs, String> {
@@ -388,6 +408,22 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             metrics_out: flag("--metrics-out").map(str::to_string),
             threads,
         }),
+        "convert" => {
+            let shard_ms = flag("--shard-ms")
+                .map(|s| {
+                    s.parse::<i64>()
+                        .ok()
+                        .filter(|v| *v > 0)
+                        .ok_or(format!("--shard-ms must be a positive ms count, got {s:?}"))
+                })
+                .transpose()?;
+            Ok(Command::Convert {
+                input: flag("--in").ok_or("convert requires --in")?.to_string(),
+                out: flag("--out").ok_or("convert requires --out")?.to_string(),
+                format,
+                shard_ms,
+            })
+        }
         "diagnose" => Ok(Command::Diagnose {
             input: flag("--in").ok_or("diagnose requires --in")?.to_string(),
             format,
@@ -612,6 +648,75 @@ mod tests {
                 assert_eq!(reference_ms, 250.0);
                 assert!(json);
             }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_convert() {
+        let cmd = parse(&sv(&["convert", "--in", "x.csv", "--out", "x.asc"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Convert {
+                input: "x.csv".into(),
+                out: "x.asc".into(),
+                format: Format::Csv,
+                shard_ms: None,
+            }
+        );
+        match parse(&sv(&[
+            "convert",
+            "--in",
+            "x.jsonl",
+            "--out",
+            "x.asc",
+            "--format",
+            "jsonl",
+            "--shard-ms",
+            "3600000",
+        ]))
+        .unwrap()
+        {
+            Command::Convert {
+                format, shard_ms, ..
+            } => {
+                assert_eq!(format, Format::Jsonl);
+                assert_eq!(shard_ms, Some(3_600_000));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&sv(&["convert", "--in", "x.csv"])).is_err()); // missing --out
+        assert!(parse(&sv(&["convert", "--out", "x.asc"])).is_err()); // missing --in
+        assert!(parse(&sv(&[
+            "convert",
+            "--in",
+            "x",
+            "--out",
+            "y",
+            "--shard-ms",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse(&sv(&[
+            "convert",
+            "--in",
+            "x",
+            "--out",
+            "y",
+            "--shard-ms",
+            "1h"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_asc_format() {
+        match parse(&sv(&["generate", "--out", "x.asc", "--format", "asc"])).unwrap() {
+            Command::Generate { format, .. } => assert_eq!(format, Format::Asc),
+            other => panic!("{other:?}"),
+        }
+        match parse(&sv(&["watch", "--in", "x.asc", "--format", "asc"])).unwrap() {
+            Command::Watch { format, .. } => assert_eq!(format, Format::Asc),
             other => panic!("{other:?}"),
         }
     }

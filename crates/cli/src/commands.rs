@@ -13,9 +13,11 @@ use autosens_stream::{
     StreamEngine,
 };
 use autosens_telemetry::codec;
+use autosens_telemetry::container::{self, MappedLog};
 use autosens_telemetry::quality;
 use autosens_telemetry::query::Slice;
-use autosens_telemetry::{TailFormat, TailReader, TelemetryLog};
+use autosens_telemetry::record::ActionRecord;
+use autosens_telemetry::{ContainerTailReader, LogView, TailFormat, TailReader, TelemetryLog};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -42,13 +44,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 cfg.seed
             );
             let (log, _) = generate_with_threads(&cfg, threads)?;
-            let file = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
-            let mut w = BufWriter::new(file);
-            match format {
-                Format::Csv => codec::write_csv(&log, &mut w),
-                Format::Jsonl => codec::write_jsonl(&log, &mut w),
-            }
-            .map_err(|e| e.to_string())?;
+            write_log(&log, &out, format)?;
             autosens_obs::info!("wrote {} records to {out}", log.len());
             Ok(())
         }
@@ -74,7 +70,12 @@ pub fn run(cmd: Command) -> Result<(), String> {
             if profiling {
                 recorder.set_collecting(true);
             }
-            let log = read_log(&input, format)?;
+            // Containers analyze straight off the mapped columns — no parse,
+            // no copy; text formats parse into an owned log first. Both
+            // shapes expose the same `LogView`, so the reports (and the JSON
+            // bytes) are identical across formats.
+            let source = open_log(&input, format)?;
+            let view = source.view();
             let config = AutoSensConfig {
                 alpha_correction: !no_alpha,
                 loss_correct,
@@ -86,13 +87,13 @@ pub fn run(cmd: Command) -> Result<(), String> {
             let (report, ci) = match ci_replicates {
                 Some(replicates) => {
                     let (report, ci) = engine
-                        .analyze_slice_with_ci(&log, &to_slice(&slice), replicates, 0.95)
+                        .analyze_view_with_ci(&view, &to_slice(&slice), replicates, 0.95)
                         .map_err(|e| e.to_string())?;
                     (report, Some(ci))
                 }
                 None => (
                     engine
-                        .analyze_slice(&log, &to_slice(&slice))
+                        .analyze_view(&view, &to_slice(&slice))
                         .map_err(|e| e.to_string())?,
                     None,
                 ),
@@ -173,6 +174,25 @@ pub fn run(cmd: Command) -> Result<(), String> {
                     }
                 }
             }
+            Ok(())
+        }
+        Command::Convert {
+            input,
+            out,
+            format,
+            shard_ms,
+        } => {
+            let log = read_log(&input, format)?;
+            let bytes = container::write_container_file(&log, &out, shard_ms)
+                .map_err(|e| format!("write {out}: {e}"))?;
+            autosens_obs::info!(
+                "wrote {} records ({bytes} bytes{}) to {out}",
+                log.len(),
+                match shard_ms {
+                    Some(ms) => format!(", {ms} ms shards"),
+                    None => String::new(),
+                }
+            );
             Ok(())
         }
         Command::Diagnose { input, format } => {
@@ -273,21 +293,32 @@ pub fn run(cmd: Command) -> Result<(), String> {
         } => {
             // Lenient read: an audit must survive the very corruption it is
             // meant to measure. Malformed rows are counted, not fatal.
-            let file = File::open(&input).map_err(|e| format!("open {input}: {e}"))?;
-            let reader = BufReader::new(file);
-            let (log, errors) = match format {
-                Format::Csv => codec::read_csv_lenient(reader),
-                Format::Jsonl => codec::read_jsonl_lenient(reader),
-            }
-            .map_err(|e| e.to_string())?;
-            if !errors.is_empty() {
-                autosens_obs::warn!(
-                    "skipped {} malformed row(s) ({} stored, {} past cap)",
-                    errors.total(),
-                    errors.len(),
-                    errors.overflow()
-                );
-            }
+            // Containers are all-or-nothing by design (checksummed sections
+            // admit no row-level salvage), so a container that opens at all
+            // audits with zero malformed rows.
+            let log = if is_container(&input)? {
+                MappedLog::open(&input)
+                    .and_then(|m| m.to_log())
+                    .map_err(|e| format!("read {input}: {e}"))?
+            } else {
+                let file = File::open(&input).map_err(|e| format!("open {input}: {e}"))?;
+                let reader = BufReader::new(file);
+                let (log, errors) = match format {
+                    Format::Csv => codec::read_csv_lenient(reader),
+                    Format::Jsonl => codec::read_jsonl_lenient(reader),
+                    Format::Asc => return Err(format!("{input} is not a container file")),
+                }
+                .map_err(|e| e.to_string())?;
+                if !errors.is_empty() {
+                    autosens_obs::warn!(
+                        "skipped {} malformed row(s) ({} stored, {} past cap)",
+                        errors.total(),
+                        errors.len(),
+                        errors.overflow()
+                    );
+                }
+                log
+            };
             let report = quality::audit(&log);
             if json {
                 println!(
@@ -320,13 +351,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 std::fs::read_to_string(&plan).map_err(|e| format!("read {plan}: {e}"))?;
             let plan = FaultPlan::from_json(&plan_text)?;
             let corrupted = plan.apply(&log).map_err(|e| e.to_string())?;
-            let file = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
-            let mut w = BufWriter::new(file);
-            match format {
-                Format::Csv => codec::write_csv(&corrupted, &mut w),
-                Format::Jsonl => codec::write_jsonl(&corrupted, &mut w),
-            }
-            .map_err(|e| e.to_string())?;
+            write_log(&corrupted, &out, format)?;
             autosens_obs::info!(
                 "injected {} fault op(s) (seed {}): {} -> {} records, wrote {out}",
                 plan.ops.len(),
@@ -437,6 +462,42 @@ struct WatchArgs {
     threads: usize,
 }
 
+/// The tailed source: text files advance by byte offset, binary containers
+/// by row count (a container grows by atomic whole-file replacement, so
+/// byte positions of old rows are not stable — row indices are).
+enum SourceReader {
+    /// Line-oriented CSV/JSONL tailing.
+    Text(TailReader),
+    /// Row-oriented `.asc` container tailing.
+    Binary(ContainerTailReader),
+}
+
+impl SourceReader {
+    /// Current position: bytes consumed (text) or rows consumed (binary).
+    fn offset(&self) -> u64 {
+        match self {
+            SourceReader::Text(r) => r.offset(),
+            SourceReader::Binary(r) => r.offset(),
+        }
+    }
+
+    /// Read whatever the source has grown by. Returns the new records and
+    /// the count of malformed rows skipped (always 0 for containers, which
+    /// validate all-or-nothing).
+    fn poll(&mut self) -> Result<(Vec<ActionRecord>, usize), String> {
+        match self {
+            SourceReader::Text(r) => {
+                let (records, errors) = r.poll().map_err(|e| e.to_string())?;
+                Ok((records, errors.total()))
+            }
+            SourceReader::Binary(r) => {
+                let records = r.poll().map_err(|e| e.to_string())?;
+                Ok((records, 0))
+            }
+        }
+    }
+}
+
 /// Tail a telemetry file through the streaming engine, emitting updated
 /// curves on the requested cadence. With `--until-eof` and no cadence the
 /// single final snapshot is byte-identical to batch `analyze` over the
@@ -447,24 +508,37 @@ fn run_watch(args: WatchArgs) -> Result<(), String> {
     if profiling {
         recorder.set_collecting(true);
     }
+    // A container source is detected by magic (or forced with --format asc
+    // before the file exists); everything else tails as text lines.
+    let binary =
+        args.format == Format::Asc || container::is_container_file(&args.input).unwrap_or(false);
     let tail_format = match args.format {
-        Format::Csv => TailFormat::Csv,
         Format::Jsonl => TailFormat::Jsonl,
+        _ => TailFormat::Csv,
     };
     let filter = to_slice(&args.slice);
     let label = slice_label(&args.slice);
 
     // Fresh start or checkpoint resume: the checkpoint carries the full
-    // streaming configuration and the tailed file's byte offset, so a
-    // resumed watch continues exactly where the checkpointed one stopped.
+    // streaming configuration and the tailed file's offset (bytes for text
+    // sources, rows for containers), so a resumed watch continues exactly
+    // where the checkpointed one stopped.
     let (mut engine, mut reader) = match (&args.checkpoint, args.resume) {
         (Some(path), true) => {
             let ck = Checkpoint::load(std::path::Path::new(path))
                 .map_err(|e| format!("resume from {path}: {e}"))?;
             // Refuse to seek past the end of a truncated/replaced source:
-            // the checkpointed offset would land on unrelated bytes.
-            ck.check_source_file(std::path::Path::new(&args.input))
-                .map_err(|e| format!("resume from {path}: {e}"))?;
+            // the checkpointed offset would land on unrelated bytes (text)
+            // or rows that no longer exist (binary).
+            if binary {
+                let rows = container::peek_row_count(&args.input)
+                    .map_err(|e| format!("resume from {path}: {e}"))?;
+                ck.check_source_length(rows)
+                    .map_err(|e| format!("resume from {path}: {e}"))?;
+            } else {
+                ck.check_source_file(std::path::Path::new(&args.input))
+                    .map_err(|e| format!("resume from {path}: {e}"))?;
+            }
             let offset = ck.source_offset;
             autosens_obs::info!(
                 "resuming from {path}: {} live records, offset {offset}",
@@ -472,7 +546,11 @@ fn run_watch(args: WatchArgs) -> Result<(), String> {
             );
             let engine = StreamEngine::restore(ck, filter, recorder.clone())
                 .map_err(|e| format!("resume from {path}: {e}"))?;
-            let reader = TailReader::resume(&args.input, tail_format, offset);
+            let reader = if binary {
+                SourceReader::Binary(ContainerTailReader::resume(&args.input, offset))
+            } else {
+                SourceReader::Text(TailReader::resume(&args.input, tail_format, offset))
+            };
             (engine, reader)
         }
         _ => {
@@ -492,7 +570,12 @@ fn run_watch(args: WatchArgs) -> Result<(), String> {
             };
             let engine = StreamEngine::with_recorder(config, filter, recorder.clone())
                 .map_err(|e| e.to_string())?;
-            (engine, TailReader::new(&args.input, tail_format))
+            let reader = if binary {
+                SourceReader::Binary(ContainerTailReader::new(&args.input))
+            } else {
+                SourceReader::Text(TailReader::new(&args.input, tail_format))
+            };
+            (engine, reader)
         }
     };
 
@@ -501,7 +584,7 @@ fn run_watch(args: WatchArgs) -> Result<(), String> {
     let mut last_emit = std::time::Instant::now();
     let mut emitted_any = false;
 
-    let save_checkpoint = |engine: &StreamEngine, reader: &TailReader| -> Result<(), String> {
+    let save_checkpoint = |engine: &StreamEngine, reader: &SourceReader| -> Result<(), String> {
         if let Some(path) = &args.checkpoint {
             engine
                 .checkpoint(reader.offset())
@@ -513,9 +596,9 @@ fn run_watch(args: WatchArgs) -> Result<(), String> {
     };
 
     loop {
-        let (records, errors) = reader.poll().map_err(|e| e.to_string())?;
-        if !errors.is_empty() {
-            autosens_obs::warn!("skipped {} malformed row(s) while tailing", errors.total());
+        let (records, skipped) = reader.poll()?;
+        if skipped > 0 {
+            autosens_obs::warn!("skipped {skipped} malformed row(s) while tailing");
         }
         let got_new = !records.is_empty();
         for r in records {
@@ -679,14 +762,81 @@ fn emit_snapshot(
     Ok(Some(report))
 }
 
-fn read_log(path: &str, format: Format) -> Result<TelemetryLog, String> {
+/// An opened telemetry input: either a memory-mapped binary container or a
+/// parsed-and-owned text log. Both expose the same zero-copy [`LogView`].
+enum LogSource {
+    /// A validated `.asc` container, columns borrowed from the mapping.
+    Mapped(MappedLog),
+    /// A log parsed from CSV or JSONL.
+    Owned(TelemetryLog),
+}
+
+impl LogSource {
+    /// Borrow the full columns, whatever the backing.
+    fn view(&self) -> LogView<'_> {
+        match self {
+            LogSource::Mapped(m) => m.view(),
+            LogSource::Owned(l) => l.view(),
+        }
+    }
+
+    /// Materialize an owned log (copies the columns out of a mapping).
+    fn into_log(self) -> Result<TelemetryLog, String> {
+        match self {
+            LogSource::Mapped(m) => m.to_log().map_err(|e| e.to_string()),
+            LogSource::Owned(l) => Ok(l),
+        }
+    }
+}
+
+fn is_container(path: &str) -> Result<bool, String> {
+    container::is_container_file(path).map_err(|e| format!("open {path}: {e}"))
+}
+
+/// Open a telemetry input, auto-detecting binary containers by file magic.
+/// `format` only governs how *text* inputs are parsed; a container is
+/// recognized (and a non-container rejected under `--format asc`) before
+/// any text parsing happens.
+fn open_log(path: &str, format: Format) -> Result<LogSource, String> {
+    if is_container(path)? {
+        return MappedLog::open(path)
+            .map(LogSource::Mapped)
+            .map_err(|e| format!("read {path}: {e}"));
+    }
     let file = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
     let reader = BufReader::new(file);
     match format {
         Format::Csv => codec::read_csv(reader),
         Format::Jsonl => codec::read_jsonl(reader),
+        Format::Asc => return Err(format!("{path} is not a container file")),
     }
+    .map(LogSource::Owned)
     .map_err(|e| e.to_string())
+}
+
+fn read_log(path: &str, format: Format) -> Result<TelemetryLog, String> {
+    open_log(path, format)?.into_log()
+}
+
+/// Write a log in the requested output format (text codecs or container).
+fn write_log(log: &TelemetryLog, out: &str, format: Format) -> Result<(), String> {
+    match format {
+        Format::Asc => {
+            container::write_container_file(log, out, None)
+                .map_err(|e| format!("write {out}: {e}"))?;
+        }
+        Format::Csv | Format::Jsonl => {
+            let file = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+            let mut w = BufWriter::new(file);
+            match format {
+                Format::Csv => codec::write_csv(log, &mut w),
+                Format::Jsonl => codec::write_jsonl(log, &mut w),
+                Format::Asc => unreachable!(),
+            }
+            .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
 }
 
 fn to_slice(args: &SliceArgs) -> Slice {

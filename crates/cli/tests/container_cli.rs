@@ -1,0 +1,230 @@
+//! End-to-end tests of the binary container through the CLI: `convert`
+//! produces an `.asc` whose analysis is byte-identical to the text input,
+//! every reading command auto-detects containers by magic, and `watch`
+//! checkpoints a growing container by row offset and refuses to resume
+//! past a truncated source.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_autosens"))
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("autosens-asc-{}-{name}", std::process::id()));
+    p
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn generate_csv(path: &Path) {
+    run_ok(bin().args([
+        "generate",
+        "--scenario",
+        "smoke",
+        "--out",
+        path.to_str().expect("utf8 temp path"),
+        "--quiet",
+    ]));
+}
+
+fn convert(input: &Path, out: &Path) {
+    run_ok(bin().args([
+        "convert",
+        "--in",
+        input.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+        "--quiet",
+    ]));
+}
+
+fn analyze_json(path: &Path, extra: &[&str]) -> String {
+    let out = run_ok(
+        bin()
+            .args([
+                "analyze",
+                "--in",
+                path.to_str().unwrap(),
+                "--json",
+                "--quiet",
+            ])
+            .args(extra),
+    );
+    String::from_utf8(out.stdout).expect("utf8 json")
+}
+
+fn cleanup(paths: &[&Path]) {
+    for p in paths {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn convert_then_analyze_is_byte_identical_to_csv() {
+    let csv = tmp_path("equiv.csv");
+    let asc = tmp_path("equiv.asc");
+    generate_csv(&csv);
+    convert(&csv, &asc);
+
+    // Same JSON bytes out of the text parse and the zero-parse mmap path,
+    // serially and under threading, with and without the CI band.
+    for extra in [&[][..], &["--threads", "4"][..], &["--ci", "25"][..]] {
+        let from_csv = analyze_json(&csv, extra);
+        let from_asc = analyze_json(&asc, extra);
+        assert_eq!(from_csv, from_asc, "extra args: {extra:?}");
+    }
+    cleanup(&[&csv, &asc]);
+}
+
+#[test]
+fn generate_writes_containers_directly() {
+    let csv = tmp_path("direct.csv");
+    let asc = tmp_path("direct.asc");
+    // Same scenario and seed through both writers.
+    for (path, format) in [(&csv, "csv"), (&asc, "asc")] {
+        run_ok(bin().args([
+            "generate",
+            "--scenario",
+            "smoke",
+            "--seed",
+            "7",
+            "--format",
+            format,
+            "--out",
+            path.to_str().unwrap(),
+            "--quiet",
+        ]));
+    }
+    assert_eq!(analyze_json(&csv, &[]), analyze_json(&asc, &[]));
+
+    // Containers are detected by magic, not extension or --format: audit
+    // reads one strictly with zero malformed rows.
+    let out = run_ok(bin().args(["audit", "--in", asc.to_str().unwrap(), "--json", "--quiet"]));
+    let report: serde_json::Value = serde_json::from_str(&String::from_utf8_lossy(&out.stdout))
+        .expect("audit emits valid JSON");
+    assert!(report["n_records"].as_u64().unwrap_or(0) > 0, "{report:?}");
+    cleanup(&[&csv, &asc]);
+}
+
+#[test]
+fn analyze_rejects_text_file_under_format_asc() {
+    let csv = tmp_path("notasc.csv");
+    generate_csv(&csv);
+    let out = bin()
+        .args([
+            "analyze",
+            "--in",
+            csv.to_str().unwrap(),
+            "--format",
+            "asc",
+            "--quiet",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not a container file"), "{stderr}");
+    cleanup(&[&csv]);
+}
+
+/// Write a CSV holding only the first `n` data rows of `full`.
+fn csv_prefix(full: &Path, prefix: &Path, n: usize) -> usize {
+    let text = std::fs::read_to_string(full).unwrap();
+    let mut lines = text.lines();
+    let header = lines.next().expect("csv header");
+    let rows: Vec<&str> = lines.take(n).collect();
+    let mut out = String::from(header);
+    out.push('\n');
+    for r in &rows {
+        out.push_str(r);
+        out.push('\n');
+    }
+    std::fs::write(prefix, out).unwrap();
+    rows.len()
+}
+
+fn checkpoint_offset(path: &Path) -> u64 {
+    let ck: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(path).unwrap()).expect("checkpoint JSON");
+    ck["source_offset"].as_u64().expect("source_offset field")
+}
+
+#[test]
+fn watch_checkpoints_growing_container_by_row() {
+    let csv = tmp_path("grow.csv");
+    let half_csv = tmp_path("grow-half.csv");
+    let source = tmp_path("grow.asc");
+    let ck = tmp_path("grow-ck.json");
+    generate_csv(&csv);
+    let total = std::fs::read_to_string(&csv).unwrap().lines().count() - 1;
+    let half = csv_prefix(&csv, &half_csv, total / 2);
+
+    // First watch covers the container's first half and checkpoints.
+    convert(&half_csv, &source);
+    run_ok(bin().args([
+        "watch",
+        "--in",
+        source.to_str().unwrap(),
+        "--until-eof",
+        "--json",
+        "--checkpoint",
+        ck.to_str().unwrap(),
+        "--quiet",
+    ]));
+    // The offset is a row count, aligned to what the container holds.
+    assert_eq!(checkpoint_offset(&ck), half as u64);
+
+    // The source grows by atomic replacement (convert writes tmp+rename).
+    convert(&csv, &source);
+    let resumed = run_ok(bin().args([
+        "watch",
+        "--in",
+        source.to_str().unwrap(),
+        "--until-eof",
+        "--json",
+        "--checkpoint",
+        ck.to_str().unwrap(),
+        "--resume",
+        "--quiet",
+    ]));
+    assert_eq!(checkpoint_offset(&ck), total as u64);
+
+    // The resumed stream's final snapshot equals batch analyze over the
+    // full container, byte for byte.
+    let batch = analyze_json(&source, &[]);
+    assert_eq!(String::from_utf8_lossy(&resumed.stdout), batch);
+
+    // A source that shrank below the checkpointed row offset must refuse
+    // to resume instead of replaying rows that no longer exist.
+    convert(&half_csv, &source);
+    let out = bin()
+        .args([
+            "watch",
+            "--in",
+            source.to_str().unwrap(),
+            "--until-eof",
+            "--json",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            "--resume",
+            "--quiet",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "resume past EOF must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("truncated"), "{stderr}");
+    cleanup(&[&csv, &half_csv, &source, &ck]);
+}

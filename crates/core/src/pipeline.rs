@@ -252,6 +252,19 @@ impl AutoSens {
         log: &TelemetryLog,
         slice: &Slice,
     ) -> Result<AnalysisReport, AutoSensError> {
+        self.analyze_view(&log.view(), slice)
+    }
+
+    /// Analyze one slice of a borrowed [`LogView`] — the zero-copy ingest
+    /// entry point. A memory-mapped container's columns flow from disk to
+    /// the analysis kernels through this without materializing a row;
+    /// [`AutoSens::analyze_slice`] is exactly this over `log.view()`, so
+    /// the two produce bit-identical reports for the same rows.
+    pub fn analyze_view(
+        &self,
+        view: &LogView<'_>,
+        slice: &Slice,
+    ) -> Result<AnalysisReport, AutoSensError> {
         // Validate the configuration before doing any work.
         self.config.binner()?;
         let mut degradations = Vec::new();
@@ -263,7 +276,7 @@ impl AutoSens {
         // repairable and record the repair instead of failing. Slicing
         // re-sorts as a side effect, so the order check looks at the input.
         let mut span = root.child("sanitize");
-        if !log.is_sorted() {
+        if !view.is_sorted() {
             degradations.push(Degradation {
                 stage: "sanitize".into(),
                 detail: "records arrived out of time order; re-sorted".into(),
@@ -272,7 +285,7 @@ impl AutoSens {
         let (selected, filter_report) = slice
             .clone()
             .successes()
-            .select_par(log, self.config.threads)?;
+            .select_par_view(view, self.config.threads)?;
         self.record_exec(&span, &filter_report);
         let records_in = selected.len();
         // A selection over a sorted log is already in time order, so the
@@ -755,7 +768,20 @@ impl AutoSens {
         replicates: usize,
         level: f64,
     ) -> Result<(AnalysisReport, crate::ci::PreferenceCi), AutoSensError> {
-        let mut report = self.analyze_slice(log, slice)?;
+        self.analyze_view_with_ci(&log.view(), slice, replicates, level)
+    }
+
+    /// [`AutoSens::analyze_slice_with_ci`] over a borrowed view — the CI
+    /// companion of [`AutoSens::analyze_view`], sharing its RNG streams so
+    /// mapped and owned inputs produce bit-identical bands.
+    pub fn analyze_view_with_ci(
+        &self,
+        view: &LogView<'_>,
+        slice: &Slice,
+        replicates: usize,
+        level: f64,
+    ) -> Result<(AnalysisReport, crate::ci::PreferenceCi), AutoSensError> {
+        let mut report = self.analyze_view(view, slice)?;
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xC1);
         let mut span = self.recorder.root(CI_STAGE);
         span.field("replicates_requested", replicates);

@@ -46,6 +46,23 @@ pub mod metrics;
 pub mod span;
 pub mod warn;
 
+/// Canonical names of cross-crate metrics, so emitters and dashboards agree
+/// on spelling. Per-crate metrics keep their names local to the emitting
+/// module; only names shared across crate boundaries (or surfaced in docs
+/// and CI gates) belong here.
+pub mod names {
+    /// Rows ingested through the binary container reader.
+    pub const INGEST_ROWS_TOTAL: &str = "autosens_ingest_rows_total";
+    /// Bytes mapped or copied by the binary container reader.
+    pub const INGEST_BYTES_TOTAL: &str = "autosens_ingest_bytes_total";
+    /// Container files successfully opened and validated.
+    pub const INGEST_CONTAINERS_TOTAL: &str = "autosens_ingest_containers_total";
+    /// Container files written by the encoder.
+    pub const INGEST_CONTAINERS_WRITTEN_TOTAL: &str = "autosens_ingest_containers_written_total";
+    /// Polls of a growing container source by the tail reader.
+    pub const INGEST_TAIL_POLLS_TOTAL: &str = "autosens_ingest_tail_polls_total";
+}
+
 pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use metrics::{Counter, Gauge, HistogramMetric, MetricsRegistry, MetricsSnapshot};
 pub use span::{FieldValue, Recorder, Span, SpanRecord, SpanTree, StageTiming};

@@ -7,8 +7,10 @@
 //! the records they summarize. The analysis [`Slice`](autosens_telemetry::query::Slice)
 //! is deliberately not serialized — callers re-derive it from their own
 //! configuration and pass it to [`StreamEngine::restore`](crate::StreamEngine::restore).
-//! `source_offset` carries the tailed file's byte position so a resumed
-//! `watch` continues reading exactly where the checkpoint was cut.
+//! `source_offset` carries the tailed source's position — a byte offset
+//! for text files, a row count for binary `.asc` containers (which grow by
+//! atomic whole-file replacement, so only row indices are stable) — so a
+//! resumed `watch` continues reading exactly where the checkpoint was cut.
 
 use std::path::Path;
 
@@ -56,7 +58,8 @@ pub struct Checkpoint {
     pub evicted: u64,
     /// Post-filter intake (admitted + duplicates) — batch `records_in`.
     pub records_in: u64,
-    /// Byte offset into the tailed source file (0 when not tailing).
+    /// Offset into the tailed source (0 when not tailing): bytes consumed
+    /// for text files, rows consumed for binary containers.
     pub source_offset: u64,
     /// Live shards in bucket order.
     pub shards: Vec<ShardCheckpoint>,
@@ -83,11 +86,12 @@ impl Checkpoint {
         Ok(())
     }
 
-    /// Guard for resuming a tailed file: the checkpointed byte offset
-    /// must not exceed the file's current length. A shorter file means
-    /// the source was truncated or replaced since the checkpoint was cut,
-    /// so seeking to `source_offset` would read from the middle of
-    /// unrelated bytes (or past EOF) and silently corrupt the stream.
+    /// Guard for resuming a tailed source: the checkpointed offset must
+    /// not exceed the source's current length (`len` is bytes for text
+    /// files, rows for binary containers). A shorter source means it was
+    /// truncated or replaced since the checkpoint was cut, so seeking to
+    /// `source_offset` would read from the middle of unrelated data (or
+    /// past EOF) and silently corrupt the stream.
     pub fn check_source_length(&self, len: u64) -> Result<(), StreamError> {
         if self.source_offset > len {
             return Err(StreamError::TruncatedSource {

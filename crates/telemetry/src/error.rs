@@ -21,6 +21,14 @@ pub enum TelemetryError {
         /// Index of the first out-of-order record.
         index: usize,
     },
+    /// A binary container file failed structural or semantic validation
+    /// (bad magic, truncated footer, checksum mismatch, invalid column
+    /// values, ...). Corruption is always reported through this variant,
+    /// never a panic.
+    Container {
+        /// What failed, phrased for an operator.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TelemetryError {
@@ -35,6 +43,9 @@ impl fmt::Display for TelemetryError {
             }
             TelemetryError::Unsorted { index } => {
                 write!(f, "telemetry log unsorted at record index {index}")
+            }
+            TelemetryError::Container { reason } => {
+                write!(f, "corrupt telemetry container: {reason}")
             }
         }
     }
@@ -76,6 +87,13 @@ mod tests {
         assert!(TelemetryError::InvalidRecord("x".into())
             .to_string()
             .contains("x"));
+        assert_eq!(
+            TelemetryError::Container {
+                reason: "bad magic".into()
+            }
+            .to_string(),
+            "corrupt telemetry container: bad magic"
+        );
     }
 
     #[test]

@@ -15,11 +15,15 @@
 //! * [`query`] — composable record filters for the paper's analysis slices.
 //! * [`users`] — per-user aggregates and the §3.4 median-latency quartiles.
 //! * [`codec`] — CSV and JSONL import/export with strict validation.
+//! * [`container`] — the `.asc` binary columnar container: checksummed
+//!   on-disk serialization of the column store, memory-mapped back into a
+//!   [`log::LogView`] with zero parsing.
 //! * [`quality`] — data-quality auditing (loss, duplicates, heaping, nulls).
 //! * [`loss`] — per-slot/per-class loss evidence (volume + sequence gaps),
 //!   the substrate of loss-aware correction in the analysis pipeline.
 
 pub mod codec;
+pub mod container;
 pub mod error;
 pub mod log;
 pub mod loss;
@@ -30,6 +34,7 @@ pub mod time;
 pub mod users;
 
 pub use codec::{TailFormat, TailReader};
+pub use container::{ContainerTailReader, MappedLog};
 pub use error::TelemetryError;
 pub use log::{ColumnStore, LogView, TelemetryLog};
 pub use record::{ActionRecord, ActionType, Outcome, UserClass, UserId};

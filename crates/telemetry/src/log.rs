@@ -213,6 +213,45 @@ impl ColumnStore {
     pub fn to_records(&self) -> Vec<ActionRecord> {
         (0..self.len()).map(|i| self.get(i)).collect()
     }
+
+    /// Assemble a store directly from its seven column vectors (the binary
+    /// container reader's materialization path). Errors unless every column
+    /// has the same length; performs no semantic validation — callers own
+    /// that, exactly as with [`ColumnStore::push`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_vecs(
+        time_ms: Vec<i64>,
+        latency_ms: Vec<f64>,
+        action: Vec<u8>,
+        user: Vec<u64>,
+        class: Vec<u8>,
+        tz_offset_ms: Vec<i64>,
+        outcome: Vec<u8>,
+    ) -> Result<ColumnStore, TelemetryError> {
+        let n = time_ms.len();
+        let lens = [
+            latency_ms.len(),
+            action.len(),
+            user.len(),
+            class.len(),
+            tz_offset_ms.len(),
+            outcome.len(),
+        ];
+        if lens.iter().any(|&l| l != n) {
+            return Err(TelemetryError::Container {
+                reason: format!("column lengths differ: time has {n} rows, others {lens:?}"),
+            });
+        }
+        Ok(ColumnStore {
+            time_ms,
+            latency_ms,
+            action,
+            user,
+            class,
+            tz_offset_ms,
+            outcome,
+        })
+    }
 }
 
 /// A borrowed, zero-copy selection of a [`TelemetryLog`]'s rows: references
@@ -259,6 +298,53 @@ impl<'a> LogView<'a> {
             sel: None,
             sorted,
         }
+    }
+
+    /// Build a full (unselected) view over seven raw column slices — the
+    /// zero-copy entry point for memory-mapped container columns, which
+    /// never pass through a [`ColumnStore`]. Errors unless every slice has
+    /// the same length; `sorted` asserts that the time slice is already
+    /// known non-decreasing (debug builds re-check).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_columns(
+        time_ms: &'a [i64],
+        latency_ms: &'a [f64],
+        action: &'a [u8],
+        user: &'a [u64],
+        class: &'a [u8],
+        tz_offset_ms: &'a [i64],
+        outcome: &'a [u8],
+        sorted: bool,
+    ) -> Result<LogView<'a>, TelemetryError> {
+        let n = time_ms.len();
+        let lens = [
+            latency_ms.len(),
+            action.len(),
+            user.len(),
+            class.len(),
+            tz_offset_ms.len(),
+            outcome.len(),
+        ];
+        if lens.iter().any(|&l| l != n) {
+            return Err(TelemetryError::Container {
+                reason: format!("column lengths differ: time has {n} rows, others {lens:?}"),
+            });
+        }
+        debug_assert!(
+            !sorted || time_ms.windows(2).all(|w| w[0] <= w[1]),
+            "from_columns claimed sorted over an unsorted time column"
+        );
+        Ok(LogView {
+            time_ms,
+            latency_ms,
+            action,
+            user,
+            class,
+            tz_offset_ms,
+            outcome,
+            sel: None,
+            sorted,
+        })
     }
 
     /// Number of selected rows.

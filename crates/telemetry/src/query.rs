@@ -166,6 +166,47 @@ impl Slice {
         true
     }
 
+    /// [`Slice::matches_row`] in *view* coordinates: tests view row `i`
+    /// (which may sit behind a selection vector) without materializing a
+    /// record. This is the form the zero-copy ingest path uses — mapped
+    /// containers produce a [`LogView`] with no [`ColumnStore`] behind it.
+    pub fn matches_view(&self, view: &LogView<'_>, i: usize) -> bool {
+        if let Some(a) = self.action {
+            if view.action_at(i) != a.code() {
+                return false;
+            }
+        }
+        if let Some(c) = self.class {
+            if view.class_at(i) != c.code() {
+                return false;
+            }
+        }
+        if let Some(p) = self.period {
+            if SimTime(view.time_at(i)).day_period_local(view.tz_offset_at(i)) != p {
+                return false;
+            }
+        }
+        if let Some(m) = self.month {
+            if SimTime(view.time_at(i)).month_local(view.tz_offset_at(i)) != m {
+                return false;
+            }
+        }
+        if let Some(users) = &self.users {
+            if !users.contains(&UserId(view.user_at(i))) {
+                return false;
+            }
+        }
+        if let Some(tz) = self.tz_offset_ms {
+            if view.tz_offset_at(i) != tz {
+                return false;
+            }
+        }
+        if self.successes_only && view.outcome_at(i) != Outcome::Success.code() {
+            return false;
+        }
+        true
+    }
+
     /// Whether every predicate is unset (the slice matches all records).
     fn is_unrestricted(&self) -> bool {
         self.action.is_none()
@@ -205,8 +246,36 @@ impl Slice {
         log: &'a TelemetryLog,
         threads: usize,
     ) -> Result<(LogView<'a>, autosens_exec::ExecReport), autosens_exec::ExecError> {
-        let cols = log.columns();
-        let n = cols.len();
+        self.select_par_view(&log.view(), threads)
+    }
+
+    /// The zero-copy sub-view of `view`'s rows matching every predicate,
+    /// in view order. Selection indices are *storage* indices (mapped
+    /// through any existing selection), so the result composes with
+    /// further narrowing exactly like [`Slice::select`]'s output.
+    pub fn select_view<'a>(&self, view: &LogView<'a>) -> LogView<'a> {
+        if self.is_unrestricted() {
+            return view.clone();
+        }
+        let sel: Vec<u32> = (0..view.len())
+            .filter(|&i| self.matches_view(view, i))
+            .map(|i| view.row(i) as u32)
+            .collect();
+        view.with_selection(sel)
+    }
+
+    /// Chunked [`Slice::select_view`], and the engine behind
+    /// [`Slice::select_par`]: chunk boundaries depend only on the view
+    /// length and per-chunk indices concatenate in chunk order, so the
+    /// result is identical for every thread count — and, on a full view,
+    /// identical to the serial `select`.
+    pub fn select_par_view<'a>(
+        &self,
+        view: &LogView<'a>,
+        threads: usize,
+    ) -> Result<(LogView<'a>, autosens_exec::ExecReport), autosens_exec::ExecError> {
+        let n = view.len();
+        let v = view.borrowed();
         let (parts, report) = autosens_exec::run_chunks(
             "slice_filter",
             n,
@@ -214,12 +283,12 @@ impl Slice {
             threads,
             |_, range| -> Vec<u32> {
                 range
-                    .filter(|&i| self.matches_row(cols, i))
-                    .map(|i| i as u32)
+                    .filter(|&i| self.matches_view(&v, i))
+                    .map(|i| v.row(i) as u32)
                     .collect()
             },
         )?;
-        Ok((log.view().with_selection(parts.concat()), report))
+        Ok((view.with_selection(parts.concat()), report))
     }
 
     /// Materialize the matching sub-log (order preserved, so a sorted input
@@ -457,6 +526,25 @@ mod tests {
                 assert_eq!(report.n_items, log.len());
             }
         }
+    }
+
+    #[test]
+    fn select_view_composes_with_existing_selection() {
+        let log = sample_log();
+        let full = log.view();
+        let slice = Slice::all().action(ActionType::SelectMail);
+        // Narrow a pre-selected view; indices stay in storage coordinates.
+        let pre = full.with_selection(vec![0, 2, 3]);
+        let expect: Vec<ActionRecord> = pre.iter().filter(|r| slice.matches(r)).collect();
+        let narrowed = slice.select_view(&pre);
+        assert_eq!(narrowed.iter().collect::<Vec<_>>(), expect);
+        assert_eq!(narrowed.row(0), 0);
+        for threads in [1, 4] {
+            let (par, _) = slice.select_par_view(&pre, threads).unwrap();
+            assert_eq!(par.iter().collect::<Vec<_>>(), expect, "threads={threads}");
+        }
+        // Unrestricted slice returns the view unchanged.
+        assert_eq!(Slice::all().select_view(&pre).len(), pre.len());
     }
 
     #[test]

@@ -114,7 +114,7 @@ fn bits(r: &ActionRecord) -> (i64, u8, u64, u64, u8, i64, u8) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
     fn select_view_is_index_identical_to_legacy_iter(

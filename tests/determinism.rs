@@ -62,6 +62,9 @@ fn config(threads: usize) -> AutoSensConfig {
     }
 }
 
+/// One flattened α-table group: label, action count, α bits, per-bin bits.
+type AlphaRow = (String, u64, Option<u64>, Vec<(u64, u64)>);
+
 /// Bitwise equality for an f64 series (NaN-free by construction).
 fn bits(series: &[(f64, f64)]) -> Vec<(u64, u64)> {
     series
@@ -100,7 +103,7 @@ fn assert_reports_identical(a: &AnalysisReport, b: &AnalysisReport, what: &str) 
         counts(&b.unbiased),
         "{what}: unbiased histogram diverged"
     );
-    let alpha_table = |r: &AnalysisReport| -> Vec<(String, u64, Option<u64>, Vec<(u64, u64)>)> {
+    let alpha_table = |r: &AnalysisReport| -> Vec<AlphaRow> {
         r.alpha
             .as_ref()
             .map(|est| {
@@ -174,7 +177,7 @@ proptest! {
 /// a chunked job), pinned on one fixed log rather than a proptest sweep.
 #[test]
 fn sliced_analysis_is_bit_identical_across_thread_counts() {
-    let log = random_log(0xD15E_A5E, 120_000);
+    let log = random_log(0x0D15_EA5E, 120_000);
     let slice = Slice::all()
         .action(ActionType::SelectMail)
         .class(UserClass::Business);

@@ -66,7 +66,7 @@ proptest! {
     // the 5σ bound makes a false alarm astronomically unlikely while any
     // systematic bias (first-of-run, index-ordered, modulo-skewed) fails
     // immediately.
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(32))]
 
     #[test]
     fn equidistant_ties_break_uniformly_serial(seed in any::<u64>()) {
