@@ -132,6 +132,45 @@ if ! diff -u "$SMOKE_DIR/golden_report.json" "$SMOKE_DIR/golden_report_asc.json"
     exit 1
 fi
 
+echo "==> serve gate (gateway-served curve byte-identical to batch analyze, restart included)"
+# The multi-tenant gateway promises each tenant's served curve is the
+# batch `analyze --json` output for the same records, byte for byte —
+# and that a killed gateway restarted from its checkpoint directory
+# still serves those exact bytes. Fed the pinned golden fixture (with
+# correction off, matching the golden gate above), the served curve is
+# therefore transitively pinned to tests/fixtures/golden_analyze.json.
+# The gateway binds port 0 and reports its addresses via --ready-file.
+./target/release/autosens serve --listen 127.0.0.1:0 --http 127.0.0.1:0 \
+    --loss-correct=off --checkpoint-dir "$SMOKE_DIR/ckpt" \
+    --ready-file "$SMOKE_DIR/ready.txt" --quiet & SERVE_PID=$!
+for _ in $(seq 1 100); do test -s "$SMOKE_DIR/ready.txt" && break; sleep 0.1; done
+test -s "$SMOKE_DIR/ready.txt" || { echo "ci.sh: gateway never became ready" >&2; exit 1; }
+INGEST_ADDR=$(awk '/^INGEST/{print $2}' "$SMOKE_DIR/ready.txt")
+HTTP_ADDR=$(awk '/^HTTP/{print $2}' "$SMOKE_DIR/ready.txt")
+./target/release/autosens agent --to "$INGEST_ADDR" --in "$SMOKE_DIR/golden.csv" \
+    --service mail --region eu --quiet
+./target/release/autosens query --addr "$HTTP_ADDR" --path /tenant/mail/eu/curve \
+    > "$SMOKE_DIR/served_curve.json"
+if ! diff -u "$SMOKE_DIR/golden_report.json" "$SMOKE_DIR/served_curve.json"; then
+    echo "ci.sh: gateway-served curve diverged from batch analyze" >&2
+    exit 1
+fi
+kill "$SERVE_PID"; wait "$SERVE_PID" 2>/dev/null || true
+rm -f "$SMOKE_DIR/ready.txt"
+./target/release/autosens serve --listen 127.0.0.1:0 --http 127.0.0.1:0 \
+    --loss-correct=off --checkpoint-dir "$SMOKE_DIR/ckpt" --resume \
+    --ready-file "$SMOKE_DIR/ready.txt" --quiet & SERVE_PID=$!
+for _ in $(seq 1 100); do test -s "$SMOKE_DIR/ready.txt" && break; sleep 0.1; done
+test -s "$SMOKE_DIR/ready.txt" || { echo "ci.sh: restarted gateway never became ready" >&2; exit 1; }
+HTTP_ADDR=$(awk '/^HTTP/{print $2}' "$SMOKE_DIR/ready.txt")
+./target/release/autosens query --addr "$HTTP_ADDR" --path /tenant/mail/eu/curve \
+    > "$SMOKE_DIR/served_curve_restarted.json"
+kill "$SERVE_PID"; wait "$SERVE_PID" 2>/dev/null || true
+if ! diff -u "$SMOKE_DIR/golden_report.json" "$SMOKE_DIR/served_curve_restarted.json"; then
+    echo "ci.sh: restarted gateway served a different curve than before the kill" >&2
+    exit 1
+fi
+
 echo "==> robustness frontier gate (corrected beats naive under planted loss)"
 # Fixed-seed bias-vs-loss-rate frontier: the artifact plants uniform and
 # bursty drop mechanisms, analyzes with correction on and off, and its

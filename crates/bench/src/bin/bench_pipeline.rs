@@ -152,6 +152,18 @@ struct PipelineBaseline {
     /// Peak bytes allocated above entry level during the parallel
     /// `full_report` sweep (`alloc-stats` feature only).
     peak_alloc_full_report_bytes: Option<u64>,
+    /// Tenants driven through the serve-plane gateway (TCP loopback,
+    /// framed agent protocol; 1000 at paper scale).
+    serve_tenants: usize,
+    /// Records/second the gateway ingested across all tenants.
+    serve_records_per_sec: f64,
+    /// Median per-tenant snapshot latency (what one `/curve` query pays).
+    serve_snapshot_p50_ms: f64,
+    /// 99th-percentile per-tenant snapshot latency.
+    serve_snapshot_p99_ms: f64,
+    /// Wall clock of one fleet-wide snapshot fan-out via the exec
+    /// scheduler at the requested worker count.
+    serve_fleet_snapshot_ms: f64,
     stages: Vec<StageTiming>,
     /// A previous baseline embedded via `--before path.json`, so the
     /// checked-in file carries its own before/after comparison.
@@ -273,6 +285,16 @@ fn main() {
     let (full_report_serial_ms, _) = timed_full_report(&data, &slice, 1);
     let (full_report_ms, peak_alloc_full_report_bytes) = timed_full_report(&data, &slice, threads);
 
+    // Serve-plane load: a real gateway on TCP loopback, every record
+    // through the framed agent protocol (smaller fleet for --smoke).
+    let serve_config = autosens_experiments::artifacts::load::LoadConfig {
+        tenants: if smoke { 100 } else { 1000 },
+        snapshot_threads: threads,
+        ..Default::default()
+    };
+    let serve = autosens_experiments::artifacts::load::drive(&serve_config)
+        .expect("serve load run completes");
+
     let baseline = PipelineBaseline {
         scenario: name.to_string(),
         records: data.log.len(),
@@ -291,6 +313,11 @@ fn main() {
         full_report_ms,
         peak_alloc_analyze_bytes,
         peak_alloc_full_report_bytes,
+        serve_tenants: serve.tenants,
+        serve_records_per_sec: serve.records_per_sec,
+        serve_snapshot_p50_ms: serve.snapshot_percentile_ms(50.0),
+        serve_snapshot_p99_ms: serve.snapshot_percentile_ms(99.0),
+        serve_fleet_snapshot_ms: serve.fleet_snapshot_wall_ms,
         stages,
         before,
     };
@@ -303,7 +330,8 @@ fn main() {
          ({:.1} ms serial, {:.1} ms loss-correction off, {:.0} records/s); \
          ingest text {:.1} ms vs binary {:.1} ms ({:.1}x); \
          full_report {:.1} ms \
-         ({:.1} ms serial), peak alloc analyze={:?} full_report={:?}",
+         ({:.1} ms serial), peak alloc analyze={:?} full_report={:?}; \
+         serve: {} tenants at {:.0} records/s, snapshot p50 {:.2} ms p99 {:.2} ms",
         baseline.records,
         baseline.analyze_ms,
         baseline.threads,
@@ -316,6 +344,10 @@ fn main() {
         baseline.full_report_ms,
         baseline.full_report_serial_ms,
         baseline.peak_alloc_analyze_bytes,
-        baseline.peak_alloc_full_report_bytes
+        baseline.peak_alloc_full_report_bytes,
+        baseline.serve_tenants,
+        baseline.serve_records_per_sec,
+        baseline.serve_snapshot_p50_ms,
+        baseline.serve_snapshot_p99_ms
     );
 }

@@ -30,8 +30,24 @@ usage:
                     [--checkpoint PATH] [--resume]
                     [--detect] [--half-life MS] [--status-out PATH]
                     [--profile] [--trace-out PATH] [--metrics-out PATH]
+  autosens serve    [--listen ADDR] [--http ADDR] [--checkpoint-dir DIR] [--resume]
+                    [--ready-file PATH] [--shard-ms MS] [--lateness-ms MS]
+                    [--no-alpha] [--loss-correct[=on|off]] [--reference MS]
+                    [--capacity N] [--threads N]
+  autosens agent    --to ADDR --in <path> --service S --region R
+                    [--format csv|jsonl] [--batch N] [--retries N]
+                    [--backoff-ms MS] [--no-commit]
+  autosens query    --addr ADDR --path /tenant/<service>/<region>/curve
 
   global:  [--quiet|-q] [--verbose|-v]
+
+  serve listens for agent pushes on --listen (TCP `host:port`, or a unix
+  socket when the address contains `/`) and answers HTTP GETs on --http
+  (/healthz, /tenants, /fleet, /metrics, /tenant/<service>/<region>/
+  {curve,status,shifts}). --ready-file is written as `INGEST HTTP` once
+  both listeners are bound (useful with port 0). agent pushes a log to a
+  gateway for one tenant and COMMITs at EOF unless --no-commit. query
+  prints the raw HTTP response body from a gateway.
 
   Binary `.asc` container inputs are auto-detected by file magic on every
   reading command; `--format` describes the *text* format and is ignored
@@ -219,6 +235,64 @@ pub enum Command {
         /// Worker threads (0 = auto).
         threads: usize,
     },
+    /// Run the multi-tenant ingest gateway plus its HTTP query plane.
+    Serve {
+        /// Ingest listen address (`host:port`, or a unix-socket path when
+        /// it contains `/`).
+        listen: String,
+        /// HTTP query-plane listen address.
+        http: String,
+        /// Directory for versioned fleet checkpoints (enables COMMIT
+        /// durability).
+        checkpoint_dir: Option<String>,
+        /// Restore the fleet from --checkpoint-dir before serving.
+        resume: bool,
+        /// Write `INGEST HTTP` bound addresses to this file once ready.
+        ready_file: Option<String>,
+        /// Shard width in event-time ms.
+        shard_ms: i64,
+        /// Allowed lateness (watermark budget) in ms.
+        lateness_ms: i64,
+        /// Disable the time-confounder correction.
+        no_alpha: bool,
+        /// Estimate telemetry loss and reweight curves (default on).
+        loss_correct: bool,
+        /// Reference latency in ms.
+        reference_ms: f64,
+        /// Per-tenant intake queue capacity.
+        capacity: usize,
+        /// Worker threads (0 = auto).
+        threads: usize,
+    },
+    /// Push a telemetry log to a gateway as one tenant's agent.
+    AgentPush {
+        /// Gateway ingest address.
+        to: String,
+        /// Input path.
+        input: String,
+        /// Input format.
+        format: Format,
+        /// Tenant service label.
+        service: String,
+        /// Tenant region label.
+        region: String,
+        /// Records per batch frame.
+        batch: usize,
+        /// Connect attempts before giving up.
+        retries: u32,
+        /// Base backoff between connect attempts, ms (doubles per retry).
+        backoff_ms: u64,
+        /// Ask the gateway to checkpoint durably after the last batch
+        /// (default on; `--no-commit` disables).
+        commit: bool,
+    },
+    /// Fetch one query-plane path from a gateway and print the body.
+    Query {
+        /// Gateway HTTP address.
+        addr: String,
+        /// Request path (e.g. `/tenant/mail/eu/curve`).
+        path: String,
+    },
     /// Session-abandonment analysis (non-sticky services).
     Abandonment {
         /// Input path.
@@ -276,6 +350,20 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "--detect",
         "--half-life",
         "--status-out",
+        "--listen",
+        "--http",
+        "--checkpoint-dir",
+        "--ready-file",
+        "--capacity",
+        "--to",
+        "--service",
+        "--region",
+        "--batch",
+        "--retries",
+        "--backoff-ms",
+        "--no-commit",
+        "--addr",
+        "--path",
         "--quiet",
         "--verbose",
     ];
@@ -289,6 +377,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 | "--until-eof"
                 | "--resume"
                 | "--detect"
+                | "--no-commit"
                 | "--quiet"
                 | "--verbose"
         )
@@ -510,6 +599,90 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 threads,
             })
         }
+        "serve" => {
+            let parse_ms = |name: &str, default: i64| -> Result<i64, String> {
+                let v = flag(name)
+                    .map(|s| {
+                        s.parse::<i64>()
+                            .map_err(|_| format!("bad value for {name}: {s:?}"))
+                    })
+                    .transpose()?
+                    .unwrap_or(default);
+                if v <= 0 {
+                    return Err(format!("{name} must be > 0, got {v}"));
+                }
+                Ok(v)
+            };
+            let checkpoint_dir = flag("--checkpoint-dir").map(str::to_string);
+            let resume = has("--resume");
+            if resume && checkpoint_dir.is_none() {
+                return Err("--resume requires --checkpoint-dir".into());
+            }
+            Ok(Command::Serve {
+                listen: flag("--listen").unwrap_or("127.0.0.1:7341").to_string(),
+                http: flag("--http").unwrap_or("127.0.0.1:7342").to_string(),
+                checkpoint_dir,
+                resume,
+                ready_file: flag("--ready-file").map(str::to_string),
+                shard_ms: parse_ms("--shard-ms", 6 * 3_600_000)?,
+                lateness_ms: parse_ms("--lateness-ms", 3_600_000)?,
+                no_alpha: has("--no-alpha"),
+                loss_correct,
+                reference_ms: flag("--reference")
+                    .map(|s| s.parse::<f64>().map_err(|_| format!("bad reference {s:?}")))
+                    .transpose()?
+                    .unwrap_or(300.0),
+                capacity: flag("--capacity")
+                    .map(|s| {
+                        s.parse::<usize>()
+                            .ok()
+                            .filter(|v| *v > 0)
+                            .ok_or(format!("--capacity must be a positive count, got {s:?}"))
+                    })
+                    .transpose()?
+                    .unwrap_or(65_536),
+                threads,
+            })
+        }
+        "agent" => Ok(Command::AgentPush {
+            to: flag("--to").ok_or("agent requires --to")?.to_string(),
+            input: flag("--in").ok_or("agent requires --in")?.to_string(),
+            format,
+            service: flag("--service")
+                .ok_or("agent requires --service")?
+                .to_string(),
+            region: flag("--region")
+                .ok_or("agent requires --region")?
+                .to_string(),
+            batch: flag("--batch")
+                .map(|s| {
+                    s.parse::<usize>()
+                        .ok()
+                        .filter(|v| *v > 0)
+                        .ok_or(format!("--batch must be a positive count, got {s:?}"))
+                })
+                .transpose()?
+                .unwrap_or(4096),
+            retries: flag("--retries")
+                .map(|s| {
+                    s.parse::<u32>()
+                        .map_err(|_| format!("bad value for --retries: {s:?}"))
+                })
+                .transpose()?
+                .unwrap_or(5),
+            backoff_ms: flag("--backoff-ms")
+                .map(|s| {
+                    s.parse::<u64>()
+                        .map_err(|_| format!("bad value for --backoff-ms: {s:?}"))
+                })
+                .transpose()?
+                .unwrap_or(100),
+            commit: !has("--no-commit"),
+        }),
+        "query" => Ok(Command::Query {
+            addr: flag("--addr").ok_or("query requires --addr")?.to_string(),
+            path: flag("--path").ok_or("query requires --path")?.to_string(),
+        }),
         "abandonment" => Ok(Command::Abandonment {
             input: flag("--in").ok_or("abandonment requires --in")?.to_string(),
             format,
@@ -903,6 +1076,164 @@ mod tests {
         }
         assert!(parse(&sv(&["watch", "--in", "x", "--half-life", "0"])).is_err());
         assert!(parse(&sv(&["watch", "--in", "x", "--half-life", "2d"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        match parse(&sv(&["serve"])).unwrap() {
+            Command::Serve {
+                listen,
+                http,
+                checkpoint_dir,
+                resume,
+                ready_file,
+                shard_ms,
+                lateness_ms,
+                loss_correct,
+                capacity,
+                ..
+            } => {
+                assert_eq!(listen, "127.0.0.1:7341");
+                assert_eq!(http, "127.0.0.1:7342");
+                assert_eq!(checkpoint_dir, None);
+                assert!(!resume);
+                assert_eq!(ready_file, None);
+                assert_eq!(shard_ms, 6 * 3_600_000);
+                assert_eq!(lateness_ms, 3_600_000);
+                assert!(loss_correct);
+                assert_eq!(capacity, 65_536);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&sv(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--http",
+            "127.0.0.1:0",
+            "--checkpoint-dir",
+            "ckpts",
+            "--resume",
+            "--ready-file",
+            "ready.txt",
+            "--capacity",
+            "1024",
+        ]))
+        .unwrap()
+        {
+            Command::Serve {
+                listen,
+                checkpoint_dir,
+                resume,
+                ready_file,
+                capacity,
+                ..
+            } => {
+                assert_eq!(listen, "127.0.0.1:0");
+                assert_eq!(checkpoint_dir.as_deref(), Some("ckpts"));
+                assert!(resume);
+                assert_eq!(ready_file.as_deref(), Some("ready.txt"));
+                assert_eq!(capacity, 1024);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&sv(&["serve", "--resume"])).is_err()); // no --checkpoint-dir
+        assert!(parse(&sv(&["serve", "--capacity", "0"])).is_err());
+        assert!(parse(&sv(&["serve", "--shard-ms", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_agent_and_query() {
+        let cmd = parse(&sv(&[
+            "agent",
+            "--to",
+            "127.0.0.1:7341",
+            "--in",
+            "x.csv",
+            "--service",
+            "mail",
+            "--region",
+            "eu",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::AgentPush {
+                to,
+                input,
+                service,
+                region,
+                batch,
+                retries,
+                backoff_ms,
+                commit,
+                ..
+            } => {
+                assert_eq!(to, "127.0.0.1:7341");
+                assert_eq!(input, "x.csv");
+                assert_eq!(service, "mail");
+                assert_eq!(region, "eu");
+                assert_eq!(batch, 4096);
+                assert_eq!(retries, 5);
+                assert_eq!(backoff_ms, 100);
+                assert!(commit);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&sv(&[
+            "agent",
+            "--to",
+            "a:1",
+            "--in",
+            "x",
+            "--service",
+            "s",
+            "--region",
+            "r",
+            "--batch",
+            "128",
+            "--no-commit",
+        ]))
+        .unwrap()
+        {
+            Command::AgentPush { batch, commit, .. } => {
+                assert_eq!(batch, 128);
+                assert!(!commit);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&sv(&["agent", "--in", "x"])).is_err()); // missing --to
+        assert!(parse(&sv(&["agent", "--to", "a:1", "--in", "x"])).is_err()); // missing tenant
+        assert!(parse(&sv(&[
+            "agent",
+            "--to",
+            "a:1",
+            "--in",
+            "x",
+            "--service",
+            "s",
+            "--region",
+            "r",
+            "--batch",
+            "0",
+        ]))
+        .is_err());
+
+        let cmd = parse(&sv(&[
+            "query",
+            "--addr",
+            "127.0.0.1:7342",
+            "--path",
+            "/tenant/mail/eu/curve",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query {
+                addr: "127.0.0.1:7342".into(),
+                path: "/tenant/mail/eu/curve".into(),
+            }
+        );
+        assert!(parse(&sv(&["query", "--addr", "a:1"])).is_err()); // missing --path
     }
 
     #[test]

@@ -7,6 +7,7 @@ use autosens_core::locality::{decorrelation_report, density_latency_correlation,
 use autosens_core::report::{f3, text_table, PreferenceSummary};
 use autosens_core::{AutoSens, AutoSensConfig};
 use autosens_faults::FaultPlan;
+use autosens_serve::{serve_http, Agent, AgentConfig, Gateway, GatewayConfig, TenantKey};
 use autosens_sim::{generate_with_threads, SimConfig};
 use autosens_stream::{
     Checkpoint, DetectorConfig, Ingestor, Offer, OverflowPolicy, StatusDocument, StreamConfig,
@@ -409,6 +410,77 @@ pub fn run(cmd: Command) -> Result<(), String> {
             metrics_out,
             threads,
         }),
+        Command::Serve {
+            listen,
+            http,
+            checkpoint_dir,
+            resume,
+            ready_file,
+            shard_ms,
+            lateness_ms,
+            no_alpha,
+            loss_correct,
+            reference_ms,
+            capacity,
+            threads,
+        } => run_serve(ServeArgs {
+            listen,
+            http,
+            checkpoint_dir,
+            resume,
+            ready_file,
+            shard_ms,
+            lateness_ms,
+            no_alpha,
+            loss_correct,
+            reference_ms,
+            capacity,
+            threads,
+        }),
+        Command::AgentPush {
+            to,
+            input,
+            format,
+            service,
+            region,
+            batch,
+            retries,
+            backoff_ms,
+            commit,
+        } => {
+            let source = open_log(&input, format)?;
+            let view = source.view();
+            let tenant = TenantKey::new(&service, &region).map_err(|e| e.to_string())?;
+            let mut cfg = AgentConfig::new(&to, tenant);
+            cfg.batch_size = batch;
+            cfg.retries = retries;
+            cfg.backoff_ms = backoff_ms;
+            let mut agent = Agent::connect(cfg).map_err(|e| e.to_string())?;
+            let n = view.len();
+            for i in 0..n {
+                agent.push(view.get(i)).map_err(|e| e.to_string())?;
+            }
+            if commit {
+                agent.commit().map_err(|e| e.to_string())?;
+            } else {
+                agent.flush().map_err(|e| e.to_string())?;
+            }
+            autosens_obs::info!(
+                "pushed {n} records to {to} as {service}/{region} ({} acknowledged{})",
+                agent.acked(),
+                if commit { ", committed" } else { "" }
+            );
+            Ok(())
+        }
+        Command::Query { addr, path } => {
+            let (status, body) =
+                autosens_serve::http_get(&addr, &path).map_err(|e| e.to_string())?;
+            print!("{}", String::from_utf8_lossy(&body));
+            if status != 200 {
+                return Err(format!("{addr}{path}: HTTP {status}"));
+            }
+            Ok(())
+        }
         Command::Alpha {
             input,
             format,
@@ -690,6 +762,118 @@ fn run_watch(args: WatchArgs) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// The `serve` parameters, bundled so the run function stays callable.
+struct ServeArgs {
+    listen: String,
+    http: String,
+    checkpoint_dir: Option<String>,
+    resume: bool,
+    ready_file: Option<String>,
+    shard_ms: i64,
+    lateness_ms: i64,
+    no_alpha: bool,
+    loss_correct: bool,
+    reference_ms: f64,
+    capacity: usize,
+    threads: usize,
+}
+
+/// Run the multi-tenant ingest gateway plus its HTTP query plane until
+/// the process is killed. The ingest side listens on TCP, or on a unix
+/// socket when `--listen` contains a `/`. With `--ready-file` the bound
+/// addresses are written out once both listeners are up, so scripts can
+/// bind port 0 and discover where the gateway landed.
+fn run_serve(args: ServeArgs) -> Result<(), String> {
+    let recorder = autosens_obs::Recorder::global().clone();
+    let config = GatewayConfig {
+        stream: StreamConfig {
+            analysis: AutoSensConfig {
+                alpha_correction: !args.no_alpha,
+                loss_correct: args.loss_correct,
+                reference_latency_ms: args.reference_ms,
+                threads: args.threads,
+                ..AutoSensConfig::default()
+            },
+            shard_ms: args.shard_ms,
+            allowed_lateness_ms: args.lateness_ms,
+            retain_ms: None,
+            detector: Some(DetectorConfig::default()),
+            decay_half_life_ms: None,
+        },
+        ingest_capacity: args.capacity,
+        checkpoint_dir: args.checkpoint_dir.map(std::path::PathBuf::from),
+        resume: args.resume,
+        threads: args.threads,
+    };
+    let gateway = Gateway::new(config, recorder).map_err(|e| e.to_string())?;
+    if !gateway.registry().is_empty() {
+        autosens_obs::info!(
+            "restored {} tenant(s) at generation {}",
+            gateway.registry().len(),
+            gateway.registry().generation()
+        );
+    }
+
+    let http_listener = std::net::TcpListener::bind(&args.http)
+        .map_err(|e| format!("bind http {}: {e}", args.http))?;
+    let http_addr = http_listener
+        .local_addr()
+        .map_err(|e| e.to_string())?
+        .to_string();
+
+    // The unix-socket path doubles as its "address"; a TCP listen gets
+    // its real bound address (which differs from the flag for port 0).
+    let unix = args.listen.contains('/');
+    let (tcp_listener, ingest_addr) = if unix {
+        (None, args.listen.clone())
+    } else {
+        let l = std::net::TcpListener::bind(&args.listen)
+            .map_err(|e| format!("bind ingest {}: {e}", args.listen))?;
+        let addr = l.local_addr().map_err(|e| e.to_string())?.to_string();
+        (Some(l), addr)
+    };
+
+    #[cfg(unix)]
+    let unix_listener = if unix {
+        let _ = std::fs::remove_file(&args.listen);
+        Some(
+            std::os::unix::net::UnixListener::bind(&args.listen)
+                .map_err(|e| format!("bind ingest {}: {e}", args.listen))?,
+        )
+    } else {
+        None
+    };
+    #[cfg(not(unix))]
+    if unix {
+        return Err(format!("unix sockets unsupported here: {}", args.listen));
+    }
+
+    if let Some(path) = &args.ready_file {
+        std::fs::write(path, format!("INGEST {ingest_addr}\nHTTP {http_addr}\n"))
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    autosens_obs::info!("gateway ready: ingest {ingest_addr}, http {http_addr}");
+
+    let http_gateway = gateway.clone();
+    std::thread::spawn(move || {
+        let _ = serve_http(&http_gateway, http_listener);
+    });
+
+    match tcp_listener {
+        Some(l) => gateway.serve_tcp(l).map_err(|e| e.to_string()),
+        None => {
+            #[cfg(unix)]
+            {
+                gateway
+                    .serve_unix(unix_listener.expect("unix listener bound above"))
+                    .map_err(|e| e.to_string())
+            }
+            #[cfg(not(unix))]
+            unreachable!("rejected above")
+        }
+    }
 }
 
 /// Print one streaming snapshot in the same shape `analyze` uses, so the

@@ -477,7 +477,7 @@ pub fn partition_by_group(
     let (partial, report) = autosens_exec::map_reduce(
         "alpha_partition",
         log.len(),
-        autosens_exec::chunk_size_for(log.len()),
+        autosens_exec::scan_chunk_size_for(log.len()),
         threads,
         |_, range| {
             let mut part = GroupPartition::empty(binner);
@@ -514,7 +514,7 @@ pub fn partition_by_group_weighted(
     let (partial, report) = autosens_exec::map_reduce(
         "alpha_partition_weighted",
         log.len(),
-        autosens_exec::chunk_size_for(log.len()),
+        autosens_exec::scan_chunk_size_for(log.len()),
         threads,
         |_, range| {
             let mut part = GroupPartition::empty(binner);

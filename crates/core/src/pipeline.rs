@@ -8,7 +8,7 @@ use autosens_exec::ExecReport;
 use autosens_obs::{Recorder, Span, StageTiming};
 use autosens_stats::histogram::Histogram;
 use autosens_telemetry::log::{LogView, TelemetryLog};
-use autosens_telemetry::loss::{estimate_cell_loss, LossCounts};
+use autosens_telemetry::loss::{estimate_cell_loss_par, LossCounts};
 use autosens_telemetry::query::Slice;
 use autosens_telemetry::record::{ActionType, UserClass};
 use autosens_telemetry::time::{DayPeriod, Month};
@@ -408,8 +408,9 @@ impl AutoSens {
         // consumes no randomness, so an inactive correction leaves every
         // downstream bit unchanged.
         let mut span = root.child("lossmodel");
-        let counts = loss_counts.unwrap_or_else(|| LossCounts::from_view(sub));
-        let evidence = estimate_cell_loss(sub, &counts);
+        let counts =
+            loss_counts.unwrap_or_else(|| LossCounts::from_view_par(sub, self.config.threads));
+        let evidence = estimate_cell_loss_par(sub, &counts, self.config.threads);
         let model = LossModel::from_evidence(&evidence);
         let correct = self.config.loss_correct && !model.is_noop();
         span.field("cells_flagged", model.cells.len());

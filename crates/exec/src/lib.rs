@@ -51,6 +51,23 @@ pub fn chunk_size_for(n: usize) -> usize {
     (n / 64).clamp(4_096, 131_072).min(n.max(1))
 }
 
+/// The chunk size for pure *scan* jobs — chunked maps that carry no
+/// per-chunk RNG stream (slice filtering, deduplication, the α loss-cell
+/// partition, loss counting).
+///
+/// Scan partials are often heavyweight (the α partition allocates 96
+/// histograms per chunk), so fine chunking taxes the job twice: once in
+/// per-chunk allocation and once in the ordered merge. This policy aims
+/// for ~16 large chunks instead of [`chunk_size_for`]'s ~64, and its floor
+/// means small inputs run as a single chunk (one worker, no spawn
+/// overhead). Like `chunk_size_for` it depends only on `n`, never on the
+/// thread count, so chunk boundaries and merge order are identical for
+/// 1..N workers. RNG-bearing jobs must keep using [`chunk_size_for`]:
+/// their per-chunk seed streams are part of the pinned output.
+pub fn scan_chunk_size_for(n: usize) -> usize {
+    (n / 16).clamp(65_536, 2_097_152).min(n.max(1))
+}
+
 /// Derive the RNG seed of one chunk from a job's base seed.
 ///
 /// Jobs that draw random numbers seed one independent stream per *chunk*
@@ -76,6 +93,17 @@ mod tests {
         assert_eq!(chunk_size_for(10_000), 4_096);
         assert_eq!(chunk_size_for(1 << 20), 16_384);
         assert_eq!(chunk_size_for(100_000_000), 131_072);
+    }
+
+    #[test]
+    fn scan_chunk_size_depends_only_on_n() {
+        assert_eq!(scan_chunk_size_for(0), 1);
+        assert_eq!(scan_chunk_size_for(100), 100);
+        // Below the floor the whole scan is one chunk.
+        assert_eq!(scan_chunk_size_for(60_000), 60_000);
+        assert_eq!(scan_chunk_size_for(1 << 20), 65_536);
+        assert_eq!(scan_chunk_size_for(8_000_000), 500_000);
+        assert_eq!(scan_chunk_size_for(100_000_000), 2_097_152);
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! The push agent: batches records for one tenant and ships them to a
+//! gateway with connect retry/backoff.
+//!
+//! The agent is deliberately dumb: it owns no analysis state, just a
+//! buffer and a connection. Records accumulate into batches of
+//! `batch_size`; every BATCH waits for its ACK (the protocol is
+//! stop-and-wait — the per-batch round trip amortizes over thousands of
+//! records, and it keeps the agent's durability accounting exact).
+//! [`Agent::commit`] flushes, asks the gateway to checkpoint, and
+//! returns only after the COMMIT ACK, i.e. after the records are
+//! durable on the gateway's disk.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use autosens_telemetry::record::ActionRecord;
+
+use crate::error::ServeError;
+use crate::frame::{read_frame, write_frame, Frame, PROTOCOL_VERSION};
+use crate::tenant::TenantKey;
+
+/// Agent construction parameters.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Gateway address: `host:port` for TCP, or a filesystem path
+    /// (anything containing `/`) for a unix socket.
+    pub addr: String,
+    /// The tenant every pushed record belongs to.
+    pub tenant: TenantKey,
+    /// Records per BATCH frame.
+    pub batch_size: usize,
+    /// Connect attempts before giving up.
+    pub retries: u32,
+    /// Base backoff between connect attempts (doubles per retry).
+    pub backoff_ms: u64,
+}
+
+impl AgentConfig {
+    /// Defaults for `tenant` at `addr`: 4096-record batches, 5 connect
+    /// attempts, 100 ms base backoff.
+    pub fn new(addr: impl Into<String>, tenant: TenantKey) -> AgentConfig {
+        AgentConfig {
+            addr: addr.into(),
+            tenant,
+            batch_size: 4096,
+            retries: 5,
+            backoff_ms: 100,
+        }
+    }
+}
+
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+fn dial(addr: &str) -> Result<Conn, ServeError> {
+    if addr.contains('/') {
+        #[cfg(unix)]
+        {
+            return Ok(Conn::Unix(std::os::unix::net::UnixStream::connect(addr)?));
+        }
+        #[cfg(not(unix))]
+        {
+            return Err(ServeError::Protocol(format!(
+                "unix socket address {addr:?} on a non-unix platform"
+            )));
+        }
+    }
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    Ok(Conn::Tcp(stream))
+}
+
+/// A connected push agent. See the module docs.
+pub struct Agent {
+    config: AgentConfig,
+    conn: Conn,
+    pending: Vec<ActionRecord>,
+    sent: u64,
+    acked: u64,
+}
+
+impl Agent {
+    /// Dial the gateway (with retry/backoff) and complete the HELLO
+    /// handshake.
+    pub fn connect(config: AgentConfig) -> Result<Agent, ServeError> {
+        config.tenant.validate()?;
+        if config.batch_size == 0 {
+            return Err(ServeError::Protocol("batch_size must be > 0".into()));
+        }
+        let mut conn = None;
+        let mut backoff = config.backoff_ms;
+        let mut last_err: Option<ServeError> = None;
+        for attempt in 0..=config.retries {
+            match dial(&config.addr) {
+                Ok(c) => {
+                    conn = Some(c);
+                    break;
+                }
+                Err(e) => {
+                    last_err = Some(e);
+                    if attempt < config.retries {
+                        std::thread::sleep(Duration::from_millis(backoff));
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+            }
+        }
+        let conn = match conn {
+            Some(c) => c,
+            None => {
+                return Err(last_err.unwrap_or_else(|| {
+                    ServeError::Protocol(format!("could not reach {}", config.addr))
+                }))
+            }
+        };
+        let mut agent = Agent {
+            config,
+            conn,
+            pending: Vec::new(),
+            sent: 0,
+            acked: 0,
+        };
+        write_frame(
+            &mut agent.conn,
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )?;
+        agent.await_ack()?;
+        Ok(agent)
+    }
+
+    /// Records acknowledged by the gateway so far.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Buffer one record, shipping a batch when the buffer fills.
+    pub fn push(&mut self, record: ActionRecord) -> Result<(), ServeError> {
+        self.pending.push(record);
+        if self.pending.len() >= self.config.batch_size {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Ship any buffered records and wait for the ACK.
+    pub fn flush(&mut self) -> Result<(), ServeError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let records = std::mem::take(&mut self.pending);
+        self.sent += records.len() as u64;
+        let frame = Frame::Batch {
+            tenant: self.config.tenant.clone(),
+            records,
+        };
+        write_frame(&mut self.conn, &frame)?;
+        self.await_ack()?;
+        Ok(())
+    }
+
+    /// Flush, then ask the gateway to checkpoint durably. Returns the
+    /// total acknowledged record count once the COMMIT ACK arrives.
+    pub fn commit(&mut self) -> Result<u64, ServeError> {
+        self.flush()?;
+        write_frame(&mut self.conn, &Frame::Commit)?;
+        self.await_ack()?;
+        Ok(self.acked)
+    }
+
+    /// Read one gateway reply; an ERROR frame or an ACK that does not
+    /// cover everything sent is a protocol failure.
+    fn await_ack(&mut self) -> Result<(), ServeError> {
+        match read_frame(&mut self.conn)? {
+            Some(Frame::Ack { records }) => {
+                if records < self.sent {
+                    return Err(ServeError::Protocol(format!(
+                        "gateway acknowledged {records} of {} records sent",
+                        self.sent
+                    )));
+                }
+                self.acked = records;
+                Ok(())
+            }
+            Some(Frame::Error { message }) => Err(ServeError::Protocol(message)),
+            Some(other) => Err(ServeError::Protocol(format!("expected ACK, got {other:?}"))),
+            None => Err(ServeError::Protocol(
+                "gateway closed the connection mid-handshake".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_gives_up_after_retries() {
+        // A port from the discard range that nothing listens on.
+        let config = AgentConfig {
+            addr: "127.0.0.1:9".into(),
+            tenant: TenantKey::new("svc", "r0").unwrap(),
+            batch_size: 16,
+            retries: 1,
+            backoff_ms: 1,
+        };
+        assert!(Agent::connect(config).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_batch_size() {
+        let config = AgentConfig {
+            addr: "127.0.0.1:9".into(),
+            tenant: TenantKey::new("svc", "r0").unwrap(),
+            batch_size: 0,
+            retries: 0,
+            backoff_ms: 1,
+        };
+        assert!(Agent::connect(config).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type of the serving plane.
+
+use std::fmt;
+
+/// Anything that can go wrong between an agent, the gateway, and the
+/// query plane.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An I/O failure on a socket, a checkpoint file, or a source file.
+    Io(std::io::Error),
+    /// A malformed or protocol-violating frame.
+    Protocol(String),
+    /// A tenant key that cannot be used (empty or unsafe labels).
+    BadTenant(String),
+    /// A streaming-engine failure for one tenant.
+    Stream(autosens_stream::StreamError),
+    /// An analysis failure while snapshotting a tenant.
+    Analysis(autosens_core::AutoSensError),
+    /// A corrupt or version-mismatched checkpoint directory.
+    Checkpoint(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServeError::BadTenant(m) => write!(f, "bad tenant: {m}"),
+            ServeError::Stream(e) => write!(f, "stream error: {e}"),
+            ServeError::Analysis(e) => write!(f, "analysis error: {e}"),
+            ServeError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<autosens_stream::StreamError> for ServeError {
+    fn from(e: autosens_stream::StreamError) -> Self {
+        ServeError::Stream(e)
+    }
+}
+
+impl From<autosens_core::AutoSensError> for ServeError {
+    fn from(e: autosens_core::AutoSensError) -> Self {
+        ServeError::Analysis(e)
+    }
+}

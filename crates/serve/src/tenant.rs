@@ -1,0 +1,114 @@
+//! Tenant identity: one `service × region` pair owns one streaming engine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ServeError;
+
+/// Maximum label length accepted on the wire (services and regions are
+/// short operational names, not payloads).
+pub const MAX_LABEL_LEN: usize = 128;
+
+/// The routing key of one tenant.
+///
+/// Labels are restricted to `[A-Za-z0-9._-]` so a key is safe to embed in
+/// checkpoint file names, HTTP paths, and metric labels without escaping.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TenantKey {
+    /// The service whose telemetry this is.
+    pub service: String,
+    /// The region (or deployment) the telemetry came from.
+    pub region: String,
+}
+
+/// Whether a label is acceptable in a tenant key.
+pub fn valid_label(label: &str) -> bool {
+    !label.is_empty()
+        && label.len() <= MAX_LABEL_LEN
+        && label
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+impl TenantKey {
+    /// Build a validated key.
+    pub fn new(service: impl Into<String>, region: impl Into<String>) -> Result<Self, ServeError> {
+        let key = TenantKey {
+            service: service.into(),
+            region: region.into(),
+        };
+        key.validate()?;
+        Ok(key)
+    }
+
+    /// Reject empty or path/metric-unsafe labels.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        for (what, label) in [("service", &self.service), ("region", &self.region)] {
+            if !valid_label(label) {
+                return Err(ServeError::BadTenant(format!(
+                    "{what} {label:?} must be 1..={MAX_LABEL_LEN} chars of [A-Za-z0-9._-]"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The `service/region` display form (also the HTTP path form).
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.service, self.region)
+    }
+
+    /// The checkpoint file stem (`service__region`; labels cannot contain
+    /// `_` doubled ambiguity because the pair is re-read from the
+    /// manifest, never parsed back out of the file name).
+    pub fn file_stem(&self) -> String {
+        format!("{}__{}", self.service, self.region)
+    }
+
+    /// Which of `n` registry shards owns this key (FNV-1a over both
+    /// labels — stable across runs, so shard assignment is deterministic).
+    pub fn shard(&self, n: usize) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self
+            .service
+            .as_bytes()
+            .iter()
+            .chain([0u8].iter())
+            .chain(self.region.as_bytes())
+        {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % n.max(1) as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_labels() {
+        assert!(TenantKey::new("mail", "eu-west1").is_ok());
+        assert!(TenantKey::new("svc.a_b-c", "r0").is_ok());
+        assert!(TenantKey::new("", "r").is_err());
+        assert!(TenantKey::new("a/b", "r").is_err());
+        assert!(TenantKey::new("a b", "r").is_err());
+        assert!(TenantKey::new("a".repeat(MAX_LABEL_LEN + 1), "r").is_err());
+    }
+
+    #[test]
+    fn shard_is_stable_and_in_range() {
+        let k = TenantKey::new("mail", "eu-west1").unwrap();
+        assert_eq!(k.shard(16), k.shard(16));
+        for n in 1..32 {
+            assert!(k.shard(n) < n);
+        }
+    }
+
+    #[test]
+    fn label_forms() {
+        let k = TenantKey::new("mail", "eu").unwrap();
+        assert_eq!(k.label(), "mail/eu");
+        assert_eq!(k.file_stem(), "mail__eu");
+    }
+}

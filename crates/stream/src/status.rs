@@ -182,6 +182,26 @@ mod tests {
         assert_eq!(back, doc);
     }
 
+    /// Serialization stability: deserialize → reserialize must reproduce
+    /// the exact bytes. The serve query plane ships these documents to
+    /// remote pollers and the gateway restart gate diffs them, so any
+    /// field that doesn't survive a round trip byte-for-byte (map
+    /// ordering, float formatting, skipped defaults) breaks consumers.
+    #[test]
+    fn serialization_is_byte_stable_across_round_trips() {
+        let (engine, report) = engine_with_data();
+        let doc = StatusDocument::collect(&engine, &report, 7);
+        let first = doc.to_json().unwrap();
+        let back = StatusDocument::from_json(&first).unwrap();
+        let second = back.to_json().unwrap();
+        assert_eq!(first, second, "re-serialized document differs");
+        let third = StatusDocument::from_json(&second)
+            .unwrap()
+            .to_json()
+            .unwrap();
+        assert_eq!(second, third, "round trip is not idempotent");
+    }
+
     #[test]
     fn save_is_atomic_and_replaces_prior_content() {
         let (engine, report) = engine_with_data();

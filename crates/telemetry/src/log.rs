@@ -658,7 +658,7 @@ impl<'a> LogView<'a> {
         let (parts, _) = autosens_exec::run_chunks(
             "dedup_exact",
             n,
-            autosens_exec::chunk_size_for(n),
+            autosens_exec::scan_chunk_size_for(n),
             threads,
             |_, range| {
                 let mut dups: Vec<usize> = Vec::new();

@@ -204,6 +204,35 @@ impl LossCounts {
         counts
     }
 
+    /// Chunked [`LossCounts::from_view`]: per-chunk counters merged in
+    /// chunk order. Counts are unit `u64` additions, so the result is
+    /// bit-identical to the serial pass for every thread count.
+    pub fn from_view_par(view: &LogView<'_>, threads: usize) -> LossCounts {
+        struct Part(LossCounts);
+        impl autosens_exec::Mergeable for Part {
+            fn merge(&mut self, other: Self) {
+                self.0.merge(&other.0);
+            }
+        }
+        let n = view.len();
+        let v = view.borrowed();
+        let (part, _) = autosens_exec::map_reduce(
+            "loss_counts",
+            n,
+            autosens_exec::scan_chunk_size_for(n),
+            threads,
+            |_, range| {
+                let mut c = LossCounts::new();
+                for i in range {
+                    c.record(SimTime(v.time_at(i)), v.tz_offset_at(i), v.class_at(i));
+                }
+                Part(c)
+            },
+        )
+        .expect("loss-count scan does not panic");
+        part.map(|p| p.0).unwrap_or_default()
+    }
+
     /// Total records counted.
     pub fn total(&self) -> u64 {
         self.days.iter().flat_map(|d| &d.counts).sum()
@@ -326,6 +355,19 @@ fn mad(xs: &[f64], med: f64) -> f64 {
 /// The estimator is deterministic and single-pass over the view; it never
 /// reports a cell rate below [`MIN_CELL_RATE`].
 pub fn estimate_cell_loss(view: &LogView<'_>, counts: &LossCounts) -> LossEvidence {
+    estimate_cell_loss_par(view, counts, 1)
+}
+
+/// Chunked [`estimate_cell_loss`]: the micro-cell scan (the estimator's
+/// only full pass over the view) runs as a chunked map whose per-chunk
+/// maps merge in chunk order, so each micro-cell's pre-sort sequence is
+/// exactly the serial pass's and the evidence is bit-identical for every
+/// thread count.
+pub fn estimate_cell_loss_par(
+    view: &LogView<'_>,
+    counts: &LossCounts,
+    threads: usize,
+) -> LossEvidence {
     let observed = counts.observed_cells();
     let mut expected: [f64; N_LOSS_CELLS] = [0.0; N_LOSS_CELLS];
     for (e, &o) in expected.iter_mut().zip(&observed) {
@@ -336,13 +378,34 @@ pub fn estimate_cell_loss(view: &LogView<'_>, counts: &LossCounts) -> LossEviden
     // sequence-gap evidence below and, via the top-gap quiet statistic,
     // by the day-rate corroboration gate: burst loss leaves a few big
     // holes, organic slowness leaves evenly thinner traffic.
-    let mut micro: BTreeMap<(i64, u8), Vec<i64>> = BTreeMap::new();
-    for i in 0..view.len() {
-        let local = view.time_at(i) + view.tz_offset_at(i);
-        let day = local.div_euclid(MS_PER_DAY);
-        let hour = local.div_euclid(MS_PER_HOUR).rem_euclid(24) as u8;
-        micro.entry((day, hour)).or_default().push(local);
+    struct MicroPart(BTreeMap<(i64, u8), Vec<i64>>);
+    impl autosens_exec::Mergeable for MicroPart {
+        fn merge(&mut self, other: Self) {
+            for (k, mut v) in other.0 {
+                self.0.entry(k).or_default().append(&mut v);
+            }
+        }
     }
+    let n = view.len();
+    let v = view.borrowed();
+    let (part, _) = autosens_exec::map_reduce(
+        "loss_micro_cells",
+        n,
+        autosens_exec::scan_chunk_size_for(n),
+        threads,
+        |_, range| {
+            let mut micro: BTreeMap<(i64, u8), Vec<i64>> = BTreeMap::new();
+            for i in range {
+                let local = v.time_at(i) + v.tz_offset_at(i);
+                let day = local.div_euclid(MS_PER_DAY);
+                let hour = local.div_euclid(MS_PER_HOUR).rem_euclid(24) as u8;
+                micro.entry((day, hour)).or_default().push(local);
+            }
+            MicroPart(micro)
+        },
+    )
+    .expect("micro-cell scan does not panic");
+    let mut micro = part.map(|p| p.0).unwrap_or_default();
     for ts in micro.values_mut() {
         ts.sort_unstable();
     }

@@ -279,7 +279,7 @@ impl Slice {
         let (parts, report) = autosens_exec::run_chunks(
             "slice_filter",
             n,
-            autosens_exec::chunk_size_for(n),
+            autosens_exec::scan_chunk_size_for(n),
             threads,
             |_, range| -> Vec<u32> {
                 range
