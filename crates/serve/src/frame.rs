@@ -77,8 +77,17 @@ const T_COMMIT: u8 = 3;
 const T_ACK: u8 = 4;
 const T_ERROR: u8 = 5;
 
+/// Append a `u16`-length-prefixed string. Anything longer than the
+/// prefix can express (e.g. an [`Frame::Error`] message built from a
+/// long io error chain — tenant labels are validated far shorter) is
+/// truncated on a char boundary; a silently wrapped `len as u16` would
+/// desynchronize the peer's decoder.
 fn put_str(buf: &mut Vec<u8>, s: &str) {
-    debug_assert!(s.len() <= u16::MAX as usize);
+    let mut end = s.len().min(u16::MAX as usize);
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    let s = &s[..end];
     buf.extend_from_slice(&(s.len() as u16).to_le_bytes());
     buf.extend_from_slice(s.as_bytes());
 }
@@ -350,6 +359,22 @@ mod tests {
         let mut wire = Vec::new();
         wire.extend_from_slice(&(u32::MAX).to_le_bytes());
         assert!(read_frame(&mut &wire[..]).is_err());
+    }
+
+    #[test]
+    fn oversized_error_message_truncates_to_a_valid_frame() {
+        // 70k of multi-byte chars: the length prefix cannot express it,
+        // so the encoder must truncate on a char boundary, not wrap.
+        let message = "é".repeat(35_000);
+        let f = Frame::Error { message };
+        let decoded = Frame::decode(&f.encode()).unwrap();
+        match decoded {
+            Frame::Error { message } => {
+                assert!(message.len() <= u16::MAX as usize);
+                assert!(message.chars().all(|c| c == 'é'));
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
     }
 
     #[test]

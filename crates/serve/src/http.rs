@@ -29,7 +29,6 @@ use std::net::{TcpListener, TcpStream};
 use serde::Serialize;
 
 use autosens_core::report::{default_grid, PreferenceSummary};
-use autosens_stream::StatusDocument;
 
 use crate::error::ServeError;
 use crate::gateway::Gateway;
@@ -148,13 +147,42 @@ pub fn handle_http(gateway: &Gateway, stream: TcpStream) -> Result<(), ServeErro
     write_response(&mut stream, &response)
 }
 
-/// Parse the request line and discard headers up to the blank line.
-/// Returns `None` when the peer closed before sending anything.
-pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, ServeError> {
-    let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
+/// Longest request or header line accepted before the connection is
+/// rejected with 400 (the paths this plane speaks are tiny; anything
+/// longer is an abuse of the unauthenticated listener, not a request).
+pub const MAX_LINE_BYTES: u64 = 8 * 1024;
+
+/// Most headers drained before the request is rejected.
+pub const MAX_HEADERS: usize = 128;
+
+/// Read one `\n`-terminated line without letting a newline-free peer
+/// grow the buffer past [`MAX_LINE_BYTES`]. Returns `None` on EOF.
+fn read_line_bounded<R: BufRead>(reader: &mut R) -> Result<Option<String>, ServeError> {
+    let mut limited = std::io::Read::take(&mut *reader, MAX_LINE_BYTES);
+    let mut buf = Vec::new();
+    let n = limited.read_until(b'\n', &mut buf)?;
+    if n == 0 {
         return Ok(None);
     }
+    if !buf.ends_with(b"\n") && n as u64 == MAX_LINE_BYTES {
+        return Err(ServeError::Protocol(format!(
+            "request line exceeds {MAX_LINE_BYTES} bytes"
+        )));
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| ServeError::Protocol("request line is not UTF-8".into()))
+}
+
+/// Parse the request line and discard headers up to the blank line.
+/// Returns `None` when the peer closed before sending anything. Reads
+/// are bounded ([`MAX_LINE_BYTES`] per line, [`MAX_HEADERS`] headers) so
+/// an unauthenticated client cannot grow gateway memory without limit.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, ServeError> {
+    let line = match read_line_bounded(reader)? {
+        Some(line) => line,
+        None => return Ok(None),
+    };
     let mut parts = line.split_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1.") => (m, p, v),
@@ -165,13 +193,16 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, Serve
         method: method.to_string(),
         path: path.to_string(),
     };
-    loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            break;
+    for drained in 0.. {
+        if drained == MAX_HEADERS {
+            return Err(ServeError::Protocol(format!(
+                "more than {MAX_HEADERS} headers"
+            )));
         }
-        if header == "\r\n" || header == "\n" {
-            break;
+        match read_line_bounded(reader)? {
+            None => break,
+            Some(header) if header == "\r\n" || header == "\n" => break,
+            Some(_) => {}
         }
     }
     Ok(Some(request))
@@ -300,19 +331,14 @@ fn tenant_endpoint(gateway: &Gateway, key: &TenantKey, endpoint: &str) -> Respon
             }
             Err(e) => Response::error(500, &e.to_string()),
         },
-        "status" => match registry.snapshot(key) {
-            Ok((report, depth)) => {
-                let doc = match registry
-                    .with_tenant(key, |t| StatusDocument::collect(&t.engine, &report, depth))
-                {
-                    Ok(doc) => doc,
-                    Err(e) => return Response::error(500, &e.to_string()),
-                };
-                match doc.to_json() {
-                    Ok(body) => Response::json(200, body + "\n"),
-                    Err(e) => Response::error(500, &e.to_string()),
-                }
-            }
+        "status" => match registry.status_document(key) {
+            // Snapshot and document are assembled under one tenant lock,
+            // so the report and engine counters describe the same instant
+            // even while other connections keep ingesting.
+            Ok(doc) => match doc.to_json() {
+                Ok(body) => Response::json(200, body + "\n"),
+                Err(e) => Response::error(500, &e.to_string()),
+            },
             Err(e) => Response::error(500, &e.to_string()),
         },
         "shifts" => {
@@ -442,6 +468,34 @@ mod tests {
             },
         );
         assert_eq!(r.status, 400);
+    }
+
+    #[test]
+    fn newline_free_flood_is_rejected_not_buffered() {
+        // A peer streaming bytes with no newline must hit the line bound,
+        // not grow the request buffer indefinitely.
+        let flood = vec![b'a'; MAX_LINE_BYTES as usize * 4];
+        assert!(read_request(&mut &flood[..]).is_err());
+    }
+
+    #[test]
+    fn unbounded_header_count_is_rejected() {
+        let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADERS + 1) {
+            wire.extend_from_slice(format!("X-H{i}: v\r\n").as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        assert!(read_request(&mut &wire[..]).is_err());
+        // One under the cap still parses.
+        let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADERS - 1) {
+            wire.extend_from_slice(format!("X-H{i}: v\r\n").as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        assert_eq!(
+            read_request(&mut &wire[..]).unwrap().unwrap().path,
+            "/".to_string()
+        );
     }
 
     #[test]

@@ -17,11 +17,15 @@
 //! <dir>/gen-<N>/<service>__<region>.ckpt.json
 //! ```
 //!
-//! A checkpoint pass writes `gen-<N+1>.tmp/`, fsync-renames it to
-//! `gen-<N+1>/`, then tmp+renames the manifest to point at it, and only
-//! then deletes the previous generation. A crash at any point leaves
-//! either the old generation (manifest untouched) or the new one
-//! (manifest renamed) fully intact — never a mix.
+//! Checkpoint passes are serialized on a dedicated lock. A pass writes
+//! `gen-<N+1>.tmp/` (each tenant file fsynced before its rename), renames
+//! it to `gen-<N+1>/`, then fsyncs and tmp+renames the manifest to point
+//! at it, and only then deletes the previous generation. A crash at any
+//! point leaves either the old generation (manifest untouched) or the new
+//! one (manifest renamed) fully intact — never a mix. Directory-entry
+//! fsyncs are best-effort, so on filesystems that refuse them durability
+//! of the *rename itself* is process-kill-safe rather than
+//! power-loss-safe; file contents are always fsynced.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -36,7 +40,9 @@ use autosens_core::pipeline::AnalysisReport;
 use autosens_obs::Recorder;
 use autosens_stats::binning::OutOfRange;
 use autosens_stats::Binner;
-use autosens_stream::{Checkpoint, Ingestor, Offer, OverflowPolicy, StreamConfig, StreamEngine};
+use autosens_stream::{
+    Checkpoint, Ingestor, Offer, OverflowPolicy, StatusDocument, StreamConfig, StreamEngine,
+};
 use autosens_telemetry::query::Slice;
 use autosens_telemetry::record::ActionRecord;
 
@@ -94,6 +100,10 @@ pub struct Registry {
     ingest_capacity: usize,
     recorder: Recorder,
     generation: AtomicU64,
+    /// Serializes checkpoint passes: two concurrent `checkpoint_all`
+    /// calls (e.g. two agent COMMITs) would otherwise race on the same
+    /// `gen-<N+1>` directory and delete each other's work.
+    checkpoint_lock: Mutex<()>,
 }
 
 impl Registry {
@@ -107,6 +117,7 @@ impl Registry {
             ingest_capacity: ingest_capacity.max(1),
             recorder,
             generation: AtomicU64::new(0),
+            checkpoint_lock: Mutex::new(()),
         }
     }
 
@@ -239,6 +250,37 @@ impl Registry {
         Ok((report, depth))
     }
 
+    /// Drain, snapshot, and assemble the tenant's [`StatusDocument`]
+    /// under one tenant lock, so the report, queue depth, and engine
+    /// counters in the document describe a single consistent instant.
+    pub fn status_document(&self, key: &TenantKey) -> Result<StatusDocument, ServeError> {
+        let tenant = self
+            .get(key)
+            .ok_or_else(|| ServeError::BadTenant(format!("unknown tenant {}", key.label())))?;
+        let started = Instant::now();
+        let mut span = self.recorder.root("serve_snapshot");
+        span.field("tenant", key.label());
+        let mut t = tenant.lock();
+        {
+            let Tenant {
+                ref mut engine,
+                ref ingestor,
+                ..
+            } = *t;
+            ingestor.drain_into(engine)?;
+        }
+        let report = t.engine.snapshot()?;
+        let depth = t.ingestor.queue_depth() as u64;
+        let doc = StatusDocument::collect(&t.engine, &report, depth);
+        drop(t);
+        span.finish();
+        self.recorder
+            .metrics()
+            .histogram("autosens_serve_snapshot_ms", &snapshot_binner())
+            .observe(started.elapsed().as_secs_f64() * 1e3);
+        Ok(doc)
+    }
+
     /// Run a closure against a locked tenant (drained first), e.g. for
     /// status documents or shift history that need `&StreamEngine`.
     pub fn with_tenant<R>(
@@ -289,7 +331,12 @@ impl Registry {
 
     /// Checkpoint every tenant atomically into `dir` (see the module
     /// docs for the layout). Returns the new generation number.
+    ///
+    /// Passes are fully serialized: a second caller (e.g. a COMMIT on
+    /// another agent connection) blocks until the first pass has renamed
+    /// its generation live, then writes the generation after it.
     pub fn checkpoint_all(&self, dir: &Path) -> Result<u64, ServeError> {
+        let _pass = self.checkpoint_lock.lock();
         let mut span = self.recorder.root("serve_checkpoint");
         std::fs::create_dir_all(dir)?;
         let next = self.generation() + 1;
@@ -330,6 +377,7 @@ impl Registry {
             std::fs::remove_dir_all(&live)?;
         }
         std::fs::rename(&tmp, &live)?;
+        fsync_dir(dir);
         let manifest = Manifest {
             version: MANIFEST_VERSION,
             generation: next,
@@ -338,8 +386,13 @@ impl Registry {
         let json = serde_json::to_string_pretty(&manifest)
             .map_err(|e| ServeError::Checkpoint(format!("manifest serialization failed: {e}")))?;
         let manifest_tmp = dir.join("MANIFEST.json.tmp");
-        std::fs::write(&manifest_tmp, json.as_bytes())?;
+        {
+            let mut f = std::fs::File::create(&manifest_tmp)?;
+            std::io::Write::write_all(&mut f, json.as_bytes())?;
+            f.sync_all()?;
+        }
         std::fs::rename(&manifest_tmp, dir.join("MANIFEST.json"))?;
+        fsync_dir(dir);
         let prev = self.generation.swap(next, Ordering::AcqRel);
         if prev > 0 {
             let old = dir.join(format!("gen-{prev}"));
@@ -410,6 +463,16 @@ impl Registry {
     /// Whether a restorable manifest exists under `dir`.
     pub fn can_restore(dir: &Path) -> bool {
         dir.join("MANIFEST.json").is_file()
+    }
+}
+
+/// Flush a directory's entry table so a just-completed rename survives
+/// power loss, not only process death. Best-effort: opening a directory
+/// for fsync is not portable, and on filesystems where it fails the
+/// rename is still process-kill-safe.
+fn fsync_dir(dir: &Path) {
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
     }
 }
 
@@ -534,6 +597,67 @@ mod tests {
             );
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_checkpoints_serialize_and_stay_restorable() {
+        // Two agent connections COMMITting at once must not clobber each
+        // other's generation directories: every pass gets its own
+        // generation and the final manifest always restores.
+        let dir =
+            std::env::temp_dir().join(format!("autosens-serve-ckpt-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reg = Arc::new(Registry::new(small_config(), 1024, Recorder::disabled()));
+        let key = TenantKey::new("svc", "r0").unwrap();
+        reg.ingest(&key, &[rec(0, 1, 120.0), rec(60_000, 2, 340.0)])
+            .unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let reg = reg.clone();
+            let dir = dir.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..5)
+                    .map(|_| reg.checkpoint_all(&dir).unwrap())
+                    .collect::<Vec<u64>>()
+            }));
+        }
+        let mut gens: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        gens.sort_unstable();
+        // Serialized passes: 20 distinct, strictly increasing generations.
+        assert_eq!(gens, (1..=20).collect::<Vec<u64>>());
+        assert_eq!(reg.generation(), 20);
+        assert!(dir.join("gen-20").exists());
+        let restored = Registry::restore(&dir, small_config(), 1024, Recorder::disabled()).unwrap();
+        assert_eq!(restored.generation(), 20);
+        let orig = reg
+            .with_tenant(&key, |t| t.engine.checkpoint(0).to_json().unwrap())
+            .unwrap();
+        let back = restored
+            .with_tenant(&key, |t| t.engine.checkpoint(0).to_json().unwrap())
+            .unwrap();
+        assert_eq!(orig, back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_document_is_collected_under_one_lock() {
+        let mut cfg = autosens_sim::config::SimConfig::scenario(autosens_sim::Scenario::Smoke);
+        cfg.seed = 13;
+        let (log, _) = autosens_sim::generate(&cfg).unwrap();
+        let records = log.to_records();
+        let reg = Registry::new(small_config(), records.len().max(1), Recorder::disabled());
+        let key = TenantKey::new("svc", "r0").unwrap();
+        reg.ingest(&key, &records).unwrap();
+        let doc = reg.status_document(&key).unwrap();
+        assert_eq!(doc.status.events, records.len() as u64);
+        assert_eq!(doc.queue_depth, 0);
+        assert!(!doc.curve.is_empty());
+        assert!(reg
+            .status_document(&TenantKey::new("nope", "x").unwrap())
+            .is_err());
     }
 
     #[test]

@@ -121,14 +121,25 @@ impl Checkpoint {
         Ok(ck)
     }
 
-    /// Write the checkpoint atomically-ish: to a `.tmp` sibling first,
-    /// then rename over the target, so a crash mid-write never leaves a
-    /// truncated checkpoint under the real name.
+    /// Write the checkpoint atomically: to a `.tmp` sibling first,
+    /// fsynced, then rename over the target, so a crash mid-write never
+    /// leaves a truncated checkpoint under the real name. The parent
+    /// directory is fsynced best-effort after the rename so the new
+    /// entry also survives power loss where the platform supports it.
     pub fn save(&self, path: &Path) -> Result<(), StreamError> {
         let json = self.to_json()?;
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, json)?;
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut f, json.as_bytes())?;
+            f.sync_all()?;
+        }
         std::fs::rename(&tmp, path)?;
+        if let Some(parent) = path.parent() {
+            if let Ok(d) = std::fs::File::open(parent) {
+                let _ = d.sync_all();
+            }
+        }
         Ok(())
     }
 
