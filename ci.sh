@@ -15,6 +15,20 @@ cargo clippy -q --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo doc -q --no-deps"
+cargo doc -q --no-deps
+
+echo "==> plan-layer enforcement (no deprecated analyze_* calls outside crates/core)"
+# The analysis plan layer is the single public entry point; the historical
+# AutoSens::analyze* methods are #[deprecated] shims living out one release
+# inside crates/core. No caller elsewhere may construct the stage sequence
+# by hand or call a shim.
+if grep -rnE '\.analyze(_slice|_view|_prepared|_slice_with_ci|_view_with_ci)?\(' \
+    --include='*.rs' crates tests examples | grep -v '^crates/core/'; then
+    echo "ci.sh: deprecated analyze_* call outside crates/core (use AnalysisPlan::run)" >&2
+    exit 1
+fi
+
 echo "==> profiled smoke run (stage spans + finite metrics)"
 # End-to-end observability gate: generate a smoke log, analyze it with
 # profiling on, and fail if any documented pipeline stage is missing from
@@ -149,12 +163,42 @@ INGEST_ADDR=$(awk '/^INGEST/{print $2}' "$SMOKE_DIR/ready.txt")
 HTTP_ADDR=$(awk '/^HTTP/{print $2}' "$SMOKE_DIR/ready.txt")
 ./target/release/autosens agent --to "$INGEST_ADDR" --in "$SMOKE_DIR/golden.csv" \
     --service mail --region eu --quiet
+
+# Incremental-snapshot sub-gate, run before the first /curve query so the
+# first fleet pass is genuinely cold (a /curve query itself populates the
+# snapshot cache). Dirty tracking promises a second fleet-wide pass with
+# no new events serves every tenant from the report cache: byte-identical
+# curve, >=10x faster. /snapshot runs a pass and returns FleetSnapshotStats.
+./target/release/autosens query --addr "$HTTP_ADDR" --path /snapshot \
+    > "$SMOKE_DIR/snap_cold.json"
+./target/release/autosens query --addr "$HTTP_ADDR" --path /tenant/mail/eu/curve \
+    > "$SMOKE_DIR/served_curve_cold.json"
+./target/release/autosens query --addr "$HTTP_ADDR" --path /snapshot \
+    > "$SMOKE_DIR/snap_warm.json"
 ./target/release/autosens query --addr "$HTTP_ADDR" --path /tenant/mail/eu/curve \
     > "$SMOKE_DIR/served_curve.json"
+if ! diff -u "$SMOKE_DIR/served_curve_cold.json" "$SMOKE_DIR/served_curve.json"; then
+    echo "ci.sh: cache-served curve diverged from the cold snapshot's curve" >&2
+    exit 1
+fi
 if ! diff -u "$SMOKE_DIR/golden_report.json" "$SMOKE_DIR/served_curve.json"; then
     echo "ci.sh: gateway-served curve diverged from batch analyze" >&2
     exit 1
 fi
+snap_field() { tr -d ' \n' < "$1" | grep -o "\"$2\":[0-9.e+-]*" | cut -d: -f2; }
+COLD_MS=$(snap_field "$SMOKE_DIR/snap_cold.json" wall_ms)
+WARM_MS=$(snap_field "$SMOKE_DIR/snap_warm.json" wall_ms)
+WARM_REUSED=$(snap_field "$SMOKE_DIR/snap_warm.json" reused)
+WARM_TENANTS=$(snap_field "$SMOKE_DIR/snap_warm.json" tenants)
+if [ "$WARM_REUSED" != "$WARM_TENANTS" ] || [ "$WARM_TENANTS" = "0" ]; then
+    echo "ci.sh: warm fleet snapshot recomputed a clean tenant (reused $WARM_REUSED of $WARM_TENANTS)" >&2
+    exit 1
+fi
+if ! awk -v c="$COLD_MS" -v w="$WARM_MS" 'BEGIN { exit !(c >= 10 * w) }'; then
+    echo "ci.sh: warm fleet snapshot not >=10x faster (cold ${COLD_MS} ms, warm ${WARM_MS} ms)" >&2
+    exit 1
+fi
+
 kill "$SERVE_PID"; wait "$SERVE_PID" 2>/dev/null || true
 rm -f "$SMOKE_DIR/ready.txt"
 ./target/release/autosens serve --listen 127.0.0.1:0 --http 127.0.0.1:0 \

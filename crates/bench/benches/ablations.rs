@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use autosens_bench::dataset;
-use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_core::{AnalysisPlan, AutoSensConfig, PlanInput, RunOptions};
 use autosens_sim::preference::SensingMode;
 use autosens_sim::{generate, Scenario, SimConfig};
 use autosens_stats::{savgol::SavGol, smoothing};
@@ -42,11 +42,13 @@ fn bench_alpha_correction(c: &mut Criterion) {
             alpha_correction: on,
             ..AutoSensConfig::default()
         };
-        let engine = AutoSens::new(cfg);
+        let plan = AnalysisPlan::new(cfg);
         group.bench_function(if on { "corrected" } else { "uncorrected" }, |b| {
             b.iter(|| {
-                let report = engine.analyze(&data.log).expect("fits");
-                black_box(report.n_actions)
+                let out = plan
+                    .run(PlanInput::log(&data.log), RunOptions::default())
+                    .expect("fits");
+                black_box(out.report.n_actions)
             })
         });
     }
@@ -62,11 +64,13 @@ fn bench_draw_budget(c: &mut Criterion) {
             unbiased_draws: draws,
             ..AutoSensConfig::default()
         };
-        let engine = AutoSens::new(cfg);
+        let plan = AnalysisPlan::new(cfg);
         group.bench_with_input(BenchmarkId::from_parameter(draws), &draws, |b, _| {
             b.iter(|| {
-                let report = engine.analyze(&data.log).expect("fits");
-                black_box(report.n_actions)
+                let out = plan
+                    .run(PlanInput::log(&data.log), RunOptions::default())
+                    .expect("fits");
+                black_box(out.report.n_actions)
             })
         });
     }
@@ -82,11 +86,13 @@ fn bench_reference_slots(c: &mut Criterion) {
             alpha_references: refs,
             ..AutoSensConfig::default()
         };
-        let engine = AutoSens::new(cfg);
+        let plan = AnalysisPlan::new(cfg);
         group.bench_with_input(BenchmarkId::from_parameter(refs), &refs, |b, _| {
             b.iter(|| {
-                let report = engine.analyze(&data.log).expect("fits");
-                black_box(report.n_actions)
+                let out = plan
+                    .run(PlanInput::log(&data.log), RunOptions::default())
+                    .expect("fits");
+                black_box(out.report.n_actions)
             })
         });
     }

@@ -102,7 +102,7 @@ fn with_peak<T>(f: impl FnOnce() -> T) -> (T, Option<u64>) {
     }
 }
 
-use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_core::{AnalysisPlan, AutoSens, AutoSensConfig, PlanInput, RunOptions};
 use autosens_experiments::dataset::Dataset;
 use autosens_obs::{Recorder, StageTiming};
 use autosens_sim::{Scenario, SimConfig};
@@ -161,9 +161,12 @@ struct PipelineBaseline {
     serve_snapshot_p50_ms: f64,
     /// 99th-percentile per-tenant snapshot latency.
     serve_snapshot_p99_ms: f64,
-    /// Wall clock of one fleet-wide snapshot fan-out via the exec
-    /// scheduler at the requested worker count.
+    /// Wall clock of one cold fleet-wide snapshot fan-out via the exec
+    /// scheduler at the requested worker count (every report computed).
     serve_fleet_snapshot_ms: f64,
+    /// Wall clock of a second fleet-wide snapshot with no new events —
+    /// every report served from the per-engine snapshot cache.
+    serve_fleet_resnapshot_ms: f64,
     stages: Vec<StageTiming>,
     /// A previous baseline embedded via `--before path.json`, so the
     /// checked-in file carries its own before/after comparison.
@@ -184,13 +187,16 @@ fn timed_analysis(
         loss_correct,
         ..AutoSensConfig::default()
     };
-    let engine = AutoSens::with_recorder(config, recorder.clone());
+    let plan = AnalysisPlan::with_recorder(config, recorder.clone());
     let t = Instant::now();
-    let ((report, _ci), peak) = with_peak(|| {
-        engine
-            .analyze_slice_with_ci(&data.log, slice, CI_REPLICATES, 0.95)
-            .expect("bench-scale analysis succeeds")
+    let (out, peak) = with_peak(|| {
+        plan.run(
+            PlanInput::slice(&data.log, slice),
+            RunOptions::with_ci(CI_REPLICATES, 0.95),
+        )
+        .expect("bench-scale analysis succeeds")
     });
+    let report = out.report;
     let wall_ms = t.elapsed().as_secs_f64() * 1000.0;
     eprintln!("{}", recorder.finish().render());
     (wall_ms, report.stage_timings.unwrap_or_default(), peak)
@@ -318,6 +324,7 @@ fn main() {
         serve_snapshot_p50_ms: serve.snapshot_percentile_ms(50.0),
         serve_snapshot_p99_ms: serve.snapshot_percentile_ms(99.0),
         serve_fleet_snapshot_ms: serve.fleet_snapshot_wall_ms,
+        serve_fleet_resnapshot_ms: serve.fleet_resnapshot_wall_ms,
         stages,
         before,
     };

@@ -5,7 +5,7 @@ use std::io::{BufReader, BufWriter};
 
 use autosens_core::locality::{decorrelation_report, density_latency_correlation, locality_report};
 use autosens_core::report::{f3, text_table, PreferenceSummary};
-use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_core::{AnalysisPlan, AutoSens, AutoSensConfig, PlanInput, RunOptions};
 use autosens_faults::FaultPlan;
 use autosens_serve::{serve_http, Agent, AgentConfig, Gateway, GatewayConfig, TenantKey};
 use autosens_sim::{generate_with_threads, SimConfig};
@@ -84,21 +84,15 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 threads,
                 ..AutoSensConfig::default()
             };
-            let engine = AutoSens::with_recorder(config, recorder.clone());
-            let (report, ci) = match ci_replicates {
-                Some(replicates) => {
-                    let (report, ci) = engine
-                        .analyze_view_with_ci(&view, &to_slice(&slice), replicates, 0.95)
-                        .map_err(|e| e.to_string())?;
-                    (report, Some(ci))
-                }
-                None => (
-                    engine
-                        .analyze_view(&view, &to_slice(&slice))
-                        .map_err(|e| e.to_string())?,
-                    None,
-                ),
+            let plan = AnalysisPlan::with_recorder(config, recorder.clone());
+            let opts = match ci_replicates {
+                Some(replicates) => RunOptions::with_ci(replicates, 0.95),
+                None => RunOptions::default(),
             };
+            let out = plan
+                .run(PlanInput::view(&view, &to_slice(&slice)), opts)
+                .map_err(|e| e.to_string())?;
+            let (report, ci) = (out.report, out.ci);
             // Surface survived data-quality problems on stderr so they are
             // visible in both output modes without contaminating the JSON.
             for d in &report.degradations {

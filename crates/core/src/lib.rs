@@ -30,15 +30,16 @@
 //! ## Quick start
 //!
 //! ```no_run
-//! use autosens_core::{AutoSens, AutoSensConfig};
+//! use autosens_core::plan::{AnalysisPlan, PlanInput, RunOptions};
+//! use autosens_core::AutoSensConfig;
 //! use autosens_sim::{generate, Scenario, SimConfig};
 //!
 //! // Synthesize an OWA-like two-month log (any TelemetryLog works).
 //! let (log, _truth) = generate(&SimConfig::scenario(Scenario::Default)).unwrap();
 //!
-//! let engine = AutoSens::new(AutoSensConfig::default());
-//! let report = engine.analyze(&log).unwrap();
-//! let pref = &report.preference;
+//! let plan = AnalysisPlan::new(AutoSensConfig::default());
+//! let out = plan.run(PlanInput::log(&log), RunOptions::default()).unwrap();
+//! let pref = &out.report.preference;
 //! // Preference is 1.0 at the 300 ms reference and drops as latency grows.
 //! assert!((pref.at(300.0).unwrap() - 1.0).abs() < 1e-9);
 //! assert!(pref.at(1500.0).unwrap() < 1.0);
@@ -51,6 +52,7 @@
 //! * [`unbiased`] — the `U` estimator (random instants, nearest sample).
 //! * [`alpha`] — time-confounder activity factors (§2.4.1, Table 1, Fig 8).
 //! * [`preference`] — ratio, smoothing, normalization (§2.3).
+//! * [`plan`] — the operator DAG and the single analysis entry point.
 //! * [`pipeline`] — the [`AutoSens`] façade and per-slice analyses.
 //! * [`lossmodel`] — loss-aware inverse-observation-probability weights.
 //! * [`locality`] — the §2.1 diagnostics (Figures 1 and 2).
@@ -68,6 +70,7 @@ pub mod error;
 pub mod locality;
 pub mod lossmodel;
 pub mod pipeline;
+pub mod plan;
 pub mod preference;
 pub mod report;
 pub mod unbiased;
@@ -77,4 +80,5 @@ pub use config::AutoSensConfig;
 pub use error::AutoSensError;
 pub use lossmodel::LossModel;
 pub use pipeline::{AutoSens, DecaySpec, LossReport, Prepared, WindowedCurve};
+pub use plan::{AnalysisPlan, PlanInput, PlanPartials, PreparedMeta, RunOptions};
 pub use preference::NormalizedPreference;

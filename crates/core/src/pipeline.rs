@@ -22,6 +22,8 @@ use crate::biased::biased_histogram;
 use crate::config::AutoSensConfig;
 use crate::error::AutoSensError;
 use crate::lossmodel::{CellCorrection, LossModel};
+use crate::plan::op;
+use crate::plan::PreparedMeta;
 use crate::preference::NormalizedPreference;
 use crate::unbiased::{decay_weight, unbiased_histogram_decayed_par, unbiased_histogram_par};
 
@@ -29,21 +31,16 @@ use crate::unbiased::{decay_weight, unbiased_histogram_decayed_par, unbiased_his
 /// quartile index (0 = Q1, fastest users) paired with that slice's result.
 pub type QuartileAnalyses = Vec<(usize, Result<AnalysisReport, AutoSensError>)>;
 
-/// The span names of the documented pipeline stages, in execution order.
-/// Every [`AutoSens::analyze_slice`] run (with the α correction enabled)
-/// produces exactly one span per stage under its `"analyze"` root.
-pub const STAGES: &[&str] = &[
-    "sanitize",
-    "lossmodel",
-    "alpha",
-    "biased_pdf",
-    "unbiased_pdf",
-    "smoothing",
-    "normalization",
-];
+/// The span names of the documented pipeline stages, in execution order —
+/// an alias of [`crate::plan::op::STAGE_NAMES`], which derives from the
+/// [operator table](crate::plan::op::OPERATORS). Every analysis run (with
+/// the α correction enabled) produces exactly one span per stage under
+/// its `"analyze"` root.
+pub const STAGES: &[&str] = crate::plan::op::STAGE_NAMES;
 
-/// The additional stage traced by [`AutoSens::analyze_slice_with_ci`].
-pub const CI_STAGE: &str = "ci_bootstrap";
+/// The additional stage traced when a CI bootstrap is requested — an
+/// alias of [`crate::plan::op::CI_BOOTSTRAP`]'s name.
+pub const CI_STAGE: &str = crate::plan::op::CI_BOOTSTRAP.name;
 
 /// A recoverable data-quality problem the pipeline worked around instead of
 /// aborting. An [`AnalysisReport`] carrying degradations is still a valid
@@ -242,25 +239,40 @@ impl AutoSens {
     }
 
     /// Analyze a full log (successful actions only, as in the paper).
+    #[deprecated(note = "use plan::AnalysisPlan::run with PlanInput::log — \
+                         the single analysis entry point")]
     pub fn analyze(&self, log: &TelemetryLog) -> Result<AnalysisReport, AutoSensError> {
-        self.analyze_slice(log, &Slice::all())
+        self.analyze_view_impl(&log.view(), &Slice::all())
     }
 
     /// Analyze one slice of a log.
+    #[deprecated(note = "use plan::AnalysisPlan::run with PlanInput::slice — \
+                         the single analysis entry point")]
     pub fn analyze_slice(
         &self,
         log: &TelemetryLog,
         slice: &Slice,
     ) -> Result<AnalysisReport, AutoSensError> {
-        self.analyze_view(&log.view(), slice)
+        self.analyze_view_impl(&log.view(), slice)
     }
 
-    /// Analyze one slice of a borrowed [`LogView`] — the zero-copy ingest
-    /// entry point. A memory-mapped container's columns flow from disk to
-    /// the analysis kernels through this without materializing a row;
-    /// [`AutoSens::analyze_slice`] is exactly this over `log.view()`, so
-    /// the two produce bit-identical reports for the same rows.
+    /// Analyze one slice of a borrowed [`LogView`].
+    #[deprecated(note = "use plan::AnalysisPlan::run with PlanInput::view — \
+                         the single analysis entry point")]
     pub fn analyze_view(
+        &self,
+        view: &LogView<'_>,
+        slice: &Slice,
+    ) -> Result<AnalysisReport, AutoSensError> {
+        self.analyze_view_impl(view, slice)
+    }
+
+    /// The batch pipeline over a borrowed view — the zero-copy ingest
+    /// path. A memory-mapped container's columns flow from disk to the
+    /// analysis kernels through this without materializing a row; the
+    /// log/slice input shapes are exactly this over `log.view()`, so all
+    /// shapes produce bit-identical reports for the same rows.
+    pub(crate) fn analyze_view_impl(
         &self,
         view: &LogView<'_>,
         slice: &Slice,
@@ -275,10 +287,10 @@ impl AutoSens {
         // skew) and duplicated (re-delivered upload batches). Repair what is
         // repairable and record the repair instead of failing. Slicing
         // re-sorts as a side effect, so the order check looks at the input.
-        let mut span = root.child("sanitize");
+        let mut span = root.child(op::SANITIZE.name);
         if !view.is_sorted() {
             degradations.push(Degradation {
-                stage: "sanitize".into(),
+                stage: op::SANITIZE.name.into(),
                 detail: "records arrived out of time order; re-sorted".into(),
             });
         }
@@ -305,14 +317,14 @@ impl AutoSens {
         };
         if removed > 0 {
             degradations.push(Degradation {
-                stage: "sanitize".into(),
+                stage: op::SANITIZE.name.into(),
                 detail: format!("removed {removed} exact duplicate records"),
             });
         }
         span.field("records_in", records_in);
         span.field("records_dropped", removed);
         timings.push(StageTiming {
-            stage: "sanitize".into(),
+            stage: op::SANITIZE.name.into(),
             wall_ms: span.finish(),
         });
         self.finish_analysis(
@@ -331,15 +343,8 @@ impl AutoSens {
 
     /// Run the post-sanitize pipeline stages over an externally prepared
     /// log (see [`Prepared`]).
-    ///
-    /// This is the entry point for incremental callers: the streaming
-    /// engine merges its shard state into a `Prepared` and obtains an
-    /// [`AnalysisReport`] bit-identical to what [`AutoSens::analyze`]
-    /// would produce over the same records — every RNG-bearing stage runs
-    /// from the same `StdRng::seed_from_u64(config.seed)` over the same
-    /// sanitized record sequence. The run still traces one span per
-    /// documented stage (the `"sanitize"` span carries the caller's
-    /// counts; its wall time reflects only bookkeeping).
+    #[deprecated(note = "use plan::AnalysisPlan::run with PlanInput::prepared — \
+                         the single analysis entry point")]
     pub fn analyze_prepared(&self, prepared: Prepared) -> Result<AnalysisReport, AutoSensError> {
         let Prepared {
             log,
@@ -350,14 +355,77 @@ impl AutoSens {
             loss_counts,
             decay,
         } = prepared;
+        self.analyze_prepared_raw(
+            &log,
+            degradations,
+            records_in,
+            records_dropped,
+            partition,
+            loss_counts,
+            decay,
+        )
+    }
+
+    /// The plan layer's prepared-input path (see
+    /// [`PlanInput::Prepared`](crate::plan::PlanInput::Prepared)):
+    /// unbundle the cached partials and run everything past sanitize.
+    ///
+    /// This is the incremental entry: the streaming engine merges its
+    /// shard state into a [`PreparedMeta`] and obtains an
+    /// [`AnalysisReport`] bit-identical to what the batch path would
+    /// produce over the same records — every RNG-bearing stage runs from
+    /// the same `StdRng::seed_from_u64(config.seed)` over the same
+    /// sanitized record sequence. The run still traces one span per
+    /// documented stage (the `"sanitize"` span carries the caller's
+    /// counts; its wall time reflects only bookkeeping).
+    pub(crate) fn analyze_prepared_impl(
+        &self,
+        log: &TelemetryLog,
+        meta: PreparedMeta,
+    ) -> Result<AnalysisReport, AutoSensError> {
+        let PreparedMeta {
+            degradations,
+            records_in,
+            records_dropped,
+            partials,
+            decay,
+        } = meta;
+        let (partition, loss_counts) = match partials {
+            Some(p) => (Some(p.partition), Some(p.loss)),
+            None => (None, None),
+        };
+        self.analyze_prepared_raw(
+            log,
+            degradations,
+            records_in,
+            records_dropped,
+            partition,
+            loss_counts,
+            decay,
+        )
+    }
+
+    /// Shared body of the prepared paths: a bookkeeping sanitize span,
+    /// then everything downstream.
+    #[allow(clippy::too_many_arguments)]
+    fn analyze_prepared_raw(
+        &self,
+        log: &TelemetryLog,
+        degradations: Vec<Degradation>,
+        records_in: usize,
+        records_dropped: usize,
+        partition: Option<GroupPartition>,
+        loss_counts: Option<LossCounts>,
+        decay: Option<DecaySpec>,
+    ) -> Result<AnalysisReport, AutoSensError> {
         log.require_sorted()?;
         let root = self.recorder.root("analyze");
         let mut timings: Vec<StageTiming> = Vec::new();
-        let mut span = root.child("sanitize");
+        let mut span = root.child(op::SANITIZE.name);
         span.field("records_in", records_in);
         span.field("records_dropped", records_dropped);
         timings.push(StageTiming {
-            stage: "sanitize".into(),
+            stage: op::SANITIZE.name.into(),
             wall_ms: span.finish(),
         });
         self.finish_analysis(
@@ -407,7 +475,7 @@ impl AutoSens {
         // gauges report even when the correction is disabled — but it
         // consumes no randomness, so an inactive correction leaves every
         // downstream bit unchanged.
-        let mut span = root.child("lossmodel");
+        let mut span = root.child(op::LOSSMODEL.name);
         let counts =
             loss_counts.unwrap_or_else(|| LossCounts::from_view_par(sub, self.config.threads));
         let evidence = estimate_cell_loss_par(sub, &counts, self.config.threads);
@@ -425,7 +493,7 @@ impl AutoSens {
             }
         }
         timings.push(StageTiming {
-            stage: "lossmodel".into(),
+            stage: op::LOSSMODEL.name.into(),
             wall_ms: span.finish(),
         });
 
@@ -435,7 +503,7 @@ impl AutoSens {
             Grouping::HourSlots
         };
         let (biased, unbiased, alpha, naive) = if self.config.alpha_correction {
-            let mut span = root.child("alpha");
+            let mut span = root.child(op::ALPHA.name);
             span.field("groups", grouping.n_groups());
             // With an active correction the α system is solved twice from
             // one set of inputs (one RNG-bearing draw stage): once naive,
@@ -471,7 +539,7 @@ impl AutoSens {
             for g in &est.groups {
                 if g.n_actions > 0 && g.alpha.is_none() {
                     degradations.push(Degradation {
-                        stage: "alpha".into(),
+                        stage: op::ALPHA.name.into(),
                         detail: format!(
                             "group {} ({} actions) excluded: no usable alpha",
                             g.label, g.n_actions
@@ -480,32 +548,32 @@ impl AutoSens {
                 }
             }
             timings.push(StageTiming {
-                stage: "alpha".into(),
+                stage: op::ALPHA.name.into(),
                 wall_ms: span.finish(),
             });
-            let span = root.child("biased_pdf");
+            let span = root.child(op::BIASED_PDF.name);
             let b = est.normalized_biased(&binner)?;
             let naive_b = naive_est
                 .as_ref()
                 .map(|n| n.normalized_biased(&binner))
                 .transpose()?;
             timings.push(StageTiming {
-                stage: "biased_pdf".into(),
+                stage: op::BIASED_PDF.name.into(),
                 wall_ms: span.finish(),
             });
-            let span = root.child("unbiased_pdf");
+            let span = root.child(op::UNBIASED_PDF.name);
             let u = est.pooled_unbiased(&binner)?;
             let naive_u = naive_est
                 .as_ref()
                 .map(|n| n.pooled_unbiased(&binner))
                 .transpose()?;
             timings.push(StageTiming {
-                stage: "unbiased_pdf".into(),
+                stage: op::UNBIASED_PDF.name.into(),
                 wall_ms: span.finish(),
             });
             (b, u, Some(est), naive_b.zip(naive_u))
         } else {
-            let span = root.child("biased_pdf");
+            let span = root.child(op::BIASED_PDF.name);
             let naive_b = biased_histogram(sub, &binner);
             let b = if correct {
                 // Reweight without α: the pooled biased histogram is the
@@ -529,10 +597,10 @@ impl AutoSens {
                 naive_b.clone()
             };
             timings.push(StageTiming {
-                stage: "biased_pdf".into(),
+                stage: op::BIASED_PDF.name.into(),
                 wall_ms: span.finish(),
             });
-            let mut span = root.child("unbiased_pdf");
+            let mut span = root.child(op::UNBIASED_PDF.name);
             span.field("draws", self.config.unbiased_draws);
             let (u, draw_report) = unbiased_histogram_par(
                 sub,
@@ -543,7 +611,7 @@ impl AutoSens {
             )?;
             self.record_exec(&span, &draw_report);
             timings.push(StageTiming {
-                stage: "unbiased_pdf".into(),
+                stage: op::UNBIASED_PDF.name.into(),
                 wall_ms: span.finish(),
             });
             let naive = correct.then(|| (naive_b, u.clone()));
@@ -641,7 +709,7 @@ impl AutoSens {
             ));
         }
         let binner = self.config.binner()?;
-        let mut span = root.child("windowed_curve");
+        let mut span = root.child(op::WINDOWED_CURVE.name);
         span.field("half_life_ms", spec.half_life_ms as u64);
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xDECA);
         let mut biased = Histogram::new(binner.clone());
@@ -666,7 +734,7 @@ impl AutoSens {
         span.field("effective_mass", effective_mass);
         span.field("fit", u64::from(preference.is_some()));
         timings.push(StageTiming {
-            stage: "windowed_curve".into(),
+            stage: op::WINDOWED_CURVE.name.into(),
             wall_ms: span.finish(),
         });
         Ok(WindowedCurve {
@@ -759,9 +827,9 @@ impl AutoSens {
         self.parallel_analyses(log, slices)
     }
 
-    /// Like [`AutoSens::analyze_slice`], additionally fitting a bootstrap
-    /// confidence band (see [`crate::ci`]) with the given replicate count
-    /// and two-sided confidence level.
+    /// Analyze a slice with a bootstrap confidence band.
+    #[deprecated(note = "use plan::AnalysisPlan::run with RunOptions::with_ci — \
+                         the single analysis entry point")]
     pub fn analyze_slice_with_ci(
         &self,
         log: &TelemetryLog,
@@ -769,12 +837,14 @@ impl AutoSens {
         replicates: usize,
         level: f64,
     ) -> Result<(AnalysisReport, crate::ci::PreferenceCi), AutoSensError> {
-        self.analyze_view_with_ci(&log.view(), slice, replicates, level)
+        let mut report = self.analyze_view_impl(&log.view(), slice)?;
+        let ci = self.ci_impl(&mut report, replicates, level)?;
+        Ok((report, ci))
     }
 
-    /// [`AutoSens::analyze_slice_with_ci`] over a borrowed view — the CI
-    /// companion of [`AutoSens::analyze_view`], sharing its RNG streams so
-    /// mapped and owned inputs produce bit-identical bands.
+    /// Analyze a borrowed view with a bootstrap confidence band.
+    #[deprecated(note = "use plan::AnalysisPlan::run with RunOptions::with_ci — \
+                         the single analysis entry point")]
     pub fn analyze_view_with_ci(
         &self,
         view: &LogView<'_>,
@@ -782,9 +852,24 @@ impl AutoSens {
         replicates: usize,
         level: f64,
     ) -> Result<(AnalysisReport, crate::ci::PreferenceCi), AutoSensError> {
-        let mut report = self.analyze_view(view, slice)?;
+        let mut report = self.analyze_view_impl(view, slice)?;
+        let ci = self.ci_impl(&mut report, replicates, level)?;
+        Ok((report, ci))
+    }
+
+    /// The optional `ci_bootstrap` operator: fit a bootstrap confidence
+    /// band (see [`crate::ci`]) over a completed report's pooled
+    /// histograms and append its stage timing. Runs on its own RNG
+    /// stream (`seed ^ 0xC1`), so mapped and owned inputs produce
+    /// bit-identical bands.
+    pub(crate) fn ci_impl(
+        &self,
+        report: &mut AnalysisReport,
+        replicates: usize,
+        level: f64,
+    ) -> Result<crate::ci::PreferenceCi, AutoSensError> {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xC1);
-        let mut span = self.recorder.root(CI_STAGE);
+        let mut span = self.recorder.root(op::CI_BOOTSTRAP.name);
         span.field("replicates_requested", replicates);
         let (ci, exec_report) = crate::ci::preference_ci_traced(
             &report.biased,
@@ -803,11 +888,11 @@ impl AutoSens {
         let wall_ms = span.finish();
         if let Some(timings) = report.stage_timings.as_mut() {
             timings.push(StageTiming {
-                stage: CI_STAGE.into(),
+                stage: op::CI_BOOTSTRAP.name.into(),
                 wall_ms,
             });
         }
-        Ok((report, ci))
+        Ok(ci)
     }
 
     /// Build the complete serializable analysis bundle for a slice: the
@@ -821,7 +906,7 @@ impl AutoSens {
     ) -> Result<crate::report::FullReport, AutoSensError> {
         use crate::report::{AlphaRow, FullReport, PreferenceSummary};
         let label = label.into();
-        let analysis = self.analyze_slice(log, slice)?;
+        let analysis = self.analyze_view_impl(&log.view(), slice)?;
         let alpha_est = self.alpha_by_period(log, slice)?;
         let selected = slice.clone().successes().select(log);
         let owned;
@@ -919,7 +1004,7 @@ impl AutoSens {
             |chunk, _| {
                 let (key, slice) = &slices[chunk];
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    self.analyze_slice(log, slice)
+                    self.analyze_view_impl(&log.view(), slice)
                 }))
                 .unwrap_or_else(|payload| {
                     let msg = payload
@@ -948,6 +1033,7 @@ impl AutoSens {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::{PlanInput, RunOptions};
     use autosens_sim::{generate, Scenario, SimConfig};
 
     fn smoke_log() -> TelemetryLog {
@@ -963,11 +1049,29 @@ mod tests {
         }
     }
 
+    fn run(engine: &AutoSens, log: &TelemetryLog) -> Result<AnalysisReport, AutoSensError> {
+        engine
+            .plan()
+            .run(PlanInput::log(log), RunOptions::default())
+            .map(|o| o.report)
+    }
+
+    fn run_prepared(
+        engine: &AutoSens,
+        log: &TelemetryLog,
+        meta: PreparedMeta,
+    ) -> Result<AnalysisReport, AutoSensError> {
+        engine
+            .plan()
+            .run(PlanInput::prepared(log, meta), RunOptions::default())
+            .map(|o| o.report)
+    }
+
     #[test]
     fn analyze_produces_a_normalized_curve() {
         let log = smoke_log();
         let engine = AutoSens::new(fast_config());
-        let report = engine.analyze(&log).unwrap();
+        let report = run(&engine, &log).unwrap();
         assert!(report.n_actions > 1000);
         let pref = &report.preference;
         assert!((pref.at(300.0).unwrap() - 1.0).abs() < 1e-9);
@@ -983,8 +1087,8 @@ mod tests {
     fn analyze_is_deterministic() {
         let log = smoke_log();
         let engine = AutoSens::new(fast_config());
-        let a = engine.analyze(&log).unwrap();
-        let b = engine.analyze(&log).unwrap();
+        let a = run(&engine, &log).unwrap();
+        let b = run(&engine, &log).unwrap();
         assert_eq!(a.preference.series(), b.preference.series());
     }
 
@@ -993,7 +1097,7 @@ mod tests {
         let log = TelemetryLog::new();
         let engine = AutoSens::new(fast_config());
         assert!(matches!(
-            engine.analyze(&log),
+            run(&engine, &log),
             Err(AutoSensError::EmptySlice(_))
         ));
     }
@@ -1004,7 +1108,7 @@ mod tests {
         let mut cfg = fast_config();
         cfg.alpha_correction = false;
         let engine = AutoSens::new(cfg);
-        let report = engine.analyze(&log).unwrap();
+        let report = run(&engine, &log).unwrap();
         assert!(report.alpha.is_none());
         assert!(report.preference.at(300.0).is_some());
     }
@@ -1070,7 +1174,7 @@ mod tests {
     fn clean_input_reports_no_degradations() {
         let log = smoke_log();
         let engine = AutoSens::new(fast_config());
-        let report = engine.analyze(&log).unwrap();
+        let report = run(&engine, &log).unwrap();
         assert!(
             report.degradations.is_empty(),
             "unexpected: {:?}",
@@ -1099,7 +1203,7 @@ mod tests {
         let corrupted = plan.apply(&log).unwrap();
         assert!(!corrupted.is_sorted());
         let engine = AutoSens::new(fast_config());
-        let report = engine.analyze(&corrupted).unwrap();
+        let report = run(&engine, &corrupted).unwrap();
         // The analysis completes with a curve and structured warnings.
         assert!((report.preference.at(300.0).unwrap() - 1.0).abs() < 1e-9);
         let stages: Vec<&str> = report
@@ -1126,7 +1230,7 @@ mod tests {
         let log = smoke_log();
         let recorder = autosens_obs::Recorder::new();
         let engine = AutoSens::with_recorder(fast_config(), recorder.clone());
-        let report = engine.analyze(&log).unwrap();
+        let report = run(&engine, &log).unwrap();
         let tree = recorder.finish();
         assert_eq!(tree.count_named("analyze"), 1, "{}", tree.render());
         for stage in STAGES {
@@ -1160,9 +1264,11 @@ mod tests {
         let log = smoke_log();
         let recorder = autosens_obs::Recorder::new();
         let engine = AutoSens::with_recorder(fast_config(), recorder.clone());
-        let (report, ci) = engine
-            .analyze_slice_with_ci(&log, &Slice::all(), 25, 0.95)
+        let out = engine
+            .plan()
+            .run(PlanInput::log(&log), RunOptions::with_ci(25, 0.95))
             .unwrap();
+        let (report, ci) = (out.report, out.ci.unwrap());
         let timings = report.stage_timings.unwrap();
         assert_eq!(timings.last().unwrap().stage, CI_STAGE);
         assert_eq!(recorder.finish().count_named(CI_STAGE), 1);
@@ -1192,7 +1298,7 @@ mod tests {
         let corrupted = plan.apply(&log).unwrap();
         let recorder = autosens_obs::Recorder::new();
         let engine = AutoSens::with_recorder(fast_config(), recorder.clone());
-        let report = engine.analyze(&corrupted).unwrap();
+        let report = run(&engine, &corrupted).unwrap();
         assert!(!report.degradations.is_empty());
         let snap = recorder.metrics().snapshot();
         assert_eq!(
@@ -1225,7 +1331,7 @@ mod tests {
     #[test]
     fn loss_correction_is_a_noop_on_clean_input() {
         let log = smoke_log();
-        let on = AutoSens::new(fast_config()).analyze(&log).unwrap();
+        let on = run(&AutoSens::new(fast_config()), &log).unwrap();
         assert!(
             on.loss.is_none(),
             "clean input flagged cells: {:?}",
@@ -1233,7 +1339,7 @@ mod tests {
         );
         let mut cfg = fast_config();
         cfg.loss_correct = false;
-        let off = AutoSens::new(cfg).analyze(&log).unwrap();
+        let off = run(&AutoSens::new(cfg), &log).unwrap();
         // Bit-identical curves and histograms: the inactive correction
         // changes nothing downstream.
         assert_eq!(on.preference.series(), off.preference.series());
@@ -1253,7 +1359,7 @@ mod tests {
             }],
         };
         let corrupted = plan.apply(&log).unwrap();
-        let report = AutoSens::new(fast_config()).analyze(&corrupted).unwrap();
+        let report = run(&AutoSens::new(fast_config()), &corrupted).unwrap();
         let loss = report.loss.as_ref().expect("bursty loss goes undetected");
         assert!(loss.overall_rate > 0.0);
         assert!(!loss.cells.is_empty());
@@ -1266,7 +1372,7 @@ mod tests {
         // An explicit off-run reproduces the naive curve bit for bit.
         let mut cfg = fast_config();
         cfg.loss_correct = false;
-        let off = AutoSens::new(cfg).analyze(&corrupted).unwrap();
+        let off = run(&AutoSens::new(cfg), &corrupted).unwrap();
         assert!(off.loss.is_none());
         assert_eq!(off.biased.counts(), loss.naive_biased.counts());
         assert_eq!(
@@ -1287,19 +1393,23 @@ mod tests {
             }],
         };
         let corrupted = plan.apply(&log).unwrap();
-        let baseline = AutoSens::new(AutoSensConfig {
-            threads: 1,
-            ..fast_config()
-        })
-        .analyze(&corrupted)
+        let baseline = run(
+            &AutoSens::new(AutoSensConfig {
+                threads: 1,
+                ..fast_config()
+            }),
+            &corrupted,
+        )
         .unwrap();
         assert!(baseline.loss.is_some());
         for threads in [2, 4, 8] {
-            let report = AutoSens::new(AutoSensConfig {
-                threads,
-                ..fast_config()
-            })
-            .analyze(&corrupted)
+            let report = run(
+                &AutoSens::new(AutoSensConfig {
+                    threads,
+                    ..fast_config()
+                }),
+                &corrupted,
+            )
             .unwrap();
             assert_eq!(
                 baseline.preference.series(),
@@ -1324,39 +1434,39 @@ mod tests {
         }
     }
 
-    /// A `Prepared` equivalent to what batch sanitize would produce for
-    /// the whole log, optionally requesting the windowed decayed curve.
-    fn prepared_from(log: &TelemetryLog, decay: Option<DecaySpec>) -> Prepared {
+    /// A sanitized log plus [`PreparedMeta`] equivalent to what batch
+    /// sanitize would produce for the whole log, optionally requesting
+    /// the windowed decayed curve.
+    fn prepared_from(log: &TelemetryLog, decay: Option<DecaySpec>) -> (TelemetryLog, PreparedMeta) {
         let (selected, _) = Slice::all().successes().select_par(log, 1).unwrap();
         let records_in = selected.len();
         let (clean, removed) = selected.dedup_exact_par(1);
-        Prepared {
-            log: clean.materialize(),
-            degradations: Vec::new(),
-            records_in,
-            records_dropped: removed,
-            partition: None,
-            loss_counts: None,
-            decay,
-        }
+        (
+            clean.materialize(),
+            PreparedMeta {
+                records_in,
+                records_dropped: removed,
+                decay,
+                ..PreparedMeta::default()
+            },
+        )
     }
 
     #[test]
     fn prepared_decay_adds_windowed_curve_and_leaves_lifetime_untouched() {
         let log = smoke_log();
         let engine = AutoSens::new(fast_config());
-        let base = engine.analyze_prepared(prepared_from(&log, None)).unwrap();
+        let (clean, meta) = prepared_from(&log, None);
+        let base = run_prepared(&engine, &clean, meta).unwrap();
         assert!(base.windowed.is_none());
 
-        let p = prepared_from(&log, None);
-        let frontier = p.log.view().time_at(p.log.view().len() - 1);
+        let frontier = clean.view().time_at(clean.view().len() - 1);
         let spec = DecaySpec {
             half_life_ms: 2 * 86_400_000,
             frontier_ms: frontier,
         };
-        let with = engine
-            .analyze_prepared(prepared_from(&log, Some(spec)))
-            .unwrap();
+        let (clean, meta) = prepared_from(&log, Some(spec));
+        let with = run_prepared(&engine, &clean, meta).unwrap();
         let w = with.windowed.as_ref().expect("windowed curve requested");
         assert_eq!(w.spec, spec);
         assert!(w.effective_mass > 0.0);
@@ -1388,17 +1498,17 @@ mod tests {
     fn windowed_mass_shrinks_with_shorter_half_life() {
         let log = smoke_log();
         let engine = AutoSens::new(fast_config());
-        let p = prepared_from(&log, None);
-        let frontier = p.log.view().time_at(p.log.view().len() - 1);
+        let (clean, _) = prepared_from(&log, None);
+        let frontier = clean.view().time_at(clean.view().len() - 1);
         let mass = |hl: i64| {
-            engine
-                .analyze_prepared(prepared_from(
-                    &log,
-                    Some(DecaySpec {
-                        half_life_ms: hl,
-                        frontier_ms: frontier,
-                    }),
-                ))
+            let (clean, meta) = prepared_from(
+                &log,
+                Some(DecaySpec {
+                    half_life_ms: hl,
+                    frontier_ms: frontier,
+                }),
+            );
+            run_prepared(&engine, &clean, meta)
                 .unwrap()
                 .windowed
                 .unwrap()
@@ -1416,7 +1526,7 @@ mod tests {
     fn nonpositive_half_life_is_rejected() {
         let log = smoke_log();
         let engine = AutoSens::new(fast_config());
-        let bad = prepared_from(
+        let (clean, meta) = prepared_from(
             &log,
             Some(DecaySpec {
                 half_life_ms: 0,
@@ -1424,9 +1534,54 @@ mod tests {
             }),
         );
         assert!(matches!(
-            engine.analyze_prepared(bad),
+            run_prepared(&engine, &clean, meta),
             Err(AutoSensError::BadConfig(_))
         ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_plan_entry_point() {
+        let log = smoke_log();
+        let engine = AutoSens::new(fast_config());
+        let base = run(&engine, &log).unwrap();
+        let view = log.view();
+        let all = Slice::all();
+        let a = engine.analyze(&log).unwrap();
+        let b = engine.analyze_slice(&log, &all).unwrap();
+        let c = engine.analyze_view(&view, &all).unwrap();
+        for (label, r) in [("analyze", &a), ("analyze_slice", &b), ("analyze_view", &c)] {
+            assert_eq!(base.preference.series(), r.preference.series(), "{label}");
+            assert_eq!(base.biased.counts(), r.biased.counts(), "{label}");
+            assert_eq!(base.n_actions, r.n_actions, "{label}");
+        }
+
+        let (clean, meta) = prepared_from(&log, None);
+        let p = engine
+            .analyze_prepared(Prepared {
+                log: clean,
+                degradations: meta.degradations,
+                records_in: meta.records_in,
+                records_dropped: meta.records_dropped,
+                partition: None,
+                loss_counts: None,
+                decay: meta.decay,
+            })
+            .unwrap();
+        assert_eq!(base.preference.series(), p.preference.series());
+
+        let ci_base = engine
+            .plan()
+            .run(PlanInput::log(&log), RunOptions::with_ci(25, 0.9))
+            .unwrap();
+        let (d, ci_d) = engine.analyze_slice_with_ci(&log, &all, 25, 0.9).unwrap();
+        let (e, ci_e) = engine.analyze_view_with_ci(&view, &all, 25, 0.9).unwrap();
+        let ci = ci_base.ci.unwrap();
+        assert_eq!(base.preference.series(), d.preference.series());
+        assert_eq!(base.preference.series(), e.preference.series());
+        assert_eq!(ci.replicates, ci_d.replicates);
+        assert_eq!(ci.band_at(500.0), ci_d.band_at(500.0));
+        assert_eq!(ci.band_at(500.0), ci_e.band_at(500.0));
     }
 
     #[test]

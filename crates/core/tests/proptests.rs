@@ -4,7 +4,7 @@
 
 use autosens_core::alpha::alpha_vs_reference;
 use autosens_core::config::AutoSensConfig;
-use autosens_core::pipeline::AutoSens;
+use autosens_core::plan::{AnalysisPlan, PlanInput, RunOptions};
 use autosens_core::preference::NormalizedPreference;
 use autosens_core::unbiased::unbiased_histogram;
 use autosens_faults::{FaultOp, FaultPlan};
@@ -245,7 +245,8 @@ proptest! {
             min_supported_bins: 5,
             ..AutoSensConfig::default()
         };
-        match AutoSens::new(cfg).analyze(&corrupted) {
+        let plan = AnalysisPlan::new(cfg);
+        match plan.run(PlanInput::log(&corrupted), RunOptions::default()).map(|o| o.report) {
             Ok(report) => {
                 for (x, v) in report.preference.series() {
                     prop_assert!(v.is_finite() && v >= 0.0, "pref({x}) = {v}");

@@ -5,6 +5,7 @@
 
 use autosens_core::bottleneck::bottleneck_report;
 use autosens_core::report::{f3, text_table};
+use autosens_core::{PlanInput, RunOptions};
 use autosens_telemetry::query::Slice;
 use autosens_telemetry::record::{ActionType, UserClass};
 
@@ -18,8 +19,10 @@ pub fn generate(data: &Dataset) -> Artifact {
         .class(UserClass::Business);
     let report = data
         .engine
-        .analyze_slice(&data.log, &slice)
-        .expect("business SelectMail slice fits");
+        .plan()
+        .run(PlanInput::slice(&data.log, &slice), RunOptions::default())
+        .expect("business SelectMail slice fits")
+        .report;
     let bn = bottleneck_report(&report.preference, 500.0);
 
     let mut rows = Vec::new();

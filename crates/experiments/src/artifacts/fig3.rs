@@ -4,6 +4,7 @@
 //! CSV equivalent here is the first 200 unbiased draws' timestamps.)
 
 use autosens_core::report::{f3, series_csv, text_table};
+use autosens_core::{PlanInput, RunOptions};
 use autosens_telemetry::query::Slice;
 use autosens_telemetry::record::{ActionType, UserClass};
 
@@ -17,8 +18,10 @@ pub fn generate(data: &Dataset) -> Artifact {
         .class(UserClass::Business);
     let report = data
         .engine
-        .analyze_slice(&data.log, &slice)
-        .expect("business SelectMail slice fits");
+        .plan()
+        .run(PlanInput::slice(&data.log, &slice), RunOptions::default())
+        .expect("business SelectMail slice fits")
+        .report;
 
     let b_pdf = report.biased.to_pdf().expect("non-empty");
     let u_pdf = report.unbiased.to_pdf().expect("non-empty");

@@ -4,6 +4,7 @@
 //! curve lies inside the per-period envelope.
 
 use autosens_core::report::{f3, series_csv, text_table};
+use autosens_core::{PlanInput, RunOptions};
 use autosens_telemetry::query::Slice;
 use autosens_telemetry::record::{ActionType, UserClass};
 use autosens_telemetry::time::DayPeriod;
@@ -17,7 +18,12 @@ pub fn generate(data: &Dataset) -> Artifact {
         .action(ActionType::SelectMail)
         .class(UserClass::Business);
     let results = data.engine.by_day_period(&data.log, &base);
-    let pooled = data.engine.analyze_slice(&data.log, &base).ok();
+    let pooled = data
+        .engine
+        .plan()
+        .run(PlanInput::slice(&data.log, &base), RunOptions::default())
+        .ok()
+        .map(|out| out.report);
 
     let grid = [600.0, 900.0, 1200.0];
     let mut rows = Vec::new();

@@ -6,9 +6,9 @@
 //! discussion in DESIGN.md and gives future optimisation PRs a baseline to
 //! diff against.
 
-use autosens_core::pipeline::{CI_STAGE, STAGES};
+use autosens_core::plan::op;
 use autosens_core::report::text_table;
-use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_core::{AnalysisPlan, AutoSensConfig, PlanInput, RunOptions};
 use autosens_obs::Recorder;
 use autosens_telemetry::query::Slice;
 use autosens_telemetry::record::{ActionType, UserClass};
@@ -22,19 +22,22 @@ const CI_REPLICATES: usize = 50;
 /// Profile one end-to-end analysis of the given dataset.
 pub fn generate(data: &crate::dataset::Dataset) -> Artifact {
     let recorder = Recorder::new();
-    let engine = AutoSens::with_recorder(AutoSensConfig::default(), recorder.clone());
+    let plan = AnalysisPlan::with_recorder(AutoSensConfig::default(), recorder.clone());
     let slice = Slice::all()
         .action(ActionType::SelectMail)
         .class(UserClass::Business);
 
-    let outcome = engine.analyze_slice_with_ci(&data.log, &slice, CI_REPLICATES, 0.95);
+    let outcome = plan.run(
+        PlanInput::slice(&data.log, &slice),
+        RunOptions::with_ci(CI_REPLICATES, 0.95),
+    );
     let tree = recorder.finish();
 
     let mut checks = vec![ShapeCheck::new(
         "analysis succeeds",
         outcome.is_ok(),
         match &outcome {
-            Ok((report, _)) => format!("{} actions analyzed", report.n_actions),
+            Ok(out) => format!("{} actions analyzed", out.report.n_actions),
             Err(e) => e.to_string(),
         },
     )];
@@ -56,7 +59,10 @@ pub fn generate(data: &crate::dataset::Dataset) -> Artifact {
         csv.push_str(&format!("{name},{calls},{ms:.4},{share:.4}\n"));
     }
 
-    for stage in STAGES.iter().chain([&CI_STAGE]) {
+    // The expected stage column derives from the plan's operator table:
+    // every always-run operator plus the CI bootstrap requested above.
+    for spec in AnalysisPlan::operators().iter().chain([&op::CI_BOOTSTRAP]) {
+        let stage = spec.name;
         let n = tree.count_named(stage);
         checks.push(ShapeCheck::new(
             format!("stage {stage} profiled"),
@@ -111,8 +117,9 @@ mod tests {
             assert!(wall_ms.is_finite() && wall_ms >= 0.0, "row {line:?}");
             rows.insert(fields[0].to_string(), calls);
         }
-        for stage in STAGES.iter().chain([&CI_STAGE]) {
-            let calls = rows.get(*stage);
+        for spec in AnalysisPlan::operators().iter().chain([&op::CI_BOOTSTRAP]) {
+            let stage = spec.name;
+            let calls = rows.get(stage);
             assert!(
                 calls.is_some_and(|&c| c >= 1),
                 "stage {stage} missing from the CSV stage column: {body}"

@@ -22,7 +22,7 @@
 //! side by side, so both errors come from the same run.
 
 use autosens_core::report::text_table;
-use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_core::{AnalysisPlan, AutoSensConfig, PlanInput, RunOptions};
 use autosens_faults::{FaultOp, FaultPlan};
 use autosens_sim::config::{Scenario, SimConfig};
 use autosens_sim::generate;
@@ -63,9 +63,10 @@ struct Curves {
 }
 
 fn curves(log: &TelemetryLog) -> Option<Curves> {
-    let report = AutoSens::new(analysis_config())
-        .analyze_slice(log, &Slice::all())
-        .ok()?;
+    let report = AnalysisPlan::new(analysis_config())
+        .run(PlanInput::slice(log, &Slice::all()), RunOptions::default())
+        .ok()?
+        .report;
     let sample = |pref: &autosens_core::NormalizedPreference| -> Vec<(f64, f64)> {
         (PROBE_LO..=PROBE_HI)
             .step_by(PROBE_STEP)

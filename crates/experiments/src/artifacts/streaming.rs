@@ -14,7 +14,7 @@
 //! exact, not approximate.
 
 use autosens_core::report::text_table;
-use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_core::{AnalysisPlan, AutoSensConfig, PlanInput, RunOptions};
 use autosens_faults::{FaultOp, FaultPlan};
 use autosens_sim::config::{Scenario, SimConfig};
 use autosens_sim::generate;
@@ -105,8 +105,10 @@ pub fn generate_streaming() -> Artifact {
         Ok(l) => l,
         Err(e) => return fail(format!("fault injection failed: {e}")),
     };
-    let batch = match AutoSens::new(AutoSensConfig::default()).analyze(&corrupted) {
-        Ok(r) => r,
+    let batch = match AnalysisPlan::new(AutoSensConfig::default())
+        .run(PlanInput::log(&corrupted), RunOptions::default())
+    {
+        Ok(out) => out.report,
         Err(e) => return fail(format!("batch analysis failed: {e}")),
     };
     let batch_curve = curve_at_probes(&batch);

@@ -9,7 +9,7 @@
 //! (b) the number of simulated days.
 
 use autosens_core::report::text_table;
-use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_core::{AnalysisPlan, AutoSensConfig, PlanInput, RunOptions};
 use autosens_sim::config::{Scenario, SimConfig};
 use autosens_sim::generate;
 use autosens_telemetry::query::Slice;
@@ -22,9 +22,10 @@ fn recovery_mae(cfg: &SimConfig) -> Option<f64> {
     let slice = Slice::all()
         .action(ActionType::SelectMail)
         .class(UserClass::Business);
-    let report = AutoSens::new(AutoSensConfig::default())
-        .analyze_slice(&log, &slice)
-        .ok()?;
+    let report = AnalysisPlan::new(AutoSensConfig::default())
+        .run(PlanInput::slice(&log, &slice), RunOptions::default())
+        .ok()?
+        .report;
     let mut err = 0.0;
     let mut n = 0;
     for l in (400..=1200).step_by(100) {

@@ -52,6 +52,7 @@ impl Default for GatewayConfig {
 
 struct GatewayInner {
     registry: Registry,
+    threads: usize,
     checkpoint_dir: Option<PathBuf>,
     recorder: Recorder,
     stop: AtomicBool,
@@ -83,6 +84,7 @@ impl Gateway {
         Ok(Gateway {
             inner: Arc::new(GatewayInner {
                 registry,
+                threads: config.threads.max(1),
                 checkpoint_dir: config.checkpoint_dir,
                 recorder,
                 stop: AtomicBool::new(false),
@@ -93,6 +95,11 @@ impl Gateway {
     /// The shared tenant registry (the query plane reads through this).
     pub fn registry(&self) -> &Registry {
         &self.inner.registry
+    }
+
+    /// Worker threads for fleet-wide snapshot fan-out.
+    pub fn threads(&self) -> usize {
+        self.inner.threads
     }
 
     /// The recorder the gateway emits metrics and spans into.

@@ -14,7 +14,8 @@
 //! | `/tenant/<service>/<region>/curve` | [`PreferenceSummary`] pretty JSON, byte-identical to `analyze --json` over the same records |
 //! | `/tenant/<service>/<region>/status` | the tenant's [`StatusDocument`] |
 //! | `/tenant/<service>/<region>/shifts` | regime shifts from the latest detection pass |
-//! | `/fleet` | cheap per-tenant intake counters (no snapshots) |
+//! | `/fleet` | cheap per-tenant intake counters (no snapshots) plus the last fleet-snapshot pass's stats |
+//! | `/snapshot` | run a fleet-wide snapshot pass; body is its [`FleetSnapshotStats`] |
 //! | `/metrics` | Prometheus text exposition of the gateway registry |
 //!
 //! The `/curve` body is produced by exactly the batch path's expression —
@@ -32,6 +33,7 @@ use autosens_core::report::{default_grid, PreferenceSummary};
 
 use crate::error::ServeError;
 use crate::gateway::Gateway;
+use crate::registry::FleetSnapshotStats;
 use crate::tenant::TenantKey;
 
 /// One parsed request: method and percent-free path (query strings are
@@ -106,6 +108,9 @@ struct FleetTenant {
 struct FleetSummary {
     tenants: usize,
     generation: u64,
+    /// Stats for the most recent `/snapshot` (or other fleet-wide
+    /// snapshot) pass; `null` before the first pass.
+    last_fleet_snapshot: Option<FleetSnapshotStats>,
     fleet: Vec<FleetTenant>,
 }
 
@@ -238,6 +243,7 @@ pub fn route(gateway: &Gateway, request: &Request) -> Response {
         ["healthz"] => healthz(gateway),
         ["tenants"] => tenants(gateway),
         ["fleet"] => fleet(gateway),
+        ["snapshot"] => snapshot_fleet(gateway),
         ["metrics"] => metrics(gateway),
         ["tenant", service, region, endpoint] => match TenantKey::new(*service, *region) {
             Ok(key) => tenant_endpoint(gateway, &key, endpoint),
@@ -295,10 +301,30 @@ fn fleet(gateway: &Gateway) -> Response {
     let summary = FleetSummary {
         tenants: fleet.len(),
         generation: registry.generation(),
+        last_fleet_snapshot: registry.last_fleet_snapshot(),
         fleet,
     };
     match serde_json::to_string_pretty(&summary) {
         Ok(body) => Response::json(200, body + "\n"),
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
+/// Run a fleet-wide snapshot pass and report its wall-clock and cache
+/// accounting. Tenants untouched since their last snapshot are served
+/// from the engine snapshot cache, so a warm pass over a quiet fleet is
+/// orders of magnitude faster than the cold one.
+fn snapshot_fleet(gateway: &Gateway) -> Response {
+    let registry = gateway.registry();
+    match registry.snapshot_all(gateway.threads()) {
+        Ok(_) => match registry.last_fleet_snapshot() {
+            Some(stats) => match serde_json::to_string_pretty(&stats) {
+                Ok(body) => Response::json(200, body + "\n"),
+                Err(e) => Response::error(500, &e.to_string()),
+            },
+            // Empty fleet: snapshot_all returns without recording stats.
+            None => Response::json(200, "null\n".into()),
+        },
         Err(e) => Response::error(500, &e.to_string()),
     }
 }

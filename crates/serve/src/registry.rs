@@ -41,7 +41,8 @@ use autosens_obs::Recorder;
 use autosens_stats::binning::OutOfRange;
 use autosens_stats::Binner;
 use autosens_stream::{
-    Checkpoint, Ingestor, Offer, OverflowPolicy, StatusDocument, StreamConfig, StreamEngine,
+    save_json, Checkpoint, Ingestor, Offer, OverflowPolicy, StatusDocument, StreamConfig,
+    StreamEngine,
 };
 use autosens_telemetry::query::Slice;
 use autosens_telemetry::record::ActionRecord;
@@ -67,6 +68,24 @@ pub struct Tenant {
     pub ingestor: Ingestor,
     /// Records routed to this tenant since creation or restore.
     pub records: u64,
+    /// The last serialized checkpoint, keyed by the engine's intake event
+    /// counter: a checkpoint pass reuses these bytes verbatim while the
+    /// tenant has seen no new events (the engine's snapshot dirty key).
+    pub(crate) ckpt_cache: Option<(u64, String)>,
+}
+
+/// Wall-clock and reuse accounting for the most recent fleet-wide
+/// snapshot pass ([`Registry::snapshot_all`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetSnapshotStats {
+    /// Wall-clock duration of the pass, ms.
+    pub wall_ms: f64,
+    /// Tenants covered.
+    pub tenants: usize,
+    /// Tenants whose report was served from the engine snapshot cache.
+    pub reused: usize,
+    /// Tenants whose report was recomputed (dirty since last snapshot).
+    pub computed: usize,
 }
 
 /// The fleet manifest: which generation is live and which tenants it
@@ -104,6 +123,8 @@ pub struct Registry {
     /// calls (e.g. two agent COMMITs) would otherwise race on the same
     /// `gen-<N+1>` directory and delete each other's work.
     checkpoint_lock: Mutex<()>,
+    /// Accounting for the most recent [`Registry::snapshot_all`] pass.
+    fleet_stats: Mutex<Option<FleetSnapshotStats>>,
 }
 
 impl Registry {
@@ -118,7 +139,14 @@ impl Registry {
             recorder,
             generation: AtomicU64::new(0),
             checkpoint_lock: Mutex::new(()),
+            fleet_stats: Mutex::new(None),
         }
+    }
+
+    /// Accounting for the most recent [`Registry::snapshot_all`] pass,
+    /// or `None` before the first pass.
+    pub fn last_fleet_snapshot(&self) -> Option<FleetSnapshotStats> {
+        *self.fleet_stats.lock()
     }
 
     /// The streaming configuration new tenants are created under.
@@ -181,6 +209,7 @@ impl Registry {
                 self.recorder.clone(),
             ),
             records: 0,
+            ckpt_cache: None,
         }));
         shard.insert(key.clone(), tenant.clone());
         drop(shard);
@@ -305,7 +334,10 @@ impl Registry {
 
     /// Snapshot every tenant through the exec scheduler (chunked
     /// fan-out; on a multi-core host shards snapshot concurrently).
-    /// Returns `(key, report)` pairs in sorted key order.
+    /// Returns `(key, report)` pairs in sorted key order. Tenants with no
+    /// new events since their last snapshot are served from the engine's
+    /// snapshot cache; the split is recorded in
+    /// [`Registry::last_fleet_snapshot`].
     pub fn snapshot_all(
         &self,
         threads: usize,
@@ -315,18 +347,33 @@ impl Registry {
         if n == 0 {
             return Ok(Vec::new());
         }
-        let chunk = (n / 16).clamp(1, 64);
+        let started = Instant::now();
+        let chunk = autosens_exec::scan_chunk_size_for(n);
         let (results, _) =
             autosens_exec::run_chunks("serve_snapshot_all", n, chunk, threads, |_, range| {
                 range
                     .map(|i| {
-                        self.snapshot(&keys[i])
-                            .map(|(report, _)| (keys[i].clone(), report))
+                        self.snapshot(&keys[i]).map(|(report, _)| {
+                            let reused = self
+                                .get(&keys[i])
+                                .map(|t| t.lock().engine.last_snapshot_reused())
+                                .unwrap_or(false);
+                            (keys[i].clone(), report, reused)
+                        })
                     })
                     .collect::<Vec<_>>()
             })
             .map_err(|e| ServeError::Checkpoint(format!("snapshot fan-out failed: {e}")))?;
-        results.into_iter().flatten().collect()
+        let flat: Vec<(TenantKey, AnalysisReport, bool)> =
+            results.into_iter().flatten().collect::<Result<_, _>>()?;
+        let reused = flat.iter().filter(|(_, _, r)| *r).count();
+        *self.fleet_stats.lock() = Some(FleetSnapshotStats {
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            tenants: n,
+            reused,
+            computed: n - reused,
+        });
+        Ok(flat.into_iter().map(|(k, r, _)| (k, r)).collect())
     }
 
     /// Checkpoint every tenant atomically into `dir` (see the module
@@ -361,10 +408,25 @@ impl Registry {
                 } = *t;
                 ingestor.drain_into(engine)?;
             }
-            let ck = t.engine.checkpoint(0);
+            // Serialization is the expensive half of a checkpoint pass;
+            // reuse the cached bytes while the tenant has seen no new
+            // events (the same dirty key the snapshot cache uses).
+            let events = t.engine.events();
+            let json = match &t.ckpt_cache {
+                Some((cached_events, json)) if *cached_events == events => json.clone(),
+                _ => {
+                    let json = t
+                        .engine
+                        .checkpoint(0)
+                        .to_json()
+                        .map_err(|e| ServeError::Checkpoint(format!("{}: {e}", key.label())))?;
+                    t.ckpt_cache = Some((events, json.clone()));
+                    json
+                }
+            };
             drop(t);
             let file = format!("{}.ckpt.json", key.file_stem());
-            ck.save(&tmp.join(&file))
+            save_json(&json, &tmp.join(&file))
                 .map_err(|e| ServeError::Checkpoint(format!("{}: {e}", key.label())))?;
             entries.push(ManifestEntry {
                 service: key.service.clone(),
@@ -445,6 +507,7 @@ impl Registry {
                     recorder.clone(),
                 ),
                 records: 0,
+                ckpt_cache: None,
             }));
             registry.shards[key.shard(REGISTRY_SHARDS)]
                 .lock()
@@ -639,6 +702,87 @@ mod tests {
             .with_tenant(&key, |t| t.engine.checkpoint(0).to_json().unwrap())
             .unwrap();
         assert_eq!(orig, back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_fleet_snapshot_reuses_cached_reports_and_checkpoints() {
+        let mut cfg = autosens_sim::config::SimConfig::scenario(autosens_sim::Scenario::Smoke);
+        cfg.seed = 17;
+        let (log, _) = autosens_sim::generate(&cfg).unwrap();
+        let records = log.to_records();
+        let reg = Registry::new(small_config(), records.len().max(1), Recorder::disabled());
+        let keys: Vec<TenantKey> = (0..3)
+            .map(|i| TenantKey::new("svc", format!("r{i}")).unwrap())
+            .collect();
+        for key in &keys {
+            reg.ingest(key, &records).unwrap();
+        }
+        assert!(reg.last_fleet_snapshot().is_none());
+
+        let cold = reg.snapshot_all(2).unwrap();
+        let stats = reg.last_fleet_snapshot().unwrap();
+        assert_eq!(stats.tenants, 3);
+        assert_eq!(stats.reused, 0);
+        assert_eq!(stats.computed, 3);
+
+        // No new events: every tenant is served from its snapshot cache
+        // and the curves are byte-identical.
+        let warm = reg.snapshot_all(2).unwrap();
+        let stats = reg.last_fleet_snapshot().unwrap();
+        assert_eq!(stats.reused, 3);
+        assert_eq!(stats.computed, 0);
+        for ((ka, ra), (kb, rb)) in cold.iter().zip(warm.iter()) {
+            assert_eq!(ka, kb);
+            let a = serde_json::to_string(&ra.preference.series().to_vec()).unwrap();
+            let b = serde_json::to_string(&rb.preference.series().to_vec()).unwrap();
+            assert_eq!(a, b);
+        }
+
+        // One dirty tenant: only it recomputes.
+        reg.ingest(&keys[1], &[rec(0, 3, 123.0)]).unwrap();
+        reg.snapshot_all(2).unwrap();
+        let stats = reg.last_fleet_snapshot().unwrap();
+        assert_eq!(stats.reused, 2);
+        assert_eq!(stats.computed, 1);
+
+        // Checkpoint serialization is cached the same way: a second pass
+        // with no new events reuses every tenant's bytes and the written
+        // files are identical across generations.
+        let dir =
+            std::env::temp_dir().join(format!("autosens-serve-ckpt-reuse-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        reg.checkpoint_all(&dir).unwrap();
+        for key in &keys {
+            let t = reg.get(key).unwrap();
+            let t = t.lock();
+            let (cached_events, _) = t.ckpt_cache.as_ref().expect("checkpoint cache populated");
+            assert_eq!(*cached_events, t.engine.events());
+        }
+        let first: Vec<String> = keys
+            .iter()
+            .map(|k| {
+                std::fs::read_to_string(
+                    dir.join("gen-1")
+                        .join(format!("{}.ckpt.json", k.file_stem())),
+                )
+                .unwrap()
+            })
+            .collect();
+        reg.checkpoint_all(&dir).unwrap();
+        for (k, before) in keys.iter().zip(&first) {
+            let after = std::fs::read_to_string(
+                dir.join("gen-2")
+                    .join(format!("{}.ckpt.json", k.file_stem())),
+            )
+            .unwrap();
+            assert_eq!(
+                &after,
+                before,
+                "cached checkpoint differs for {}",
+                k.label()
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

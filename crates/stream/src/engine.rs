@@ -19,37 +19,56 @@
 //!   exactly as batch dedup keeps the first post-sort occurrence.
 //!
 //! [`StreamEngine::snapshot`] concatenates shards in bucket order (already
-//! globally sorted — no re-sort), merges the per-shard
-//! [`GroupPartition`](autosens_core::GroupPartition) and
-//! [`LossCounts`](autosens_telemetry::loss::LossCounts) partials, and enters
-//! the shared pipeline via `AutoSens::analyze_prepared`, so after draining
-//! a finite log the report is **bit-identical** to batch `analyze` on the
-//! same log — including degradation bookkeeping and `autosens_core_*`
-//! metrics.
+//! globally sorted — no re-sort), merges the per-shard cached
+//! [`PlanPartials`](autosens_core::PlanPartials) (the plan layer's
+//! pre-RNG operator state), and enters the shared pipeline through the
+//! single plan entry point
+//! ([`AnalysisPlan::run`](autosens_core::AnalysisPlan::run) with a
+//! prepared input), so after draining a finite log the report is
+//! **bit-identical** to batch `analyze` on the same log — including
+//! degradation bookkeeping and `autosens_core_*` metrics.
 //!
 //! ## What is incremental and what is not
 //!
+//! Snapshots are dirty-tracked end-to-end. The engine keeps a snapshot
+//! cache (the merged [`ColumnStore`], the shard layout it was built
+//! from, and the finished report) keyed by the intake event counter:
+//!
+//! * **No events since the last snapshot** → the cached report is
+//!   returned verbatim (a clone of the same bytes), skipping the
+//!   pipeline entirely; `autosens_stream_snapshot_reuse_total` counts
+//!   these and [`StreamEngine::last_snapshot_reused`] exposes the flag.
+//! * **Dirty** → only shards touched since the last snapshot are
+//!   re-copied: the cached store is truncated to the longest unchanged
+//!   `(bucket, len)` prefix of the shard layout (shards are insert-only
+//!   and dup-rejecting, so an unchanged bucket+length pair means
+//!   unchanged contents) and the changed suffix is re-appended.
+//!
 //! The per-cell biased histograms, action counts, and per-day loss-cell
-//! observation counts are maintained incrementally and merged in
-//! O(shards · cells · bins). The RNG-bearing
-//! stages — the group-conditional unbiased draws and the smoothing fit —
-//! are recomputed per snapshot over the merged window: their draw count
-//! and window layout depend on the window's global start/end, so caching
-//! them per shard would change the random sequence and break bit
-//! equality. Records themselves are kept (they are the checkpoint's
-//! durable state and the unbiased estimator's input); prefix sums over
-//! shard lengths size the merged buffer exactly.
+//! observation counts are maintained incrementally per shard and merged
+//! in O(shards · cells · bins). The RNG-bearing
+//! operators — the group-conditional unbiased draws and the smoothing
+//! fit — are recomputed per snapshot over the merged window: their draw
+//! count and window layout depend on the window's global start/end, so
+//! caching them per shard would change the random sequence and break bit
+//! equality (see the `draws_rng` column of the
+//! [operator table](autosens_core::plan::op)). Records themselves are
+//! kept (they are the checkpoint's durable state and the unbiased
+//! estimator's input).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
-use autosens_core::pipeline::{AnalysisReport, DecaySpec, Degradation, Prepared};
-use autosens_core::{AutoSens, AutoSensConfig, AutoSensError, GroupPartition};
+use autosens_core::pipeline::{AnalysisReport, DecaySpec, Degradation};
+use autosens_core::{
+    AutoSens, AutoSensConfig, AutoSensError, PlanInput, PlanPartials, PreparedMeta, RunOptions,
+};
 use autosens_obs::{FlightKind, FlightRecorder, Recorder};
 use autosens_stats::binning::Binner;
 use autosens_telemetry::log::{ColumnStore, TelemetryLog};
-use autosens_telemetry::loss::LossCounts;
 use autosens_telemetry::query::Slice;
 use autosens_telemetry::record::ActionRecord;
 
@@ -178,6 +197,23 @@ pub struct StreamStatus {
     pub watermark_ms: Option<i64>,
 }
 
+/// The snapshot cache: everything the previous snapshot built that the
+/// next one can reuse. `events` is the dirty key — any offered event
+/// (admitted or not) conservatively invalidates the report.
+#[derive(Debug, Default)]
+struct SnapCache {
+    valid: bool,
+    /// Intake event counter at the time the cache was built.
+    events: u64,
+    /// The merged, time-sorted store the last snapshot analyzed.
+    store: ColumnStore,
+    /// `(bucket, len)` per shard when `store` was built; the longest
+    /// unchanged prefix of this layout is reused byte-for-byte.
+    layout: Vec<(i64, usize)>,
+    /// The finished report, returned verbatim while clean.
+    report: Option<AnalysisReport>,
+}
+
 /// The streaming ingestion + incremental analysis engine. See the module
 /// docs for the equivalence argument.
 #[derive(Debug)]
@@ -197,6 +233,17 @@ pub struct StreamEngine {
     duplicates: u64,
     evicted: u64,
     records_in: u64,
+    /// Records currently held across live shards, maintained on
+    /// admit/evict so [`StreamEngine::status`] is O(1).
+    live_records: u64,
+    /// Fleet-wide actions per local hour slot, maintained on admit/evict
+    /// so [`StreamEngine::status`] is O(1).
+    hour_counts: [u64; 24],
+    /// The dirty-tracked snapshot cache (interior mutability: snapshots
+    /// take `&self`).
+    snap: Mutex<SnapCache>,
+    /// Whether the latest snapshot was served from the cache.
+    last_snapshot_reused: AtomicBool,
     flight: FlightRecorder,
     /// Open run of consecutive late drops, folded into one
     /// [`FlightKind::LateDropBurst`] event when the run ends.
@@ -241,6 +288,10 @@ impl StreamEngine {
             duplicates: 0,
             evicted: 0,
             records_in: 0,
+            live_records: 0,
+            hour_counts: [0u64; 24],
+            snap: Mutex::new(SnapCache::default()),
+            last_snapshot_reused: AtomicBool::new(false),
             flight: FlightRecorder::new(FLIGHT_CAPACITY),
             open_late_burst: 0,
             emitted_shifts: BTreeSet::new(),
@@ -310,6 +361,7 @@ impl StreamEngine {
         self.max_event_time = Some(self.max_event_time.unwrap_or(t).max(t));
 
         let bucket = t.div_euclid(self.config.shard_ms);
+        let hour_slot = r.hour_slot().0 as usize % 24;
         let shard = self
             .shards
             .entry(bucket)
@@ -323,6 +375,8 @@ impl StreamEngine {
             return Ingest::Duplicate;
         }
         self.records_in += 1;
+        self.live_records += 1;
+        self.hour_counts[hour_slot] += 1;
 
         if let Some(retain) = self.config.retain_ms {
             self.evict_older_than(self.max_event_time.unwrap_or(t) - retain);
@@ -341,6 +395,10 @@ impl StreamEngine {
             }
             let dropped = shard.len() as u64;
             self.evicted += dropped;
+            self.live_records -= dropped;
+            for (acc, &n) in self.hour_counts.iter_mut().zip(&shard.hour_counts) {
+                *acc -= n;
+            }
             metrics
                 .counter("autosens_stream_evicted_records_total")
                 .add(dropped);
@@ -471,23 +529,19 @@ impl StreamEngine {
         Ok(shifts)
     }
 
-    /// The current intake counters and store shape.
+    /// The current intake counters and store shape. O(1): the live-record
+    /// and hour counters are maintained incrementally on admit/evict, not
+    /// recomputed by walking the shards.
     pub fn status(&self) -> StreamStatus {
-        let mut hour_counts = [0u64; 24];
-        let mut live_records = 0u64;
-        for shard in self.shards.values() {
-            shard.merge_hours_into(&mut hour_counts);
-            live_records += shard.len() as u64;
-        }
         StreamStatus {
             events: self.events,
             filtered: self.filtered,
             late: self.late,
             duplicates: self.duplicates,
             evicted: self.evicted,
-            live_records,
+            live_records: self.live_records,
             shards: self.shards.len(),
-            hour_counts,
+            hour_counts: self.hour_counts,
             max_event_time_ms: self.max_event_time,
             watermark_ms: self
                 .max_event_time
@@ -495,28 +549,75 @@ impl StreamEngine {
         }
     }
 
+    /// Records offered to the engine so far (the snapshot cache's dirty
+    /// key: an unchanged count means the cached report is still exact).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Whether the most recent [`StreamEngine::snapshot`] was served from
+    /// the cache (no events since the snapshot before it).
+    pub fn last_snapshot_reused(&self) -> bool {
+        self.last_snapshot_reused.load(Ordering::Relaxed)
+    }
+
     /// Analyze the live window by merging shard partials into the shared
     /// post-sanitize pipeline. After draining a finite log (no lateness
     /// drops, no eviction), the result is bit-identical to batch
     /// `AutoSens::analyze` over the same log.
+    ///
+    /// Snapshots are dirty-tracked (see the module docs): with no events
+    /// since the last snapshot the cached report is returned verbatim,
+    /// and a dirty snapshot re-copies only the shards past the longest
+    /// unchanged `(bucket, len)` prefix of the cached store.
     pub fn snapshot(&self) -> Result<AnalysisReport, AutoSensError> {
         let recorder = self.engine.recorder();
+        let mut cache = self.snap.lock().expect("snapshot cache lock poisoned");
+        if cache.valid && cache.events == self.events {
+            if let Some(report) = &cache.report {
+                recorder
+                    .metrics()
+                    .counter("autosens_stream_snapshot_reuse_total")
+                    .inc();
+                self.last_snapshot_reused.store(true, Ordering::Relaxed);
+                return Ok(report.clone());
+            }
+        }
+        self.last_snapshot_reused.store(false, Ordering::Relaxed);
+
         let mut span = recorder.root("stream_flush");
         span.field("events", self.events);
         span.field("shards", self.shards.len());
 
         // Prefix sums over shard lengths size the merged columns exactly;
         // shards concatenate in bucket order into an already-sorted store,
-        // column by column — no per-record copies.
-        let total: usize = self.shards.values().map(|s| s.len()).sum();
+        // column by column — no per-record copies. The cached store's
+        // longest unchanged (bucket, len) shard prefix is kept in place:
+        // shards are insert-only and dup-rejecting, so an unchanged
+        // bucket+length pair means unchanged contents.
+        let layout: Vec<(i64, usize)> = self.shards.iter().map(|(&b, s)| (b, s.len())).collect();
+        let total: usize = layout.iter().map(|&(_, n)| n).sum();
         span.field("records", total);
-        let mut cols = ColumnStore::with_capacity(total);
-        let mut partition = GroupPartition::empty(&self.binner);
-        let mut loss_counts = LossCounts::new();
-        for shard in self.shards.values() {
-            cols.extend_from(&shard.cols);
-            partition.merge(&shard.partition)?;
-            loss_counts.merge(&shard.loss);
+        let mut prefix_shards = 0usize;
+        let mut prefix_rows = 0usize;
+        if cache.valid {
+            for (old, new) in cache.layout.iter().zip(&layout) {
+                if old != new {
+                    break;
+                }
+                prefix_shards += 1;
+                prefix_rows += new.1;
+            }
+        }
+        span.field("reused_rows", prefix_rows);
+        let mut cols = std::mem::take(&mut cache.store);
+        cols.truncate(prefix_rows);
+        let mut partials = PlanPartials::empty(&self.binner);
+        for (i, shard) in self.shards.values().enumerate() {
+            if i >= prefix_shards {
+                cols.extend_from(&shard.cols);
+            }
+            partials.try_merge(&shard.partials)?;
         }
         let log = TelemetryLog::from_columns(cols);
 
@@ -573,16 +674,18 @@ impl StreamEngine {
                 frontier_ms: self.max_event_time.unwrap_or(0),
             });
 
-        let report = self.engine.analyze_prepared(Prepared {
-            log,
+        let meta = PreparedMeta {
             degradations,
             records_in: self.records_in as usize,
             records_dropped: self.duplicates as usize,
-            partition: Some(partition),
-            loss_counts: Some(loss_counts),
+            partials: Some(partials),
             decay,
-        })?;
-        use std::sync::atomic::Ordering;
+        };
+        let report = self
+            .engine
+            .plan()
+            .run(PlanInput::prepared(&log, meta), RunOptions::default())
+            .map(|out| out.report)?;
         match &report.loss {
             Some(loss) => {
                 if !self.loss_gate_open.swap(true, Ordering::Relaxed) {
@@ -599,13 +702,19 @@ impl StreamEngine {
             }
             None => self.loss_gate_open.store(false, Ordering::Relaxed),
         }
+        cache.store = log.into_columns();
+        cache.layout = layout;
+        cache.events = self.events;
+        cache.report = Some(report.clone());
+        cache.valid = true;
         Ok(report)
     }
 
     /// Serialize the engine's durable state. The shard records are the
-    /// state of record; partial aggregates are rebuilt on restore.
-    /// `source_offset` is the tailed file's checkpointed byte offset
-    /// (pass 0 when not tailing a file).
+    /// state of record; the cached plan-layer partials ride along and are
+    /// cross-validated against the records on restore (see
+    /// [`crate::checkpoint`]). `source_offset` is the tailed file's
+    /// checkpointed byte offset (pass 0 when not tailing a file).
     pub fn checkpoint(&self, source_offset: u64) -> crate::checkpoint::Checkpoint {
         self.flight.record(
             FlightKind::CheckpointSaved,
@@ -631,6 +740,7 @@ impl StreamEngine {
                 .map(|(&bucket, shard)| crate::checkpoint::ShardCheckpoint {
                     bucket,
                     records: shard.cols.to_records(),
+                    partials: Some(crate::checkpoint::ShardPartials::capture(shard)),
                 })
                 .collect(),
         }
@@ -665,8 +775,18 @@ impl StreamEngine {
                     )));
                 }
             }
-            let shard = Shard::rebuild(sc.records, &engine.binner);
+            // Checkpointed partials skip the per-record refold — but only
+            // after validating their totals against the records; absent
+            // partials (pre-partials checkpoints) rebuild from records.
+            let shard = match &sc.partials {
+                Some(p) => p.restore(sc.bucket, &sc.records, &engine.binner)?,
+                None => Shard::rebuild(sc.records, &engine.binner),
+            };
             engine.shards.insert(sc.bucket, shard);
+        }
+        for shard in engine.shards.values() {
+            engine.live_records += shard.len() as u64;
+            shard.merge_hours_into(&mut engine.hour_counts);
         }
         engine.max_event_time = checkpoint.max_event_time_ms;
         engine.last_arrival = checkpoint.last_arrival_ms;
@@ -690,5 +810,46 @@ impl StreamEngine {
     /// The slice this engine was created with (handy for labels).
     pub fn slice(&self) -> &Slice {
         &self.slice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autosens_sim::{generate, Scenario, SimConfig};
+
+    /// The O(1) status counters (maintained on admit/evict) must equal a
+    /// full shard walk at every point of an insert/evict interleaving.
+    #[test]
+    fn incremental_status_counters_match_a_shard_walk() {
+        let (log, _) = generate(&SimConfig::scenario(Scenario::Smoke)).unwrap();
+        let cfg = StreamConfig {
+            shard_ms: 6 * 3_600_000,
+            retain_ms: Some(3 * 24 * 3_600_000), // force evictions mid-run
+            ..StreamConfig::default()
+        };
+        let mut engine = StreamEngine::new(cfg, Slice::all()).unwrap();
+        let check = |engine: &StreamEngine| {
+            let mut hour_counts = [0u64; 24];
+            let mut live = 0u64;
+            for shard in engine.shards.values() {
+                shard.merge_hours_into(&mut hour_counts);
+                live += shard.len() as u64;
+            }
+            let status = engine.status();
+            assert_eq!(status.live_records, live, "live_records drifted");
+            assert_eq!(status.hour_counts, hour_counts, "hour_counts drifted");
+        };
+        for (i, r) in log.iter().enumerate() {
+            engine.push(r);
+            if i % 997 == 0 {
+                check(&engine);
+            }
+        }
+        check(&engine);
+        assert!(
+            engine.status().evicted > 0,
+            "retention produced no evictions — the evict path went untested"
+        );
     }
 }

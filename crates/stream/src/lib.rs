@@ -37,7 +37,9 @@ pub mod ingest;
 mod shard;
 pub mod status;
 
-pub use checkpoint::{Checkpoint, ShardCheckpoint, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    save_json, CellPartial, Checkpoint, ShardCheckpoint, ShardPartials, CHECKPOINT_VERSION,
+};
 pub use detector::{DetectorConfig, RegimeShift};
 pub use engine::{Ingest, StreamConfig, StreamEngine, StreamStatus};
 pub use error::StreamError;
@@ -48,7 +50,7 @@ pub use status::StatusDocument;
 mod tests {
     use super::*;
     use autosens_core::pipeline::AnalysisReport;
-    use autosens_core::{AutoSens, AutoSensConfig};
+    use autosens_core::{AnalysisPlan, AutoSensConfig, PlanInput, RunOptions};
     use autosens_faults::{FaultOp, FaultPlan, FaultStream};
     use autosens_obs::Recorder;
     use autosens_sim::{self, Scenario, SimConfig};
@@ -59,6 +61,13 @@ mod tests {
     fn smoke_log() -> TelemetryLog {
         let cfg = SimConfig::scenario(Scenario::Smoke);
         autosens_sim::generate(&cfg).expect("smoke generation").0
+    }
+
+    fn batch_analyze(log: &TelemetryLog) -> AnalysisReport {
+        AnalysisPlan::new(AutoSensConfig::default())
+            .run(PlanInput::log(log), RunOptions::default())
+            .expect("batch analyze")
+            .report
     }
 
     fn stream_config() -> StreamConfig {
@@ -129,9 +138,7 @@ mod tests {
     #[test]
     fn drained_snapshot_is_bit_identical_to_batch_analyze() {
         let log = smoke_log();
-        let batch = AutoSens::new(AutoSensConfig::default())
-            .analyze(&log)
-            .expect("batch analyze");
+        let batch = batch_analyze(&log);
 
         let mut engine = StreamEngine::new(stream_config(), Slice::all()).expect("engine");
         for r in log.iter() {
@@ -161,9 +168,7 @@ mod tests {
             }],
         };
         let corrupted = plan.apply(&log).expect("fault injection");
-        let batch = AutoSens::new(AutoSensConfig::default())
-            .analyze(&corrupted)
-            .expect("batch analyze");
+        let batch = batch_analyze(&corrupted);
 
         let mut engine = StreamEngine::new(stream_config(), Slice::all()).expect("engine");
         for r in corrupted.iter() {
@@ -186,9 +191,7 @@ mod tests {
             ops: vec![FaultOp::Duplicate { rate: 0.1 }],
         };
         let corrupted = plan.apply(&log).expect("fault injection");
-        let batch = AutoSens::new(AutoSensConfig::default())
-            .analyze(&corrupted)
-            .expect("batch analyze");
+        let batch = batch_analyze(&corrupted);
 
         let recorder = Recorder::new();
         let mut engine =
@@ -272,6 +275,80 @@ mod tests {
     }
 
     #[test]
+    fn clean_snapshot_is_served_from_cache_and_byte_identical() {
+        let log = smoke_log();
+        let recorder = Recorder::new();
+        let mut engine =
+            StreamEngine::with_recorder(stream_config(), Slice::all(), recorder.clone())
+                .expect("engine");
+        let records: Vec<ActionRecord> = log.iter().collect();
+        let half = records.len() / 2;
+        for &r in &records[..half] {
+            engine.push(r);
+        }
+        let cold = engine.snapshot().expect("cold snapshot");
+        assert!(!engine.last_snapshot_reused());
+        let warm = engine.snapshot().expect("warm snapshot");
+        assert!(engine.last_snapshot_reused());
+        assert_reports_identical(&warm, &cold);
+        assert_eq!(
+            recorder
+                .metrics()
+                .snapshot()
+                .counter("autosens_stream_snapshot_reuse_total"),
+            Some(1)
+        );
+
+        // Any new event invalidates the cache; the incrementally rebuilt
+        // store must match a cold engine fed the full sequence.
+        for &r in &records[half..] {
+            engine.push(r);
+        }
+        let dirty = engine.snapshot().expect("dirty snapshot");
+        assert!(!engine.last_snapshot_reused());
+        let mut fresh = StreamEngine::new(stream_config(), Slice::all()).expect("engine");
+        for &r in &records {
+            fresh.push(r);
+        }
+        let fresh_snap = fresh.snapshot().expect("fresh snapshot");
+        assert_reports_identical(&dirty, &fresh_snap);
+    }
+
+    #[test]
+    fn tampered_checkpoint_partials_are_rejected_and_absent_ones_rebuild() {
+        let log = smoke_log();
+        let mut engine = StreamEngine::new(stream_config(), Slice::all()).expect("engine");
+        for r in log.iter() {
+            engine.push(r);
+        }
+        let mut ck = engine.checkpoint(0);
+        let partials = ck.shards[0]
+            .partials
+            .as_mut()
+            .expect("checkpoints carry partials");
+        partials
+            .cells
+            .first_mut()
+            .expect("non-empty cell partials")
+            .actions += 1;
+        let err = StreamEngine::restore(ck, Slice::all(), Recorder::disabled());
+        assert!(matches!(err, Err(StreamError::Corrupt(_))));
+
+        // Absent partials (pre-partials checkpoints) rebuild from the
+        // records and still restore bit-identically.
+        let mut ck = engine.checkpoint(0);
+        for shard in &mut ck.shards {
+            shard.partials = None;
+        }
+        let restored =
+            StreamEngine::restore(ck, Slice::all(), Recorder::disabled()).expect("restore");
+        let a = engine.snapshot().expect("original snapshot");
+        let b = restored.snapshot().expect("restored snapshot");
+        assert_reports_identical(&a, &b);
+        assert_eq!(engine.status(), restored.status());
+    }
+
+    #[test]
     fn flight_recorder_is_not_checkpointed() {
         use autosens_obs::FlightKind;
         let log = smoke_log();
@@ -303,9 +380,7 @@ mod tests {
         // detector and the windowed curve both enabled, the lifetime
         // report stays bit-identical to batch analyze.
         let log = smoke_log();
-        let batch = AutoSens::new(AutoSensConfig::default())
-            .analyze(&log)
-            .expect("batch analyze");
+        let batch = batch_analyze(&log);
         let cfg = StreamConfig {
             detector: Some(DetectorConfig::default()),
             decay_half_life_ms: Some(2 * 86_400_000),

@@ -12,20 +12,21 @@
 //! concatenates seven column vectors instead of cloning records, and the
 //! merged log hands the analysis stack a zero-copy view.
 //!
-//! Alongside the rows each shard maintains incremental partial
-//! aggregates — the per-cell biased histograms and action counts of
-//! [`GroupPartition`], the per-day loss-cell observation counts of
-//! [`LossCounts`], plus per-local-hour counters — so a snapshot merges
-//! shard partials instead of rescanning history. Histogram counts are
-//! unit-weight (integer-valued) additions and loss counts are `u64`s, so
-//! shard-merge order cannot perturb the result: the merged partials are
-//! bit-identical to a batch rescan.
+//! Alongside the rows each shard maintains the plan layer's cacheable
+//! operator state ([`PlanPartials`]: the per-cell biased histograms and
+//! action counts of [`GroupPartition`](autosens_core::GroupPartition),
+//! the per-day loss-cell observation counts of
+//! [`LossCounts`](autosens_telemetry::loss::LossCounts)) plus
+//! per-local-hour counters — so a snapshot merges shard partials instead
+//! of rescanning history. Histogram counts are unit-weight
+//! (integer-valued) additions and loss counts are `u64`s, so shard-merge
+//! order cannot perturb the result: the merged partials are bit-identical
+//! to a batch rescan.
 
-use autosens_core::GroupPartition;
+use autosens_core::PlanPartials;
 use autosens_exec::Mergeable;
 use autosens_stats::binning::Binner;
 use autosens_telemetry::log::ColumnStore;
-use autosens_telemetry::loss::LossCounts;
 use autosens_telemetry::record::ActionRecord;
 
 /// One time bucket's rows (columnar) and partial aggregates.
@@ -33,11 +34,11 @@ use autosens_telemetry::record::ActionRecord;
 pub(crate) struct Shard {
     /// Rows sorted by time, arrival-stable among equal timestamps.
     pub cols: ColumnStore,
-    /// Incremental α partition: per-cell biased histograms + action counts.
-    pub partition: GroupPartition,
-    /// Incremental per-day loss-cell observation counts (the lossmodel
-    /// stage's input, maintained without rescanning).
-    pub loss: LossCounts,
+    /// The plan layer's cacheable per-shard operator state: the
+    /// `alpha`/`biased_pdf` [`GroupPartition`](autosens_core::GroupPartition)
+    /// fold and the `lossmodel`
+    /// [`LossCounts`](autosens_telemetry::loss::LossCounts) fold, bundled.
+    pub partials: PlanPartials,
     /// Actions per local hour slot (merged across shards via the
     /// fixed-size-array [`Mergeable`] impl).
     pub hour_counts: [u64; 24],
@@ -47,8 +48,7 @@ impl Shard {
     pub fn new(binner: &Binner) -> Shard {
         Shard {
             cols: ColumnStore::new(),
-            partition: GroupPartition::empty(binner),
-            loss: LossCounts::new(),
+            partials: PlanPartials::empty(binner),
             hour_counts: [0u64; 24],
         }
     }
@@ -61,8 +61,7 @@ impl Shard {
     /// Fold one record into the derived aggregates (partition, loss
     /// counts, hour counters) — shared by insert and rebuild.
     fn aggregate(&mut self, r: &ActionRecord) {
-        self.partition.record(r);
-        self.loss.record(r.time, r.tz_offset_ms, r.class.code());
+        self.partials.record(r);
         self.hour_counts[r.hour_slot().0 as usize % 24] += 1;
     }
 
@@ -98,6 +97,26 @@ impl Shard {
             shard.aggregate(r);
         }
         shard
+    }
+
+    /// Assemble a shard from checkpointed records **and** checkpointed
+    /// partial aggregates, skipping the per-record refold. The caller
+    /// (checkpoint restore) is responsible for validating that the
+    /// partials actually summarize the records before trusting them.
+    pub fn from_parts(
+        records: &[ActionRecord],
+        partials: PlanPartials,
+        hour_counts: [u64; 24],
+    ) -> Shard {
+        let mut cols = ColumnStore::with_capacity(records.len());
+        for r in records {
+            cols.push(r);
+        }
+        Shard {
+            cols,
+            partials,
+            hour_counts,
+        }
     }
 
     /// Fold this shard's hour counters into an accumulator.
@@ -151,7 +170,7 @@ mod tests {
         assert_eq!(shard.len(), 2);
         assert_eq!(shard.hour_counts.iter().sum::<u64>(), 2);
         // Duplicates are not double-counted as loss-cell observations.
-        assert_eq!(shard.loss.total(), 2);
+        assert_eq!(shard.partials.loss.total(), 2);
     }
 
     #[test]
@@ -163,10 +182,19 @@ mod tests {
         let rebuilt = Shard::rebuild(shard.cols.to_records(), &binner());
         assert_eq!(rebuilt.cols.to_records(), shard.cols.to_records());
         assert_eq!(rebuilt.hour_counts, shard.hour_counts);
-        assert_eq!(rebuilt.partition.cell_actions, shard.partition.cell_actions);
-        for (a, b) in rebuilt.partition.cells.iter().zip(&shard.partition.cells) {
+        assert_eq!(
+            rebuilt.partials.partition.cell_actions,
+            shard.partials.partition.cell_actions
+        );
+        for (a, b) in rebuilt
+            .partials
+            .partition
+            .cells
+            .iter()
+            .zip(&shard.partials.partition.cells)
+        {
             assert_eq!(a.counts(), b.counts());
         }
-        assert_eq!(rebuilt.loss, shard.loss);
+        assert_eq!(rebuilt.partials.loss, shard.partials.loss);
     }
 }

@@ -58,6 +58,15 @@ pub struct StatusDocument {
     pub status: StreamStatus,
     /// Ingest queue depth at assembly time (0 when pushing directly).
     pub queue_depth: u64,
+    /// Whether the embedded report was served from the engine's snapshot
+    /// cache (no events arrived since the previous snapshot computed it).
+    #[serde(default)]
+    pub report_cached: bool,
+    /// The intake event count the embedded report was computed at — the
+    /// snapshot cache's dirty key. Equal to `status.events` whenever the
+    /// document and report were assembled under one tenant lock.
+    #[serde(default)]
+    pub report_events: u64,
     /// Volume-weighted overall estimated telemetry-loss rate.
     pub loss_rate: f64,
     /// Whether the loss-aware correction is currently active.
@@ -96,6 +105,8 @@ impl StatusDocument {
             generated_at_ms: status.max_event_time_ms.unwrap_or(0),
             status,
             queue_depth,
+            report_cached: engine.last_snapshot_reused(),
+            report_events: engine.events(),
             loss_rate: report.loss.as_ref().map_or(0.0, |l| l.overall_rate),
             loss_correction_active: report.loss.is_some(),
             curve: report.preference.series().to_vec(),
@@ -168,6 +179,11 @@ mod tests {
         let doc = StatusDocument::collect(&engine, &report, 3);
         assert!(doc.generated_at_ms > 0);
         assert_eq!(doc.queue_depth, 3);
+        assert_eq!(doc.report_events, doc.status.events);
+        assert!(
+            !doc.report_cached,
+            "first snapshot after ingest cannot be cache-served"
+        );
         assert!(!doc.curve.is_empty());
         let windowed = doc.windowed.as_ref().expect("windowed curve enabled");
         assert_eq!(windowed.half_life_ms, 2 * 86_400_000);

@@ -101,6 +101,20 @@ impl ColumnStore {
         }
     }
 
+    /// Drop every row past the first `len`, keeping column capacity (a
+    /// no-op when `len >= self.len()`). The incremental-snapshot path
+    /// reuses a store by truncating to the unchanged prefix and
+    /// re-appending only the shards that changed.
+    pub fn truncate(&mut self, len: usize) {
+        self.time_ms.truncate(len);
+        self.latency_ms.truncate(len);
+        self.action.truncate(len);
+        self.user.truncate(len);
+        self.class.truncate(len);
+        self.tz_offset_ms.truncate(len);
+        self.outcome.truncate(len);
+    }
+
     /// Append every row of `other`, preserving its storage order.
     pub fn extend_from(&mut self, other: &ColumnStore) {
         self.time_ms.extend_from_slice(&other.time_ms);
@@ -859,6 +873,13 @@ impl TelemetryLog {
     /// The columnar storage.
     pub fn columns(&self) -> &ColumnStore {
         &self.cols
+    }
+
+    /// Take the columnar storage back out of the log without copying a
+    /// row — the inverse of [`TelemetryLog::from_columns`], for callers
+    /// that lend their store to an analysis and want it back afterwards.
+    pub fn into_columns(self) -> ColumnStore {
+        self.cols
     }
 
     /// The zero-copy view of every row (storage order).

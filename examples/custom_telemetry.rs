@@ -8,7 +8,7 @@
 //! ```
 
 use autosens_core::locality::{density_latency_correlation, locality_report};
-use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_core::{AnalysisPlan, AutoSensConfig, PlanInput, RunOptions};
 use autosens_sim::{generate, Scenario, SimConfig};
 use autosens_telemetry::codec;
 use rand::rngs::StdRng;
@@ -50,9 +50,10 @@ fn main() {
     );
 
     // Step 2: run the analysis.
-    let engine = AutoSens::new(AutoSensConfig::default());
-    match engine.analyze(&log) {
-        Ok(report) => {
+    let plan = AnalysisPlan::new(AutoSensConfig::default());
+    match plan.run(PlanInput::log(&log), RunOptions::default()) {
+        Ok(out) => {
+            let report = out.report;
             println!("normalized latency preference (ref 300 ms):");
             for l in [500.0, 800.0, 1200.0] {
                 match report.preference.at(l) {

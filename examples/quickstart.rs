@@ -7,7 +7,7 @@
 //! ```
 
 use autosens_core::report::{default_grid, f3, text_table};
-use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_core::{AnalysisPlan, AutoSensConfig, PlanInput, RunOptions};
 use autosens_sim::{generate, Scenario, SimConfig};
 
 fn main() {
@@ -26,8 +26,11 @@ fn main() {
     // 2. Analysis, with the paper's parameters: 10 ms bins, Savitzky-Golay
     //    (window 101, degree 3), 300 ms reference, hourly activity-factor
     //    correction for the time-of-day confounder.
-    let engine = AutoSens::new(AutoSensConfig::default());
-    let report = engine.analyze(&log).expect("analysis succeeds");
+    let plan = AnalysisPlan::new(AutoSensConfig::default());
+    let report = plan
+        .run(PlanInput::log(&log), RunOptions::default())
+        .expect("analysis succeeds")
+        .report;
 
     // 3. Results.
     println!(

@@ -9,7 +9,7 @@
 
 mod common;
 
-use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_core::{AnalysisPlan, AutoSensConfig, PlanInput, RunOptions};
 use autosens_sim::generate;
 use autosens_sim::preference::SensingMode;
 use autosens_telemetry::query::Slice;
@@ -36,9 +36,7 @@ fn recovery_survives_realistic_sensing_models() {
         let mut cfg = common::validation_config();
         cfg.sensing = mode;
         let (log, _) = generate(&cfg).expect("valid");
-        let report = common::engine()
-            .analyze_slice(&log, &slice())
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let report = common::run_slice(&log, &slice()).unwrap_or_else(|e| panic!("{name}: {e}"));
         let v500 = report.preference.at(500.0).expect("supported");
         let v1000 = report.preference.at(1000.0).expect("supported");
         assert!(
@@ -56,12 +54,13 @@ fn recovery_survives_realistic_sensing_models() {
 fn draw_budget_changes_noise_not_signal() {
     let (log, _) = common::data();
     let run = |draws: usize| {
-        AutoSens::new(AutoSensConfig {
+        AnalysisPlan::new(AutoSensConfig {
             unbiased_draws: draws,
             ..AutoSensConfig::default()
         })
-        .analyze_slice(log, &slice())
+        .run(PlanInput::slice(log, &slice()), RunOptions::default())
         .expect("fits")
+        .report
     };
     let small = run(96_000);
     let large = run(480_000);
@@ -83,7 +82,7 @@ fn savgol_beats_simple_smoothers_on_curve_fidelity() {
     // boxcar flattens).
     use autosens_stats::{savgol::SavGol, smoothing};
     let (log, truth) = common::data();
-    let report = common::engine().analyze_slice(log, &slice()).expect("fits");
+    let report = common::run_slice(log, &slice()).expect("fits");
     let raw = report.preference.raw_series();
     assert!(raw.len() > 60);
     let xs: Vec<f64> = raw.iter().map(|(x, _)| *x).collect();

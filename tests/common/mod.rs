@@ -5,8 +5,11 @@
 
 use std::sync::OnceLock;
 
-use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_core::ci::PreferenceCi;
+use autosens_core::pipeline::AnalysisReport;
+use autosens_core::{AnalysisPlan, AutoSens, AutoSensConfig, AutoSensError, PlanInput, RunOptions};
 use autosens_sim::{generate, GroundTruth, Scenario, SimConfig};
+use autosens_telemetry::query::Slice;
 use autosens_telemetry::TelemetryLog;
 
 /// The validation scenario: both months, 600 users.
@@ -25,6 +28,32 @@ pub fn data() -> &'static (TelemetryLog, GroundTruth) {
 }
 
 /// An engine with the paper's default configuration.
+#[allow(dead_code)]
 pub fn engine() -> AutoSens {
     AutoSens::new(AutoSensConfig::default())
+}
+
+/// Run the single plan entry point over one slice under the paper's
+/// default configuration.
+#[allow(dead_code)]
+pub fn run_slice(log: &TelemetryLog, slice: &Slice) -> Result<AnalysisReport, AutoSensError> {
+    AnalysisPlan::new(AutoSensConfig::default())
+        .run(PlanInput::slice(log, slice), RunOptions::default())
+        .map(|out| out.report)
+}
+
+/// Same run with a bootstrap confidence band.
+#[allow(dead_code)]
+pub fn run_slice_with_ci(
+    log: &TelemetryLog,
+    slice: &Slice,
+    replicates: usize,
+    level: f64,
+) -> Result<(AnalysisReport, PreferenceCi), AutoSensError> {
+    AnalysisPlan::new(AutoSensConfig::default())
+        .run(
+            PlanInput::slice(log, slice),
+            RunOptions::with_ci(replicates, level),
+        )
+        .map(|out| (out.report, out.ci.expect("ci requested")))
 }

@@ -15,9 +15,7 @@ fn slice() -> Slice {
 #[test]
 fn band_brackets_point_and_mostly_covers_truth() {
     let (log, truth) = common::data();
-    let (report, ci) = common::engine()
-        .analyze_slice_with_ci(log, &slice(), 40, 0.95)
-        .expect("fits");
+    let (report, ci) = common::run_slice_with_ci(log, &slice(), 40, 0.95).expect("fits");
     assert!(ci.replicates >= 20);
 
     let mut covered = 0;
@@ -54,12 +52,8 @@ fn band_brackets_point_and_mostly_covers_truth() {
 #[test]
 fn ci_is_deterministic_for_a_seed() {
     let (log, _) = common::data();
-    let (_, a) = common::engine()
-        .analyze_slice_with_ci(log, &slice(), 25, 0.9)
-        .expect("fits");
-    let (_, b) = common::engine()
-        .analyze_slice_with_ci(log, &slice(), 25, 0.9)
-        .expect("fits");
+    let (_, a) = common::run_slice_with_ci(log, &slice(), 25, 0.9).expect("fits");
+    let (_, b) = common::run_slice_with_ci(log, &slice(), 25, 0.9).expect("fits");
     assert_eq!(a.band_series().len(), b.band_series().len());
     for ((x1, l1, h1), (x2, l2, h2)) in a.band_series().iter().zip(b.band_series().iter()) {
         assert_eq!(x1, x2);

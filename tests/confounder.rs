@@ -4,8 +4,8 @@
 
 mod common;
 
-use autosens_core::AutoSens;
 use autosens_core::AutoSensConfig;
+use autosens_core::{AnalysisPlan, PlanInput, RunOptions};
 use autosens_telemetry::query::Slice;
 use autosens_telemetry::record::{ActionType, UserClass};
 use autosens_telemetry::time::DayPeriod;
@@ -19,13 +19,14 @@ fn slice() -> Slice {
 #[test]
 fn alpha_correction_removes_the_inversion() {
     let (log, _) = common::data();
-    let corrected = common::engine().analyze_slice(log, &slice()).expect("fits");
-    let uncorrected = AutoSens::new(AutoSensConfig {
+    let corrected = common::run_slice(log, &slice()).expect("fits");
+    let uncorrected = AnalysisPlan::new(AutoSensConfig {
         alpha_correction: false,
         ..AutoSensConfig::default()
     })
-    .analyze_slice(log, &slice())
-    .expect("fits");
+    .run(PlanInput::slice(log, &slice()), RunOptions::default())
+    .expect("fits")
+    .report;
 
     let probe = 1000.0;
     let with_alpha = corrected.preference.at(probe).expect("supported");
@@ -100,18 +101,20 @@ fn more_reference_slots_stabilize_alpha() {
     // noise; averaging over several references must not blow up, and both
     // configurations should land in the same neighbourhood.
     let (log, _) = common::data();
-    let one = AutoSens::new(AutoSensConfig {
+    let one = AnalysisPlan::new(AutoSensConfig {
         alpha_references: 1,
         ..AutoSensConfig::default()
     })
-    .analyze_slice(log, &slice())
-    .expect("fits");
-    let many = AutoSens::new(AutoSensConfig {
+    .run(PlanInput::slice(log, &slice()), RunOptions::default())
+    .expect("fits")
+    .report;
+    let many = AnalysisPlan::new(AutoSensConfig {
         alpha_references: 6,
         ..AutoSensConfig::default()
     })
-    .analyze_slice(log, &slice())
-    .expect("fits");
+    .run(PlanInput::slice(log, &slice()), RunOptions::default())
+    .expect("fits")
+    .report;
     let a = one.preference.at(900.0).expect("supported");
     let b = many.preference.at(900.0).expect("supported");
     assert!((a - b).abs() < 0.15, "1-ref {a:.3} vs 6-ref {b:.3}");

@@ -9,7 +9,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use autosens_core::report::{default_grid, PreferenceSummary};
-use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_core::{AnalysisPlan, AutoSensConfig, PlanInput, RunOptions};
 use autosens_telemetry::container::{self, MappedLog};
 use autosens_telemetry::query::Slice;
 use autosens_telemetry::record::{ActionRecord, ActionType, Outcome, UserClass, UserId};
@@ -156,12 +156,21 @@ fn mapped_view_analysis_matches_owned_log() {
     let mapped = MappedLog::open(&path).unwrap();
 
     for threads in [1usize, 4] {
-        let engine = AutoSens::new(AutoSensConfig {
+        let plan = AnalysisPlan::new(AutoSensConfig {
             threads,
             ..AutoSensConfig::default()
         });
-        let from_log = engine.analyze_slice(log, &Slice::all()).unwrap();
-        let from_map = engine.analyze_view(&mapped.view(), &Slice::all()).unwrap();
+        let from_log = plan
+            .run(PlanInput::slice(log, &Slice::all()), RunOptions::default())
+            .unwrap()
+            .report;
+        let from_map = plan
+            .run(
+                PlanInput::view(&mapped.view(), &Slice::all()),
+                RunOptions::default(),
+            )
+            .unwrap()
+            .report;
         let grid = default_grid();
         let a = PreferenceSummary::from_report("all", &from_log, &grid);
         let b = PreferenceSummary::from_report("all", &from_map, &grid);

@@ -11,7 +11,7 @@
 //! histograms, and the same bootstrap confidence band from the same seed.
 
 use autosens_core::pipeline::AnalysisReport;
-use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_core::{AnalysisPlan, AutoSensConfig, PlanInput, RunOptions};
 use autosens_telemetry::query::Slice;
 use autosens_telemetry::record::{ActionRecord, ActionType, Outcome, UserClass, UserId};
 use autosens_telemetry::time::SimTime;
@@ -134,13 +134,15 @@ proptest! {
     #[test]
     fn analysis_is_bit_identical_for_any_thread_count(seed in 0u64..1u64 << 48) {
         let log = random_log(seed, 30_000);
-        let reference = AutoSens::new(config(1))
-            .analyze(&log)
-            .expect("reference analysis succeeds");
+        let reference = AnalysisPlan::new(config(1))
+            .run(PlanInput::log(&log), RunOptions::default())
+            .expect("reference analysis succeeds")
+            .report;
         for threads in THREADS {
-            let report = AutoSens::new(config(threads))
-                .analyze(&log)
-                .expect("parallel analysis succeeds");
+            let report = AnalysisPlan::new(config(threads))
+                .run(PlanInput::log(&log), RunOptions::default())
+                .expect("parallel analysis succeeds")
+                .report;
             assert_reports_identical(&reference, &report, &format!("threads={threads}"));
         }
     }
@@ -149,18 +151,20 @@ proptest! {
     fn bootstrap_ci_is_identical_for_any_thread_count(seed in 0u64..1u64 << 48) {
         let log = random_log(seed, 25_000);
         let slice = Slice::all();
-        let (ref_report, ref_ci) = AutoSens::new(config(1))
-            .analyze_slice_with_ci(&log, &slice, 30, 0.95)
+        let ref_out = AnalysisPlan::new(config(1))
+            .run(PlanInput::slice(&log, &slice), RunOptions::with_ci(30, 0.95))
             .expect("reference analysis succeeds");
+        let (ref_report, ref_ci) = (ref_out.report, ref_out.ci.expect("ci requested"));
         let ref_band: Vec<(u64, u64, u64)> = ref_ci
             .band_series()
             .iter()
             .map(|&(x, lo, hi)| (x.to_bits(), lo.to_bits(), hi.to_bits()))
             .collect();
         for threads in THREADS {
-            let (report, ci) = AutoSens::new(config(threads))
-                .analyze_slice_with_ci(&log, &slice, 30, 0.95)
+            let out = AnalysisPlan::new(config(threads))
+                .run(PlanInput::slice(&log, &slice), RunOptions::with_ci(30, 0.95))
                 .expect("parallel analysis succeeds");
+            let (report, ci) = (out.report, out.ci.expect("ci requested"));
             assert_reports_identical(&ref_report, &report, &format!("threads={threads}"));
             let band: Vec<(u64, u64, u64)> = ci
                 .band_series()
@@ -181,13 +185,15 @@ fn sliced_analysis_is_bit_identical_across_thread_counts() {
     let slice = Slice::all()
         .action(ActionType::SelectMail)
         .class(UserClass::Business);
-    let reference = AutoSens::new(config(1))
-        .analyze_slice(&log, &slice)
-        .expect("reference analysis succeeds");
+    let reference = AnalysisPlan::new(config(1))
+        .run(PlanInput::slice(&log, &slice), RunOptions::default())
+        .expect("reference analysis succeeds")
+        .report;
     for threads in THREADS {
-        let report = AutoSens::new(config(threads))
-            .analyze_slice(&log, &slice)
-            .expect("parallel analysis succeeds");
+        let report = AnalysisPlan::new(config(threads))
+            .run(PlanInput::slice(&log, &slice), RunOptions::default())
+            .expect("parallel analysis succeeds")
+            .report;
         assert_reports_identical(&reference, &report, &format!("threads={threads}"));
     }
 }

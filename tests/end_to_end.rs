@@ -22,8 +22,8 @@ fn slice() -> Slice {
 #[test]
 fn full_pipeline_is_deterministic() {
     let (log, _) = common::data();
-    let a = common::engine().analyze_slice(log, &slice()).expect("fits");
-    let b = common::engine().analyze_slice(log, &slice()).expect("fits");
+    let a = common::run_slice(log, &slice()).expect("fits");
+    let b = common::run_slice(log, &slice()).expect("fits");
     assert_eq!(a.preference.series(), b.preference.series());
     assert_eq!(a.n_actions, b.n_actions);
 }
@@ -31,15 +31,13 @@ fn full_pipeline_is_deterministic() {
 #[test]
 fn csv_roundtrip_preserves_the_analysis() {
     let (log, _) = common::data();
-    let direct = common::engine().analyze_slice(log, &slice()).expect("fits");
+    let direct = common::run_slice(log, &slice()).expect("fits");
 
     let mut buf = Vec::new();
     codec::write_csv(log, &mut buf).expect("serialize");
     let back = codec::read_csv(buf.as_slice()).expect("parse");
     assert_eq!(back.len(), log.len());
-    let roundtrip = common::engine()
-        .analyze_slice(&back, &slice())
-        .expect("fits");
+    let roundtrip = common::run_slice(&back, &slice()).expect("fits");
     assert_eq!(direct.preference.series(), roundtrip.preference.series());
 }
 
@@ -81,7 +79,7 @@ fn locality_preconditions_hold_on_simulated_telemetry() {
 #[test]
 fn drop_factors_stay_below_the_bottleneck_prediction() {
     let (log, _) = common::data();
-    let report = common::engine().analyze_slice(log, &slice()).expect("fits");
+    let report = common::run_slice(log, &slice()).expect("fits");
     let bn = bottleneck_report(&report.preference, 500.0);
     assert!(!bn.doublings.is_empty());
     let (_, _, first) = bn.doublings[0];
@@ -98,10 +96,8 @@ fn error_records_are_excluded_from_analysis() {
     // The engine analyzes successes only; a log stripped of errors must
     // give the identical curve.
     let stripped = log.successes_only();
-    let a = common::engine().analyze_slice(log, &slice()).expect("fits");
-    let b = common::engine()
-        .analyze_slice(&stripped, &slice())
-        .expect("fits");
+    let a = common::run_slice(log, &slice()).expect("fits");
+    let b = common::run_slice(&stripped, &slice()).expect("fits");
     assert_eq!(a.n_actions, b.n_actions);
     assert_eq!(a.preference.series(), b.preference.series());
 }

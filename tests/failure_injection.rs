@@ -1,7 +1,7 @@
 //! Failure injection: malformed inputs, degenerate logs, and empty slices
 //! must produce typed errors, never panics or silent garbage.
 
-use autosens_core::{AutoSens, AutoSensConfig, AutoSensError};
+use autosens_core::{AnalysisPlan, AutoSensConfig, AutoSensError, PlanInput, RunOptions};
 use autosens_sim::{generate, Scenario, SimConfig};
 use autosens_telemetry::codec;
 use autosens_telemetry::codec::CSV_HEADER;
@@ -24,8 +24,8 @@ fn rec(t: i64, latency: f64) -> ActionRecord {
 
 #[test]
 fn empty_log_is_a_typed_error() {
-    let engine = AutoSens::new(AutoSensConfig::default());
-    match engine.analyze(&TelemetryLog::new()) {
+    let plan = AnalysisPlan::new(AutoSensConfig::default());
+    match plan.run(PlanInput::log(&TelemetryLog::new()), RunOptions::default()) {
         Err(AutoSensError::EmptySlice(_)) => {}
         other => panic!("expected EmptySlice, got {other:?}"),
     }
@@ -34,10 +34,10 @@ fn empty_log_is_a_typed_error() {
 #[test]
 fn slice_with_no_matches_is_a_typed_error() {
     let log = TelemetryLog::from_records(vec![rec(0, 100.0), rec(1000, 200.0)]).unwrap();
-    let engine = AutoSens::new(AutoSensConfig::default());
+    let plan = AnalysisPlan::new(AutoSensConfig::default());
     let slice = Slice::all().action(ActionType::ComposeSend);
     assert!(matches!(
-        engine.analyze_slice(&log, &slice),
+        plan.run(PlanInput::slice(&log, &slice), RunOptions::default()),
         Err(AutoSensError::EmptySlice(_))
     ));
 }
@@ -45,8 +45,8 @@ fn slice_with_no_matches_is_a_typed_error() {
 #[test]
 fn tiny_log_fails_with_insufficient_support() {
     let log = TelemetryLog::from_records((0..50).map(|i| rec(i * 1000, 300.0)).collect()).unwrap();
-    let engine = AutoSens::new(AutoSensConfig::default());
-    match engine.analyze(&log) {
+    let plan = AnalysisPlan::new(AutoSensConfig::default());
+    match plan.run(PlanInput::log(&log), RunOptions::default()) {
         Err(AutoSensError::InsufficientSupport { .. }) => {}
         other => panic!("expected InsufficientSupport, got {other:?}"),
     }
@@ -56,9 +56,9 @@ fn tiny_log_fails_with_insufficient_support() {
 fn constant_latency_log_cannot_support_a_curve() {
     // Plenty of records, but all in one bin: no curve can be fitted.
     let log = TelemetryLog::from_records((0..5000).map(|i| rec(i * 100, 305.0)).collect()).unwrap();
-    let engine = AutoSens::new(AutoSensConfig::default());
+    let plan = AnalysisPlan::new(AutoSensConfig::default());
     assert!(matches!(
-        engine.analyze(&log),
+        plan.run(PlanInput::log(&log), RunOptions::default()),
         Err(AutoSensError::InsufficientSupport { .. })
     ));
 }
@@ -70,8 +70,8 @@ fn reference_outside_observed_range_is_reported() {
         .map(|i| rec(i * 100, 1500.0 + (i % 800) as f64))
         .collect();
     let log = TelemetryLog::from_records(records).unwrap();
-    let engine = AutoSens::new(AutoSensConfig::default());
-    match engine.analyze(&log) {
+    let plan = AnalysisPlan::new(AutoSensConfig::default());
+    match plan.run(PlanInput::log(&log), RunOptions::default()) {
         Err(AutoSensError::ReferenceUnsupported { reference_ms }) => {
             assert_eq!(reference_ms, 300.0)
         }
@@ -85,10 +85,10 @@ fn invalid_config_is_rejected_before_analysis() {
         savgol_window: 4, // must be odd
         ..AutoSensConfig::default()
     };
-    let engine = AutoSens::new(cfg);
+    let plan = AnalysisPlan::new(cfg);
     let log = TelemetryLog::from_records(vec![rec(0, 100.0)]).unwrap();
     assert!(matches!(
-        engine.analyze(&log),
+        plan.run(PlanInput::log(&log), RunOptions::default()),
         Err(AutoSensError::BadConfig(_))
     ));
 }
@@ -142,9 +142,9 @@ fn unsorted_log_errors_surface_through_the_pipeline() {
     // past sortedness and fails only for lack of data (either the support
     // check or, when the alpha gate excludes the lone slot first, an empty
     // pooled histogram).
-    let engine = AutoSens::new(AutoSensConfig::default());
+    let plan = AnalysisPlan::new(AutoSensConfig::default());
     assert!(matches!(
-        engine.analyze(&log),
+        plan.run(PlanInput::log(&log), RunOptions::default()),
         Err(AutoSensError::InsufficientSupport { .. } | AutoSensError::EmptySlice(_))
     ));
 }
@@ -162,14 +162,18 @@ fn injected_chunk_panic_surfaces_as_typed_error() {
         threads: 2,
         ..AutoSensConfig::default()
     };
-    let engine = AutoSens::new(cfg);
+    let plan = AnalysisPlan::new(cfg);
+    let ci_run = || {
+        plan.run(
+            PlanInput::slice(&log, &Slice::all()),
+            RunOptions::with_ci(20, 0.95),
+        )
+    };
     // Sanity: the same analysis succeeds while no fault is armed.
-    engine
-        .analyze_slice_with_ci(&log, &Slice::all(), 20, 0.95)
-        .expect("clean run succeeds");
+    ci_run().expect("clean run succeeds");
 
     autosens_exec::faults::arm_chunk_panic(autosens_core::ci::CI_CHUNK_LABEL, 0);
-    let result = engine.analyze_slice_with_ci(&log, &Slice::all(), 20, 0.95);
+    let result = ci_run();
     autosens_exec::faults::disarm_chunk_panic();
     match result {
         Err(AutoSensError::Internal(msg)) => {
@@ -178,9 +182,7 @@ fn injected_chunk_panic_surfaces_as_typed_error() {
         other => panic!("expected Internal, got {other:?}"),
     }
     // The hook is disarmed: the pipeline is healthy again.
-    engine
-        .analyze_slice_with_ci(&log, &Slice::all(), 20, 0.95)
-        .expect("post-fault run succeeds");
+    ci_run().expect("post-fault run succeeds");
 }
 
 #[test]

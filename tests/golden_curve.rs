@@ -13,7 +13,7 @@
 //! cargo test --test golden_curve -- --ignored regenerate_golden_fixture
 //! ```
 
-use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_core::{AnalysisPlan, AutoSensConfig, PlanInput, RunOptions};
 use autosens_telemetry::codec;
 use autosens_telemetry::record::{ActionRecord, ActionType, Outcome, UserClass, UserId};
 use autosens_telemetry::time::SimTime;
@@ -74,14 +74,14 @@ fn analyze(log: &TelemetryLog, threads: usize) -> Vec<(f64, f64)> {
     // arrivals organically trip the loss estimator's gap evidence, and
     // the corrected curve legitimately differs — ci.sh pins the same
     // contract on `analyze --loss-correct=off`).
-    let engine = AutoSens::new(AutoSensConfig {
+    let plan = AnalysisPlan::new(AutoSensConfig {
         threads,
         loss_correct: false,
         ..AutoSensConfig::default()
     });
-    engine
-        .analyze(log)
+    plan.run(PlanInput::log(log), RunOptions::default())
         .expect("fixture analysis succeeds")
+        .report
         .preference
         .series()
 }

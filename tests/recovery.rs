@@ -19,7 +19,7 @@ fn selectmail_business_tracks_planted_truth() {
     let slice = Slice::all()
         .action(ActionType::SelectMail)
         .class(UserClass::Business);
-    let report = common::engine().analyze_slice(log, &slice).expect("fits");
+    let report = common::run_slice(log, &slice).expect("fits");
 
     let mut err = 0.0;
     let mut n = 0;
@@ -41,7 +41,7 @@ fn recovered_curves_decrease_with_latency() {
     let slice = Slice::all()
         .action(ActionType::SelectMail)
         .class(UserClass::Business);
-    let report = common::engine().analyze_slice(log, &slice).expect("fits");
+    let report = common::run_slice(log, &slice).expect("fits");
     let p = &report.preference;
     assert!((p.at(300.0).unwrap() - 1.0).abs() < 1e-9);
     // Decreasing through the well-supported range (allow small noise).

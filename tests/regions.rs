@@ -4,7 +4,7 @@
 //! restores a homogeneous clock and the analysis recovers the truth per
 //! region.
 
-use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_core::{AnalysisPlan, AutoSensConfig, PlanInput, RunOptions};
 use autosens_sim::config::{Scenario, SimConfig};
 use autosens_sim::generate;
 use autosens_telemetry::query::Slice;
@@ -38,15 +38,16 @@ fn records_carry_their_region_offset() {
 #[test]
 fn per_region_slices_recover_the_preference() {
     let (log, truth) = generate(&multi_region_config()).expect("valid");
-    let engine = AutoSens::new(AutoSensConfig::default());
+    let plan = AnalysisPlan::new(AutoSensConfig::default());
     for tz_hours in [0i64, -6] {
         let slice = Slice::all()
             .action(ActionType::SelectMail)
             .class(UserClass::Business)
             .tz_offset_hours(tz_hours);
-        let report = engine
-            .analyze_slice(&log, &slice)
-            .unwrap_or_else(|e| panic!("region {tz_hours}: {e}"));
+        let report = plan
+            .run(PlanInput::slice(&log, &slice), RunOptions::default())
+            .unwrap_or_else(|e| panic!("region {tz_hours}: {e}"))
+            .report;
         let mut err = 0.0;
         let mut n = 0;
         for l in (400..=1100).step_by(100) {

@@ -9,7 +9,7 @@
 //! 2. **Honest degradation** — what cannot be kept (late arrivals past
 //!    the watermark) is counted and reported, never silently dropped.
 
-use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_core::{AnalysisPlan, AutoSensConfig, PlanInput, RunOptions};
 use autosens_faults::{FaultOp, FaultPlan};
 use autosens_obs::Recorder;
 use autosens_stream::{Ingest, StreamConfig, StreamEngine};
@@ -89,9 +89,10 @@ fn assert_bit_identical(
 #[test]
 fn streamed_snapshot_equals_batch_on_clean_input() {
     let log = small_log(0x5EED);
-    let batch = AutoSens::new(AutoSensConfig::default())
-        .analyze(&log)
-        .expect("batch");
+    let batch = AnalysisPlan::new(AutoSensConfig::default())
+        .run(PlanInput::log(&log), RunOptions::default())
+        .expect("batch")
+        .report;
     let mut engine = StreamEngine::new(
         stream_config(3_600_000),
         autosens_telemetry::query::Slice::all(),
@@ -125,9 +126,10 @@ fn reorder_and_duplicate_injection_preserve_equivalence() {
         ],
     };
     let corrupted = plan.apply(&log).expect("inject");
-    let batch = AutoSens::new(AutoSensConfig::default())
-        .analyze(&corrupted)
-        .expect("batch");
+    let batch = AnalysisPlan::new(AutoSensConfig::default())
+        .run(PlanInput::log(&corrupted), RunOptions::default())
+        .expect("batch")
+        .report;
 
     let recorder = Recorder::new();
     let mut engine = StreamEngine::with_recorder(
@@ -244,9 +246,10 @@ fn duplicate_event_ids_dedup_identically_to_batch_sanitize() {
         }
     }
     let corrupted = TelemetryLog::from_trusted_records(with_dups);
-    let batch = AutoSens::new(AutoSensConfig::default())
-        .analyze(&corrupted)
-        .expect("batch");
+    let batch = AnalysisPlan::new(AutoSensConfig::default())
+        .run(PlanInput::log(&corrupted), RunOptions::default())
+        .expect("batch")
+        .report;
 
     let mut engine = StreamEngine::new(
         stream_config(3_600_000),
@@ -359,8 +362,9 @@ fn checkpoint_restore_then_drain_matches_uninterrupted_run() {
     assert_eq!(uninterrupted.status(), resumed.status());
 
     // And both equal the batch answer over the full log.
-    let batch = AutoSens::new(AutoSensConfig::default())
-        .analyze(&log)
-        .expect("batch");
+    let batch = AnalysisPlan::new(AutoSensConfig::default())
+        .run(PlanInput::log(&log), RunOptions::default())
+        .expect("batch")
+        .report;
     assert_bit_identical(&a, &batch);
 }

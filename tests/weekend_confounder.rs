@@ -4,7 +4,7 @@
 //! latency effect. The weekday/weekend-aware grouping
 //! (`AutoSensConfig::weekday_weekend_slots`) corrects it.
 
-use autosens_core::{AutoSens, AutoSensConfig};
+use autosens_core::{AnalysisPlan, AutoSensConfig, PlanInput, RunOptions};
 use autosens_sim::config::{Scenario, SimConfig};
 use autosens_sim::generate;
 use autosens_telemetry::query::Slice;
@@ -31,7 +31,10 @@ fn mae_vs_truth(
     let slice = Slice::all()
         .action(ActionType::SelectMail)
         .class(UserClass::Business);
-    let report = AutoSens::new(cfg).analyze_slice(log, &slice).expect("fits");
+    let report = AnalysisPlan::new(cfg)
+        .run(PlanInput::slice(log, &slice), RunOptions::default())
+        .expect("fits")
+        .report;
     let mut err = 0.0;
     let mut n = 0;
     for l in (400..=1200).step_by(100) {
